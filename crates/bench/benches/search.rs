@@ -1,0 +1,110 @@
+//! Criterion benchmarks: state-machine search cost — the exhaustive
+//! intra-loop antichain search, the exit-chain scoring and the correlated
+//! path selection. These dominate compile-time cost in a production
+//! deployment of the technique.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use brepl_cfg::PathStep;
+use brepl_core::correlated::profile_paths;
+use brepl_core::intra_loop::IntraLoopSearch;
+use brepl_core::loop_exit::best_exit_machine;
+use brepl_ir::BranchId;
+use brepl_predict::{HistoryKind, PatternTableSet};
+use brepl_trace::{Trace, TraceEvent};
+
+fn periodic_trace(period: usize, n: usize) -> Trace {
+    (0..n)
+        .map(|i| TraceEvent {
+            site: BranchId(0),
+            taken: i % period != period - 1,
+        })
+        .collect()
+}
+
+fn bench_intra_search(c: &mut Criterion) {
+    let trace = periodic_trace(7, 50_000);
+    let tables = PatternTableSet::build(&trace, HistoryKind::Local, 9);
+    let table = tables.site(BranchId(0)).expect("site exists").clone();
+
+    let mut group = c.benchmark_group("intra-loop-search");
+    for max_states in [4usize, 6, 8, 10] {
+        let search = IntraLoopSearch::new(max_states, 9);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_states),
+            &max_states,
+            |b, _| b.iter(|| search.search(&table)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_search_space_construction(c: &mut Criterion) {
+    c.bench_function("antichain-enumeration-10", |b| {
+        b.iter(|| IntraLoopSearch::new(10, 9))
+    });
+}
+
+fn bench_exit_machines(c: &mut Criterion) {
+    let trace = periodic_trace(9, 50_000);
+    let tables = PatternTableSet::build(&trace, HistoryKind::Local, 9);
+    let table = tables.site(BranchId(0)).expect("site exists").clone();
+    let outcomes: Vec<bool> = trace.iter().map(|e| e.taken).collect();
+
+    c.bench_function("exit-machine-search-10", |b| {
+        b.iter(|| best_exit_machine(10, &table, &outcomes))
+    });
+}
+
+fn bench_correlated_selection(c: &mut Criterion) {
+    // Two interleaved correlated branches.
+    let mut trace = Trace::new();
+    let mut x = 5u64;
+    for _ in 0..25_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let d = x >> 30 & 1 == 1;
+        trace.push(TraceEvent {
+            site: BranchId(0),
+            taken: d,
+        });
+        trace.push(TraceEvent {
+            site: BranchId(1),
+            taken: d ^ (x >> 31 & 1 == 1),
+        });
+    }
+    let mut candidates: HashMap<BranchId, Vec<Vec<PathStep>>> = HashMap::new();
+    candidates.insert(
+        BranchId(1),
+        vec![
+            vec![PathStep {
+                site: BranchId(0),
+                taken: true,
+            }],
+            vec![PathStep {
+                site: BranchId(0),
+                taken: false,
+            }],
+        ],
+    );
+
+    let mut group = c.benchmark_group("correlated");
+    group.bench_function("profile-paths", |b| {
+        b.iter(|| profile_paths(&trace, &candidates))
+    });
+    let profiles = profile_paths(&trace, &candidates);
+    group.bench_function("greedy-select-4", |b| {
+        b.iter(|| profiles[&BranchId(1)].select(4))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_intra_search,
+    bench_search_space_construction,
+    bench_exit_machines,
+    bench_correlated_selection
+);
+criterion_main!(benches);

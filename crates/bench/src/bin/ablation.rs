@@ -1,0 +1,98 @@
+//! Ablation study over the reproduction's own design choices:
+//!
+//! * **refinement** — the measure-and-back-off pass that drops machines
+//!   whose profiled promise does not transfer to the replicated CFG;
+//! * **size budget** — the greedy benefit-per-size cost function versus
+//!   replicating every improving branch;
+//! * **overfit threshold** — the minimum-gain guard on correlated path
+//!   selection;
+//! * **state budget** — 2 versus 4 versus 8 machine states.
+//!
+//! Each row reports suite-average replicated misprediction and size growth.
+
+use brepl::pipeline::{run_pipeline, PipelineConfig};
+use brepl_bench::scale_from_env;
+use brepl_workloads::all_workloads;
+
+struct Row {
+    label: &'static str,
+    config: PipelineConfig,
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let base = PipelineConfig::default();
+    let rows = vec![
+        Row {
+            label: "default (4 states, 3.0x budget, refine)",
+            config: base,
+        },
+        Row {
+            label: "no refinement",
+            config: PipelineConfig {
+                refine: false,
+                ..base
+            },
+        },
+        Row {
+            label: "no size budget",
+            config: PipelineConfig {
+                max_size_growth: None,
+                ..base
+            },
+        },
+        Row {
+            label: "tight budget (1.3x)",
+            config: PipelineConfig {
+                max_size_growth: Some(1.3),
+                ..base
+            },
+        },
+        Row {
+            label: "2 states",
+            config: PipelineConfig {
+                max_states: 2,
+                ..base
+            },
+        },
+        Row {
+            label: "8 states",
+            config: PipelineConfig {
+                max_states: 8,
+                ..base
+            },
+        },
+    ];
+
+    println!(
+        "{:<42} {:>10} {:>12} {:>8}",
+        "configuration", "profile%", "replicated%", "size x"
+    );
+    println!("{}", "-".repeat(76));
+    for row in rows {
+        let mut profile_sum = 0.0;
+        let mut repl_sum = 0.0;
+        let mut size_sum = 0.0;
+        let mut n = 0.0;
+        for w in all_workloads(scale) {
+            match run_pipeline(&w.module, &w.args, &w.input, row.config) {
+                Ok(r) => {
+                    profile_sum += r.profile_misprediction_percent;
+                    repl_sum += r.replicated_misprediction_percent;
+                    size_sum += r.size_growth;
+                    n += 1.0;
+                }
+                Err(e) => eprintln!("{} under {:?}: {e}", w.name, row.label),
+            }
+        }
+        if n > 0.0 {
+            println!(
+                "{:<42} {:>9.2}% {:>11.2}% {:>7.2}x",
+                row.label,
+                profile_sum / n,
+                repl_sum / n,
+                size_sum / n
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Cross-dataset sensitivity (the paper's "further work", after Fisher &
+//! Freudenberger 1992): train the replication on one input dataset and
+//! evaluate the frozen static predictions on another.
+//!
+//! Fisher & Freudenberger report 80–100% of the self-prediction quality
+//! when profiles cross datasets; the paper conjectures that "code
+//! replicated programs are more sensitive to different data sets than the
+//! original program". This binary measures exactly that.
+
+use brepl::pipeline::{run_pipeline, PipelineConfig};
+use brepl::predict::evaluate_static;
+use brepl::sim::{Machine, RunConfig};
+use brepl_bench::scale_from_env;
+use brepl_workloads::{workload_by_name, workload_with_seed};
+
+const NAMES: [&str; 8] = [
+    "abalone",
+    "c-compiler",
+    "compress",
+    "ghostview",
+    "predict",
+    "prolog",
+    "scheduler",
+    "doduc",
+];
+
+fn main() {
+    let scale = scale_from_env();
+    println!(
+        "{:<12} {:>11} {:>11} {:>12} {:>12}",
+        "program", "prof self%", "prof cross%", "repl self%", "repl cross%"
+    );
+    println!("{}", "-".repeat(62));
+
+    for name in NAMES {
+        let train = workload_by_name(name, scale).expect("workload exists");
+        let test = workload_with_seed(name, scale, 7).expect("workload exists");
+
+        // Train: run the pipeline on the reference dataset.
+        let result =
+            match run_pipeline(&train.module, &train.args, &train.input, PipelineConfig::default())
+            {
+                Ok(r) => r,
+                Err(e) => {
+                    println!("{name:<12} FAILED: {e}");
+                    continue;
+                }
+            };
+
+        // Evaluate the frozen predictions on the alternate dataset: run the
+        // *replicated* program on the test input.
+        let mut m = Machine::new(&result.program.module, RunConfig::default());
+        m.set_input(test.input.clone());
+        let cross_trace = match m.run("main", &test.args) {
+            Ok(o) => o.trace,
+            Err(e) => {
+                println!("{name:<12} cross run FAILED: {e}");
+                continue;
+            }
+        };
+        let repl_cross = evaluate_static(&result.program.predictions, &cross_trace)
+            .misprediction_percent();
+
+        // Baseline: profile predictions trained on A, evaluated on B, on
+        // the *original* program.
+        let train_trace = Machine::new(&train.module, RunConfig::default())
+            .run_with_input(&train.input, &train.args);
+        let test_trace = Machine::new(&train.module, RunConfig::default())
+            .run_with_input(&test.input, &test.args);
+        let profile_pred =
+            brepl::predict::semistatic::profile_prediction(&train_trace.stats());
+        let prof_self = evaluate_static(&profile_pred, &train_trace).misprediction_percent();
+        let prof_cross = evaluate_static(&profile_pred, &test_trace).misprediction_percent();
+
+        println!(
+            "{name:<12} {prof_self:>10.2}% {prof_cross:>10.2}% {:>11.2}% {repl_cross:>11.2}%",
+            result.replicated_misprediction_percent
+        );
+    }
+    println!();
+    println!(
+        "(repl cross > repl self confirms the paper's conjecture that replicated\n\
+         programs are more dataset-sensitive; prof cross/self is the FF92 baseline)"
+    );
+}
+
+/// Small extension trait to run a machine with a given input in one call.
+trait RunWithInput {
+    fn run_with_input(self, input: &[brepl::ir::Value], args: &[brepl::ir::Value])
+        -> brepl::trace::Trace;
+}
+
+impl RunWithInput for Machine<'_> {
+    fn run_with_input(
+        mut self,
+        input: &[brepl::ir::Value],
+        args: &[brepl::ir::Value],
+    ) -> brepl::trace::Trace {
+        self.set_input(input.to_vec());
+        self.run("main", args).expect("workload runs").trace
+    }
+}

@@ -1,0 +1,54 @@
+//! Figures 6–13: misprediction rate versus code size, one curve per
+//! benchmark, produced by greedily adding the state machine with the best
+//! benefit-per-size ratio. Prints each curve and writes CSVs under
+//! `target/figures/`.
+
+use std::fs;
+use std::io::Write as _;
+
+use brepl_bench::{profile_suite, scale_from_env};
+use brepl_core::greedy::greedy_curve_from_selection;
+use brepl_core::select_strategies;
+
+fn main() {
+    let suite = profile_suite(scale_from_env());
+    let out_dir = std::path::Path::new("target/figures");
+    fs::create_dir_all(out_dir).expect("create target/figures");
+
+    println!("Figures 6-13: misprediction (%) vs code size (factor)");
+    for p in &suite {
+        let selection = select_strategies(&p.workload.module, &p.trace, 8);
+        let curve =
+            greedy_curve_from_selection(&p.workload.module, &selection, p.trace.len() as u64);
+
+        println!("\n--- {} ---", p.workload.name);
+        println!("{:>8}  {:>8}  {:>9}", "size", "mispred%", "machines");
+        for pt in &curve.points {
+            println!(
+                "{:8.3}  {:8.3}  {:9}",
+                pt.size_factor, pt.misprediction_percent, pt.machines_enabled
+            );
+        }
+        // The paper's observation: most programs come close to the best
+        // achievable within a 30% size increase.
+        if let Some(at_1_3) = curve.at_size_budget(1.3) {
+            println!(
+                "at 1.3x size: {:.2}% (best on curve: {:.2}%)",
+                at_1_3.misprediction_percent,
+                curve.best_misprediction()
+            );
+        }
+
+        let mut csv = String::from("size_factor,misprediction_percent,machines\n");
+        for pt in &curve.points {
+            csv.push_str(&format!(
+                "{},{},{}\n",
+                pt.size_factor, pt.misprediction_percent, pt.machines_enabled
+            ));
+        }
+        let path = out_dir.join(format!("{}.csv", p.workload.name));
+        let mut f = fs::File::create(&path).expect("create csv");
+        f.write_all(csv.as_bytes()).expect("write csv");
+        println!("(wrote {})", path.display());
+    }
+}

@@ -1,0 +1,85 @@
+//! Table 4: misprediction under the *correlated branch* strategy — path
+//! machines of 2..7 states — against the profile and ideal 1-bit global
+//! correlation baselines. Path machines apply to every branch (§5 simply
+//! picks whichever strategy wins); this table isolates how far paths alone
+//! go and how little the path-set compaction loses.
+
+use std::collections::HashMap;
+
+use brepl_bench::{print_header, print_row, profile_suite, scale_from_env};
+use brepl_cfg::{Cfg, ClassifiedBranches, DomTree, LoopForest, PredecessorPaths};
+use brepl_core::correlated::profile_paths;
+use brepl_ir::BranchId;
+use brepl_predict::semistatic::correlation_report;
+
+fn main() {
+    let suite = profile_suite(scale_from_env());
+    print_header("Table 4: misprediction of the correlated-branch strategy in percent");
+
+    struct Prep {
+        profile_pct: f64,
+        corr1_pct: f64,
+        per_n: Vec<f64>, // n = 2..=7
+    }
+    let mut preps = Vec::new();
+    for p in &suite {
+        let mut blocks: HashMap<BranchId, (brepl_ir::FuncId, brepl_ir::BlockId)> = HashMap::new();
+        for (fid, func) in p.workload.module.iter_functions() {
+            let cfg = Cfg::new(func);
+            let dom = DomTree::new(&cfg);
+            let forest = LoopForest::new(&cfg, &dom);
+            for info in ClassifiedBranches::analyze(func, &forest).branches() {
+                blocks.insert(info.site, (fid, info.block));
+            }
+        }
+
+        let stats = p.trace.stats();
+        let profile_pct = stats.profile_misprediction_percent();
+        let corr1_pct = correlation_report(&p.trace, 1).misprediction_percent();
+
+        // Path machines for n = 2..=7 ("a maximum path length of n for an
+        // n state machine to keep the size of the replicated code small").
+        let mut per_n = Vec::new();
+        for n in 2..=7usize {
+            let mut candidates: HashMap<BranchId, Vec<Vec<brepl_cfg::PathStep>>> = HashMap::new();
+            for (&site, &(fid, bid)) in &blocks {
+                if stats.site(site).total() == 0 {
+                    continue;
+                }
+                let func = p.workload.module.function(fid);
+                let cfg = Cfg::new(func);
+                let paths = PredecessorPaths::enumerate(func, &cfg, bid, n - 1);
+                candidates.insert(site, paths.paths);
+            }
+            let profiles = profile_paths(&p.trace, &candidates);
+            let (mut t, mut w) = (0u64, 0u64);
+            for profile in profiles.values() {
+                let r = profile.select(n);
+                t += r.total;
+                w += r.mispredictions();
+            }
+            per_n.push(if t == 0 { 0.0 } else { 100.0 * w as f64 / t as f64 });
+        }
+
+        preps.push(Prep {
+            profile_pct,
+            corr1_pct,
+            per_n,
+        });
+    }
+
+    print_row(
+        "profile",
+        &preps.iter().map(|p| p.profile_pct).collect::<Vec<_>>(),
+    );
+    print_row(
+        "1 bit correlation",
+        &preps.iter().map(|p| p.corr1_pct).collect::<Vec<_>>(),
+    );
+    for n in 2..=7usize {
+        print_row(
+            &format!("{n} states"),
+            &preps.iter().map(|p| p.per_n[n - 2]).collect::<Vec<_>>(),
+        );
+    }
+}

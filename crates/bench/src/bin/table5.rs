@@ -1,0 +1,40 @@
+//! Table 5: the best achievable misprediction rate when every branch gets
+//! its best available strategy (profile / intra-loop / loop-exit /
+//! correlated machine) with 2..10 states, code size ignored.
+
+use brepl_bench::{print_header, print_row, profile_suite, scale_from_env};
+use brepl_core::select_strategies;
+
+fn main() {
+    let suite = profile_suite(scale_from_env());
+    print_header("Table 5: best achievable misprediction rates in percent");
+
+    let profile_row: Vec<f64> = suite
+        .iter()
+        .map(|p| p.trace.stats().profile_misprediction_percent())
+        .collect();
+    print_row("profile", &profile_row);
+
+    let mut final_row = Vec::new();
+    for n in 2..=10usize {
+        let values: Vec<f64> = suite
+            .iter()
+            .map(|p| {
+                select_strategies(&p.workload.module, &p.trace, n).misprediction_percent()
+            })
+            .collect();
+        print_row(&format!("{n} states"), &values);
+        if n == 10 {
+            final_row = values;
+        }
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!();
+    println!(
+        "average: profile {:.2}% -> 10 states {:.2}% ({:.0}% of mispredictions removed)",
+        avg(&profile_row),
+        avg(&final_row),
+        100.0 * (avg(&profile_row) - avg(&final_row)) / avg(&profile_row).max(1e-9)
+    );
+}

@@ -1,0 +1,93 @@
+//! # brepl-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `table1` | Table 1 — misprediction of 8 strategies × 8 programs plus branch counts |
+//! | `table2` | Table 2 — pattern-table fill rates, 1..9 history bits |
+//! | `table3` | Table 3 — loop / loop-exit branches under state machines |
+//! | `table4` | Table 4 — correlated branches under path machines |
+//! | `table5` | Table 5 — best achievable misprediction, 2..10 states |
+//! | `figures` | Figures 6–13 — misprediction vs code size per program |
+//! | `headline` | the abstract's claim: misprediction nearly halved at ~1.3x size |
+//!
+//! Scale selection: set `BREPL_SCALE=full` for the paper-sized runs
+//! (millions of branches; use `--release`); the default `small` finishes
+//! in seconds even in debug builds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use brepl_trace::Trace;
+use brepl_workloads::{all_workloads, Scale, Workload};
+
+/// Reads the scale from `BREPL_SCALE` (`small` default, `full` opt-in).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("BREPL_SCALE").as_deref() {
+        Ok("full") | Ok("FULL") => Scale::Full,
+        _ => Scale::Small,
+    }
+}
+
+/// A workload together with its profiling trace.
+pub struct ProfiledWorkload {
+    /// The workload.
+    pub workload: Workload,
+    /// Its branch trace.
+    pub trace: Trace,
+    /// Instructions executed during profiling (for the Fisher-Freudenberger
+    /// instructions-per-misprediction metric).
+    pub steps: u64,
+}
+
+/// Runs the whole suite once and keeps the traces.
+pub fn profile_suite(scale: Scale) -> Vec<ProfiledWorkload> {
+    all_workloads(scale)
+        .into_iter()
+        .map(|workload| {
+            let outcome = workload
+                .run()
+                .unwrap_or_else(|e| panic!("{} failed: {e}", workload.name));
+            ProfiledWorkload {
+                workload,
+                trace: outcome.trace,
+                steps: outcome.steps,
+            }
+        })
+        .collect()
+}
+
+/// Short column headers in the paper's order.
+pub const COLUMNS: [&str; 8] = [
+    "abalone", "c-comp", "compress", "ghostv", "predict", "prolog", "schedul", "doduc",
+];
+
+/// Prints a row of percentages under the standard column layout.
+pub fn print_row(label: &str, values: &[f64]) {
+    print!("{label:<24}");
+    for v in values {
+        print!(" {v:>8.2}");
+    }
+    println!();
+}
+
+/// Prints a row of integers under the standard column layout.
+pub fn print_row_counts(label: &str, values: &[u64]) {
+    print!("{label:<24}");
+    for v in values {
+        print!(" {v:>8}");
+    }
+    println!();
+}
+
+/// Prints the table header.
+pub fn print_header(title: &str) {
+    println!("{title}");
+    print!("{:<24}", "");
+    for c in COLUMNS {
+        print!(" {c:>8}");
+    }
+    println!();
+    println!("{}", "-".repeat(24 + 9 * COLUMNS.len()));
+}

@@ -1,0 +1,197 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+use brepl_ir::BlockId;
+
+use crate::graph::Cfg;
+use crate::order::reverse_postorder;
+
+/// The dominator tree of a [`Cfg`].
+///
+/// Unreachable blocks have no immediate dominator and dominate nothing.
+/// The entry block's immediate dominator is itself (by convention of the
+/// CHK algorithm); [`DomTree::idom`] reports `None` for it to keep the tree
+/// shape conventional.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DomTree {
+    entry: BlockId,
+    /// `idom_raw[b]` = immediate dominator, with `entry` mapping to itself;
+    /// `u32::MAX` marks unreachable blocks.
+    idom_raw: Vec<u32>,
+    /// Reverse-postorder number of each block (`u32::MAX` if unreachable).
+    rpo_number: Vec<u32>,
+}
+
+impl DomTree {
+    /// Computes dominators for `cfg`.
+    pub fn new(cfg: &Cfg) -> Self {
+        let rpo = reverse_postorder(cfg);
+        let mut rpo_number = vec![u32::MAX; cfg.len()];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_number[b.index()] = i as u32;
+        }
+        let mut idom = vec![u32::MAX; cfg.len()];
+        let entry = cfg.entry();
+        idom[entry.index()] = entry.0;
+
+        let intersect = |idom: &[u32], rpo_number: &[u32], mut a: u32, mut b: u32| -> u32 {
+            // Walk both fingers up the tree, ordering by RPO number.
+            while a != b {
+                while rpo_number[a as usize] > rpo_number[b as usize] {
+                    a = idom[a as usize];
+                }
+                while rpo_number[b as usize] > rpo_number[a as usize] {
+                    b = idom[b as usize];
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom = u32::MAX;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()] == u32::MAX {
+                        continue; // predecessor not yet processed / unreachable
+                    }
+                    new_idom = if new_idom == u32::MAX {
+                        p.0
+                    } else {
+                        intersect(&idom, &rpo_number, new_idom, p.0)
+                    };
+                }
+                if new_idom != u32::MAX && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        DomTree {
+            entry,
+            idom_raw: idom,
+            rpo_number,
+        }
+    }
+
+    /// The immediate dominator of `b`, or `None` for the entry block and
+    /// unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            return None;
+        }
+        match self.idom_raw[b.index()] {
+            u32::MAX => None,
+            v => Some(BlockId(v)),
+        }
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom_raw[b.index()] != u32::MAX
+    }
+
+    /// True if `a` dominates `b` (every path from the entry to `b` passes
+    /// through `a`). Reflexive: `dominates(b, b)` is true for reachable `b`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = BlockId(self.idom_raw[cur.index()]);
+        }
+    }
+
+    /// True if `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::{Function, FunctionBuilder, Operand};
+
+    /// b0 -> (b1 | b2), b1 -> b3, b2 -> b3, b3 -> (b4 | b0 back edge)
+    fn looped_diamond() -> Function {
+        let mut b = FunctionBuilder::new("f", 1);
+        let x = b.param(0);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let out = b.new_block();
+        let c = b.gt(x.into(), Operand::imm(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jmp(j);
+        b.switch_to(e);
+        b.jmp(j);
+        b.switch_to(j);
+        let c2 = b.lt(x.into(), Operand::imm(100));
+        b.br(c2, brepl_ir::BlockId(0), out);
+        b.switch_to(out);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let f = looped_diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&cfg);
+        assert_eq!(dom.idom(BlockId(0)), None);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(4)), Some(BlockId(3)));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let f = looped_diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&cfg);
+        for b in cfg.blocks() {
+            assert!(dom.dominates(b, b));
+            assert!(dom.dominates(BlockId(0), b), "entry dominates {b}");
+        }
+        assert!(dom.dominates(BlockId(3), BlockId(4)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(!dom.strictly_dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let dead = b.new_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&cfg);
+        assert!(!dom.is_reachable(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(1)), None);
+        assert!(!dom.dominates(BlockId(0), BlockId(1)));
+    }
+
+    #[test]
+    fn single_block() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&cfg);
+        assert_eq!(dom.idom(BlockId(0)), None);
+        assert!(dom.dominates(BlockId(0), BlockId(0)));
+    }
+}

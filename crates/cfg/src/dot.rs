@@ -1,0 +1,105 @@
+//! Graphviz (dot) export of control-flow graphs, with optional loop and
+//! branch-class annotations — handy when studying what the replication
+//! transform did to a function.
+
+use std::fmt::Write as _;
+
+use brepl_ir::{Function, Term};
+
+use crate::classify::{BranchClass, ClassifiedBranches};
+use crate::dom::DomTree;
+use crate::graph::Cfg;
+use crate::loops::LoopForest;
+
+/// Renders `func`'s CFG as a Graphviz digraph. Blocks show their first
+/// instruction count and terminator; loop membership is encoded as
+/// clusters by nesting depth color, branch edges are labeled T/N and
+/// classified branches are color-coded (intra-loop green, exit orange,
+/// other black).
+pub fn function_to_dot(func: &Function) -> String {
+    let cfg = Cfg::new(func);
+    let dom = DomTree::new(&cfg);
+    let forest = LoopForest::new(&cfg, &dom);
+    let classes = ClassifiedBranches::analyze(func, &forest);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", func.name);
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for (bid, block) in func.iter_blocks() {
+        let depth = forest.depth_of(bid);
+        let fill = match depth {
+            0 => "white",
+            1 => "lightyellow",
+            2 => "khaki",
+            _ => "gold",
+        };
+        let term = block.term.to_string().replace('"', "'");
+        let _ = writeln!(
+            out,
+            "  {bid} [label=\"{bid}\\n{} insts\\n{term}\", style=filled, fillcolor={fill}];",
+            block.insts.len()
+        );
+        match &block.term {
+            Term::Br { then_, else_, .. } => {
+                let color = classes
+                    .branches()
+                    .iter()
+                    .find(|b| b.block == bid)
+                    .map(|b| match b.class {
+                        BranchClass::IntraLoop => "darkgreen",
+                        BranchClass::LoopExit => "orange",
+                        BranchClass::NonLoop => "black",
+                    })
+                    .unwrap_or("black");
+                let _ = writeln!(
+                    out,
+                    "  {bid} -> {then_} [label=\"T\", color={color}];"
+                );
+                let _ = writeln!(
+                    out,
+                    "  {bid} -> {else_} [label=\"N\", color={color}];"
+                );
+            }
+            Term::Jmp { target } => {
+                let _ = writeln!(out, "  {bid} -> {target};");
+            }
+            Term::Ret { .. } => {}
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::{FunctionBuilder, Operand};
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let x = b.param(0);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jmp(head);
+        b.switch_to(head);
+        let c = b.lt(x.into(), Operand::imm(3));
+        b.br(c, body, exit);
+        b.switch_to(body);
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let dot = function_to_dot(&f);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("b1 -> b2 [label=\"T\""));
+        assert!(dot.contains("orange"), "exit branch color-coded");
+        assert!(dot.contains("lightyellow"), "loop blocks shaded");
+        // Every block appears.
+        for bid in 0..f.blocks.len() {
+            assert!(dot.contains(&format!("b{bid} [label=")));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! CFG construction from a [`Function`].
+
+use brepl_ir::{BlockId, Function};
+
+/// The control-flow graph of one function: successor and predecessor edge
+/// lists indexed by [`BlockId`].
+///
+/// Successors preserve terminator order (`(taken, not-taken)` for
+/// conditional branches), and parallel edges are kept — a branch whose two
+/// targets coincide produces two successor entries, which matters when
+/// counting edge frequencies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cfg {
+    entry: BlockId,
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `func`.
+    pub fn new(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (bid, block) in func.iter_blocks() {
+            for s in block.term.successors() {
+                succs[bid.index()].push(s);
+                preds[s.index()].push(bid);
+            }
+        }
+        Cfg {
+            entry: func.entry,
+            succs,
+            preds,
+        }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True when the function has no blocks (cannot happen for built
+    /// functions, but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Successors of `b`, in terminator order.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b` (one entry per incoming edge).
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Iterates over all block ids.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.len()).map(BlockId::from_index)
+    }
+
+    /// Blocks reachable from the entry, as a boolean vector.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![self.entry];
+        seen[self.entry.index()] = true;
+        while let Some(b) = stack.pop() {
+            for &s in self.succs(b) {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::{FunctionBuilder, Operand};
+
+    /// Diamond: b0 -> (b1|b2) -> b3.
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("d", 1);
+        let x = b.param(0);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.gt(x.into(), Operand::imm(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jmp(j);
+        b.switch_to(e);
+        b.jmp(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_edges() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.len(), 4);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(0)), &[] as &[BlockId]);
+    }
+
+    #[test]
+    fn parallel_edges_kept() {
+        let mut b = FunctionBuilder::new("p", 1);
+        let x = b.param(0);
+        let t = b.new_block();
+        let c = b.gt(x.into(), Operand::imm(0));
+        b.br(c, t, t);
+        b.switch_to(t);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(BlockId(0)).len(), 2);
+        assert_eq!(cfg.preds(BlockId(1)).len(), 2);
+    }
+
+    #[test]
+    fn reachability() {
+        let mut b = FunctionBuilder::new("r", 0);
+        let dead = b.new_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let r = cfg.reachable();
+        assert_eq!(r, vec![true, false]);
+    }
+}

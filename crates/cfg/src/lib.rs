@@ -1,0 +1,53 @@
+//! # brepl-cfg — control-flow analysis for the brepl IR
+//!
+//! Provides the program analyses the paper's §5 relies on: CFG construction
+//! with predecessor/successor edges, depth-first orderings, dominators
+//! (Cooper–Harvey–Kennedy iterative algorithm), natural-loop detection as in
+//! Aho/Sethi/Ullman, and the classification of conditional branches into
+//! *intra-loop*, *loop-exit* and *other* branches together with the
+//! predecessor-path enumeration used for *correlated* branches.
+//!
+//! ```
+//! use brepl_ir::{FunctionBuilder, Operand};
+//! use brepl_cfg::{Cfg, DomTree, LoopForest};
+//!
+//! let mut b = FunctionBuilder::new("f", 1);
+//! let n = b.param(0);
+//! let i = b.reg();
+//! b.const_int(i, 0);
+//! let head = b.new_block();
+//! let body = b.new_block();
+//! let exit = b.new_block();
+//! b.jmp(head);
+//! b.switch_to(head);
+//! let c = b.lt(i.into(), n.into());
+//! b.br(c, body, exit);
+//! b.switch_to(body);
+//! b.add(i, i.into(), Operand::imm(1));
+//! b.jmp(head);
+//! b.switch_to(exit);
+//! b.ret(None);
+//!
+//! let f = b.finish();
+//! let cfg = Cfg::new(&f);
+//! let dom = DomTree::new(&cfg);
+//! let loops = LoopForest::new(&cfg, &dom);
+//! assert_eq!(loops.loops().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+mod dom;
+mod dot;
+mod graph;
+mod loops;
+mod order;
+
+pub use classify::{BranchClass, BranchInfo, ClassifiedBranches, PathStep, PredecessorPaths};
+pub use dom::DomTree;
+pub use dot::function_to_dot;
+pub use graph::Cfg;
+pub use loops::{LoopForest, LoopId, NaturalLoop};
+pub use order::{postorder, reverse_postorder};

@@ -1,0 +1,332 @@
+//! Natural-loop analysis (Aho/Sethi/Ullman, §10.4) and the loop nesting
+//! forest.
+
+use std::collections::BTreeSet;
+
+use brepl_ir::BlockId;
+
+use crate::dom::DomTree;
+use crate::graph::Cfg;
+
+/// Identifies a loop within a [`LoopForest`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(pub u32);
+
+impl LoopId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One natural loop: the union of all natural loops sharing a header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (the target of the back edges).
+    pub header: BlockId,
+    /// All blocks in the loop, header included.
+    pub blocks: BTreeSet<BlockId>,
+    /// The back edges `(tail, header)` defining this loop.
+    pub back_edges: Vec<(BlockId, BlockId)>,
+    /// Edges `(from_inside, to_outside)` leaving the loop.
+    pub exit_edges: Vec<(BlockId, BlockId)>,
+    /// The immediately enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// Nesting depth (outermost loops have depth 1).
+    pub depth: u32,
+}
+
+impl NaturalLoop {
+    /// True if `b` belongs to the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// The loop nesting forest of a function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopForest {
+    loops: Vec<NaturalLoop>,
+    /// Innermost loop containing each block (`None` for non-loop blocks).
+    innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Finds all natural loops of `cfg`.
+    ///
+    /// A back edge is an edge `t -> h` where `h` dominates `t`. The natural
+    /// loop of a back edge is `h` plus all blocks that reach `t` without
+    /// passing through `h`. Back edges sharing a header are merged into one
+    /// loop, following the paper's use of \[ASU86\] loop analysis.
+    pub fn new(cfg: &Cfg, dom: &DomTree) -> Self {
+        // Collect back edges grouped by header, in header order for
+        // determinism.
+        let mut headers: Vec<BlockId> = Vec::new();
+        let mut edges_by_header: Vec<Vec<BlockId>> = Vec::new();
+        for b in cfg.blocks() {
+            if !dom.is_reachable(b) {
+                continue;
+            }
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    match headers.iter().position(|&h| h == s) {
+                        Some(i) => edges_by_header[i].push(b),
+                        None => {
+                            headers.push(s);
+                            edges_by_header.push(vec![b]);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for (hi, &header) in headers.iter().enumerate() {
+            let mut blocks: BTreeSet<BlockId> = BTreeSet::new();
+            blocks.insert(header);
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &tail in &edges_by_header[hi] {
+                if blocks.insert(tail) {
+                    stack.push(tail);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.preds(b) {
+                    if dom.is_reachable(p) && blocks.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            let mut exit_edges = Vec::new();
+            for &b in &blocks {
+                for &s in cfg.succs(b) {
+                    if !blocks.contains(&s) {
+                        exit_edges.push((b, s));
+                    }
+                }
+            }
+            loops.push(NaturalLoop {
+                header,
+                back_edges: edges_by_header[hi].iter().map(|&t| (t, header)).collect(),
+                exit_edges,
+                blocks,
+                parent: None,
+                depth: 1,
+            });
+        }
+
+        // Nesting: loop A is nested in B iff A's blocks ⊆ B's blocks and
+        // A != B. The parent is the smallest strict superset.
+        let mut order: Vec<usize> = (0..loops.len()).collect();
+        order.sort_by_key(|&i| loops[i].blocks.len());
+        for oi in 0..order.len() {
+            let i = order[oi];
+            let mut best: Option<usize> = None;
+            for &j in &order[oi + 1..] {
+                if loops[j].blocks.len() > loops[i].blocks.len()
+                    && loops[j].blocks.is_superset(&loops[i].blocks)
+                {
+                    best = match best {
+                        Some(b) if loops[b].blocks.len() <= loops[j].blocks.len() => Some(b),
+                        _ => Some(j),
+                    };
+                }
+            }
+            loops[i].parent = best.map(|j| LoopId(j as u32));
+        }
+        // Depths, following parent chains.
+        for i in 0..loops.len() {
+            let mut d = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = loops[p.index()].parent;
+            }
+            loops[i].depth = d;
+        }
+
+        // Innermost loop per block = smallest containing loop.
+        let mut innermost: Vec<Option<LoopId>> = vec![None; cfg.len()];
+        let mut by_size: Vec<usize> = (0..loops.len()).collect();
+        by_size.sort_by_key(|&i| std::cmp::Reverse(loops[i].blocks.len()));
+        for &i in &by_size {
+            for &b in &loops[i].blocks {
+                innermost[b.index()] = Some(LoopId(i as u32));
+            }
+        }
+
+        LoopForest { loops, innermost }
+    }
+
+    /// All loops, in discovery order.
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// The loop for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: LoopId) -> &NaturalLoop {
+        &self.loops[id.index()]
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost(&self, b: BlockId) -> Option<LoopId> {
+        self.innermost[b.index()]
+    }
+
+    /// Nesting depth of `b` (0 for non-loop blocks).
+    pub fn depth_of(&self, b: BlockId) -> u32 {
+        self.innermost(b).map_or(0, |l| self.get(l).depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::{Function, FunctionBuilder, Operand};
+
+    /// Nested loops:
+    /// b0 -> b1(outer head) -> b2(inner head) -> b3 -> b2 | b4 -> b1 | b5
+    fn nested() -> Function {
+        let mut b = FunctionBuilder::new("f", 1);
+        let n = b.param(0);
+        let outer = b.new_block();
+        let inner = b.new_block();
+        let body = b.new_block();
+        let latch = b.new_block();
+        let exit = b.new_block();
+        b.jmp(outer);
+        b.switch_to(outer);
+        let c0 = b.lt(n.into(), Operand::imm(10));
+        b.br(c0, inner, exit);
+        b.switch_to(inner);
+        let c1 = b.lt(n.into(), Operand::imm(5));
+        b.br(c1, body, latch);
+        b.switch_to(body);
+        b.jmp(inner);
+        b.switch_to(latch);
+        b.jmp(outer);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    fn forest(f: &Function) -> (Cfg, LoopForest) {
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(&cfg);
+        let lf = LoopForest::new(&cfg, &dom);
+        (cfg, lf)
+    }
+
+    #[test]
+    fn finds_two_nested_loops() {
+        let f = nested();
+        let (_, lf) = forest(&f);
+        assert_eq!(lf.loops().len(), 2);
+        let inner = lf
+            .loops()
+            .iter()
+            .find(|l| l.header == BlockId(2))
+            .expect("inner loop");
+        let outer = lf
+            .loops()
+            .iter()
+            .find(|l| l.header == BlockId(1))
+            .expect("outer loop");
+        assert!(outer.blocks.is_superset(&inner.blocks));
+        assert_eq!(inner.depth, 2);
+        assert_eq!(outer.depth, 1);
+        assert!(inner.parent.is_some());
+        assert!(outer.parent.is_none());
+    }
+
+    #[test]
+    fn innermost_resolution() {
+        let f = nested();
+        let (_, lf) = forest(&f);
+        let inner_id = lf.innermost(BlockId(3)).unwrap();
+        assert_eq!(lf.get(inner_id).header, BlockId(2));
+        assert_eq!(lf.depth_of(BlockId(3)), 2);
+        assert_eq!(lf.depth_of(BlockId(4)), 1); // latch is outer-loop only
+        assert_eq!(lf.depth_of(BlockId(5)), 0);
+        assert_eq!(lf.depth_of(BlockId(0)), 0);
+    }
+
+    #[test]
+    fn exit_edges_found() {
+        let f = nested();
+        let (_, lf) = forest(&f);
+        let outer = lf
+            .loops()
+            .iter()
+            .find(|l| l.header == BlockId(1))
+            .unwrap();
+        assert!(outer.exit_edges.contains(&(BlockId(1), BlockId(5))));
+        let inner = lf
+            .loops()
+            .iter()
+            .find(|l| l.header == BlockId(2))
+            .unwrap();
+        assert!(inner.exit_edges.contains(&(BlockId(2), BlockId(4))));
+    }
+
+    #[test]
+    fn loopless_function_has_empty_forest() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.ret(None);
+        let f = b.finish();
+        let (_, lf) = forest(&f);
+        assert!(lf.loops().is_empty());
+        assert_eq!(lf.innermost(BlockId(0)), None);
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let x = b.param(0);
+        let head = b.new_block();
+        let exit = b.new_block();
+        b.jmp(head);
+        b.switch_to(head);
+        let c = b.lt(x.into(), Operand::imm(3));
+        b.br(c, head, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let (_, lf) = forest(&f);
+        assert_eq!(lf.loops().len(), 1);
+        let l = &lf.loops()[0];
+        assert_eq!(l.blocks.len(), 1);
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.back_edges, vec![(BlockId(1), BlockId(1))]);
+    }
+
+    #[test]
+    fn merged_back_edges_same_header() {
+        // Two latches into one header: still one loop.
+        let mut b = FunctionBuilder::new("f", 1);
+        let x = b.param(0);
+        let head = b.new_block();
+        let l1 = b.new_block();
+        let l2 = b.new_block();
+        let exit = b.new_block();
+        b.jmp(head);
+        b.switch_to(head);
+        let c = b.lt(x.into(), Operand::imm(3));
+        b.br(c, l1, l2);
+        b.switch_to(l1);
+        b.jmp(head);
+        b.switch_to(l2);
+        let c2 = b.lt(x.into(), Operand::imm(9));
+        b.br(c2, head, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let (_, lf) = forest(&f);
+        assert_eq!(lf.loops().len(), 1);
+        assert_eq!(lf.loops()[0].back_edges.len(), 2);
+    }
+}

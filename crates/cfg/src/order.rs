@@ -1,0 +1,106 @@
+//! Depth-first orderings over a [`Cfg`].
+
+use brepl_ir::BlockId;
+
+use crate::graph::Cfg;
+
+/// Blocks in postorder of a depth-first traversal from the entry.
+/// Unreachable blocks are omitted.
+pub fn postorder(cfg: &Cfg) -> Vec<BlockId> {
+    let mut order = Vec::with_capacity(cfg.len());
+    let mut state = vec![0u8; cfg.len()]; // 0 unvisited, 1 on stack, 2 done
+    // Iterative DFS with an explicit (block, next-successor-index) stack so
+    // deep CFGs cannot overflow the call stack.
+    let mut stack: Vec<(BlockId, usize)> = vec![(cfg.entry(), 0)];
+    state[cfg.entry().index()] = 1;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        let succs = cfg.succs(b);
+        if *next < succs.len() {
+            let s = succs[*next];
+            *next += 1;
+            if state[s.index()] == 0 {
+                state[s.index()] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            state[b.index()] = 2;
+            order.push(b);
+            stack.pop();
+        }
+    }
+    order
+}
+
+/// Blocks in reverse postorder (a topological order on the acyclic part of
+/// the graph; loop headers precede their bodies). Unreachable blocks are
+/// omitted.
+pub fn reverse_postorder(cfg: &Cfg) -> Vec<BlockId> {
+    let mut po = postorder(cfg);
+    po.reverse();
+    po
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::{FunctionBuilder, Operand};
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let x = b.param(0);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.gt(x.into(), Operand::imm(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jmp(j);
+        b.switch_to(e);
+        b.jmp(j);
+        b.switch_to(j);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let rpo = reverse_postorder(&cfg);
+        assert_eq!(rpo[0], cfg.entry());
+        assert_eq!(rpo.len(), 4);
+        // Join block must come after both arms.
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(BlockId(3)) > pos(BlockId(1)));
+        assert!(pos(BlockId(3)) > pos(BlockId(2)));
+    }
+
+    #[test]
+    fn unreachable_blocks_omitted() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let dead = b.new_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert_eq!(postorder(&cfg), vec![BlockId(0)]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let mut blocks = vec![];
+        for _ in 0..50_000 {
+            blocks.push(b.new_block());
+        }
+        b.jmp(blocks[0]);
+        for i in 0..blocks.len() {
+            b.switch_to(blocks[i]);
+            if i + 1 < blocks.len() {
+                b.jmp(blocks[i + 1]);
+            } else {
+                b.ret(None);
+            }
+        }
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert_eq!(postorder(&cfg).len(), 50_001);
+    }
+}

@@ -1,0 +1,295 @@
+//! Joint state-budget allocation for several branches in one loop — the
+//! paper's §6 ("Further Work"):
+//!
+//! > "A problem of our code replication scheme is that the code size is
+//! > multiplied if more than one branch in a loop should be improved. A
+//! > possible solution treats all branches of that loop at the same time
+//! > and constructs a single state machine for all branches using a higher
+//! > number of states. In that case the search for the optimal state
+//! > machine must be replaced by a branch-and-bound search since the
+//! > search time grows exponentially with the number of states."
+//!
+//! Our product-state replication already realizes the "single machine for
+//! all branches" (the product automaton); what remains is the *search*:
+//! given per-branch accuracy curves (mispredictions as a function of that
+//! branch's machine size) and a total product budget, choose each branch's
+//! size so the product stays within budget and total mispredictions are
+//! minimal. The search space is exponential in the number of branches, so
+//! we use exactly the branch-and-bound the paper calls for.
+
+use brepl_ir::BranchId;
+
+/// One branch's accuracy curve: `misses[n]` is the misprediction count of
+/// its best machine with *exactly* `n + 1` states (`misses[0]` = profile).
+/// Curves need not be monotone; the search handles dips and plateaus.
+#[derive(Clone, Debug)]
+pub struct BranchCurve {
+    /// The branch this curve belongs to.
+    pub site: BranchId,
+    /// Mispredictions by machine size; index 0 is the 1-state (profile)
+    /// prediction.
+    pub misses: Vec<u64>,
+}
+
+impl BranchCurve {
+    /// The lowest misprediction on the curve (used for bounding).
+    fn best(&self) -> u64 {
+        self.misses.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Best misprediction among sizes `1..=cap` states.
+    fn best_within(&self, cap: usize) -> (usize, u64) {
+        self.misses
+            .iter()
+            .take(cap)
+            .copied()
+            .enumerate()
+            .min_by_key(|&(i, m)| (m, i))
+            .map(|(i, m)| (i + 1, m))
+            .unwrap_or((1, 0))
+    }
+}
+
+/// The outcome of a joint allocation: the chosen machine size per branch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JointAllocation {
+    /// `(site, states)` for every input branch, in input order.
+    pub states: Vec<(BranchId, usize)>,
+    /// Total mispredictions under the allocation.
+    pub total_misses: u64,
+    /// The product of the chosen sizes (the loop's replication factor).
+    pub product: u64,
+}
+
+/// Chooses machine sizes for the branches of one loop, minimizing total
+/// mispredictions subject to `product(states) <= budget`.
+///
+/// Branch-and-bound over branches in input order: at each node the bound
+/// is the partial cost plus every remaining branch's unconstrained best;
+/// a node is pruned when its bound cannot beat the incumbent. The
+/// incumbent is seeded greedily (every branch at its best size within the
+/// per-branch leftover budget), so pruning bites immediately.
+///
+/// # Panics
+///
+/// Panics if `budget == 0` or any curve is empty.
+pub fn allocate_joint_states(curves: &[BranchCurve], budget: u64) -> JointAllocation {
+    assert!(budget >= 1, "budget must be at least 1");
+    for c in curves {
+        assert!(!c.misses.is_empty(), "curve for {} is empty", c.site);
+    }
+    if curves.is_empty() {
+        return JointAllocation {
+            states: Vec::new(),
+            total_misses: 0,
+            product: 1,
+        };
+    }
+
+    // Seed incumbent: greedy left-to-right, each branch taking its best
+    // size that still leaves room (>= 1 state) for the rest.
+    let mut incumbent_sizes = vec![1usize; curves.len()];
+    {
+        let mut remaining = budget;
+        for (i, c) in curves.iter().enumerate() {
+            let cap = remaining.min(c.misses.len() as u64) as usize;
+            let (n, _) = c.best_within(cap.max(1));
+            incumbent_sizes[i] = n;
+            remaining /= n as u64;
+            if remaining == 0 {
+                remaining = 1;
+            }
+        }
+    }
+    let cost_of = |sizes: &[usize]| -> u64 {
+        sizes
+            .iter()
+            .zip(curves)
+            .map(|(&n, c)| c.misses[n - 1])
+            .sum()
+    };
+    let mut best_sizes = incumbent_sizes.clone();
+    let mut best_cost = cost_of(&incumbent_sizes);
+
+    // Suffix bounds: the unconstrained best cost of branches i.. .
+    let mut suffix_best = vec![0u64; curves.len() + 1];
+    for i in (0..curves.len()).rev() {
+        suffix_best[i] = suffix_best[i + 1] + curves[i].best();
+    }
+
+    // Depth-first branch and bound.
+    fn dfs(
+        curves: &[BranchCurve],
+        suffix_best: &[u64],
+        i: usize,
+        remaining: u64,
+        partial_cost: u64,
+        sizes: &mut Vec<usize>,
+        best_cost: &mut u64,
+        best_sizes: &mut Vec<usize>,
+    ) {
+        if partial_cost + suffix_best[i] >= *best_cost {
+            return; // bound: cannot improve the incumbent
+        }
+        if i == curves.len() {
+            *best_cost = partial_cost;
+            best_sizes.clone_from(sizes);
+            return;
+        }
+        let max_n = remaining.min(curves[i].misses.len() as u64) as usize;
+        // Try larger sizes first: they tend to reach good incumbents
+        // sooner, tightening the bound.
+        for n in (1..=max_n.max(1)).rev() {
+            sizes.push(n);
+            dfs(
+                curves,
+                suffix_best,
+                i + 1,
+                (remaining / n as u64).max(1),
+                partial_cost + curves[i].misses[n - 1],
+                sizes,
+                best_cost,
+                best_sizes,
+            );
+            sizes.pop();
+        }
+    }
+    let mut sizes = Vec::with_capacity(curves.len());
+    dfs(
+        curves,
+        &suffix_best,
+        0,
+        budget,
+        0,
+        &mut sizes,
+        &mut best_cost,
+        &mut best_sizes,
+    );
+
+    let product = best_sizes.iter().map(|&n| n as u64).product();
+    JointAllocation {
+        states: curves
+            .iter()
+            .zip(&best_sizes)
+            .map(|(c, &n)| (c.site, n))
+            .collect(),
+        total_misses: best_cost,
+        product,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(site: u32, misses: &[u64]) -> BranchCurve {
+        BranchCurve {
+            site: BranchId(site),
+            misses: misses.to_vec(),
+        }
+    }
+
+    #[test]
+    fn single_branch_takes_best_within_budget() {
+        let curves = [curve(0, &[100, 40, 10, 2, 1])];
+        let a = allocate_joint_states(&curves, 4);
+        assert_eq!(a.states, vec![(BranchId(0), 4)]);
+        assert_eq!(a.total_misses, 2);
+        let b = allocate_joint_states(&curves, 100);
+        assert_eq!(b.states, vec![(BranchId(0), 5)]);
+        assert_eq!(b.total_misses, 1);
+    }
+
+    #[test]
+    fn budget_is_shared_where_it_pays_most() {
+        // Branch 0 gains a lot from 2 states; branch 1 needs 4 states to
+        // gain anything. Budget 8 fits exactly 2 x 4.
+        let curves = [
+            curve(0, &[1000, 100, 90, 85]),
+            curve(1, &[500, 500, 500, 80]),
+        ];
+        let a = allocate_joint_states(&curves, 8);
+        assert_eq!(a.states, vec![(BranchId(0), 2), (BranchId(1), 4)]);
+        assert_eq!(a.total_misses, 180);
+        assert_eq!(a.product, 8);
+    }
+
+    #[test]
+    fn tight_budget_prioritizes_the_bigger_win() {
+        // Only one branch can get 2 states under budget 2.
+        let curves = [curve(0, &[100, 10]), curve(1, &[100, 60])];
+        let a = allocate_joint_states(&curves, 2);
+        assert_eq!(a.states, vec![(BranchId(0), 2), (BranchId(1), 1)]);
+        assert_eq!(a.total_misses, 110);
+    }
+
+    #[test]
+    fn exhaustive_agreement_on_random_instances() {
+        // Compare against brute force over all size combinations.
+        let mut seed = 0x1357_9bdfu64;
+        let mut rand = move |bound: u64| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed % bound
+        };
+        for _ in 0..50 {
+            let k = 1 + rand(3) as usize;
+            let curves: Vec<BranchCurve> = (0..k)
+                .map(|i| {
+                    let len = 2 + rand(5) as usize;
+                    let mut misses: Vec<u64> = (0..len).map(|_| rand(1000)).collect();
+                    // Profile entry should be the largest-ish to be realistic,
+                    // but the algorithm must not rely on it.
+                    misses[0] += 200;
+                    curve(i as u32, &misses)
+                })
+                .collect();
+            let budget = 1 + rand(20);
+            let got = allocate_joint_states(&curves, budget);
+
+            // Brute force.
+            let mut best = u64::MAX;
+            let mut stack = vec![Vec::<usize>::new()];
+            while let Some(sizes) = stack.pop() {
+                if sizes.len() == k {
+                    let product: u64 = sizes.iter().map(|&n| n as u64).product();
+                    if product <= budget {
+                        let cost: u64 = sizes
+                            .iter()
+                            .zip(&curves)
+                            .map(|(&n, c)| c.misses[n - 1])
+                            .sum();
+                        best = best.min(cost);
+                    }
+                    continue;
+                }
+                let i = sizes.len();
+                for n in 1..=curves[i].misses.len() {
+                    let mut s = sizes.clone();
+                    s.push(n);
+                    // Prune impossible products early to bound work.
+                    let product: u64 = s.iter().map(|&x| x as u64).product();
+                    if product <= budget {
+                        stack.push(s);
+                    }
+                }
+            }
+            assert_eq!(got.total_misses, best, "curves: {curves:?} budget {budget}");
+            assert!(got.product <= budget);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_trivial() {
+        let a = allocate_joint_states(&[], 4);
+        assert_eq!(a.total_misses, 0);
+        assert_eq!(a.product, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn zero_budget_rejected() {
+        let _ = allocate_joint_states(&[curve(0, &[1])], 0);
+    }
+}

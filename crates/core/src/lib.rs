@@ -1,0 +1,43 @@
+//! # brepl-core — the primary contribution of the paper
+//!
+//! Implements Krall's technique end to end:
+//!
+//! 1. **State machines** over branch history patterns
+//!    ([`machine::StateMachine`], [`pattern::HistPattern`]);
+//! 2. **Searches** for the best machine per branch class: exhaustive
+//!    intra-loop search over complete suffix antichains
+//!    ([`intra_loop::IntraLoopSearch`]), loop-exit chains and oscillators
+//!    ([`loop_exit`]), and greedy correlated-path selection
+//!    ([`correlated`]);
+//! 3. **Per-branch strategy selection** capped at a state budget
+//!    ([`select::select_strategies`], Table 5);
+//! 4. **Greedy state addition** under the paper's size model
+//!    ([`greedy::greedy_curve`], Figures 6–13);
+//! 5. **Code replication**: loop replication with product state spaces and
+//!    correlated tail duplication, with semantic-equivalence checking
+//!    ([`replicate`]).
+//!
+//! The full pipeline — profile, select, replicate, re-measure — lives in
+//! the root `brepl` crate.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlated;
+pub mod greedy;
+pub mod intra_loop;
+pub mod joint;
+pub mod loop_exit;
+pub mod machine;
+pub mod pattern;
+pub mod replicate;
+pub mod select;
+
+pub use greedy::{greedy_curve, CurvePoint, GreedyCurve};
+pub use intra_loop::{IntraLoopSearch, SearchResult};
+pub use joint::{allocate_joint_states, BranchCurve, JointAllocation};
+pub use machine::{MachineState, StateMachine};
+pub use pattern::HistPattern;
+pub use replicate::{
+    apply_plan, check_equivalence, BranchMachine, ReplicatedProgram, ReplicationPlan,
+};
+pub use select::{select_strategies, ChosenStrategy, Selection, StrategyChoice};

@@ -1,0 +1,307 @@
+//! Loop-exit branch state machines (§4.2 of the paper).
+//!
+//! A loop-exit branch is taken while the loop keeps iterating and not taken
+//! once when the loop exits (or vice versa; we normalize below). The
+//! machine has one *initial* state representing "the loop exited last time"
+//! (pattern `0`) and a chain of states counting iterations since then
+//! (patterns `01`, `011`, `0111`, …), ending in a tail state. Two tail
+//! shapes exist:
+//!
+//! * **Chain** (Figure 5's main spine): the last state `1…1` self-loops
+//!   while iterations continue.
+//! * **Oscillating tail**: the two longest states alternate on taken, which
+//!   predicts loops with a strong even/odd iteration-count bias — "if a
+//!   loop has a high probability of an even or odd number of iterations,
+//!   the loop would change between the two states with the longest history
+//!   information".
+//!
+//! Exit branches whose *taken* direction leaves the loop are handled by
+//! scoring against the complemented outcome stream.
+
+use brepl_predict::PatternTable;
+use brepl_trace::SiteCounts;
+
+use crate::intra_loop::SearchResult;
+use crate::machine::{MachineState, StateMachine};
+use crate::pattern::HistPattern;
+
+/// Builds the plain chain machine with `n >= 2` states:
+/// `{0, 01, 011, …, 01^(n-2), 1^(n-1)}`, with longest-suffix transitions
+/// (which make the final all-ones state self-loop on taken).
+///
+/// Predictions come from the pattern table's suffix counts.
+///
+/// # Panics
+///
+/// Panics unless `2 <= n <= 10`.
+pub fn exit_chain(n: usize, table: &PatternTable) -> StateMachine {
+    assert!((2..=10).contains(&n), "chain length must be in 2..=10");
+    let mut patterns = Vec::with_capacity(n);
+    patterns.push(HistPattern::parse("0"));
+    for ones in 1..n - 1 {
+        // 0 followed by `ones` ones: bits = (1 << ones) - 1, len = ones + 1.
+        patterns.push(HistPattern::new((1 << ones) - 1, ones as u32 + 1));
+    }
+    // Tail: all ones of length n-1.
+    patterns.push(HistPattern::new((1 << (n - 1)) - 1, n as u32 - 1));
+    StateMachine::from_patterns(&patterns, table)
+        .expect("chain pattern sets always derive valid machines")
+}
+
+/// Builds the oscillating-tail variant: like [`exit_chain`] but the two
+/// longest states alternate on taken, capturing even/odd iteration counts.
+/// Requires `n >= 3` so two tail states exist.
+///
+/// Predictions for the two tail states are taken from the suffix counts of
+/// `x·1^(n-2)` patterns split by one *older* bit, which is where the parity
+/// signal lives in the pattern table.
+///
+/// # Panics
+///
+/// Panics unless `3 <= n <= 10`.
+pub fn exit_oscillator(n: usize, table: &PatternTable) -> StateMachine {
+    assert!((3..=10).contains(&n), "oscillator needs 3..=10 states");
+    // Spine: 0, 01, 011, ..., 01^(n-3); tails A = 01^(n-2), B = 11^(n-2).
+    let mut states: Vec<MachineState> = Vec::with_capacity(n);
+    let spine_len = n - 2;
+    let predict_for = |p: HistPattern| -> bool {
+        let c = table.suffix_counts(p.bits(), p.len());
+        if c.total() == 0 {
+            true
+        } else {
+            c.majority()
+        }
+    };
+    for i in 0..spine_len {
+        // Pattern 0 followed by i ones.
+        let p = HistPattern::new((1u32 << i) - 1, i as u32 + 1);
+        states.push(MachineState {
+            pattern: p,
+            predict: predict_for(p),
+            on_taken: i + 1, // next spine state or tail A
+            on_not_taken: 0,
+        });
+    }
+    let ones = n - 2;
+    let tail_a = HistPattern::new((1 << ones) - 1, ones as u32 + 1); // 01^(n-2)
+    let tail_b = HistPattern::new((1 << (ones + 1)) - 1, ones as u32 + 1); // 11^(n-2)
+    let a_idx = spine_len;
+    let b_idx = spine_len + 1;
+    states.push(MachineState {
+        pattern: tail_a,
+        predict: predict_for(tail_a),
+        on_taken: b_idx,
+        on_not_taken: 0,
+    });
+    states.push(MachineState {
+        pattern: tail_b,
+        predict: predict_for(tail_b),
+        on_taken: a_idx,
+        on_not_taken: 0,
+    });
+    StateMachine::from_states(states, 0)
+}
+
+/// Scores both loop-exit shapes against a site's outcome stream — in both
+/// polarities — and returns the best. `outcomes` must be the branch's
+/// directions in trace order; `table` the site's local-history pattern
+/// table.
+///
+/// Loop-exit machines assume "taken = keep iterating". Branches whose
+/// *taken* direction exits the loop are handled by building the chain on
+/// the complemented outcome stream and then complementing the machine back
+/// ([`StateMachine::complemented`]), so the returned machine always runs on
+/// real outcomes.
+pub fn best_exit_machine(n: usize, table: &PatternTable, outcomes: &[bool]) -> SearchResult {
+    let total = outcomes.len() as u64;
+    let inverted_outcomes: Vec<bool> = outcomes.iter().map(|&o| !o).collect();
+    let inverted_table = table_from_outcomes(&inverted_outcomes, table_bits(table));
+
+    // All chain lengths up to the budget: a longer chain is not always
+    // better under true simulation (the machine's state can diverge from
+    // the history partition), so the search is over sizes 2..=n.
+    let mut candidates: Vec<StateMachine> = Vec::new();
+    for k in 2..=n {
+        candidates.push(exit_chain(k, table));
+        candidates.push(exit_chain(k, &inverted_table).complemented());
+        if k >= 3 {
+            candidates.push(exit_oscillator(k, table));
+            candidates.push(exit_oscillator(k, &inverted_table).complemented());
+        }
+    }
+    let mut best: Option<SearchResult> = None;
+    for machine in candidates {
+        let (correct, _) = machine.simulate(outcomes.iter().copied());
+        match &best {
+            Some(b) if b.correct >= correct => {}
+            _ => {
+                best = Some(SearchResult {
+                    machine,
+                    correct,
+                    total,
+                })
+            }
+        }
+    }
+    best.expect("at least one candidate machine exists")
+}
+
+/// The history length used when rebuilding tables for the inverted
+/// polarity. Pattern tables do not expose their history length, so exit
+/// machines rebuild at the paper's 9 bits — more than any chain needs.
+fn table_bits(_table: &PatternTable) -> u32 {
+    9
+}
+
+fn table_from_outcomes(outcomes: &[bool], bits: u32) -> PatternTable {
+    use brepl_trace::{Trace, TraceEvent};
+    let t: Trace = outcomes
+        .iter()
+        .map(|&taken| TraceEvent {
+            site: brepl_ir::BranchId(0),
+            taken,
+        })
+        .collect();
+    let set = brepl_predict::PatternTableSet::build(&t, brepl_predict::HistoryKind::Local, bits);
+    set.site(brepl_ir::BranchId(0))
+        .cloned()
+        .unwrap_or_default()
+}
+
+/// Helper for tests and diagnostics: the profile (1-state) baseline on an
+/// outcome stream.
+pub fn profile_correct(outcomes: &[bool]) -> u64 {
+    let mut c = SiteCounts::default();
+    for &o in outcomes {
+        if o {
+            c.taken += 1;
+        } else {
+            c.not_taken += 1;
+        }
+    }
+    c.taken.max(c.not_taken)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::BranchId;
+    use brepl_predict::{HistoryKind, PatternTableSet};
+    use brepl_trace::{Trace, TraceEvent};
+
+    fn table_for(dirs: &[bool]) -> PatternTableSet {
+        let t: Trace = dirs
+            .iter()
+            .map(|&taken| TraceEvent {
+                site: BranchId(0),
+                taken,
+            })
+            .collect();
+        PatternTableSet::build(&t, HistoryKind::Local, 9)
+    }
+
+    /// Loop running exactly k iterations each activation: k-1 taken then
+    /// one not-taken.
+    fn fixed_count_loop(k: usize, activations: usize) -> Vec<bool> {
+        let mut v = Vec::new();
+        for _ in 0..activations {
+            for i in 0..k {
+                v.push(i + 1 < k);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn chain_shape_matches_figure_5() {
+        let dirs = fixed_count_loop(4, 200);
+        let pts = table_for(&dirs);
+        let table = pts.site(BranchId(0)).unwrap();
+        let m = exit_chain(4, table);
+        assert_eq!(m.len(), 4);
+        // 0 -> 01 -> 011 -> 111(self-loop) and every not-taken returns to 0.
+        let pat: Vec<String> = m.states().iter().map(|s| s.pattern.to_string()).collect();
+        assert_eq!(pat, vec!["0", "01", "011", "111"]);
+        for s in m.states() {
+            assert_eq!(s.on_not_taken, 0);
+        }
+        let last = m.states().len() - 1;
+        assert_eq!(m.next(last, true), last, "tail self-loops");
+        assert!(m.is_strongly_connected());
+    }
+
+    #[test]
+    fn chain_with_enough_states_is_perfect_on_fixed_counts() {
+        // 4-iteration loop: states 0,01,011,111 -- the 111 state is entered
+        // exactly at the 3rd taken, where the next outcome is the exit.
+        let dirs = fixed_count_loop(4, 500);
+        let pts = table_for(&dirs);
+        let table = pts.site(BranchId(0)).unwrap();
+        let best = best_exit_machine(4, table, &dirs);
+        // Profile gets exactly 1/4 wrong; the chain should be perfect
+        // modulo warmup.
+        assert!(best.mispredictions() <= 1);
+        assert!(profile_correct(&dirs) <= best.correct);
+    }
+
+    #[test]
+    fn short_chain_degrades_gracefully() {
+        let dirs = fixed_count_loop(8, 300);
+        let pts = table_for(&dirs);
+        let table = pts.site(BranchId(0)).unwrap();
+        let two = best_exit_machine(2, table, &dirs);
+        let eight = best_exit_machine(8, table, &dirs);
+        assert!(eight.correct >= two.correct);
+        // 2 states on an 8-iteration loop: predicts "keep going"
+        // everywhere, missing each exit once, like profile.
+        assert!(two.correct >= profile_correct(&dirs) - 2);
+    }
+
+    #[test]
+    fn oscillator_captures_even_odd_loops() {
+        // Loop alternating between 2 and 4 iterations — even counts with a
+        // strong parity structure that the plain chain's self-looping tail
+        // cannot see.
+        let mut dirs = Vec::new();
+        for i in 0..400 {
+            let k = if i % 2 == 0 { 2 } else { 4 };
+            for j in 0..k {
+                dirs.push(j + 1 < k);
+            }
+        }
+        let pts = table_for(&dirs);
+        let table = pts.site(BranchId(0)).unwrap();
+        let chain = exit_chain(3, table);
+        let (chain_c, _) = chain.simulate(dirs.iter().copied());
+        let osc = exit_oscillator(3, table);
+        let (osc_c, _) = osc.simulate(dirs.iter().copied());
+        // The 3-state oscillator tracks parity of iterations; it should
+        // beat the plain 3-state chain here.
+        assert!(
+            osc_c >= chain_c,
+            "oscillator {osc_c} should be >= chain {chain_c}"
+        );
+        let best = best_exit_machine(3, table, &dirs);
+        assert_eq!(best.correct, osc_c.max(chain_c));
+    }
+
+    #[test]
+    fn inverted_polarity_loops_still_learn() {
+        // Exit-on-taken loops: 5 not-taken then one taken.
+        let dirs: Vec<bool> = (0..1200).map(|i| i % 6 == 5).collect();
+        let pts = table_for(&dirs);
+        let table = pts.site(BranchId(0)).unwrap();
+        let best = best_exit_machine(6, table, &dirs);
+        let profile_wrong = dirs.len() as u64 - profile_correct(&dirs);
+        assert!(best.mispredictions() < profile_wrong);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain length")]
+    fn chain_rejects_one_state() {
+        let dirs = fixed_count_loop(2, 10);
+        let pts = table_for(&dirs);
+        let table = pts.site(BranchId(0)).unwrap();
+        let _ = exit_chain(1, table);
+    }
+}

@@ -1,0 +1,195 @@
+//! History pattern strings — the labels of state-machine states.
+
+use std::fmt;
+
+/// A branch-history pattern: up to 16 outcomes with the *newest* outcome in
+/// bit 0, exactly like [`brepl_predict::PatternTable`] keys. The paper
+/// writes these as strings with the rightmost digit most recent; `Display`
+/// follows that convention.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HistPattern {
+    bits: u32,
+    len: u32,
+}
+
+impl HistPattern {
+    /// The empty pattern (matches everything).
+    pub const EMPTY: HistPattern = HistPattern { bits: 0, len: 0 };
+
+    /// Creates a pattern from `len` low bits of `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 16`.
+    pub fn new(bits: u32, len: u32) -> Self {
+        assert!(len <= 16, "pattern length exceeds 16");
+        let mask = if len == 0 { 0 } else { (1u32 << len) - 1 };
+        HistPattern {
+            bits: bits & mask,
+            len,
+        }
+    }
+
+    /// Parses the paper's string notation, e.g. `"011"` (rightmost digit
+    /// most recent).
+    ///
+    /// # Panics
+    ///
+    /// Panics on characters other than `0`/`1` or length > 16.
+    pub fn parse(s: &str) -> Self {
+        let mut bits = 0u32;
+        for (i, c) in s.chars().rev().enumerate() {
+            match c {
+                '0' => {}
+                '1' => bits |= 1 << i,
+                _ => panic!("invalid pattern character {c:?}"),
+            }
+        }
+        HistPattern::new(bits, s.len() as u32)
+    }
+
+    /// The raw bits (newest outcome in bit 0).
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Number of outcomes recorded.
+    pub fn len(self) -> u32 {
+        self.len
+    }
+
+    /// True for the empty pattern.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// The newest outcome, if any.
+    pub fn newest(self) -> Option<bool> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.bits & 1 == 1)
+        }
+    }
+
+    /// Appends a new outcome (shifting older outcomes up), truncating to
+    /// `max_len` outcomes.
+    pub fn append(self, taken: bool, max_len: u32) -> HistPattern {
+        let bits = self.bits << 1 | u32::from(taken);
+        let len = (self.len + 1).min(max_len);
+        HistPattern::new(bits, len)
+    }
+
+    /// Extends the pattern with an *older* outcome at the far end —
+    /// the refinement step that splits a state in two.
+    pub fn prepend_older(self, taken: bool) -> HistPattern {
+        HistPattern::new(self.bits | u32::from(taken) << self.len, self.len + 1)
+    }
+
+    /// True if `self` is a suffix of `other` — i.e. every history matching
+    /// `other` also matches `self` (`self` records the same most recent
+    /// outcomes, and fewer of them).
+    pub fn is_suffix_of(self, other: HistPattern) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        let mask = if self.len == 0 {
+            0
+        } else {
+            (1u32 << self.len) - 1
+        };
+        other.bits & mask == self.bits
+    }
+
+    /// True if a concrete history value (of `hist_len >= self.len()` bits)
+    /// matches this pattern.
+    pub fn matches(self, history: u32, hist_len: u32) -> bool {
+        debug_assert!(hist_len >= self.len);
+        let _ = hist_len;
+        let mask = if self.len == 0 {
+            0
+        } else {
+            (1u32 << self.len) - 1
+        };
+        history & mask == self.bits
+    }
+}
+
+impl fmt::Debug for HistPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for HistPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len == 0 {
+            return write!(f, "ε");
+        }
+        for i in (0..self.len).rev() {
+            write!(f, "{}", self.bits >> i & 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0", "1", "01", "011", "1101", "000000000"] {
+            assert_eq!(HistPattern::parse(s).to_string(), s);
+        }
+        assert_eq!(HistPattern::EMPTY.to_string(), "ε");
+    }
+
+    #[test]
+    fn newest_is_rightmost() {
+        assert_eq!(HistPattern::parse("01").newest(), Some(true));
+        assert_eq!(HistPattern::parse("10").newest(), Some(false));
+        assert_eq!(HistPattern::EMPTY.newest(), None);
+    }
+
+    #[test]
+    fn append_shifts_and_truncates() {
+        let p = HistPattern::parse("011");
+        assert_eq!(p.append(false, 4).to_string(), "0110");
+        assert_eq!(p.append(true, 3).to_string(), "111");
+    }
+
+    #[test]
+    fn prepend_older_refines() {
+        let p = HistPattern::parse("1");
+        assert_eq!(p.prepend_older(false).to_string(), "01");
+        assert_eq!(p.prepend_older(true).to_string(), "11");
+    }
+
+    #[test]
+    fn suffix_relation() {
+        let one = HistPattern::parse("1");
+        let zero_one = HistPattern::parse("01");
+        let one_one = HistPattern::parse("11");
+        assert!(one.is_suffix_of(zero_one));
+        assert!(one.is_suffix_of(one_one));
+        assert!(!zero_one.is_suffix_of(one_one));
+        assert!(!zero_one.is_suffix_of(one));
+        assert!(HistPattern::EMPTY.is_suffix_of(one));
+        assert!(one.is_suffix_of(one));
+    }
+
+    #[test]
+    fn matches_concrete_history() {
+        let p = HistPattern::parse("01");
+        assert!(p.matches(0b101, 3));
+        assert!(!p.matches(0b111, 3));
+        assert!(HistPattern::EMPTY.matches(0b111, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid pattern character")]
+    fn bad_parse_panics() {
+        let _ = HistPattern::parse("0x1");
+    }
+}

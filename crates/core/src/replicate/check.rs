@@ -1,0 +1,197 @@
+//! Semantic-equivalence checking between an original module and its
+//! replicated version: replication must change *where* branches live, not
+//! what the program does.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use brepl_ir::{BranchId, Module, Value};
+use brepl_sim::{Machine, RunConfig, RunError};
+
+use super::ReplicatedProgram;
+
+/// An observed difference between original and replicated program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EquivalenceError {
+    /// One of the runs trapped.
+    Trap(String),
+    /// Return values differ.
+    ResultMismatch {
+        /// Original program's result.
+        original: Option<Value>,
+        /// Replicated program's result.
+        replicated: Option<Value>,
+    },
+    /// Output tapes differ.
+    OutputMismatch,
+    /// The replicated program executed *more* instructions — replication
+    /// only relocates instructions, and the post-replication jump
+    /// threading can only remove executed jumps, never add work.
+    StepMismatch {
+        /// Original step count.
+        original: u64,
+        /// Replicated step count.
+        replicated: u64,
+    },
+    /// The per-original-site branch outcome counts differ (checked through
+    /// the provenance map).
+    BranchHistogramMismatch,
+}
+
+impl fmt::Display for EquivalenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivalenceError::Trap(e) => write!(f, "a run trapped: {e}"),
+            EquivalenceError::ResultMismatch {
+                original,
+                replicated,
+            } => write!(f, "results differ: {original:?} vs {replicated:?}"),
+            EquivalenceError::OutputMismatch => write!(f, "output tapes differ"),
+            EquivalenceError::StepMismatch {
+                original,
+                replicated,
+            } => write!(f, "step counts differ: {original} vs {replicated}"),
+            EquivalenceError::BranchHistogramMismatch => {
+                write!(f, "per-site branch histograms differ")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EquivalenceError {}
+
+/// Runs both programs on the same input and verifies result, output tape
+/// and the per-original-site branch histogram all match, and that the
+/// replicated program executes no more instructions than the original.
+///
+/// # Errors
+///
+/// Returns the first [`EquivalenceError`] found.
+pub fn check_equivalence(
+    original: &Module,
+    replicated: &ReplicatedProgram,
+    entry: &str,
+    args: &[Value],
+    input: &[Value],
+) -> Result<(), EquivalenceError> {
+    let run = |module: &Module| -> Result<_, RunError> {
+        let mut m = Machine::new(module, RunConfig::default());
+        m.set_input(input.to_vec());
+        let outcome = m.run(entry, args)?;
+        Ok((outcome, m.output().to_vec()))
+    };
+    let (a, a_out) = run(original).map_err(|e| EquivalenceError::Trap(e.to_string()))?;
+    let (b, b_out) =
+        run(&replicated.module).map_err(|e| EquivalenceError::Trap(e.to_string()))?;
+
+    if a.result != b.result {
+        return Err(EquivalenceError::ResultMismatch {
+            original: a.result,
+            replicated: b.result,
+        });
+    }
+    if a_out != b_out {
+        return Err(EquivalenceError::OutputMismatch);
+    }
+    if b.steps > a.steps {
+        return Err(EquivalenceError::StepMismatch {
+            original: a.steps,
+            replicated: b.steps,
+        });
+    }
+
+    // Branch histograms, replicated sites folded back through provenance.
+    let mut orig_hist: HashMap<(BranchId, bool), u64> = HashMap::new();
+    for ev in a.trace.iter() {
+        *orig_hist.entry((ev.site, ev.taken)).or_default() += 1;
+    }
+    let mut repl_hist: HashMap<(BranchId, bool), u64> = HashMap::new();
+    for ev in b.trace.iter() {
+        let orig = replicated.provenance[ev.site.index()];
+        *repl_hist.entry((orig, ev.taken)).or_default() += 1;
+    }
+    if orig_hist != repl_hist {
+        return Err(EquivalenceError::BranchHistogramMismatch);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replicate::{apply_plan, ReplicationPlan};
+    use brepl_ir::{FunctionBuilder, Operand};
+
+    fn loop_module(step: i64) -> Module {
+        let mut b = FunctionBuilder::new("main", 1);
+        let n = b.param(0);
+        let i = b.reg();
+        b.const_int(i, 0);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jmp(head);
+        b.switch_to(head);
+        let c = b.lt(i.into(), n.into());
+        b.br(c, body, exit);
+        b.switch_to(body);
+        b.add(i, i.into(), Operand::imm(step));
+        b.jmp(head);
+        b.switch_to(exit);
+        b.out(i.into());
+        b.ret(Some(i.into()));
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn identical_modules_are_equivalent() {
+        let m = loop_module(1);
+        let trace = brepl_sim::Machine::new(&m, brepl_sim::RunConfig::default())
+            .run("main", &[Value::Int(10)])
+            .unwrap()
+            .trace;
+        let program = apply_plan(&m, &ReplicationPlan::new(), &trace.stats()).unwrap();
+        check_equivalence(&m, &program, "main", &[Value::Int(10)], &[]).unwrap();
+    }
+
+    #[test]
+    fn detects_result_mismatch() {
+        let m = loop_module(1);
+        let other = loop_module(3);
+        let trace = brepl_sim::Machine::new(&m, brepl_sim::RunConfig::default())
+            .run("main", &[Value::Int(10)])
+            .unwrap()
+            .trace;
+        let mut program = apply_plan(&m, &ReplicationPlan::new(), &trace.stats()).unwrap();
+        program.module = other;
+        // step=3 overshoots to 12 instead of 10.
+        let err = check_equivalence(&m, &program, "main", &[Value::Int(10)], &[]).unwrap_err();
+        assert!(matches!(err, EquivalenceError::ResultMismatch { .. }));
+    }
+
+    #[test]
+    fn detects_extra_work() {
+        // A module doing strictly more steps with identical observables.
+        let m = loop_module(1);
+        let mut padded = loop_module(1);
+        // Inject a harmless extra instruction into the loop body.
+        let fid = padded.function_by_name("main").unwrap();
+        let f = padded.function_mut(fid);
+        let spare = brepl_ir::Reg(f.n_regs);
+        f.n_regs += 1;
+        f.blocks[2].insts.push(brepl_ir::Inst::Copy {
+            dst: spare,
+            src: brepl_ir::Operand::imm(0),
+        });
+        let trace = brepl_sim::Machine::new(&m, brepl_sim::RunConfig::default())
+            .run("main", &[Value::Int(10)])
+            .unwrap()
+            .trace;
+        let mut program = apply_plan(&m, &ReplicationPlan::new(), &trace.stats()).unwrap();
+        program.module = padded;
+        let err = check_equivalence(&m, &program, "main", &[Value::Int(10)], &[]).unwrap_err();
+        assert!(matches!(err, EquivalenceError::StepMismatch { .. }));
+    }
+}

@@ -1,0 +1,515 @@
+//! The code replication transform: applies a per-branch plan of state
+//! machines to a module, producing a replicated module whose branch sites
+//! each carry a static prediction.
+
+mod check;
+mod cleanup;
+mod loop_replicate;
+mod path_replicate;
+mod simplify;
+
+pub use check::{check_equivalence, EquivalenceError};
+pub use cleanup::remove_unreachable;
+pub use loop_replicate::{replicate_loop, LoopReplicateError, LoopReplication, MAX_PRODUCT_STATES};
+pub use path_replicate::{
+    decision_path, replicate_correlated, split_by_paths, PathSplit,
+};
+pub use simplify::{simplify_function, simplify_function_with_map, simplify_module, SimplifyStats};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use brepl_cfg::{Cfg, DomTree, LoopForest};
+use brepl_ir::{BlockId, BranchId, FuncId, Module};
+use brepl_predict::StaticPrediction;
+use brepl_trace::TraceStats;
+
+use crate::correlated::CorrelatedMachine;
+use crate::machine::StateMachine;
+
+/// The machine assigned to one branch.
+#[derive(Clone, Debug)]
+pub enum BranchMachine {
+    /// Intra-loop or loop-exit machine: replicate the innermost loop.
+    Loop(StateMachine),
+    /// Correlated machine: tail-duplicate the incoming paths.
+    Correlated(CorrelatedMachine),
+}
+
+/// A replication plan: which branches get which machines. Keys are branch
+/// sites of the *original* module.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicationPlan {
+    /// Per-branch machine assignments.
+    pub assignments: BTreeMap<BranchId, BranchMachine>,
+}
+
+impl ReplicationPlan {
+    /// An empty plan (replication is the identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns a machine to a branch.
+    pub fn assign(&mut self, site: BranchId, machine: BranchMachine) {
+        self.assignments.insert(site, machine);
+    }
+
+    /// Number of planned branches.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// True when no branches are planned.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+}
+
+/// Why a plan could not be applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplicateError {
+    /// A planned site does not exist in the module.
+    UnknownBranch(BranchId),
+    /// A loop machine was assigned to a branch outside any loop.
+    NotInLoop(BranchId),
+    /// The loop replication failed (state cap and friends).
+    Loop(String),
+}
+
+impl fmt::Display for ReplicateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicateError::UnknownBranch(s) => write!(f, "no branch with site {s}"),
+            ReplicateError::NotInLoop(s) => {
+                write!(f, "loop machine assigned to non-loop branch {s}")
+            }
+            ReplicateError::Loop(e) => write!(f, "loop replication failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicateError {}
+
+/// The output of [`apply_plan`].
+#[derive(Clone, Debug)]
+pub struct ReplicatedProgram {
+    /// The transformed module (verified, branch sites renumbered).
+    pub module: Module,
+    /// Static per-site predictions for the transformed module: machine
+    /// states where planned, profile majority elsewhere.
+    pub predictions: StaticPrediction,
+    /// `provenance[new_site] = original site` the branch was copied from.
+    pub provenance: Vec<BranchId>,
+}
+
+impl ReplicatedProgram {
+    /// Code-size growth factor relative to `original`.
+    pub fn size_growth(&self, original: &Module) -> f64 {
+        self.module.size_units() as f64 / original.size_units() as f64
+    }
+}
+
+/// Applies `plan` to a copy of `module`. `profile` supplies the fallback
+/// profile predictions for unplanned branches (use the stats of the
+/// profiling trace).
+///
+/// # Errors
+///
+/// Returns a [`ReplicateError`] if a planned site is missing, a loop
+/// machine targets a non-loop branch, or a loop's product state space
+/// exceeds [`MAX_PRODUCT_STATES`].
+pub fn apply_plan(
+    module: &Module,
+    plan: &ReplicationPlan,
+    profile: &TraceStats,
+) -> Result<ReplicatedProgram, ReplicateError> {
+    let mut out = module.clone();
+
+    // Locate planned branches: site -> (func, block).
+    let mut loop_branches: HashMap<FuncId, Vec<(BlockId, BranchId)>> = HashMap::new();
+    let mut corr_branches: HashMap<FuncId, Vec<(BlockId, BranchId)>> = HashMap::new();
+    for (&site, machine) in &plan.assignments {
+        let (fid, bid) = out
+            .locate_branch(site)
+            .ok_or(ReplicateError::UnknownBranch(site))?;
+        match machine {
+            BranchMachine::Loop(_) => loop_branches.entry(fid).or_default().push((bid, site)),
+            BranchMachine::Correlated(_) => {
+                corr_branches.entry(fid).or_default().push((bid, site))
+            }
+        }
+    }
+
+    // Predictions tracked per (func, block) through all transforms.
+    let mut pending: HashMap<(FuncId, BlockId), bool> = HashMap::new();
+
+    let fids: Vec<FuncId> = out.iter_functions().map(|(f, _)| f).collect();
+    for fid in fids {
+        // --- Loop machines, innermost loops first -----------------------
+        let mut todo: Vec<(BlockId, BranchId)> =
+            loop_branches.remove(&fid).unwrap_or_default();
+        while !todo.is_empty() {
+            let func = out.function_mut(fid);
+            let cfg = Cfg::new(func);
+            let dom = DomTree::new(&cfg);
+            let forest = LoopForest::new(&cfg, &dom);
+
+            // Deepest innermost loop among remaining branches.
+            let mut best: Option<(usize, u32)> = None; // (todo idx, depth)
+            for (i, &(bid, site)) in todo.iter().enumerate() {
+                let Some(l) = forest.innermost(bid) else {
+                    return Err(ReplicateError::NotInLoop(site));
+                };
+                let depth = forest.get(l).depth;
+                match best {
+                    Some((_, d)) if d >= depth => {}
+                    _ => best = Some((i, depth)),
+                }
+            }
+            let (idx, _) = best.expect("todo not empty");
+            let target_loop = forest
+                .innermost(todo[idx].0)
+                .expect("checked above");
+            let loop_blocks = forest.get(target_loop).blocks.clone();
+
+            // All remaining branches in this same loop replicate together
+            // (product machine), as the paper prescribes for same-loop
+            // branches.
+            let (group, rest): (Vec<_>, Vec<_>) = todo
+                .iter()
+                .copied()
+                .partition(|&(bid, _)| forest.innermost(bid) == Some(target_loop));
+            todo = rest;
+
+            let mut machines: Vec<(BlockId, &StateMachine)> = group
+                .iter()
+                .map(|&(bid, site)| match &plan.assignments[&site] {
+                    BranchMachine::Loop(m) => (bid, m),
+                    BranchMachine::Correlated(_) => unreachable!("partitioned above"),
+                })
+                .collect();
+            // Same-loop machines multiply the state space; when the product
+            // overflows the cap, shed the largest machines — those branches
+            // simply stay at profile prediction, which is what a compiler's
+            // cost function would do.
+            while machines.len() > 1
+                && machines.iter().map(|(_, m)| m.len()).product::<usize>() > MAX_PRODUCT_STATES
+            {
+                let worst = machines
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, (_, m))| m.len())
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                machines.remove(worst);
+            }
+            if machines.len() == 1 && machines[0].1.len() > MAX_PRODUCT_STATES {
+                continue;
+            }
+            let info = replicate_loop(func, &loop_blocks, &machines)
+                .map_err(|e| ReplicateError::Loop(e.to_string()))?;
+
+            // Propagate existing pending predictions into the new copies,
+            // and track clones of correlated branches so their path
+            // machines later apply to *every* copy, not just the original.
+            let mut new_pending: Vec<((FuncId, BlockId), bool)> = Vec::new();
+            let mut corr_clones: Vec<(BlockId, BranchId)> = Vec::new();
+            for state_map in &info.copies {
+                for &(orig, copy) in state_map {
+                    if copy == orig {
+                        continue;
+                    }
+                    if let Some(&p) = pending.get(&(fid, orig)) {
+                        new_pending.push(((fid, copy), p));
+                    }
+                    if let Some(cb) = corr_branches.get(&fid) {
+                        for &(bid, site) in cb {
+                            if bid == orig {
+                                corr_clones.push((copy, site));
+                            }
+                        }
+                    }
+                }
+            }
+            pending.extend(new_pending);
+            if !corr_clones.is_empty() {
+                corr_branches.entry(fid).or_default().extend(corr_clones);
+            }
+            for &(bid, p) in &info.branch_predictions {
+                pending.insert((fid, bid), p);
+            }
+
+            // Cleanup and remap everything we still track.
+            let map = remove_unreachable(out.function_mut(fid));
+            remap_pending(fid, &map, &mut pending);
+            remap_blocks(&map, &mut todo);
+            if let Some(cb) = corr_branches.get_mut(&fid) {
+                remap_blocks(&map, cb);
+            }
+        }
+
+        // --- Correlated machines ----------------------------------------
+        // Loop replication above may have multiplied these branch blocks;
+        // every copy gets its path machine. The worklist is remapped after
+        // each transform's cleanup.
+        let mut corr_todo: Vec<(BlockId, BranchId)> =
+            corr_branches.remove(&fid).unwrap_or_default();
+        while let Some((bid, site)) = corr_todo.pop() {
+            let BranchMachine::Correlated(machine) = &plan.assignments[&site] else {
+                unreachable!("partitioned above")
+            };
+            let func = out.function_mut(fid);
+            let (annotated, _) = replicate_correlated(func, bid, machine);
+            for (copy, p) in annotated {
+                pending.insert((fid, copy), p);
+            }
+            let map = remove_unreachable(out.function_mut(fid));
+            remap_pending(fid, &map, &mut pending);
+            remap_blocks(&map, &mut corr_todo);
+        }
+
+        // --- Jump threading / block merging (Mueller–Whalley style) -----
+        // Replication leaves pruned arms and empty jump blocks behind; a
+        // real code generator would clean these up, so the size growth we
+        // report should too. Simplification never touches a conditional
+        // branch, only where it lives.
+        let (_, map) = simplify::simplify_function_with_map(out.function_mut(fid));
+        remap_pending(fid, &map, &mut pending);
+    }
+
+    // Final numbering + prediction table.
+    let provenance = out.renumber_branches_with_provenance();
+    out.verify().expect("replication must produce valid IR");
+    let mut predictions = StaticPrediction::with_default(true);
+    let mut counter = 0u32;
+    for (fid, func) in out.iter_functions() {
+        for (bid, block) in func.iter_blocks() {
+            if block.term.branch_site().is_none() {
+                continue;
+            }
+            let new_site = BranchId(counter);
+            counter += 1;
+            let p = match pending.get(&(fid, bid)) {
+                Some(&p) => p,
+                None => {
+                    let orig = provenance[new_site.index()];
+                    profile.site(orig).majority()
+                }
+            };
+            predictions.set(new_site, p);
+        }
+    }
+
+    Ok(ReplicatedProgram {
+        module: out,
+        predictions,
+        provenance,
+    })
+}
+
+/// Remaps the `pending` prediction keys of one function through a cleanup
+/// block map. Must be called exactly once per cleanup.
+fn remap_pending(
+    fid: FuncId,
+    map: &[Option<BlockId>],
+    pending: &mut HashMap<(FuncId, BlockId), bool>,
+) {
+    let old: Vec<((FuncId, BlockId), bool)> = pending
+        .iter()
+        .filter(|((f, _), _)| *f == fid)
+        .map(|(&k, &v)| (k, v))
+        .collect();
+    for ((f, b), _) in &old {
+        pending.remove(&(*f, *b));
+    }
+    for ((f, b), v) in old {
+        if let Some(Some(nb)) = map.get(b.index()) {
+            pending.insert((f, *nb), v);
+        }
+    }
+}
+
+/// Remaps a tracked `(block, site)` worklist through a cleanup block map,
+/// dropping entries whose block became unreachable.
+fn remap_blocks(map: &[Option<BlockId>], blocks: &mut Vec<(BlockId, BranchId)>) {
+    blocks.retain_mut(|(b, _)| match map.get(b.index()) {
+        Some(Some(nb)) => {
+            *b = *nb;
+            true
+        }
+        _ => false,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineState;
+    use crate::pattern::HistPattern;
+    use brepl_ir::{FunctionBuilder, Operand, Value};
+    use brepl_predict::evaluate_static;
+    use brepl_sim::{Machine as Sim, RunConfig};
+
+    /// Loop over i in 0..n with an alternating branch and an exit branch.
+    fn alternating_module() -> Module {
+        let mut b = FunctionBuilder::new("main", 1);
+        let n = b.param(0);
+        let i = b.reg();
+        let acc = b.reg();
+        b.const_int(i, 0);
+        b.const_int(acc, 0);
+        let head = b.new_block();
+        let even = b.new_block();
+        let odd = b.new_block();
+        let latch = b.new_block();
+        let exit = b.new_block();
+        b.jmp(head);
+        b.switch_to(head);
+        let r = b.reg();
+        b.rem(r, i.into(), Operand::imm(2));
+        let c = b.eq(r.into(), Operand::imm(0));
+        b.br(c, even, odd);
+        b.switch_to(even);
+        b.add(acc, acc.into(), Operand::imm(3));
+        b.jmp(latch);
+        b.switch_to(odd);
+        b.add(acc, acc.into(), Operand::imm(5));
+        b.jmp(latch);
+        b.switch_to(latch);
+        b.add(i, i.into(), Operand::imm(1));
+        let c2 = b.lt(i.into(), n.into());
+        b.br(c2, head, exit);
+        b.switch_to(exit);
+        b.out(acc.into());
+        b.ret(Some(acc.into()));
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        m
+    }
+
+    fn flip_flop() -> StateMachine {
+        StateMachine::from_states(
+            vec![
+                MachineState {
+                    pattern: HistPattern::parse("0"),
+                    predict: true,
+                    on_taken: 1,
+                    on_not_taken: 0,
+                },
+                MachineState {
+                    pattern: HistPattern::parse("1"),
+                    predict: false,
+                    on_taken: 1,
+                    on_not_taken: 0,
+                },
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn empty_plan_is_identity_modulo_numbering() {
+        let m = alternating_module();
+        let trace = Sim::new(&m, RunConfig::default())
+            .run("main", &[Value::Int(50)])
+            .unwrap()
+            .trace;
+        let program = apply_plan(&m, &ReplicationPlan::new(), &trace.stats()).unwrap();
+        assert_eq!(program.module.size_units(), m.size_units());
+        assert_eq!(program.size_growth(&m), 1.0);
+        // Predictions are profile majorities.
+        let report = evaluate_static(&program.predictions, &trace);
+        let profile_wrong: u64 = trace
+            .stats()
+            .iter_executed()
+            .map(|(_, c)| c.minority_count())
+            .sum();
+        assert_eq!(report.mispredictions(), profile_wrong);
+    }
+
+    #[test]
+    fn planned_loop_replication_halves_mispredictions() {
+        let m = alternating_module();
+        let args = [Value::Int(100)];
+        let original = Sim::new(&m, RunConfig::default()).run("main", &args).unwrap();
+        let stats = original.trace.stats();
+
+        // The alternating branch is site 0 (first branch of the function).
+        let mut plan = ReplicationPlan::new();
+        plan.assign(BranchId(0), BranchMachine::Loop(flip_flop()));
+        let program = apply_plan(&m, &plan, &stats).unwrap();
+        check_equivalence(&m, &program, "main", &args, &[]).unwrap();
+
+        let transformed = Sim::new(&program.module, RunConfig::default())
+            .run("main", &args)
+            .unwrap();
+        let report = evaluate_static(&program.predictions, &transformed.trace);
+        // Original profile: ~50 wrong (alternation) + 1 (exit).
+        // Replicated: only the exit miss remains.
+        assert!(report.mispredictions() <= 1);
+        assert!(program.size_growth(&m) > 1.0);
+        assert!(program.size_growth(&m) < 2.0);
+    }
+
+    #[test]
+    fn provenance_maps_copies_to_original() {
+        let m = alternating_module();
+        let trace = Sim::new(&m, RunConfig::default())
+            .run("main", &[Value::Int(20)])
+            .unwrap()
+            .trace;
+        let mut plan = ReplicationPlan::new();
+        plan.assign(BranchId(0), BranchMachine::Loop(flip_flop()));
+        let program = apply_plan(&m, &plan, &trace.stats()).unwrap();
+        // Two copies of site 0 exist; every provenance entry is 0 or 1.
+        let zeros = program
+            .provenance
+            .iter()
+            .filter(|&&p| p == BranchId(0))
+            .count();
+        assert_eq!(zeros, 2);
+        assert_eq!(program.provenance.len(), program.module.branch_count());
+    }
+
+    #[test]
+    fn unknown_site_rejected() {
+        let m = alternating_module();
+        let trace = Sim::new(&m, RunConfig::default())
+            .run("main", &[Value::Int(4)])
+            .unwrap()
+            .trace;
+        let mut plan = ReplicationPlan::new();
+        plan.assign(BranchId(99), BranchMachine::Loop(flip_flop()));
+        assert_eq!(
+            apply_plan(&m, &plan, &trace.stats()).unwrap_err(),
+            ReplicateError::UnknownBranch(BranchId(99))
+        );
+    }
+
+    #[test]
+    fn non_loop_branch_rejected_for_loop_machine() {
+        let mut b = FunctionBuilder::new("main", 1);
+        let x = b.param(0);
+        let t = b.new_block();
+        let e = b.new_block();
+        let c = b.gt(x.into(), Operand::imm(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        let trace = Sim::new(&m, RunConfig::default())
+            .run("main", &[Value::Int(1)])
+            .unwrap()
+            .trace;
+        let mut plan = ReplicationPlan::new();
+        plan.assign(BranchId(0), BranchMachine::Loop(flip_flop()));
+        assert_eq!(
+            apply_plan(&m, &plan, &trace.stats()).unwrap_err(),
+            ReplicateError::NotInLoop(BranchId(0))
+        );
+    }
+}

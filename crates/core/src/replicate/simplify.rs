@@ -1,0 +1,241 @@
+//! Post-replication cleanup in the spirit of Mueller & Whalley's jump
+//! elimination: replication leaves chains of jump-only blocks behind
+//! (pruned arms, split edges); threading them away shrinks the replicated
+//! code without touching any branch site, so the size numbers reported by
+//! the pipeline are the ones a real code generator would see.
+
+use brepl_ir::{BlockId, Function, Term};
+
+use super::cleanup::remove_unreachable;
+
+/// Statistics from one simplification run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Edges redirected past empty jump-only blocks.
+    pub threaded_edges: usize,
+    /// Straight-line block pairs merged.
+    pub merged_blocks: usize,
+    /// Blocks removed (unreachable after threading).
+    pub removed_blocks: usize,
+}
+
+/// Threads edges through empty jump-only blocks and merges straight-line
+/// block pairs, then removes unreachable blocks. Conditional branches and
+/// their site ids are never touched, so predictions and provenance remain
+/// valid.
+pub fn simplify_function(func: &mut Function) -> SimplifyStats {
+    simplify_function_with_map(func).0
+}
+
+/// Like [`simplify_function`], additionally returning where each original
+/// block ended up: `map[old] = Some(new)` (merges map the donor block to
+/// its absorbing block; unreachable blocks map to `None`). Callers that
+/// track per-block annotations — the replication pipeline tracks branch
+/// predictions — remap through this.
+pub fn simplify_function_with_map(
+    func: &mut Function,
+) -> (SimplifyStats, Vec<Option<BlockId>>) {
+    let mut stats = SimplifyStats::default();
+    let original_len = func.blocks.len();
+    // Where each block's *contents* (in particular its terminator) live
+    // now; merges update this.
+    let mut home: Vec<usize> = (0..original_len).collect();
+
+    // --- 1. Jump threading: resolve chains of empty `jmp` blocks. -------
+    let n = func.blocks.len();
+    let mut forward: Vec<BlockId> = (0..n).map(BlockId::from_index).collect();
+    #[allow(clippy::needless_range_loop)]
+    for b in 0..n {
+        // Follow the chain from b with cycle protection.
+        let mut cur = BlockId::from_index(b);
+        let mut hops = 0;
+        while hops < n {
+            let block = func.block(cur);
+            match block.term {
+                Term::Jmp { target } if block.insts.is_empty() && target != cur => {
+                    cur = target;
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        forward[b] = cur;
+    }
+    for b in 0..n {
+        let mut changed = 0;
+        func.blocks[b].term.map_successors(|t| {
+            let f = forward[t.index()];
+            if f != t {
+                changed += 1;
+            }
+            f
+        });
+        stats.threaded_edges += changed;
+    }
+    // The entry may itself be an empty jump chain.
+    let fwd_entry = forward[func.entry.index()];
+    if fwd_entry != func.entry {
+        func.entry = fwd_entry;
+    }
+
+    // --- 2. Merge straight-line pairs: `a: ...; jmp b` where b has a
+    // single predecessor. -------------------------------------------------
+    loop {
+        // Count predecessors.
+        let n = func.blocks.len();
+        let mut pred_count = vec![0usize; n];
+        for block in &func.blocks {
+            for s in block.term.successors() {
+                pred_count[s.index()] += 1;
+            }
+        }
+        let mut merged_any = false;
+        for a in 0..n {
+            let Term::Jmp { target } = func.blocks[a].term else {
+                continue;
+            };
+            let t = target.index();
+            if t == a || pred_count[t] != 1 || target == func.entry {
+                continue;
+            }
+            // Move b's instructions and terminator into a.
+            let mut donor_insts = std::mem::take(&mut func.blocks[t].insts);
+            let donor_term = func.blocks[t].term.clone();
+            func.blocks[a].insts.append(&mut donor_insts);
+            func.blocks[a].term = donor_term;
+            // Leave b as an unreachable empty return; cleanup removes it.
+            func.blocks[t].term = Term::Ret { value: None };
+            for h in home.iter_mut() {
+                if *h == t {
+                    *h = a;
+                }
+            }
+            stats.merged_blocks += 1;
+            merged_any = true;
+            break; // recompute predecessor counts from scratch
+        }
+        if !merged_any {
+            break;
+        }
+    }
+
+    // --- 3. Drop whatever became unreachable. ----------------------------
+    let before = func.blocks.len();
+    let cleanup_map = remove_unreachable(func);
+    stats.removed_blocks = before - func.blocks.len();
+    let map = home
+        .into_iter()
+        .map(|h| cleanup_map.get(h).copied().flatten())
+        .collect();
+    (stats, map)
+}
+
+/// Simplifies every function of a module. Run
+/// [`brepl_ir::Module::renumber_branches`] afterwards if the module's
+/// branch numbering must stay dense (simplification never clones or drops
+/// a *reachable* conditional branch, but unreachable ones disappear).
+pub fn simplify_module(module: &mut brepl_ir::Module) -> SimplifyStats {
+    let mut total = SimplifyStats::default();
+    let fids: Vec<_> = module.iter_functions().map(|(f, _)| f).collect();
+    for fid in fids {
+        let s = simplify_function(module.function_mut(fid));
+        total.threaded_edges += s.threaded_edges;
+        total.merged_blocks += s.merged_blocks;
+        total.removed_blocks += s.removed_blocks;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::{FunctionBuilder, Module, Operand, Value};
+    use brepl_sim::{Machine, RunConfig};
+
+    /// Builds a function full of jump-only glue blocks.
+    fn gluey_module() -> Module {
+        let mut b = FunctionBuilder::new("main", 1);
+        let x = b.param(0);
+        let glue1 = b.new_block();
+        let glue2 = b.new_block();
+        let work = b.new_block();
+        let t = b.new_block();
+        let e = b.new_block();
+        let tail1 = b.new_block();
+        let tail2 = b.new_block();
+        b.jmp(glue1);
+        b.switch_to(glue1);
+        b.jmp(glue2);
+        b.switch_to(glue2);
+        b.jmp(work);
+        b.switch_to(work);
+        let c = b.gt(x.into(), Operand::imm(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jmp(tail1);
+        b.switch_to(e);
+        b.jmp(tail1);
+        b.switch_to(tail1);
+        b.jmp(tail2);
+        b.switch_to(tail2);
+        b.out(x.into());
+        b.ret(Some(x.into()));
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn threading_and_merging_shrink_glue() {
+        let mut m = gluey_module();
+        let before = m.size_units();
+        let original = Machine::new(&m, RunConfig::default())
+            .run("main", &[Value::Int(5)])
+            .unwrap();
+        let stats = simplify_module(&mut m);
+        m.renumber_branches();
+        m.verify().unwrap();
+        assert!(stats.threaded_edges > 0);
+        assert!(stats.removed_blocks > 0);
+        assert!(m.size_units() < before);
+        // Semantics preserved (branch events too).
+        let after = Machine::new(&m, RunConfig::default())
+            .run("main", &[Value::Int(5)])
+            .unwrap();
+        assert_eq!(original.result, after.result);
+        assert_eq!(original.trace.len(), after.trace.len());
+        // The whole function collapses to entry + branch arms' merged tail.
+        assert!(m.function(brepl_ir::FuncId(0)).blocks.len() <= 4);
+    }
+
+    #[test]
+    fn self_loops_survive() {
+        let mut b = FunctionBuilder::new("main", 1);
+        let x = b.param(0);
+        let head = b.new_block();
+        let exit = b.new_block();
+        b.jmp(head);
+        b.switch_to(head);
+        let c = b.lt(x.into(), Operand::imm(3));
+        b.br(c, head, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        let _ = simplify_module(&mut m);
+        m.renumber_branches();
+        m.verify().unwrap();
+        assert!(Machine::new(&m, RunConfig::default())
+            .run("main", &[Value::Int(10)])
+            .is_ok());
+    }
+
+    #[test]
+    fn branch_sites_are_preserved() {
+        let mut m = gluey_module();
+        let before = m.branch_count();
+        simplify_module(&mut m);
+        m.renumber_branches();
+        assert_eq!(m.branch_count(), before);
+    }
+}

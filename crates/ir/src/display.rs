@@ -1,0 +1,128 @@
+//! Textual pretty-printing of modules. The output round-trips through
+//! [`crate::parse_module`].
+
+use std::fmt;
+
+use crate::inst::{Inst, Term};
+use crate::module::{Function, Module};
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Const { dst, value } => write!(f, "{dst} = const {value}"),
+            Inst::Copy { dst, src } => write!(f, "{dst} = copy {src}"),
+            Inst::Bin { op, dst, lhs, rhs } => {
+                write!(f, "{dst} = {} {lhs}, {rhs}", op.mnemonic())
+            }
+            Inst::Cmp { op, dst, lhs, rhs } => {
+                write!(f, "{dst} = {} {lhs}, {rhs}", op.mnemonic())
+            }
+            Inst::Ftoi { dst, src } => write!(f, "{dst} = ftoi {src}"),
+            Inst::Itof { dst, src } => write!(f, "{dst} = itof {src}"),
+            Inst::Load { dst, addr } => write!(f, "{dst} = load {addr}"),
+            Inst::Store { addr, value } => write!(f, "store {addr}, {value}"),
+            Inst::Alloc { dst, words } => write!(f, "{dst} = alloc {words}"),
+            Inst::Call { dst, callee, args } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = ")?;
+                }
+                write!(f, "call @{callee}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Inst::Intrin { dst, which, args } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = ")?;
+                }
+                write!(f, "{}(", which.mnemonic())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Br {
+                cond,
+                then_,
+                else_,
+                site,
+            } => write!(f, "br {cond}, {then_}, {else_}  ; {site}"),
+            Term::Jmp { target } => write!(f, "jmp {target}"),
+            Term::Ret { value: Some(v) } => write!(f, "ret {v}"),
+            Term::Ret { value: None } => write!(f, "ret"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "func @{}({}) regs={} entry={} {{",
+            self.name, self.n_params, self.n_regs, self.entry
+        )?;
+        for (bid, block) in self.iter_blocks() {
+            writeln!(f, "{bid}:")?;
+            for inst in &block.insts {
+                writeln!(f, "  {inst}")?;
+            }
+            writeln!(f, "  {}", block.term)?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module globals={}", self.globals)?;
+        for (_, func) in self.iter_functions() {
+            writeln!(f)?;
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Operand;
+    use crate::module::Module;
+
+    #[test]
+    fn display_mentions_everything() {
+        let mut b = FunctionBuilder::new("main", 0);
+        let r = b.iconst(5);
+        let x = b.reg();
+        b.add(x, r.into(), Operand::imm(2));
+        b.out(x.into());
+        let t = b.new_block();
+        let e = b.new_block();
+        let c = b.lt(x.into(), Operand::imm(10));
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.ret(Some(Operand::imm(1)));
+        b.switch_to(e);
+        b.ret(None);
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        let text = m.to_string();
+        for needle in ["func @main", "const 5", "add", "out(", "br", "; s0", "ret 1", "ret"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

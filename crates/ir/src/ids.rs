@@ -1,0 +1,78 @@
+//! Newtype identifiers for IR entities.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflows u32"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A virtual register local to a [`crate::Function`].
+    ///
+    /// Registers are mutable storage (the IR is not in SSA form). Function
+    /// parameters occupy registers `0..n_params`.
+    Reg,
+    "r"
+);
+
+id_type!(
+    /// A basic block within a [`crate::Function`].
+    BlockId,
+    "b"
+);
+
+id_type!(
+    /// A function within a [`crate::Module`].
+    FuncId,
+    "f"
+);
+
+id_type!(
+    /// A static conditional-branch *site*, unique within a [`crate::Module`]
+    /// after [`crate::Module::renumber_branches`] has run.
+    ///
+    /// The branch site is the unit of everything in this system: traces
+    /// record `(BranchId, taken)` events, pattern tables are keyed by it and
+    /// the replication transform tracks the provenance of cloned sites back
+    /// to the original site they were copied from.
+    BranchId,
+    "s"
+);

@@ -1,0 +1,577 @@
+//! A parser for the textual IR format produced by the `Display` impls.
+//!
+//! The grammar is line-oriented:
+//!
+//! ```text
+//! module globals=N
+//!
+//! func @name(n_params) regs=N entry=bK {
+//! b0:
+//!   r2 = const 42
+//!   r3 = add r2, 1
+//!   r4 = lt r3, r0
+//!   br r4, b1, b2
+//! b1:
+//!   ret r3
+//! b2:
+//!   ret
+//! }
+//! ```
+//!
+//! Comments start with `;` and run to end of line. Branch-site annotations
+//! printed by `Display` (`; s7`) are therefore ignored on input; sites are
+//! renumbered when functions enter a module.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{BlockId, BranchId, Reg};
+use crate::inst::{BinOp, CmpOp, Inst, Intrinsic, Operand, Term, Value};
+use crate::module::{max_reg_in_function, Block, Function, Module};
+
+/// An error produced by [`parse_module`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseModuleError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseModuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseModuleError {}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        let lines = src
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let l = match l.find(';') {
+                    Some(p) => &l[..p],
+                    None => l,
+                };
+                (i + 1, l.trim())
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let l = self.peek();
+        if l.is_some() {
+            self.pos += 1;
+        }
+        l
+    }
+
+    fn err<T>(&self, line: usize, msg: impl Into<String>) -> Result<T, ParseModuleError> {
+        Err(ParseModuleError {
+            line,
+            message: msg.into(),
+        })
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseModuleError> {
+    tok.strip_prefix('r')
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(Reg)
+        .ok_or_else(|| ParseModuleError {
+            line,
+            message: format!("expected register, found {tok:?}"),
+        })
+}
+
+fn parse_block_id(tok: &str, line: usize) -> Result<BlockId, ParseModuleError> {
+    tok.strip_prefix('b')
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(BlockId)
+        .ok_or_else(|| ParseModuleError {
+            line,
+            message: format!("expected block id, found {tok:?}"),
+        })
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseModuleError> {
+    let tok = tok.trim();
+    if tok.starts_with('r') && tok[1..].chars().all(|c| c.is_ascii_digit()) && tok.len() > 1 {
+        return Ok(Operand::Reg(parse_reg(tok, line)?));
+    }
+    if let Some(stripped) = tok.strip_suffix('f') {
+        if let Ok(v) = stripped.parse::<f64>() {
+            return Ok(Operand::Imm(Value::Float(v)));
+        }
+    }
+    if let Ok(v) = tok.parse::<i64>() {
+        return Ok(Operand::Imm(Value::Int(v)));
+    }
+    if let Ok(v) = tok.parse::<f64>() {
+        return Ok(Operand::Imm(Value::Float(v)));
+    }
+    Err(ParseModuleError {
+        line,
+        message: format!("expected operand, found {tok:?}"),
+    })
+}
+
+fn split_args(s: &str, line: usize) -> Result<Vec<Operand>, ParseModuleError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(|a| parse_operand(a, line)).collect()
+}
+
+fn bin_op_from(m: &str) -> Option<BinOp> {
+    BinOp::ALL.into_iter().find(|op| op.mnemonic() == m)
+}
+
+fn cmp_op_from(m: &str) -> Option<CmpOp> {
+    CmpOp::ALL.into_iter().find(|op| op.mnemonic() == m)
+}
+
+fn intrinsic_from(m: &str) -> Option<Intrinsic> {
+    [
+        Intrinsic::Out,
+        Intrinsic::In,
+        Intrinsic::Rand,
+        Intrinsic::Sqrt,
+    ]
+    .into_iter()
+    .find(|i| i.mnemonic() == m)
+}
+
+/// Parses a call or intrinsic right-hand side like `call @f(a, b)` or
+/// `rand(10)`. Returns `None` if `rhs` is not of that shape.
+fn parse_callish(
+    rhs: &str,
+    dst: Option<Reg>,
+    line: usize,
+) -> Result<Option<Inst>, ParseModuleError> {
+    let rhs = rhs.trim();
+    if let Some(rest) = rhs.strip_prefix("call ") {
+        let rest = rest.trim();
+        let Some(rest) = rest.strip_prefix('@') else {
+            return Err(ParseModuleError {
+                line,
+                message: "call target must start with @".into(),
+            });
+        };
+        let Some(open) = rest.find('(') else {
+            return Err(ParseModuleError {
+                line,
+                message: "call missing argument list".into(),
+            });
+        };
+        let name = rest[..open].trim().to_string();
+        let Some(args_str) = rest[open + 1..].strip_suffix(')') else {
+            return Err(ParseModuleError {
+                line,
+                message: "call missing closing paren".into(),
+            });
+        };
+        return Ok(Some(Inst::Call {
+            dst,
+            callee: name,
+            args: split_args(args_str, line)?,
+        }));
+    }
+    if let Some(open) = rhs.find('(') {
+        let head = rhs[..open].trim();
+        if let Some(which) = intrinsic_from(head) {
+            let Some(args_str) = rhs[open + 1..].strip_suffix(')') else {
+                return Err(ParseModuleError {
+                    line,
+                    message: "intrinsic missing closing paren".into(),
+                });
+            };
+            return Ok(Some(Inst::Intrin {
+                dst,
+                which,
+                args: split_args(args_str, line)?,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseModuleError> {
+    // Forms: "store a, b" | "<callish>" | "rX = <rhs>"
+    if let Some(rest) = text.strip_prefix("store ") {
+        let parts: Vec<&str> = rest.splitn(2, ',').collect();
+        if parts.len() != 2 {
+            return Err(ParseModuleError {
+                line,
+                message: "store needs two operands".into(),
+            });
+        }
+        return Ok(Inst::Store {
+            addr: parse_operand(parts[0], line)?,
+            value: parse_operand(parts[1], line)?,
+        });
+    }
+    if let Some(inst) = parse_callish(text, None, line)? {
+        return Ok(inst);
+    }
+    let Some(eq) = text.find('=') else {
+        return Err(ParseModuleError {
+            line,
+            message: format!("unrecognized instruction {text:?}"),
+        });
+    };
+    let dst = parse_reg(text[..eq].trim(), line)?;
+    let rhs = text[eq + 1..].trim();
+    if let Some(inst) = parse_callish(rhs, Some(dst), line)? {
+        return Ok(inst);
+    }
+    let (mnemonic, rest) = match rhs.find(' ') {
+        Some(p) => (&rhs[..p], rhs[p + 1..].trim()),
+        None => (rhs, ""),
+    };
+    match mnemonic {
+        "const" => Ok(Inst::Const {
+            dst,
+            value: match parse_operand(rest, line)? {
+                Operand::Imm(v) => v,
+                Operand::Reg(_) => {
+                    return Err(ParseModuleError {
+                        line,
+                        message: "const requires an immediate".into(),
+                    })
+                }
+            },
+        }),
+        "copy" => Ok(Inst::Copy {
+            dst,
+            src: parse_operand(rest, line)?,
+        }),
+        "ftoi" => Ok(Inst::Ftoi {
+            dst,
+            src: parse_operand(rest, line)?,
+        }),
+        "itof" => Ok(Inst::Itof {
+            dst,
+            src: parse_operand(rest, line)?,
+        }),
+        "load" => Ok(Inst::Load {
+            dst,
+            addr: parse_operand(rest, line)?,
+        }),
+        "alloc" => Ok(Inst::Alloc {
+            dst,
+            words: parse_operand(rest, line)?,
+        }),
+        m => {
+            let args = split_args(rest, line)?;
+            if let Some(op) = bin_op_from(m) {
+                if args.len() != 2 {
+                    return Err(ParseModuleError {
+                        line,
+                        message: format!("{m} needs two operands"),
+                    });
+                }
+                return Ok(Inst::Bin {
+                    op,
+                    dst,
+                    lhs: args[0],
+                    rhs: args[1],
+                });
+            }
+            if let Some(op) = cmp_op_from(m) {
+                if args.len() != 2 {
+                    return Err(ParseModuleError {
+                        line,
+                        message: format!("{m} needs two operands"),
+                    });
+                }
+                return Ok(Inst::Cmp {
+                    op,
+                    dst,
+                    lhs: args[0],
+                    rhs: args[1],
+                });
+            }
+            Err(ParseModuleError {
+                line,
+                message: format!("unknown mnemonic {m:?}"),
+            })
+        }
+    }
+}
+
+fn parse_term(text: &str, line: usize) -> Result<Term, ParseModuleError> {
+    if let Some(rest) = text.strip_prefix("br ") {
+        let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+        if parts.len() != 3 {
+            return Err(ParseModuleError {
+                line,
+                message: "br needs cond, then, else".into(),
+            });
+        }
+        return Ok(Term::Br {
+            cond: parse_operand(parts[0], line)?,
+            then_: parse_block_id(parts[1], line)?,
+            else_: parse_block_id(parts[2], line)?,
+            site: BranchId(u32::MAX),
+        });
+    }
+    if let Some(rest) = text.strip_prefix("jmp ") {
+        return Ok(Term::Jmp {
+            target: parse_block_id(rest.trim(), line)?,
+        });
+    }
+    if text == "ret" {
+        return Ok(Term::Ret { value: None });
+    }
+    if let Some(rest) = text.strip_prefix("ret ") {
+        return Ok(Term::Ret {
+            value: Some(parse_operand(rest, line)?),
+        });
+    }
+    Err(ParseModuleError {
+        line,
+        message: format!("unrecognized terminator {text:?}"),
+    })
+}
+
+fn parse_func_header(header: &str, line: usize) -> Result<(String, u32, u32, BlockId), ParseModuleError> {
+    // func @name(N) regs=M entry=bK {
+    let fail = |msg: &str| ParseModuleError {
+        line,
+        message: msg.to_string(),
+    };
+    let rest = header
+        .strip_prefix("func ")
+        .ok_or_else(|| fail("expected `func`"))?
+        .trim();
+    let rest = rest.strip_prefix('@').ok_or_else(|| fail("expected @name"))?;
+    let open = rest.find('(').ok_or_else(|| fail("expected ("))?;
+    let name = rest[..open].to_string();
+    let close = rest.find(')').ok_or_else(|| fail("expected )"))?;
+    let n_params: u32 = rest[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| fail("bad param count"))?;
+    let tail = rest[close + 1..].trim();
+    let mut regs = None;
+    let mut entry = BlockId(0);
+    for tok in tail.split_whitespace() {
+        if let Some(v) = tok.strip_prefix("regs=") {
+            regs = Some(v.parse::<u32>().map_err(|_| fail("bad regs="))?);
+        } else if let Some(v) = tok.strip_prefix("entry=") {
+            entry = parse_block_id(v, line)?;
+        } else if tok == "{" {
+            break;
+        } else {
+            return Err(fail("unexpected token in func header"));
+        }
+    }
+    let regs = regs.ok_or_else(|| fail("missing regs="))?;
+    Ok((name, n_params, regs, entry))
+}
+
+/// Parses a module from its textual form.
+///
+/// Branch site ids in the input are ignored; every function's branches are
+/// renumbered as functions are added to the module, so
+/// `parse_module(&m.to_string())` reproduces `m` (sites included) whenever
+/// `m` itself was densely numbered.
+///
+/// # Errors
+///
+/// Returns a [`ParseModuleError`] carrying the offending line.
+pub fn parse_module(src: &str) -> Result<Module, ParseModuleError> {
+    let mut p = Parser::new(src);
+    let mut module = Module::new();
+
+    // Optional module header.
+    if let Some((line, l)) = p.peek() {
+        if let Some(rest) = l.strip_prefix("module") {
+            p.next();
+            for tok in rest.split_whitespace() {
+                if let Some(v) = tok.strip_prefix("globals=") {
+                    module.globals = v.parse().map_err(|_| ParseModuleError {
+                        line,
+                        message: "bad globals=".into(),
+                    })?;
+                }
+            }
+        }
+    }
+
+    while let Some((line, l)) = p.next() {
+        if !l.starts_with("func ") {
+            return p.err(line, format!("expected `func`, found {l:?}"));
+        }
+        let (name, n_params, n_regs, entry) = parse_func_header(l, line)?;
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut cur: Option<(Vec<Inst>, Option<Term>)> = None;
+        loop {
+            let Some((line, l)) = p.next() else {
+                return p.err(0, "unexpected end of input in function body");
+            };
+            if l == "}" {
+                if let Some((insts, term)) = cur.take() {
+                    let term =
+                        term.ok_or_else(|| ParseModuleError {
+                            line,
+                            message: "block missing terminator".into(),
+                        })?;
+                    blocks.push(Block { insts, term });
+                }
+                break;
+            }
+            if let Some(label) = l.strip_suffix(':') {
+                let id = parse_block_id(label, line)?;
+                if id.index() != blocks.len() + usize::from(cur.is_some()) {
+                    return p.err(line, format!("block labels must be dense, got {label}"));
+                }
+                if let Some((insts, term)) = cur.take() {
+                    let term = term.ok_or_else(|| ParseModuleError {
+                        line,
+                        message: "previous block missing terminator".into(),
+                    })?;
+                    blocks.push(Block { insts, term });
+                }
+                cur = Some((Vec::new(), None));
+                continue;
+            }
+            let Some((insts, term)) = cur.as_mut() else {
+                return p.err(line, "instruction before first block label");
+            };
+            if term.is_some() {
+                return p.err(line, "instruction after terminator");
+            }
+            if l.starts_with("br ") || l.starts_with("jmp ") || l == "ret" || l.starts_with("ret ")
+            {
+                *term = Some(parse_term(l, line)?);
+            } else {
+                insts.push(parse_inst(l, line)?);
+            }
+        }
+        let mut func = Function {
+            name,
+            n_params,
+            n_regs,
+            blocks,
+            entry,
+        };
+        let used = max_reg_in_function(&func);
+        if used > func.n_regs {
+            func.n_regs = used;
+        }
+        module.push_function(func);
+    }
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    fn sample_module() -> Module {
+        let mut b = FunctionBuilder::new("main", 0);
+        let x = b.iconst(3);
+        let y = b.reg();
+        b.mul(y, x.into(), Operand::imm(4));
+        b.store(Operand::imm(0), y.into());
+        let z = b.reg();
+        b.load(z, Operand::imm(0));
+        b.out(z.into());
+        let t = b.new_block();
+        let e = b.new_block();
+        let c = b.gt(z.into(), Operand::imm(10));
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.call(None, "leaf", vec![z.into()]);
+        b.ret(Some(Operand::fimm(2.5)));
+        b.switch_to(e);
+        b.ret(None);
+        let mut m = Module::new();
+        m.globals = 2;
+        m.push_function(b.finish());
+        let mut lf = FunctionBuilder::new("leaf", 1);
+        let s = lf.rand(Operand::imm(7));
+        lf.ret(Some(s.into()));
+        m.push_function(lf.finish());
+        m
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = sample_module();
+        let text = m.to_string();
+        let parsed = parse_module(&text).expect("parse failed");
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn parse_errors_carry_line() {
+        let err = parse_module("func @f(0) regs=1 entry=b0 {\nb0:\n  r0 = bogus 1\n  ret\n}")
+            .unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let src = "
+            ; leading comment
+            module globals=1
+
+            func @f(0) regs=1 entry=b0 {
+            b0:
+              r0 = const 1 ; trailing
+              ret r0
+            }
+        ";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.globals, 1);
+        assert_eq!(m.function_count(), 1);
+        assert_eq!(m.verify(), Ok(()));
+    }
+
+    #[test]
+    fn missing_terminator_is_error() {
+        let err = parse_module("func @f(0) regs=0 entry=b0 {\nb0:\n}").unwrap_err();
+        assert!(err.message.contains("terminator"));
+    }
+
+    #[test]
+    fn float_immediates_parse() {
+        let src = "func @f(0) regs=1 entry=b0 {\nb0:\n  r0 = const 1.5f\n  ret r0\n}";
+        let m = parse_module(src).unwrap();
+        let f = m.function(crate::FuncId(0));
+        assert_eq!(
+            f.blocks[0].insts[0],
+            Inst::Const {
+                dst: Reg(0),
+                value: Value::Float(1.5)
+            }
+        );
+    }
+
+    #[test]
+    fn dense_labels_enforced() {
+        let err =
+            parse_module("func @f(0) regs=0 entry=b0 {\nb5:\n  ret\n}").unwrap_err();
+        assert!(err.message.contains("dense"));
+    }
+}

@@ -1,0 +1,315 @@
+//! Structural verification of modules.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{BlockId, FuncId, Reg};
+use crate::inst::{Inst, Operand, Term};
+use crate::module::Module;
+
+/// An error found by [`Module::verify`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A terminator or instruction references a block that does not exist.
+    BadBlockTarget {
+        /// The offending function.
+        func: FuncId,
+        /// The block containing the reference.
+        block: BlockId,
+        /// The missing target.
+        target: BlockId,
+    },
+    /// An instruction reads or writes a register `>= n_regs`.
+    BadReg {
+        /// The offending function.
+        func: FuncId,
+        /// The block containing the instruction.
+        block: BlockId,
+        /// The out-of-range register.
+        reg: Reg,
+    },
+    /// A call references an unknown function name.
+    UnknownCallee {
+        /// The offending function.
+        func: FuncId,
+        /// The block containing the call.
+        block: BlockId,
+        /// The missing callee name.
+        callee: String,
+    },
+    /// A call passes the wrong number of arguments.
+    BadArity {
+        /// The offending function.
+        func: FuncId,
+        /// The block containing the call.
+        block: BlockId,
+        /// The callee name.
+        callee: String,
+        /// Arguments supplied.
+        got: usize,
+        /// Parameters expected.
+        want: usize,
+    },
+    /// The entry block id is out of range.
+    BadEntry {
+        /// The offending function.
+        func: FuncId,
+    },
+    /// Two conditional branches carry the same site id.
+    DuplicateBranchSite {
+        /// The duplicated site id (as raw u32 to avoid exposing internals).
+        site: u32,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadBlockTarget {
+                func,
+                block,
+                target,
+            } => write!(f, "{func}/{block}: branch to nonexistent block {target}"),
+            VerifyError::BadReg { func, block, reg } => {
+                write!(f, "{func}/{block}: register {reg} out of range")
+            }
+            VerifyError::UnknownCallee {
+                func,
+                block,
+                callee,
+            } => write!(f, "{func}/{block}: call to unknown function {callee:?}"),
+            VerifyError::BadArity {
+                func,
+                block,
+                callee,
+                got,
+                want,
+            } => write!(
+                f,
+                "{func}/{block}: call to {callee:?} passes {got} args, expected {want}"
+            ),
+            VerifyError::BadEntry { func } => write!(f, "{func}: entry block out of range"),
+            VerifyError::DuplicateBranchSite { site } => {
+                write!(f, "duplicate branch site id s{site}")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+impl Module {
+    /// Checks structural well-formedness: block targets in range, registers
+    /// within `n_regs`, callees resolvable with matching arity, and branch
+    /// site ids unique across the module.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VerifyError`] found.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        let mut seen_sites: HashSet<u32> = HashSet::new();
+        for (fid, func) in self.iter_functions() {
+            if func.entry.index() >= func.blocks.len() {
+                return Err(VerifyError::BadEntry { func: fid });
+            }
+            for (bid, block) in func.iter_blocks() {
+                let check_reg = |r: Reg| -> Result<(), VerifyError> {
+                    if r.0 >= func.n_regs {
+                        Err(VerifyError::BadReg {
+                            func: fid,
+                            block: bid,
+                            reg: r,
+                        })
+                    } else {
+                        Ok(())
+                    }
+                };
+                let check_op = |o: Operand| -> Result<(), VerifyError> {
+                    match o.reg() {
+                        Some(r) => check_reg(r),
+                        None => Ok(()),
+                    }
+                };
+                for inst in &block.insts {
+                    if let Some(d) = inst.def() {
+                        check_reg(d)?;
+                    }
+                    let mut err = None;
+                    inst.for_each_use(|o| {
+                        if err.is_none() {
+                            err = check_op(o).err();
+                        }
+                    });
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                    if let Inst::Call { callee, args, .. } = inst {
+                        match self.function_by_name(callee) {
+                            None => {
+                                return Err(VerifyError::UnknownCallee {
+                                    func: fid,
+                                    block: bid,
+                                    callee: callee.clone(),
+                                })
+                            }
+                            Some(target) => {
+                                let want = self.function(target).n_params as usize;
+                                if args.len() != want {
+                                    return Err(VerifyError::BadArity {
+                                        func: fid,
+                                        block: bid,
+                                        callee: callee.clone(),
+                                        got: args.len(),
+                                        want,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                match &block.term {
+                    Term::Br {
+                        cond, site, ..
+                    } => {
+                        check_op(*cond)?;
+                        if !seen_sites.insert(site.0) {
+                            return Err(VerifyError::DuplicateBranchSite { site: site.0 });
+                        }
+                    }
+                    Term::Ret { value: Some(v) } => check_op(*v)?,
+                    _ => {}
+                }
+                for succ in block.term.successors() {
+                    if succ.index() >= func.blocks.len() {
+                        return Err(VerifyError::BadBlockTarget {
+                            func: fid,
+                            block: bid,
+                            target: succ,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::module::{Block, Function};
+
+    fn ok_module() -> Module {
+        let mut b = FunctionBuilder::new("main", 0);
+        let r = b.iconst(1);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.br(r, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn valid_module_verifies() {
+        assert_eq!(ok_module().verify(), Ok(()));
+    }
+
+    #[test]
+    fn bad_target_detected() {
+        let mut m = ok_module();
+        let f = m.function_mut(FuncId(0));
+        f.blocks[1].term = Term::Jmp {
+            target: BlockId(99),
+        };
+        assert!(matches!(
+            m.verify(),
+            Err(VerifyError::BadBlockTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_reg_detected() {
+        let mut m = ok_module();
+        let f = m.function_mut(FuncId(0));
+        f.blocks[1].insts.push(Inst::Copy {
+            dst: Reg(500),
+            src: Operand::imm(0),
+        });
+        assert!(matches!(m.verify(), Err(VerifyError::BadReg { .. })));
+    }
+
+    #[test]
+    fn unknown_callee_detected() {
+        let mut m = ok_module();
+        let f = m.function_mut(FuncId(0));
+        f.blocks[1].insts.push(Inst::Call {
+            dst: None,
+            callee: "nope".into(),
+            args: vec![],
+        });
+        assert!(matches!(
+            m.verify(),
+            Err(VerifyError::UnknownCallee { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_arity_detected() {
+        let mut m = ok_module();
+        let mut b = FunctionBuilder::new("two", 2);
+        b.ret(None);
+        m.push_function(b.finish());
+        let f = m.function_mut(FuncId(0));
+        f.blocks[1].insts.push(Inst::Call {
+            dst: None,
+            callee: "two".into(),
+            args: vec![Operand::imm(1)],
+        });
+        assert!(matches!(m.verify(), Err(VerifyError::BadArity { .. })));
+    }
+
+    #[test]
+    fn duplicate_sites_detected() {
+        let mut m = ok_module();
+        let f = m.function_mut(FuncId(0));
+        let cloned = f.blocks[0].clone();
+        f.blocks.push(cloned);
+        // No renumbering: both branches still carry site 0.
+        assert!(matches!(
+            m.verify(),
+            Err(VerifyError::DuplicateBranchSite { site: 0 })
+        ));
+        m.renumber_branches();
+        // Entry's clone is unreachable but structurally fine now.
+        assert_eq!(m.verify(), Ok(()));
+    }
+
+    #[test]
+    fn bad_entry_detected() {
+        let mut m = Module::new();
+        m.push_function(Function {
+            name: "f".into(),
+            n_params: 0,
+            n_regs: 0,
+            blocks: vec![Block {
+                insts: vec![],
+                term: Term::Ret { value: None },
+            }],
+            entry: BlockId(3),
+        });
+        assert!(matches!(m.verify(), Err(VerifyError::BadEntry { .. })));
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        let e = VerifyError::DuplicateBranchSite { site: 3 };
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Smith's simplest dynamic strategy: predict the direction the branch
+//! took on its last execution.
+
+use brepl_ir::BranchId;
+
+use crate::eval::DynamicPredictor;
+
+/// Per-branch last-direction predictor with an unbounded (per-site) table.
+///
+/// Branches seen for the first time predict taken, matching the usual
+/// "backward/taken" prior of early hardware.
+#[derive(Clone, Debug, Default)]
+pub struct LastDirection {
+    last: Vec<Option<bool>>,
+}
+
+impl LastDirection {
+    /// Creates an empty predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DynamicPredictor for LastDirection {
+    fn predict(&mut self, site: BranchId) -> bool {
+        self.last
+            .get(site.index())
+            .copied()
+            .flatten()
+            .unwrap_or(true)
+    }
+
+    fn update(&mut self, site: BranchId, taken: bool) {
+        let i = site.index();
+        if i >= self.last.len() {
+            self.last.resize(i + 1, None);
+        }
+        self.last[i] = Some(taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "last direction"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::simulate_dynamic;
+    use brepl_trace::{Trace, TraceEvent};
+
+    fn trace_of(dirs: &[bool]) -> Trace {
+        dirs.iter()
+            .map(|&taken| TraceEvent {
+                site: BranchId(0),
+                taken,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn repeats_last_outcome() {
+        let mut p = LastDirection::new();
+        assert!(p.predict(BranchId(0)), "cold prediction is taken");
+        p.update(BranchId(0), false);
+        assert!(!p.predict(BranchId(0)));
+        p.update(BranchId(0), true);
+        assert!(p.predict(BranchId(0)));
+        assert_eq!(p.name(), "last direction");
+    }
+
+    #[test]
+    fn alternating_is_pathological() {
+        // Alternating branches defeat last-direction completely.
+        let dirs: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let r = simulate_dynamic(&mut LastDirection::new(), &trace_of(&dirs));
+        assert!(r.misprediction_percent() > 95.0);
+    }
+
+    #[test]
+    fn biased_is_easy() {
+        let dirs: Vec<bool> = (0..1000).map(|i| i % 100 != 0).collect();
+        let r = simulate_dynamic(&mut LastDirection::new(), &trace_of(&dirs));
+        // Two misses per flip (in and out), 10 flips each way.
+        assert!(r.misprediction_percent() < 3.0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Dynamic (run-time) predictors: Smith's simple schemes and the Yeh–Patt
+//! two-level adaptive family.
+
+mod counter;
+mod gshare;
+mod last_direction;
+mod two_level;
+
+pub use counter::{SaturatingCounters, TwoBitCounters};
+pub use gshare::{Gshare, Tournament};
+pub use last_direction::LastDirection;
+pub use two_level::{PatternArrangement, RegisterArrangement, TwoLevel};

@@ -1,0 +1,322 @@
+//! Per-branch history pattern tables (§3 of the paper).
+//!
+//! A pattern table maps a *history pattern* — the directions of the last
+//! `bits` relevant branches — to taken/not-taken counts for the branch
+//! under that pattern. Two history kinds exist, matching the paper's two
+//! semi-static schemes:
+//!
+//! * [`HistoryKind::Global`]: one shared register records the last `bits`
+//!   branches of *any* site (the **correlated branch strategy**);
+//! * [`HistoryKind::Local`]: each site records its own last `bits`
+//!   outcomes (the **loop branch strategy**).
+//!
+//! Histories are integers with the *newest* outcome in bit 0, so the
+//! paper's string notation "011" (rightmost = most recent) is the integer
+//! `0b011` here.
+
+use std::collections::HashMap;
+
+use brepl_ir::BranchId;
+use brepl_trace::{SiteCounts, Trace};
+
+use crate::report::Report;
+
+/// Which history register arrangement feeds the pattern tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HistoryKind {
+    /// One global history register shared by all branches.
+    Global,
+    /// One private history register per branch.
+    Local,
+}
+
+/// The pattern table of a single branch site.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PatternTable {
+    counts: HashMap<u32, SiteCounts>,
+    executions: u64,
+}
+
+impl PatternTable {
+    fn record(&mut self, pattern: u32, taken: bool) {
+        let c = self.counts.entry(pattern).or_default();
+        if taken {
+            c.taken += 1;
+        } else {
+            c.not_taken += 1;
+        }
+        self.executions += 1;
+    }
+
+    /// Total executions of the branch.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Number of distinct patterns observed.
+    pub fn used_patterns(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Counts under one exact full-length pattern.
+    pub fn pattern(&self, pattern: u32) -> SiteCounts {
+        self.counts.get(&pattern).copied().unwrap_or_default()
+    }
+
+    /// Iterates `(pattern, counts)` over observed patterns.
+    pub fn iter_patterns(&self) -> impl Iterator<Item = (u32, SiteCounts)> + '_ {
+        self.counts.iter().map(|(&p, &c)| (p, c))
+    }
+
+    /// Aggregated counts over all observed patterns whose `len` low bits
+    /// (i.e. most recent `len` outcomes) equal `suffix` — this is how the
+    /// paper computes "the number of taken and not taken branches for all
+    /// shorter patterns".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 31`.
+    pub fn suffix_counts(&self, suffix: u32, len: u32) -> SiteCounts {
+        assert!(len <= 31, "suffix length exceeds 31 bits");
+        let mask = if len == 0 { 0 } else { (1u32 << len) - 1 };
+        let mut total = SiteCounts::default();
+        for (&p, c) in &self.counts {
+            if p & mask == suffix & mask {
+                total.taken += c.taken;
+                total.not_taken += c.not_taken;
+            }
+        }
+        total
+    }
+
+    /// Mispredictions when each full pattern predicts its majority
+    /// direction — the ideal history-based semi-static prediction.
+    pub fn ideal_mispredictions(&self) -> u64 {
+        self.counts.values().map(SiteCounts::minority_count).sum()
+    }
+}
+
+/// Pattern tables for every site of one trace, built with a given history
+/// kind and length.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternTableSet {
+    kind: HistoryKind,
+    bits: u32,
+    tables: Vec<PatternTable>,
+    total_events: u64,
+}
+
+impl PatternTableSet {
+    /// Builds pattern tables from a trace.
+    ///
+    /// History registers start at all-zeros ("not taken"), matching a
+    /// profiling run that begins with empty history.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 16`.
+    pub fn build(trace: &Trace, kind: HistoryKind, bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "history bits must be in 1..=16");
+        let mask: u32 = (1 << bits) - 1;
+        let mut tables: Vec<PatternTable> = Vec::new();
+        let mut global: u32 = 0;
+        let mut local: Vec<u32> = Vec::new();
+        for ev in trace.iter() {
+            let i = ev.site.index();
+            if i >= tables.len() {
+                tables.resize_with(i + 1, PatternTable::default);
+                local.resize(i + 1, 0);
+            }
+            let h = match kind {
+                HistoryKind::Global => global,
+                HistoryKind::Local => local[i],
+            };
+            tables[i].record(h, ev.taken);
+            let bit = u32::from(ev.taken);
+            match kind {
+                HistoryKind::Global => global = (global << 1 | bit) & mask,
+                HistoryKind::Local => local[i] = (local[i] << 1 | bit) & mask,
+            }
+        }
+        PatternTableSet {
+            kind,
+            bits,
+            tables,
+            total_events: trace.len() as u64,
+        }
+    }
+
+    /// The history arrangement used.
+    pub fn kind(&self) -> HistoryKind {
+        self.kind
+    }
+
+    /// History length in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The table for one site (empty table if the site never executed).
+    pub fn site(&self, site: BranchId) -> Option<&PatternTable> {
+        self.tables.get(site.index()).filter(|t| t.executions > 0)
+    }
+
+    /// Iterates `(site, table)` over executed sites.
+    pub fn iter_sites(&self) -> impl Iterator<Item = (BranchId, &PatternTable)> + '_ {
+        self.tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.executions > 0)
+            .map(|(i, t)| (BranchId::from_index(i), t))
+    }
+
+    /// The ideal semi-static report: each `(site, pattern)` pair predicts
+    /// its majority direction. With `kind = Global, bits = 1` this is the
+    /// paper's *1 bit correlation* row; with `Local` it is the *k bit loop*
+    /// rows.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new();
+        for (site, t) in self.iter_sites() {
+            r.record_bulk(site, t.executions(), t.ideal_mispredictions());
+        }
+        r
+    }
+
+    /// Average pattern-table fill rate over executed branches, in percent —
+    /// Table 2 of the paper. A site that observed `u` distinct patterns out
+    /// of `2^bits` contributes `100·u/2^bits`.
+    pub fn fill_rate_percent(&self) -> f64 {
+        let capacity = (1u64 << self.bits) as f64;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (_, t) in self.iter_sites() {
+            sum += 100.0 * t.used_patterns() as f64 / capacity;
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_trace::TraceEvent;
+
+    fn ev(site: u32, taken: bool) -> TraceEvent {
+        TraceEvent {
+            site: BranchId(site),
+            taken,
+        }
+    }
+
+    /// A perfectly alternating branch.
+    fn alternating(n: usize) -> Trace {
+        (0..n).map(|i| ev(0, i % 2 == 0)).collect()
+    }
+
+    #[test]
+    fn local_one_bit_nails_alternating() {
+        let t = alternating(1000);
+        let pts = PatternTableSet::build(&t, HistoryKind::Local, 1);
+        let table = pts.site(BranchId(0)).unwrap();
+        // After "not taken" (0) it is always taken; after "taken" (1) never.
+        assert_eq!(table.pattern(0).not_taken, 0);
+        assert!(table.pattern(0).taken > 0);
+        assert_eq!(table.pattern(1).taken, 0);
+        let report = pts.report();
+        assert_eq!(report.mispredictions(), 0);
+    }
+
+    #[test]
+    fn profile_cannot_nail_alternating_but_history_can() {
+        let t = alternating(1000);
+        let stats = t.stats();
+        assert!((stats.profile_misprediction_percent() - 50.0).abs() < 0.2);
+        let pts = PatternTableSet::build(&t, HistoryKind::Local, 1);
+        assert_eq!(pts.report().misprediction_percent(), 0.0);
+    }
+
+    #[test]
+    fn global_history_captures_correlation() {
+        // Site 1 always repeats what site 0 just did: global 1-bit history
+        // predicts it perfectly, local history does not.
+        let mut trace = Trace::new();
+        let dirs = [true, false, false, true, true, true, false, false];
+        for (i, &d) in dirs.iter().cycle().take(4000).enumerate() {
+            let _ = i;
+            trace.push(ev(0, d));
+            trace.push(ev(1, d));
+        }
+        let global = PatternTableSet::build(&trace, HistoryKind::Global, 1);
+        let (_, w) = global.report().site(BranchId(1));
+        assert_eq!(w, 0, "global history should predict the copier exactly");
+        let local = PatternTableSet::build(&trace, HistoryKind::Local, 1);
+        let (_, wl) = local.report().site(BranchId(1));
+        assert!(wl > 0, "local history cannot see the other branch");
+    }
+
+    #[test]
+    fn suffix_counts_aggregate_longer_patterns() {
+        // Period-4 pattern 1101 repeating.
+        let dirs = [true, true, false, true];
+        let t: Trace = (0..4000).map(|i| ev(0, dirs[i % 4])).collect();
+        let pts = PatternTableSet::build(&t, HistoryKind::Local, 3);
+        let table = pts.site(BranchId(0)).unwrap();
+        // Suffix "1" (last outcome taken) covers 3 of 4 phase positions.
+        let s1 = table.suffix_counts(0b1, 1);
+        let s0 = table.suffix_counts(0b0, 1);
+        assert_eq!(s1.total() + s0.total(), table.executions());
+        assert!(s1.total() > s0.total());
+        // Length-0 suffix aggregates everything.
+        let all = table.suffix_counts(0, 0);
+        assert_eq!(all.total(), table.executions());
+    }
+
+    #[test]
+    fn fill_rate_is_sparse_for_regular_branches() {
+        // A strongly periodic branch touches few of the 2^9 patterns, like
+        // the paper's 0.1%–2% fill observation.
+        let dirs = [true, true, true, false];
+        let t: Trace = (0..100_000).map(|i| ev(0, dirs[i % 4])).collect();
+        let pts = PatternTableSet::build(&t, HistoryKind::Local, 9);
+        // 4 steady-state patterns plus at most 9 warmup patterns out of 512.
+        assert!(pts.fill_rate_percent() < 3.0);
+        let table = pts.site(BranchId(0)).unwrap();
+        assert!(table.used_patterns() <= 13);
+    }
+
+    #[test]
+    fn longer_history_never_hurts_ideal_prediction() {
+        let dirs = [true, false, true, true, false, false, true];
+        let t: Trace = (0..7000).map(|i| ev(0, dirs[i % 7])).collect();
+        let mut prev = u64::MAX;
+        for bits in 1..=9 {
+            let pts = PatternTableSet::build(&t, HistoryKind::Local, bits);
+            let w = pts.report().mispredictions();
+            assert!(w <= prev, "bits={bits}: {w} > {prev}");
+            prev = w;
+        }
+        // Period 7 fits in 9 bits of history: perfect prediction modulo
+        // warmup.
+        assert!(prev < 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "history bits")]
+    fn zero_bits_rejected() {
+        let _ = PatternTableSet::build(&Trace::new(), HistoryKind::Local, 0);
+    }
+
+    #[test]
+    fn empty_trace_fill_rate_zero() {
+        let pts = PatternTableSet::build(&Trace::new(), HistoryKind::Local, 4);
+        assert_eq!(pts.fill_rate_percent(), 0.0);
+        assert!(pts.site(BranchId(0)).is_none());
+        assert_eq!(pts.bits(), 4);
+        assert_eq!(pts.kind(), HistoryKind::Local);
+    }
+}

@@ -1,0 +1,161 @@
+//! Misprediction accounting shared by every evaluation harness.
+
+use brepl_ir::BranchId;
+
+/// Per-site and aggregate misprediction counts for one strategy on one
+/// trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    per_site: Vec<(u64, u64)>, // (executions, mispredictions), indexed by site
+    total: u64,
+    wrong: u64,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction outcome.
+    pub fn record(&mut self, site: BranchId, correct: bool) {
+        let i = site.index();
+        if i >= self.per_site.len() {
+            self.per_site.resize(i + 1, (0, 0));
+        }
+        self.per_site[i].0 += 1;
+        self.total += 1;
+        if !correct {
+            self.per_site[i].1 += 1;
+            self.wrong += 1;
+        }
+    }
+
+    /// Merges per-site counts directly (used by closed-form evaluators that
+    /// never replay the trace event by event).
+    pub fn record_bulk(&mut self, site: BranchId, executions: u64, mispredictions: u64) {
+        debug_assert!(mispredictions <= executions);
+        let i = site.index();
+        if i >= self.per_site.len() {
+            self.per_site.resize(i + 1, (0, 0));
+        }
+        self.per_site[i].0 += executions;
+        self.per_site[i].1 += mispredictions;
+        self.total += executions;
+        self.wrong += mispredictions;
+    }
+
+    /// Total predictions made.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Total mispredictions.
+    pub fn mispredictions(&self) -> u64 {
+        self.wrong
+    }
+
+    /// Aggregate misprediction rate in percent (0 when the trace is empty).
+    pub fn misprediction_percent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.wrong as f64 / self.total as f64
+        }
+    }
+
+    /// `(executions, mispredictions)` for one site.
+    pub fn site(&self, site: BranchId) -> (u64, u64) {
+        self.per_site.get(site.index()).copied().unwrap_or((0, 0))
+    }
+
+    /// Iterates `(site, executions, mispredictions)` over executed sites.
+    pub fn iter_sites(&self) -> impl Iterator<Item = (BranchId, u64, u64)> + '_ {
+        self.per_site
+            .iter()
+            .enumerate()
+            .filter(|(_, &(t, _))| t > 0)
+            .map(|(i, &(t, w))| (BranchId::from_index(i), t, w))
+    }
+
+    /// Number of sites where this report has strictly fewer mispredictions
+    /// than `other` — the paper's "improved branches" metric.
+    pub fn improved_sites_vs(&self, other: &Report) -> usize {
+        let n = self.per_site.len().max(other.per_site.len());
+        (0..n)
+            .filter(|&i| {
+                let site = BranchId::from_index(i);
+                let (t, w) = self.site(site);
+                let (_, ow) = other.site(site);
+                t > 0 && w < ow
+            })
+            .count()
+    }
+
+    /// Average executed instructions per misprediction, given the total
+    /// instruction count of the run — the measure Fisher & Freudenberger
+    /// prefer over raw rates.
+    pub fn instructions_per_misprediction(&self, instructions: u64) -> f64 {
+        if self.wrong == 0 {
+            f64::INFINITY
+        } else {
+            instructions as f64 / self.wrong as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let mut r = Report::new();
+        r.record(BranchId(0), true);
+        r.record(BranchId(0), false);
+        r.record(BranchId(3), false);
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.mispredictions(), 2);
+        assert!((r.misprediction_percent() - 66.666).abs() < 0.01);
+        assert_eq!(r.site(BranchId(0)), (2, 1));
+        assert_eq!(r.site(BranchId(1)), (0, 0));
+        assert_eq!(r.iter_sites().count(), 2);
+    }
+
+    #[test]
+    fn bulk_matches_incremental() {
+        let mut a = Report::new();
+        for _ in 0..10 {
+            a.record(BranchId(2), false);
+        }
+        let mut b = Report::new();
+        b.record_bulk(BranchId(2), 10, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn improved_sites() {
+        let mut profile = Report::new();
+        profile.record_bulk(BranchId(0), 10, 5);
+        profile.record_bulk(BranchId(1), 10, 0);
+        let mut better = Report::new();
+        better.record_bulk(BranchId(0), 10, 1);
+        better.record_bulk(BranchId(1), 10, 0);
+        assert_eq!(better.improved_sites_vs(&profile), 1);
+        assert_eq!(profile.improved_sites_vs(&better), 0);
+    }
+
+    #[test]
+    fn empty_is_zero_percent() {
+        assert_eq!(Report::new().misprediction_percent(), 0.0);
+    }
+
+    #[test]
+    fn instructions_per_misprediction() {
+        let mut r = Report::new();
+        r.record_bulk(BranchId(0), 4, 2);
+        assert_eq!(r.instructions_per_misprediction(100), 50.0);
+        let clean = Report::new();
+        assert!(clean.instructions_per_misprediction(100).is_infinite());
+    }
+}

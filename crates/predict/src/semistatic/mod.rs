@@ -1,0 +1,125 @@
+//! Semi-static (profile-driven) prediction strategies — §2.2 and §3 of the
+//! paper.
+//!
+//! All of these are *oracle* profiles in the sense of Fisher &
+//! Freudenberger's "self prediction": the profile and the evaluation use
+//! the same run. Cross-dataset sensitivity is explored separately by the
+//! workloads' multiple input seeds.
+
+mod profile;
+
+pub use profile::{profile_prediction, profile_report};
+
+use brepl_trace::Trace;
+
+use crate::pattern::{HistoryKind, PatternTableSet};
+use crate::report::Report;
+
+/// The paper's *k bit correlation* strategy: one global history register of
+/// `bits` bits, a pattern table per branch, each pattern predicting its
+/// majority direction.
+pub fn correlation_report(trace: &Trace, bits: u32) -> Report {
+    PatternTableSet::build(trace, HistoryKind::Global, bits).report()
+}
+
+/// The paper's *k bit loop* strategy: per-branch local history registers.
+pub fn loop_report(trace: &Trace, bits: u32) -> Report {
+    PatternTableSet::build(trace, HistoryKind::Local, bits).report()
+}
+
+/// The paper's *loop–correlation* strategy: for every branch take the
+/// better of 1-bit global correlation and 9-bit local loop history.
+///
+/// Returns the combined report.
+pub fn loop_correlation_report(trace: &Trace) -> Report {
+    combine_best(&correlation_report(trace, 1), &loop_report(trace, 9))
+}
+
+/// Per-site best-of combination of two reports over the same trace.
+///
+/// # Panics
+///
+/// Panics if the two reports disagree on a site's execution count, which
+/// would mean they were computed from different traces.
+pub fn combine_best(a: &Report, b: &Report) -> Report {
+    let mut out = Report::new();
+    let mut sites: Vec<_> = a.iter_sites().collect();
+    for (s, t, w) in b.iter_sites() {
+        if let Some(entry) = sites.iter_mut().find(|(s2, _, _)| *s2 == s) {
+            assert_eq!(entry.1, t, "reports cover different traces at {s}");
+            entry.2 = entry.2.min(w);
+        } else {
+            sites.push((s, t, w));
+        }
+    }
+    for (s, t, w) in sites {
+        out.record_bulk(s, t, w);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::BranchId;
+    use brepl_trace::TraceEvent;
+
+    fn ev(site: u32, taken: bool) -> TraceEvent {
+        TraceEvent {
+            site: BranchId(site),
+            taken,
+        }
+    }
+
+    /// Two branches: one alternating (loop history wins), one copying the
+    /// other's *previous* outcome pattern from a different site (global
+    /// correlation wins).
+    fn mixed_trace() -> Trace {
+        let mut t = Trace::new();
+        let mut x = 7u64;
+        for i in 0..3000usize {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noisy = x >> 33 & 1 == 1;
+            t.push(ev(0, noisy));
+            t.push(ev(1, noisy)); // correlated with site 0
+            t.push(ev(2, i % 2 == 0)); // alternating
+        }
+        t
+    }
+
+    #[test]
+    fn loop_correlation_takes_per_site_best() {
+        let t = mixed_trace();
+        let corr = correlation_report(&t, 1);
+        let loop9 = loop_report(&t, 9);
+        let best = loop_correlation_report(&t);
+        assert!(best.mispredictions() <= corr.mispredictions());
+        assert!(best.mispredictions() <= loop9.mispredictions());
+        // Site 1 should be (nearly) free under the combination: global
+        // 1-bit history holds site 0's outcome when site 1 is predicted.
+        let (t1, w1) = best.site(BranchId(1));
+        assert!((w1 as f64) / (t1 as f64) < 0.01);
+        // Site 2 should be free as well, via local history.
+        let (_, w2) = best.site(BranchId(2));
+        assert_eq!(w2, 0);
+    }
+
+    #[test]
+    fn combine_best_is_commutative() {
+        let t = mixed_trace();
+        let a = correlation_report(&t, 1);
+        let b = loop_report(&t, 9);
+        let ab = combine_best(&a, &b);
+        let ba = combine_best(&b, &a);
+        assert_eq!(ab.mispredictions(), ba.mispredictions());
+        assert_eq!(ab.total(), ba.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "different traces")]
+    fn combine_different_traces_panics() {
+        let t1: Trace = vec![ev(0, true)].into_iter().collect();
+        let t2: Trace = vec![ev(0, true), ev(0, false)].into_iter().collect();
+        let _ = combine_best(&profile_report(&t1), &profile_report(&t2));
+    }
+}

@@ -1,0 +1,30 @@
+//! Static (no-profile) prediction strategies — §2.1 of the paper.
+
+pub mod ball_larus;
+pub mod smith;
+
+use brepl_ir::{CmpOp, Function, Inst, Operand, Term};
+
+/// Finds the comparison feeding a block's conditional branch, if the
+/// condition register is defined by a [`Inst::Cmp`] in the *same* block
+/// (the common shape our builder and most compilers emit).
+pub(crate) fn branch_condition(
+    func: &Function,
+    block: brepl_ir::BlockId,
+) -> Option<(CmpOp, Operand, Operand)> {
+    let b = func.block(block);
+    let Term::Br { cond, .. } = &b.term else {
+        return None;
+    };
+    let cond_reg = cond.reg()?;
+    for inst in b.insts.iter().rev() {
+        match inst {
+            Inst::Cmp { op, dst, lhs, rhs } if *dst == cond_reg => {
+                return Some((*op, *lhs, *rhs))
+            }
+            _ if inst.def() == Some(cond_reg) => return None,
+            _ => {}
+        }
+    }
+    None
+}

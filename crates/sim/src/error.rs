@@ -1,0 +1,53 @@
+//! Runtime errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while executing a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The requested entry function does not exist.
+    UnknownFunction(String),
+    /// Wrong number of arguments for the entry function.
+    BadArgCount {
+        /// Arguments supplied.
+        got: usize,
+        /// Parameters expected.
+        want: usize,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// A load/store address was negative or beyond the heap.
+    BadAddress(i64),
+    /// `alloc` exhausted the heap.
+    OutOfMemory,
+    /// The call stack exceeded the configured depth.
+    StackOverflow,
+    /// The instruction budget was exhausted.
+    OutOfFuel,
+    /// An operation received a value of the wrong kind (e.g. bitwise ops on
+    /// floats, float/int mix in arithmetic).
+    TypeError(&'static str),
+    /// An intrinsic received malformed arguments.
+    BadIntrinsic(&'static str),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::UnknownFunction(name) => write!(f, "unknown function {name:?}"),
+            RunError::BadArgCount { got, want } => {
+                write!(f, "entry called with {got} args, expected {want}")
+            }
+            RunError::DivisionByZero => write!(f, "integer division by zero"),
+            RunError::BadAddress(a) => write!(f, "memory access out of bounds at {a}"),
+            RunError::OutOfMemory => write!(f, "heap exhausted"),
+            RunError::StackOverflow => write!(f, "call stack overflow"),
+            RunError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            RunError::TypeError(what) => write!(f, "type error: {what}"),
+            RunError::BadIntrinsic(what) => write!(f, "bad intrinsic use: {what}"),
+        }
+    }
+}
+
+impl Error for RunError {}

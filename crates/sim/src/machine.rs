@@ -1,0 +1,653 @@
+//! The interpreter proper.
+
+use brepl_ir::{
+    BinOp, BlockId, CmpOp, FuncId, Inst, Intrinsic, Module, Operand, Term, Value,
+};
+use brepl_trace::{Trace, TraceEvent};
+
+use crate::error::RunError;
+
+/// Execution limits and seeds.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Heap size in words (globals + allocations).
+    pub heap_words: usize,
+    /// Maximum number of executed instructions (terminators included).
+    pub fuel: u64,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+    /// Seed for the deterministic `rand` intrinsic.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            heap_words: 1 << 22,
+            fuel: 500_000_000,
+            max_call_depth: 10_000,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// The result of a successful run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Outcome {
+    /// The entry function's return value.
+    pub result: Option<Value>,
+    /// The branch trace of the whole execution.
+    pub trace: Trace,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    inst_idx: usize,
+    regs: Vec<Value>,
+    ret_dst: Option<brepl_ir::Reg>,
+}
+
+/// An interpreter instance bound to one module.
+///
+/// The machine owns the heap and the I/O tapes; a fresh machine (or
+/// [`Machine::reset`]) gives a fresh program state, so two runs with the
+/// same inputs are bit-identical — profiles are deterministic.
+pub struct Machine<'m> {
+    module: &'m Module,
+    heap: Vec<Value>,
+    brk: usize,
+    input: Vec<Value>,
+    input_pos: usize,
+    output: Vec<Value>,
+    prng: u64,
+    config: RunConfig,
+}
+
+impl<'m> Machine<'m> {
+    /// Creates a machine for `module`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module's global segment does not fit in the heap.
+    pub fn new(module: &'m Module, config: RunConfig) -> Self {
+        assert!(
+            module.globals <= config.heap_words,
+            "globals exceed heap size"
+        );
+        Machine {
+            module,
+            heap: vec![Value::Int(0); config.heap_words],
+            brk: module.globals,
+            input: Vec::new(),
+            input_pos: 0,
+            output: Vec::new(),
+            prng: config.seed | 1,
+            config,
+        }
+    }
+
+    /// Replaces the input tape consumed by the `in()` intrinsic.
+    pub fn set_input(&mut self, input: Vec<Value>) {
+        self.input = input;
+        self.input_pos = 0;
+    }
+
+    /// The values written by the `out()` intrinsic so far.
+    pub fn output(&self) -> &[Value] {
+        &self.output
+    }
+
+    /// Clears heap, tapes and PRNG back to the initial state.
+    pub fn reset(&mut self) {
+        self.heap.fill(Value::Int(0));
+        self.brk = self.module.globals;
+        self.input_pos = 0;
+        self.output.clear();
+        self.prng = self.config.seed | 1;
+    }
+
+    fn rand_next(&mut self) -> u64 {
+        // xorshift64* — deterministic, seedable, good enough for workloads.
+        let mut x = self.prng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.prng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Runs `entry(args)` to completion, recording every conditional branch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] on traps (division by zero, bad address,
+    /// fuel/stack exhaustion, type errors) or if `entry` is unknown.
+    pub fn run(&mut self, entry: &str, args: &[Value]) -> Result<Outcome, RunError> {
+        let fid = self
+            .module
+            .function_by_name(entry)
+            .ok_or_else(|| RunError::UnknownFunction(entry.to_string()))?;
+        let f = self.module.function(fid);
+        if args.len() != f.n_params as usize {
+            return Err(RunError::BadArgCount {
+                got: args.len(),
+                want: f.n_params as usize,
+            });
+        }
+        let mut regs = vec![Value::Int(0); f.n_regs as usize];
+        regs[..args.len()].copy_from_slice(args);
+        let mut frames = vec![Frame {
+            func: fid,
+            block: f.entry,
+            inst_idx: 0,
+            regs,
+            ret_dst: None,
+        }];
+
+        let mut trace = Trace::new();
+        let mut steps: u64 = 0;
+        let fuel = self.config.fuel;
+
+        'run: loop {
+            let frame = frames.last_mut().expect("frame stack never empty here");
+            let func = self.module.function(frame.func);
+            let block = func.block(frame.block);
+
+            // Straight-line portion.
+            while frame.inst_idx < block.insts.len() {
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                let inst = &block.insts[frame.inst_idx];
+                frame.inst_idx += 1;
+                match inst {
+                    Inst::Const { dst, value } => frame.regs[dst.index()] = *value,
+                    Inst::Copy { dst, src } => {
+                        frame.regs[dst.index()] = read(&frame.regs, *src)
+                    }
+                    Inst::Bin { op, dst, lhs, rhs } => {
+                        let a = read(&frame.regs, *lhs);
+                        let b = read(&frame.regs, *rhs);
+                        frame.regs[dst.index()] = eval_bin(*op, a, b)?;
+                    }
+                    Inst::Cmp { op, dst, lhs, rhs } => {
+                        let a = read(&frame.regs, *lhs);
+                        let b = read(&frame.regs, *rhs);
+                        frame.regs[dst.index()] = Value::Int(i64::from(eval_cmp(*op, a, b)?));
+                    }
+                    Inst::Ftoi { dst, src } => {
+                        frame.regs[dst.index()] = match read(&frame.regs, *src) {
+                            Value::Float(v) => Value::Int(v as i64),
+                            v @ Value::Int(_) => v,
+                        }
+                    }
+                    Inst::Itof { dst, src } => {
+                        frame.regs[dst.index()] = match read(&frame.regs, *src) {
+                            Value::Int(v) => Value::Float(v as f64),
+                            v @ Value::Float(_) => v,
+                        }
+                    }
+                    Inst::Load { dst, addr } => {
+                        let a = addr_of(read(&frame.regs, *addr), self.heap.len())?;
+                        frame.regs[dst.index()] = self.heap[a];
+                    }
+                    Inst::Store { addr, value } => {
+                        let a = addr_of(read(&frame.regs, *addr), self.heap.len())?;
+                        self.heap[a] = read(&frame.regs, *value);
+                    }
+                    Inst::Alloc { dst, words } => {
+                        let w = read(&frame.regs, *words)
+                            .as_int()
+                            .ok_or(RunError::TypeError("alloc size must be an integer"))?;
+                        if w < 0 {
+                            return Err(RunError::TypeError("alloc size must be non-negative"));
+                        }
+                        let base = self.brk;
+                        let end = base
+                            .checked_add(w as usize)
+                            .ok_or(RunError::OutOfMemory)?;
+                        if end > self.heap.len() {
+                            return Err(RunError::OutOfMemory);
+                        }
+                        self.brk = end;
+                        frame.regs[dst.index()] = Value::Int(base as i64);
+                    }
+                    Inst::Call { dst, callee, args } => {
+                        let cid = self
+                            .module
+                            .function_by_name(callee)
+                            .ok_or_else(|| RunError::UnknownFunction(callee.clone()))?;
+                        let cf = self.module.function(cid);
+                        let mut cregs = vec![Value::Int(0); cf.n_regs as usize];
+                        for (i, a) in args.iter().enumerate() {
+                            cregs[i] = read(&frame.regs, *a);
+                        }
+                        let ret_dst = *dst;
+                        let entry = cf.entry;
+                        if frames.len() >= self.config.max_call_depth {
+                            return Err(RunError::StackOverflow);
+                        }
+                        frames.push(Frame {
+                            func: cid,
+                            block: entry,
+                            inst_idx: 0,
+                            regs: cregs,
+                            ret_dst,
+                        });
+                        continue 'run;
+                    }
+                    Inst::Intrin { dst, which, args } => {
+                        let argv: Vec<Value> =
+                            args.iter().map(|a| read(&frame.regs, *a)).collect();
+                        let result = match which {
+                            Intrinsic::Out => {
+                                let v = *argv
+                                    .first()
+                                    .ok_or(RunError::BadIntrinsic("out needs one argument"))?;
+                                self.output.push(v);
+                                Value::Int(0)
+                            }
+                            Intrinsic::In => {
+                                if self.input_pos < self.input.len() {
+                                    let v = self.input[self.input_pos];
+                                    self.input_pos += 1;
+                                    v
+                                } else {
+                                    Value::Int(-1)
+                                }
+                            }
+                            Intrinsic::Rand => {
+                                let bound = argv
+                                    .first()
+                                    .and_then(|v| v.as_int())
+                                    .ok_or(RunError::BadIntrinsic("rand needs an int bound"))?;
+                                if bound <= 0 {
+                                    return Err(RunError::BadIntrinsic(
+                                        "rand bound must be positive",
+                                    ));
+                                }
+                                Value::Int((self.rand_next() % bound as u64) as i64)
+                            }
+                            Intrinsic::Sqrt => {
+                                let x = match argv.first() {
+                                    Some(Value::Float(v)) => *v,
+                                    Some(Value::Int(v)) => *v as f64,
+                                    None => {
+                                        return Err(RunError::BadIntrinsic(
+                                            "sqrt needs one argument",
+                                        ))
+                                    }
+                                };
+                                Value::Float(x.sqrt())
+                            }
+                        };
+                        if let Some(d) = dst {
+                            frame.regs[d.index()] = result;
+                        }
+                    }
+                }
+            }
+
+            // Terminator.
+            steps += 1;
+            if steps > fuel {
+                return Err(RunError::OutOfFuel);
+            }
+            match &block.term {
+                Term::Br {
+                    cond,
+                    then_,
+                    else_,
+                    site,
+                } => {
+                    let taken = read(&frame.regs, *cond).is_truthy();
+                    trace.push(TraceEvent { site: *site, taken });
+                    frame.block = if taken { *then_ } else { *else_ };
+                    frame.inst_idx = 0;
+                }
+                Term::Jmp { target } => {
+                    frame.block = *target;
+                    frame.inst_idx = 0;
+                }
+                Term::Ret { value } => {
+                    let v = value.map(|o| read(&frame.regs, o));
+                    let finished = frames.pop().expect("frame stack never empty here");
+                    match frames.last_mut() {
+                        None => {
+                            return Ok(Outcome {
+                                result: v,
+                                trace,
+                                steps,
+                            });
+                        }
+                        Some(caller) => {
+                            if let Some(d) = finished.ret_dst {
+                                caller.regs[d.index()] = v.unwrap_or(Value::Int(0));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn read(regs: &[Value], op: Operand) -> Value {
+    match op {
+        Operand::Reg(r) => regs[r.index()],
+        Operand::Imm(v) => v,
+    }
+}
+
+fn addr_of(v: Value, heap_len: usize) -> Result<usize, RunError> {
+    let a = v
+        .as_int()
+        .ok_or(RunError::TypeError("address must be an integer"))?;
+    if a < 0 || a as usize >= heap_len {
+        return Err(RunError::BadAddress(a));
+    }
+    Ok(a as usize)
+}
+
+fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, RunError> {
+    use BinOp::*;
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => {
+            let v = match op {
+                Add => x.wrapping_add(y),
+                Sub => x.wrapping_sub(y),
+                Mul => x.wrapping_mul(y),
+                Div => {
+                    if y == 0 {
+                        return Err(RunError::DivisionByZero);
+                    }
+                    x.wrapping_div(y)
+                }
+                Rem => {
+                    if y == 0 {
+                        return Err(RunError::DivisionByZero);
+                    }
+                    x.wrapping_rem(y)
+                }
+                And => x & y,
+                Or => x | y,
+                Xor => x ^ y,
+                Shl => x.wrapping_shl(y as u32 & 63),
+                Shr => x.wrapping_shr(y as u32 & 63),
+            };
+            Ok(Value::Int(v))
+        }
+        (Value::Float(x), Value::Float(y)) => {
+            let v = match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x / y,
+                Rem => x % y,
+                And | Or | Xor | Shl | Shr => {
+                    return Err(RunError::TypeError("bitwise op on floats"))
+                }
+            };
+            Ok(Value::Float(v))
+        }
+        _ => Err(RunError::TypeError("mixed int/float arithmetic")),
+    }
+}
+
+fn eval_cmp(op: CmpOp, a: Value, b: Value) -> Result<bool, RunError> {
+    use CmpOp::*;
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(match op {
+            Eq => x == y,
+            Ne => x != y,
+            Lt => x < y,
+            Le => x <= y,
+            Gt => x > y,
+            Ge => x >= y,
+        }),
+        (Value::Float(x), Value::Float(y)) => Ok(match op {
+            Eq => x == y,
+            Ne => x != y,
+            Lt => x < y,
+            Le => x <= y,
+            Gt => x > y,
+            Ge => x >= y,
+        }),
+        _ => Err(RunError::TypeError("mixed int/float comparison")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::{FunctionBuilder, Module, Operand};
+
+    fn run_module(m: &Module, entry: &str, args: &[Value]) -> Result<Outcome, RunError> {
+        Machine::new(m, RunConfig::default()).run(entry, args)
+    }
+
+    fn simple_main(build: impl FnOnce(&mut FunctionBuilder)) -> Module {
+        let mut b = FunctionBuilder::new("main", 0);
+        build(&mut b);
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let m = simple_main(|b| {
+            let x = b.iconst(6);
+            let y = b.reg();
+            b.mul(y, x.into(), Operand::imm(7));
+            b.ret(Some(y.into()));
+        });
+        let out = run_module(&m, "main", &[]).unwrap();
+        assert_eq!(out.result, Some(Value::Int(42)));
+        assert!(out.trace.is_empty());
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        let m = simple_main(|b| {
+            let x = b.reg();
+            b.const_float(x, 2.0);
+            let y = b.reg();
+            b.div(y, Operand::fimm(1.0), x.into());
+            let s = b.reg();
+            b.intrin(Some(s), brepl_ir::Intrinsic::Sqrt, vec![Operand::fimm(9.0)]);
+            let z = b.reg();
+            b.add(z, y.into(), s.into());
+            b.ret(Some(z.into()));
+        });
+        let out = run_module(&m, "main", &[]).unwrap();
+        assert_eq!(out.result, Some(Value::Float(3.5)));
+    }
+
+    #[test]
+    fn loop_traces_branches() {
+        let m = simple_main(|b| {
+            let i = b.reg();
+            b.const_int(i, 0);
+            let head = b.new_block();
+            let body = b.new_block();
+            let done = b.new_block();
+            b.jmp(head);
+            b.switch_to(head);
+            let c = b.lt(i.into(), Operand::imm(5));
+            b.br(c, body, done);
+            b.switch_to(body);
+            b.add(i, i.into(), Operand::imm(1));
+            b.jmp(head);
+            b.switch_to(done);
+            b.ret(Some(i.into()));
+        });
+        let out = run_module(&m, "main", &[]).unwrap();
+        assert_eq!(out.result, Some(Value::Int(5)));
+        assert_eq!(out.trace.len(), 6);
+        let dirs: Vec<bool> = out.trace.iter().map(|e| e.taken).collect();
+        assert_eq!(dirs, vec![true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn calls_and_recursion() {
+        // fib(n) recursive.
+        let mut fb = FunctionBuilder::new("fib", 1);
+        let n = fb.param(0);
+        let rec = fb.new_block();
+        let base = fb.new_block();
+        let c = fb.lt(n.into(), Operand::imm(2));
+        fb.br(c, base, rec);
+        fb.switch_to(base);
+        fb.ret(Some(n.into()));
+        fb.switch_to(rec);
+        let a = fb.reg();
+        let b_ = fb.reg();
+        let n1 = fb.reg();
+        let n2 = fb.reg();
+        fb.sub(n1, n.into(), Operand::imm(1));
+        fb.sub(n2, n.into(), Operand::imm(2));
+        fb.call(Some(a), "fib", vec![n1.into()]);
+        fb.call(Some(b_), "fib", vec![n2.into()]);
+        let s = fb.reg();
+        fb.add(s, a.into(), b_.into());
+        fb.ret(Some(s.into()));
+
+        let mut mb = FunctionBuilder::new("main", 0);
+        let r = mb.reg();
+        mb.call(Some(r), "fib", vec![Operand::imm(10)]);
+        mb.ret(Some(r.into()));
+
+        let mut m = Module::new();
+        m.push_function(fb.finish());
+        m.push_function(mb.finish());
+        let out = run_module(&m, "main", &[]).unwrap();
+        assert_eq!(out.result, Some(Value::Int(55)));
+        assert!(out.trace.len() > 100);
+    }
+
+    #[test]
+    fn memory_and_io() {
+        let m = simple_main(|b| {
+            let base = b.reg();
+            b.alloc(base, Operand::imm(4));
+            b.store(base.into(), Operand::imm(11));
+            let v = b.reg();
+            b.load(v, base.into());
+            b.out(v.into());
+            let inp = b.input();
+            b.out(inp.into());
+            let empty = b.input();
+            b.out(empty.into());
+            b.ret(None);
+        });
+        let mut machine = Machine::new(&m, RunConfig::default());
+        machine.set_input(vec![Value::Int(99)]);
+        machine.run("main", &[]).unwrap();
+        assert_eq!(
+            machine.output(),
+            &[Value::Int(11), Value::Int(99), Value::Int(-1)]
+        );
+    }
+
+    #[test]
+    fn rand_is_deterministic() {
+        let m = simple_main(|b| {
+            let r = b.rand(Operand::imm(1000));
+            b.ret(Some(r.into()));
+        });
+        let a = run_module(&m, "main", &[]).unwrap().result;
+        let b_ = run_module(&m, "main", &[]).unwrap().result;
+        assert_eq!(a, b_);
+    }
+
+    #[test]
+    fn traps() {
+        let div = simple_main(|b| {
+            let x = b.reg();
+            b.div(x, Operand::imm(1), Operand::imm(0));
+            b.ret(None);
+        });
+        assert_eq!(
+            run_module(&div, "main", &[]).unwrap_err(),
+            RunError::DivisionByZero
+        );
+
+        let bad_addr = simple_main(|b| {
+            let x = b.reg();
+            b.load(x, Operand::imm(-1));
+            b.ret(None);
+        });
+        assert_eq!(
+            run_module(&bad_addr, "main", &[]).unwrap_err(),
+            RunError::BadAddress(-1)
+        );
+
+        let spin = simple_main(|b| {
+            let head = b.new_block();
+            b.jmp(head);
+            b.switch_to(head);
+            b.jmp(head);
+        });
+        let mut machine = Machine::new(
+            &spin,
+            RunConfig {
+                fuel: 1000,
+                ..RunConfig::default()
+            },
+        );
+        assert_eq!(machine.run("main", &[]).unwrap_err(), RunError::OutOfFuel);
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.call(None, "f", vec![]);
+        fb.ret(None);
+        let mut m = Module::new();
+        m.push_function(fb.finish());
+        let err = Machine::new(
+            &m,
+            RunConfig {
+                max_call_depth: 64,
+                ..RunConfig::default()
+            },
+        )
+        .run("f", &[])
+        .unwrap_err();
+        assert_eq!(err, RunError::StackOverflow);
+    }
+
+    #[test]
+    fn unknown_entry_and_arity() {
+        let m = simple_main(|b| b.ret(None));
+        assert!(matches!(
+            run_module(&m, "nope", &[]).unwrap_err(),
+            RunError::UnknownFunction(_)
+        ));
+        assert!(matches!(
+            run_module(&m, "main", &[Value::Int(1)]).unwrap_err(),
+            RunError::BadArgCount { .. }
+        ));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let m = simple_main(|b| {
+            let r = b.rand(Operand::imm(1_000_000));
+            b.out(r.into());
+            b.store(Operand::imm(0), Operand::imm(5));
+            b.ret(None);
+        });
+        let mut machine = Machine::new(&m, RunConfig::default());
+        machine.run("main", &[]).unwrap();
+        let first = machine.output().to_vec();
+        machine.reset();
+        machine.run("main", &[]).unwrap();
+        assert_eq!(machine.output(), &first[..]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Low-level encoding primitives: LEB128 varints, zig-zag signed mapping,
+//! and single-bit streams.
+
+/// Encodes `v` as LEB128 into `out`.
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a LEB128 varint from `buf[*pos..]`, advancing `pos`.
+/// Returns `None` on truncated or oversized input.
+pub(crate) fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed value to an unsigned one with small magnitudes staying
+/// small (`0, -1, 1, -2, 2 → 0, 1, 2, 3, 4`).
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Writes individual bits, LSB-first within each byte.
+#[derive(Debug, Default)]
+pub(crate) struct BitWriter {
+    bytes: Vec<u8>,
+    used_bits: u8,
+}
+
+impl BitWriter {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&mut self, bit: bool) {
+        if self.used_bits == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("just pushed");
+            *last |= 1 << self.used_bits;
+        }
+        self.used_bits = (self.used_bits + 1) % 8;
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits written by [`BitWriter`].
+#[derive(Debug)]
+pub(crate) struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    pub(crate) fn next(&mut self) -> Option<bool> {
+        let byte = *self.bytes.get(self.pos / 8)?;
+        let bit = byte >> (self.pos % 8) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_truncated_is_none() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1 << 40);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [-1000i64, -1, 0, 1, 42, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let pattern: Vec<bool> = (0..37).map(|i| i % 3 == 0).collect();
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.push(b);
+        }
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 5); // ceil(37/8)
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.next(), Some(b));
+        }
+    }
+}

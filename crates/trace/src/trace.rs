@@ -1,0 +1,312 @@
+//! The in-memory trace and its binary serialization.
+
+use std::error::Error;
+use std::fmt;
+
+use brepl_ir::BranchId;
+
+use crate::codec::{read_varint, unzigzag, write_varint, zigzag, BitReader, BitWriter};
+use crate::stats::TraceStats;
+
+/// One executed conditional branch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceEvent {
+    /// The static branch site.
+    pub site: BranchId,
+    /// The direction taken.
+    pub taken: bool,
+}
+
+/// A branch trace: the sequence of `(site, direction)` events produced by
+/// one program execution.
+///
+/// Events are stored as one packed `u32` each (`site << 1 | taken`), so a
+/// ten-million-branch trace occupies 40 MB in memory; the serialized form
+/// ([`Trace::to_bytes`]) is considerably smaller because consecutive sites
+/// are usually close together (loops) and directions pack to one bit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    packed: Vec<u32>,
+}
+
+/// Error decoding a serialized trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceDecodeError {
+    /// The magic number or version did not match.
+    BadHeader,
+    /// The byte stream ended prematurely or a varint overflowed.
+    Truncated,
+    /// A decoded site id exceeded the encodable range.
+    SiteOutOfRange,
+}
+
+impl fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDecodeError::BadHeader => write!(f, "bad trace header"),
+            TraceDecodeError::Truncated => write!(f, "truncated trace data"),
+            TraceDecodeError::SiteOutOfRange => write!(f, "branch site id out of range"),
+        }
+    }
+}
+
+impl Error for TraceDecodeError {}
+
+const MAGIC: &[u8; 4] = b"BRTR";
+const VERSION: u8 = 1;
+/// Site ids must fit in 31 bits to pack with the direction.
+const MAX_SITE: u32 = u32::MAX >> 1;
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty trace with capacity for `n` events.
+    pub fn with_capacity(n: usize) -> Self {
+        Trace {
+            packed: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site id does not fit in 31 bits.
+    pub fn push(&mut self, ev: TraceEvent) {
+        assert!(ev.site.0 <= MAX_SITE, "site id exceeds 31 bits");
+        self.packed.push(ev.site.0 << 1 | u32::from(ev.taken));
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// Iterates over the events in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        self.packed.iter().map(|&p| TraceEvent {
+            site: BranchId(p >> 1),
+            taken: p & 1 == 1,
+        })
+    }
+
+    /// The event at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn get(&self, idx: usize) -> TraceEvent {
+        let p = self.packed[idx];
+        TraceEvent {
+            site: BranchId(p >> 1),
+            taken: p & 1 == 1,
+        }
+    }
+
+    /// Computes per-site statistics in one pass.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_trace(self)
+    }
+
+    /// Truncates the trace to at most `n` events (the paper traces "up to a
+    /// maximum of 10 million branch instructions").
+    pub fn truncate(&mut self, n: usize) {
+        self.packed.truncate(n);
+    }
+
+    /// Serializes the trace: magic, version, event count, varint-encoded
+    /// zig-zag site deltas, then the packed direction bitstream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len() / 2 + 16);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        write_varint(&mut out, self.len() as u64);
+        let mut prev: i64 = 0;
+        let mut dirs = BitWriter::new();
+        for ev in self.iter() {
+            let site = i64::from(ev.site.0);
+            write_varint(&mut out, zigzag(site - prev));
+            prev = site;
+            dirs.push(ev.taken);
+        }
+        out.extend_from_slice(&dirs.into_bytes());
+        out
+    }
+
+    /// Writes the serialized trace to any writer (a `&mut W` works too).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writer.write_all(&self.to_bytes())
+    }
+
+    /// Reads a serialized trace from any reader (a `&mut R` works too).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] on I/O failure or malformed data
+    /// (malformed data maps [`TraceDecodeError`] into
+    /// [`std::io::ErrorKind::InvalidData`]).
+    pub fn read_from<R: std::io::Read>(mut reader: R) -> std::io::Result<Self> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        Trace::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Deserializes a trace produced by [`Trace::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceDecodeError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceDecodeError> {
+        if bytes.len() < 5 || &bytes[..4] != MAGIC || bytes[4] != VERSION {
+            return Err(TraceDecodeError::BadHeader);
+        }
+        let mut pos = 5;
+        let count = read_varint(bytes, &mut pos).ok_or(TraceDecodeError::Truncated)? as usize;
+        let mut sites = Vec::with_capacity(count);
+        let mut prev: i64 = 0;
+        for _ in 0..count {
+            let delta = read_varint(bytes, &mut pos).ok_or(TraceDecodeError::Truncated)?;
+            let site = prev + unzigzag(delta);
+            if site < 0 || site > i64::from(MAX_SITE) {
+                return Err(TraceDecodeError::SiteOutOfRange);
+            }
+            prev = site;
+            sites.push(site as u32);
+        }
+        let mut dirs = BitReader::new(&bytes[pos..]);
+        let mut trace = Trace::with_capacity(count);
+        for site in sites {
+            let taken = dirs.next().ok_or(TraceDecodeError::Truncated)?;
+            trace.push(TraceEvent {
+                site: BranchId(site),
+                taken,
+            });
+        }
+        Ok(trace)
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        let mut t = Trace::new();
+        for ev in iter {
+            t.push(ev);
+        }
+        t
+    }
+}
+
+impl Extend<TraceEvent> for Trace {
+    fn extend<I: IntoIterator<Item = TraceEvent>>(&mut self, iter: I) {
+        for ev in iter {
+            self.push(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loopy_trace(n: usize) -> Trace {
+        // Three sites cycling like a loop: exit check, body branch, nested.
+        (0..n)
+            .map(|i| TraceEvent {
+                site: BranchId((i % 3) as u32),
+                taken: i % 7 != 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(Trace::from_bytes(&t.to_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn round_trip_loopy() {
+        let t = loopy_trace(10_000);
+        let bytes = t.to_bytes();
+        assert_eq!(Trace::from_bytes(&bytes).unwrap(), t);
+        // Loop-like traces compress well below 4 bytes/event: deltas are
+        // tiny and directions are one bit.
+        assert!(
+            bytes.len() < 10_000 * 2,
+            "expected < 2 bytes/event, got {}",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(
+            Trace::from_bytes(b"NOPE\x01\x00"),
+            Err(TraceDecodeError::BadHeader)
+        );
+        assert_eq!(Trace::from_bytes(b""), Err(TraceDecodeError::BadHeader));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let t = loopy_trace(100);
+        let bytes = t.to_bytes();
+        assert_eq!(
+            Trace::from_bytes(&bytes[..bytes.len() - 13]),
+            Err(TraceDecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn get_and_iter_agree() {
+        let t = loopy_trace(50);
+        for (i, ev) in t.iter().enumerate() {
+            assert_eq!(t.get(i), ev);
+        }
+    }
+
+    #[test]
+    fn truncate_limits_length() {
+        let mut t = loopy_trace(100);
+        t.truncate(10);
+        assert_eq!(t.len(), 10);
+        t.truncate(50); // no-op beyond length
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn io_round_trip() {
+        let t = loopy_trace(500);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+        // Malformed data surfaces as InvalidData.
+        let err = Trace::read_from(&b"garbage"[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    #[should_panic(expected = "31 bits")]
+    fn oversized_site_panics() {
+        let mut t = Trace::new();
+        t.push(TraceEvent {
+            site: BranchId(u32::MAX),
+            taken: false,
+        });
+    }
+}

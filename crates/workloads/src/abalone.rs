@@ -1,0 +1,482 @@
+//! `abalone` — a board game played by alpha-beta search, like the paper's
+//! first benchmark. The game is a take-away pile game (each move removes
+//! one to three stones from one pile; taking the last stone wins), played
+//! by a depth-limited negamax searcher with alpha-beta pruning. The
+//! pruning branch is the classic correlated branch of game-tree search:
+//! whether it fires depends heavily on the branches taken at shallower
+//! plies.
+
+use brepl_ir::{FunctionBuilder, Module, Operand, Value};
+
+use crate::util::XorShift;
+use crate::{Scale, Workload};
+
+const MAX_TAKE: i64 = 3;
+
+/// Builds the abalone workload.
+pub fn build(scale: Scale) -> Workload {
+    let (games, piles, depth) = match scale {
+        Scale::Small => (3i64, 4i64, 4i64),
+        Scale::Full => (6, 5, 4),
+    };
+    build_seeded_inner(scale, 0, games, piles, depth)
+}
+
+/// Builds the abalone workload with an alternate input dataset.
+pub fn build_seeded(scale: Scale, seed: u64) -> Workload {
+    let (games, piles, depth) = match scale {
+        Scale::Small => (3i64, 4i64, 4i64),
+        Scale::Full => (6, 5, 4),
+    };
+    build_seeded_inner(scale, seed, games, piles, depth)
+}
+
+fn build_seeded_inner(_scale: Scale, seed: u64, games: i64, piles: i64, depth: i64) -> Workload {
+    let mut module = Module::new();
+    module.push_function(build_eval());
+    module.push_function(build_negamax());
+    module.push_function(build_main(piles, depth));
+    module.verify().expect("abalone module must verify");
+    Workload {
+        name: "abalone",
+        description: "pile game played by negamax with alpha-beta pruning",
+        module,
+        args: vec![],
+        input: generate_games(seed, games, piles),
+    }
+}
+
+/// `eval(piles, n) -> score` — a nim-sum flavored heuristic with a
+/// material term, from the side to move.
+fn build_eval() -> brepl_ir::Function {
+    let mut b = FunctionBuilder::new("eval", 2);
+    let piles = b.param(0);
+    let n = b.param(1);
+    let i = b.reg();
+    let x = b.reg();
+    let sum = b.reg();
+    let addr = b.reg();
+    let v = b.reg();
+    let score = b.reg();
+
+    let loop_head = b.new_block();
+    let body = b.new_block();
+    let xor_zero = b.new_block();
+    let xor_nonzero = b.new_block();
+    let fin = b.new_block();
+
+    b.const_int(i, 0);
+    b.const_int(x, 0);
+    b.const_int(sum, 0);
+    b.jmp(loop_head);
+
+    b.switch_to(loop_head);
+    let more = b.lt(i.into(), n.into());
+    b.br(more, body, xor_zero);
+
+    b.switch_to(body);
+    b.add(addr, piles.into(), i.into());
+    b.load(v, addr.into());
+    b.bin(brepl_ir::BinOp::Xor, x, x.into(), v.into());
+    b.add(sum, sum.into(), v.into());
+    b.add(i, i.into(), Operand::imm(1));
+    b.jmp(loop_head);
+
+    // Nim theory: nonzero xor is a winning position for the mover.
+    b.switch_to(xor_zero);
+    let winning = b.ne(x.into(), Operand::imm(0));
+    b.br(winning, xor_nonzero, fin);
+
+    b.switch_to(xor_nonzero);
+    b.const_int(score, 40);
+    b.rem(v, sum.into(), Operand::imm(7));
+    b.add(score, score.into(), v.into());
+    b.ret(Some(score.into()));
+
+    b.switch_to(fin);
+    b.const_int(score, -40);
+    b.rem(v, sum.into(), Operand::imm(7));
+    b.sub(score, score.into(), v.into());
+    b.ret(Some(score.into()));
+
+    b.finish()
+}
+
+/// `negamax(piles, n, depth, alpha, beta) -> score`.
+fn build_negamax() -> brepl_ir::Function {
+    let mut b = FunctionBuilder::new("negamax", 5);
+    let piles = b.param(0);
+    let n = b.param(1);
+    let depth = b.param(2);
+    let alpha_in = b.param(3);
+    let beta = b.param(4);
+
+    let alpha = b.reg();
+    let best = b.reg();
+    let i = b.reg();
+    let t = b.reg();
+    let addr = b.reg();
+    let stones = b.reg();
+    let total = b.reg();
+    let score = b.reg();
+    let tmp = b.reg();
+
+    let count_loop = b.new_block();
+    let count_body = b.new_block();
+    let terminal_check = b.new_block();
+    let lost = b.new_block();
+    let leaf_check = b.new_block();
+    let leaf = b.new_block();
+    let search = b.new_block();
+    let pile_loop = b.new_block();
+    let pile_body = b.new_block();
+    let take_loop = b.new_block();
+    let take_body = b.new_block();
+    let recurse = b.new_block();
+    let better = b.new_block();
+    let no_better = b.new_block();
+    let raise = b.new_block();
+    let no_raise = b.new_block();
+    let prune = b.new_block();
+    let take_next = b.new_block();
+    let pile_next = b.new_block();
+    let fin = b.new_block();
+
+    b.copy(alpha, alpha_in.into());
+    // total stones: terminal when zero (previous player took the last
+    // stone, so the side to move has LOST).
+    b.const_int(i, 0);
+    b.const_int(total, 0);
+    b.jmp(count_loop);
+
+    b.switch_to(count_loop);
+    let more = b.lt(i.into(), n.into());
+    b.br(more, count_body, terminal_check);
+
+    b.switch_to(count_body);
+    b.add(addr, piles.into(), i.into());
+    b.load(stones, addr.into());
+    b.add(total, total.into(), stones.into());
+    b.add(i, i.into(), Operand::imm(1));
+    b.jmp(count_loop);
+
+    b.switch_to(terminal_check);
+    let empty = b.eq(total.into(), Operand::imm(0));
+    b.br(empty, lost, leaf_check);
+
+    b.switch_to(lost);
+    b.ret(Some(Operand::imm(-1000)));
+
+    b.switch_to(leaf_check);
+    let at_leaf = b.le(depth.into(), Operand::imm(0));
+    b.br(at_leaf, leaf, search);
+
+    b.switch_to(leaf);
+    b.call(Some(score), "eval", vec![piles.into(), n.into()]);
+    b.ret(Some(score.into()));
+
+    b.switch_to(search);
+    b.const_int(best, -100000);
+    b.const_int(i, 0);
+    b.jmp(pile_loop);
+
+    b.switch_to(pile_loop);
+    let more_piles = b.lt(i.into(), n.into());
+    b.br(more_piles, pile_body, fin);
+
+    b.switch_to(pile_body);
+    b.add(addr, piles.into(), i.into());
+    b.load(stones, addr.into());
+    b.const_int(t, 1);
+    b.jmp(take_loop);
+
+    b.switch_to(take_loop);
+    // t <= min(MAX_TAKE, stones)
+    let within_cap = b.le(t.into(), Operand::imm(MAX_TAKE));
+    let within_pile = b.le(t.into(), stones.into());
+    let ok = b.reg();
+    b.bin(brepl_ir::BinOp::And, ok, within_cap.into(), within_pile.into());
+    b.br(ok, take_body, pile_next);
+
+    b.switch_to(take_body);
+    // Apply the move.
+    b.sub(tmp, stones.into(), t.into());
+    b.store(addr.into(), tmp.into());
+    b.jmp(recurse);
+
+    b.switch_to(recurse);
+    let d1 = b.reg();
+    b.sub(d1, depth.into(), Operand::imm(1));
+    let na = b.reg();
+    b.sub(na, Operand::imm(0), beta.into());
+    let nb = b.reg();
+    b.sub(nb, Operand::imm(0), alpha.into());
+    let child = b.reg();
+    b.call(
+        Some(child),
+        "negamax",
+        vec![piles.into(), n.into(), d1.into(), na.into(), nb.into()],
+    );
+    b.sub(score, Operand::imm(0), child.into());
+    // Undo the move.
+    b.store(addr.into(), stones.into());
+    let improves = b.gt(score.into(), best.into());
+    b.br(improves, better, no_better);
+
+    b.switch_to(better);
+    b.copy(best, score.into());
+    b.jmp(no_better);
+
+    b.switch_to(no_better);
+    let raises = b.gt(best.into(), alpha.into());
+    b.br(raises, raise, no_raise);
+
+    b.switch_to(raise);
+    b.copy(alpha, best.into());
+    b.jmp(no_raise);
+
+    b.switch_to(no_raise);
+    // The alpha-beta cutoff — the star correlated branch.
+    let cut = b.ge(alpha.into(), beta.into());
+    b.br(cut, prune, take_next);
+
+    b.switch_to(prune);
+    b.ret(Some(best.into()));
+
+    b.switch_to(take_next);
+    b.add(t, t.into(), Operand::imm(1));
+    b.jmp(take_loop);
+
+    b.switch_to(pile_next);
+    b.add(i, i.into(), Operand::imm(1));
+    b.jmp(pile_loop);
+
+    b.switch_to(fin);
+    b.ret(Some(best.into()));
+
+    b.finish()
+}
+
+/// `main` — play each game from the input to completion: both sides pick
+/// the move negamax scores best.
+fn build_main(piles_n: i64, depth: i64) -> brepl_ir::Function {
+    let mut b = FunctionBuilder::new("main", 0);
+    let piles = b.reg();
+    let games = b.reg();
+    let g = b.reg();
+    let i = b.reg();
+    let addr = b.reg();
+    let stones = b.reg();
+    let t = b.reg();
+    let best_score = b.reg();
+    let best_pile = b.reg();
+    let best_take = b.reg();
+    let score = b.reg();
+    let tmp = b.reg();
+    let checksum = b.reg();
+    let moves = b.reg();
+    let total = b.reg();
+
+    let game_loop = b.new_block();
+    let game_body = b.new_block();
+    let read_loop = b.new_block();
+    let read_body = b.new_block();
+    let turn = b.new_block();
+    let count_loop = b.new_block();
+    let count_body = b.new_block();
+    let game_over_check = b.new_block();
+    let pick = b.new_block();
+    let pile_loop = b.new_block();
+    let pile_body = b.new_block();
+    let take_loop = b.new_block();
+    let take_body = b.new_block();
+    let improves = b.new_block();
+    let no_improve = b.new_block();
+    let take_next = b.new_block();
+    let pile_next = b.new_block();
+    let apply = b.new_block();
+    let game_done = b.new_block();
+    let fin = b.new_block();
+
+    let gcount = b.input();
+    b.copy(games, gcount.into());
+    b.alloc(piles, Operand::imm(piles_n));
+    b.const_int(g, 0);
+    b.const_int(checksum, 13);
+    b.const_int(moves, 0);
+    b.jmp(game_loop);
+
+    b.switch_to(game_loop);
+    let more_games = b.lt(g.into(), games.into());
+    b.br(more_games, game_body, fin);
+
+    b.switch_to(game_body);
+    b.const_int(i, 0);
+    b.jmp(read_loop);
+
+    b.switch_to(read_loop);
+    let more_read = b.lt(i.into(), Operand::imm(piles_n));
+    b.br(more_read, read_body, turn);
+
+    b.switch_to(read_body);
+    let v = b.input();
+    b.add(addr, piles.into(), i.into());
+    b.store(addr.into(), v.into());
+    b.add(i, i.into(), Operand::imm(1));
+    b.jmp(read_loop);
+
+    // One turn: count stones; if none, game over.
+    b.switch_to(turn);
+    b.const_int(i, 0);
+    b.const_int(total, 0);
+    b.jmp(count_loop);
+
+    b.switch_to(count_loop);
+    let more_count = b.lt(i.into(), Operand::imm(piles_n));
+    b.br(more_count, count_body, game_over_check);
+
+    b.switch_to(count_body);
+    b.add(addr, piles.into(), i.into());
+    b.load(tmp, addr.into());
+    b.add(total, total.into(), tmp.into());
+    b.add(i, i.into(), Operand::imm(1));
+    b.jmp(count_loop);
+
+    b.switch_to(game_over_check);
+    let over = b.eq(total.into(), Operand::imm(0));
+    b.br(over, game_done, pick);
+
+    // Root move selection.
+    b.switch_to(pick);
+    b.const_int(best_score, -100000);
+    b.const_int(best_pile, 0);
+    b.const_int(best_take, 1);
+    b.const_int(i, 0);
+    b.jmp(pile_loop);
+
+    b.switch_to(pile_loop);
+    let more_piles = b.lt(i.into(), Operand::imm(piles_n));
+    b.br(more_piles, pile_body, apply);
+
+    b.switch_to(pile_body);
+    b.add(addr, piles.into(), i.into());
+    b.load(stones, addr.into());
+    b.const_int(t, 1);
+    b.jmp(take_loop);
+
+    b.switch_to(take_loop);
+    let cap_ok = b.le(t.into(), Operand::imm(MAX_TAKE));
+    let pile_ok = b.le(t.into(), stones.into());
+    let ok = b.reg();
+    b.bin(brepl_ir::BinOp::And, ok, cap_ok.into(), pile_ok.into());
+    b.br(ok, take_body, pile_next);
+
+    b.switch_to(take_body);
+    b.sub(tmp, stones.into(), t.into());
+    b.store(addr.into(), tmp.into());
+    let child = b.reg();
+    b.call(
+        Some(child),
+        "negamax",
+        vec![
+            piles.into(),
+            Operand::imm(piles_n),
+            Operand::imm(depth),
+            Operand::imm(-100000),
+            Operand::imm(100000),
+        ],
+    );
+    b.sub(score, Operand::imm(0), child.into());
+    b.store(addr.into(), stones.into());
+    let is_better = b.gt(score.into(), best_score.into());
+    b.br(is_better, improves, no_improve);
+
+    b.switch_to(improves);
+    b.copy(best_score, score.into());
+    b.copy(best_pile, i.into());
+    b.copy(best_take, t.into());
+    b.jmp(no_improve);
+
+    b.switch_to(no_improve);
+    b.jmp(take_next);
+
+    b.switch_to(take_next);
+    b.add(t, t.into(), Operand::imm(1));
+    b.jmp(take_loop);
+
+    b.switch_to(pile_next);
+    b.add(i, i.into(), Operand::imm(1));
+    b.jmp(pile_loop);
+
+    // Apply the chosen move and take the next turn.
+    b.switch_to(apply);
+    b.add(addr, piles.into(), best_pile.into());
+    b.load(stones, addr.into());
+    b.sub(stones, stones.into(), best_take.into());
+    b.store(addr.into(), stones.into());
+    b.mul(checksum, checksum.into(), Operand::imm(23));
+    b.mul(tmp, best_pile.into(), Operand::imm(4));
+    b.add(tmp, tmp.into(), best_take.into());
+    b.add(checksum, checksum.into(), tmp.into());
+    b.bin(
+        brepl_ir::BinOp::And,
+        checksum,
+        checksum.into(),
+        Operand::imm((1 << 40) - 1),
+    );
+    b.add(moves, moves.into(), Operand::imm(1));
+    b.jmp(turn);
+
+    b.switch_to(game_done);
+    b.add(g, g.into(), Operand::imm(1));
+    b.jmp(game_loop);
+
+    b.switch_to(fin);
+    b.out(checksum.into());
+    b.out(moves.into());
+    b.ret(Some(checksum.into()));
+
+    b.finish()
+}
+
+/// Random starting positions.
+fn generate_games(seed: u64, games: i64, piles: i64) -> Vec<Value> {
+    let mut rng = XorShift::new(0xABA1 ^ seed.wrapping_mul(0x9E3779B97F4A7C15));
+    let mut out = vec![Value::Int(games)];
+    for _ in 0..games {
+        for _ in 0..piles {
+            out.push(Value::Int(rng.range(2, 8)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plays_all_games_to_completion() {
+        let w = build(Scale::Small);
+        let (outcome, output) = w.run_with_output().unwrap();
+        let moves = output[1].as_int().unwrap();
+        assert!(moves >= 6, "games take several moves, got {moves}");
+        assert!(outcome.trace.len() > 50_000);
+    }
+
+    #[test]
+    fn pruning_branch_exists_and_is_mixed() {
+        let w = build(Scale::Small);
+        let outcome = w.run().unwrap();
+        let stats = outcome.trace.stats();
+        // The cutoff branch executes a lot and is neither always taken nor
+        // never taken.
+        let mixed = stats
+            .iter_executed()
+            .filter(|(_, c)| {
+                c.total() > 1000 && c.minority_count() * 10 > c.total()
+            })
+            .count();
+        assert!(mixed >= 1, "expected a mixed pruning-style branch");
+    }
+}

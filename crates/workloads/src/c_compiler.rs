@@ -1,0 +1,567 @@
+//! `c-compiler` — a compiler front end standing in for lcc: a character
+//! lexer and recursive-descent expression/statement parser with on-the-fly
+//! constant evaluation. Token-kind dispatch produces chains of equality
+//! branches (prime targets for correlation), and the precedence-climbing
+//! loops produce intra-loop branches keyed to the input grammar.
+//!
+//! The accepted language:
+//!
+//! ```text
+//! program := stmt*
+//! stmt    := VAR '=' expr ';'   (assignment)
+//!          | '!' VAR ';'        (print variable)
+//! expr    := term  (('+'|'-') term)*
+//! term    := factor (('*'|'/') factor)*
+//! factor  := DIGIT | VAR | '(' expr ')' | '-' factor
+//! ```
+
+use brepl_ir::{FunctionBuilder, Module, Operand, Value};
+
+use crate::util::XorShift;
+use crate::{Scale, Workload};
+
+// Global word layout.
+const G_KIND: i64 = 0; // current token kind
+const G_VALUE: i64 = 1; // current token value (digit or var index)
+const G_VARS: i64 = 2; // 26 variable slots
+const GLOBALS: usize = 32;
+
+// Token kinds.
+const T_EOF: i64 = 0;
+const T_NUM: i64 = 1;
+const T_VAR: i64 = 2;
+const T_PLUS: i64 = 3;
+const T_MINUS: i64 = 4;
+const T_STAR: i64 = 5;
+const T_SLASH: i64 = 6;
+const T_LPAREN: i64 = 7;
+const T_RPAREN: i64 = 8;
+const T_ASSIGN: i64 = 9;
+const T_SEMI: i64 = 10;
+const T_PRINT: i64 = 11;
+
+/// Builds the c-compiler workload.
+pub fn build(scale: Scale) -> Workload {
+    build_seeded(scale, 0)
+}
+
+/// Builds the c-compiler workload with an alternate input dataset.
+pub fn build_seeded(scale: Scale, seed: u64) -> Workload {
+    let mut module = Module::new();
+    module.reserve_globals(GLOBALS);
+    module.push_function(build_next_token());
+    module.push_function(build_parse_factor());
+    module.push_function(build_parse_term());
+    module.push_function(build_parse_expr());
+    module.push_function(build_main());
+    module.verify().expect("c-compiler module must verify");
+    Workload {
+        name: "c-compiler",
+        description: "lexer + recursive-descent parser with constant evaluation",
+        module,
+        args: vec![],
+        input: generate_source(scale, seed),
+    }
+}
+
+/// `next_token()` — reads characters, classifies them, stores kind/value
+/// in globals. Whitespace is skipped in a loop.
+fn build_next_token() -> brepl_ir::Function {
+    let mut b = FunctionBuilder::new("next_token", 0);
+    let ch = b.reg();
+
+    let read = b.new_block();
+    let not_eof = b.new_block();
+    let not_space = b.new_block();
+    let digit = b.new_block();
+    let not_digit = b.new_block();
+    let var = b.new_block();
+    let not_var = b.new_block();
+    let eof = b.new_block();
+    let fin = b.new_block();
+
+    b.jmp(read);
+
+    b.switch_to(read);
+    let c = b.input();
+    b.copy(ch, c.into());
+    let is_eof = b.lt(ch.into(), Operand::imm(0));
+    b.br(is_eof, eof, not_eof);
+
+    b.switch_to(not_eof);
+    let is_space = b.eq(ch.into(), Operand::imm(32));
+    b.br(is_space, read, not_space);
+
+    b.switch_to(not_space);
+    // Digit: '0'..='9' (48..=57).
+    let ge0 = b.ge(ch.into(), Operand::imm(48));
+    let le9 = b.le(ch.into(), Operand::imm(57));
+    let is_digit = b.reg();
+    b.bin(brepl_ir::BinOp::And, is_digit, ge0.into(), le9.into());
+    b.br(is_digit, digit, not_digit);
+
+    b.switch_to(digit);
+    b.store(Operand::imm(G_KIND), Operand::imm(T_NUM));
+    let v = b.reg();
+    b.sub(v, ch.into(), Operand::imm(48));
+    b.store(Operand::imm(G_VALUE), v.into());
+    b.jmp(fin);
+
+    b.switch_to(not_digit);
+    // Variable: 'a'..='z' (97..=122).
+    let gea = b.ge(ch.into(), Operand::imm(97));
+    let lez = b.le(ch.into(), Operand::imm(122));
+    let is_var = b.reg();
+    b.bin(brepl_ir::BinOp::And, is_var, gea.into(), lez.into());
+    b.br(is_var, var, not_var);
+
+    b.switch_to(var);
+    b.store(Operand::imm(G_KIND), Operand::imm(T_VAR));
+    let vv = b.reg();
+    b.sub(vv, ch.into(), Operand::imm(97));
+    b.store(Operand::imm(G_VALUE), vv.into());
+    b.jmp(fin);
+
+    // Operator chain: one equality test per operator character — the
+    // correlated dispatch pattern.
+    b.switch_to(not_var);
+    let table: [(i64, i64); 9] = [
+        (43, T_PLUS),
+        (45, T_MINUS),
+        (42, T_STAR),
+        (47, T_SLASH),
+        (40, T_LPAREN),
+        (41, T_RPAREN),
+        (61, T_ASSIGN),
+        (59, T_SEMI),
+        (33, T_PRINT),
+    ];
+    for (code, kind) in table {
+        let hit = b.new_block();
+        let miss = b.new_block();
+        let is = b.eq(ch.into(), Operand::imm(code));
+        b.br(is, hit, miss);
+        b.switch_to(hit);
+        b.store(Operand::imm(G_KIND), Operand::imm(kind));
+        b.jmp(fin);
+        b.switch_to(miss);
+    }
+    // Unknown characters read as EOF (robustness; generator never emits
+    // them).
+    b.jmp(eof);
+
+    b.switch_to(eof);
+    b.store(Operand::imm(G_KIND), Operand::imm(T_EOF));
+    b.jmp(fin);
+
+    b.switch_to(fin);
+    b.ret(None);
+    b.finish()
+}
+
+/// `parse_factor() -> value`.
+fn build_parse_factor() -> brepl_ir::Function {
+    let mut b = FunctionBuilder::new("parse_factor", 0);
+    let kind = b.reg();
+    let value = b.reg();
+    let result = b.reg();
+
+    let num = b.new_block();
+    let not_num = b.new_block();
+    let var = b.new_block();
+    let not_var = b.new_block();
+    let paren = b.new_block();
+    let not_paren = b.new_block();
+    let neg = b.new_block();
+    let bad = b.new_block();
+    let fin = b.new_block();
+
+    b.load(kind, Operand::imm(G_KIND));
+    b.load(value, Operand::imm(G_VALUE));
+    let is_num = b.eq(kind.into(), Operand::imm(T_NUM));
+    b.br(is_num, num, not_num);
+
+    b.switch_to(num);
+    b.copy(result, value.into());
+    b.call(None, "next_token", vec![]);
+    b.jmp(fin);
+
+    b.switch_to(not_num);
+    let is_var = b.eq(kind.into(), Operand::imm(T_VAR));
+    b.br(is_var, var, not_var);
+
+    b.switch_to(var);
+    let addr = b.reg();
+    b.add(addr, Operand::imm(G_VARS), value.into());
+    b.load(result, addr.into());
+    b.call(None, "next_token", vec![]);
+    b.jmp(fin);
+
+    b.switch_to(not_var);
+    let is_paren = b.eq(kind.into(), Operand::imm(T_LPAREN));
+    b.br(is_paren, paren, not_paren);
+
+    b.switch_to(paren);
+    b.call(None, "next_token", vec![]);
+    b.call(Some(result), "parse_expr", vec![]);
+    // Expect ')' — consume it unconditionally (error recovery: ignore).
+    b.call(None, "next_token", vec![]);
+    b.jmp(fin);
+
+    b.switch_to(not_paren);
+    let is_neg = b.eq(kind.into(), Operand::imm(T_MINUS));
+    b.br(is_neg, neg, bad);
+
+    b.switch_to(neg);
+    b.call(None, "next_token", vec![]);
+    let inner = b.reg();
+    b.call(Some(inner), "parse_factor", vec![]);
+    b.sub(result, Operand::imm(0), inner.into());
+    b.jmp(fin);
+
+    b.switch_to(bad);
+    b.const_int(result, 0);
+    b.call(None, "next_token", vec![]);
+    b.jmp(fin);
+
+    b.switch_to(fin);
+    b.ret(Some(result.into()));
+    b.finish()
+}
+
+/// `parse_term() -> value` — factors joined by `*` and `/`.
+fn build_parse_term() -> brepl_ir::Function {
+    let mut b = FunctionBuilder::new("parse_term", 0);
+    let acc = b.reg();
+    let rhs = b.reg();
+    let kind = b.reg();
+
+    let loop_head = b.new_block();
+    let star = b.new_block();
+    let not_star = b.new_block();
+    let slash = b.new_block();
+    let safe_div = b.new_block();
+    let div_zero = b.new_block();
+    let fin = b.new_block();
+
+    b.call(Some(acc), "parse_factor", vec![]);
+    b.jmp(loop_head);
+
+    b.switch_to(loop_head);
+    b.load(kind, Operand::imm(G_KIND));
+    let is_star = b.eq(kind.into(), Operand::imm(T_STAR));
+    b.br(is_star, star, not_star);
+
+    b.switch_to(star);
+    b.call(None, "next_token", vec![]);
+    b.call(Some(rhs), "parse_factor", vec![]);
+    b.mul(acc, acc.into(), rhs.into());
+    b.jmp(loop_head);
+
+    b.switch_to(not_star);
+    let is_slash = b.eq(kind.into(), Operand::imm(T_SLASH));
+    b.br(is_slash, slash, fin);
+
+    b.switch_to(slash);
+    b.call(None, "next_token", vec![]);
+    b.call(Some(rhs), "parse_factor", vec![]);
+    let nz = b.ne(rhs.into(), Operand::imm(0));
+    b.br(nz, safe_div, div_zero);
+
+    b.switch_to(safe_div);
+    b.div(acc, acc.into(), rhs.into());
+    b.jmp(loop_head);
+
+    b.switch_to(div_zero);
+    b.const_int(acc, 0);
+    b.jmp(loop_head);
+
+    b.switch_to(fin);
+    b.ret(Some(acc.into()));
+    b.finish()
+}
+
+/// `parse_expr() -> value` — terms joined by `+` and `-`.
+fn build_parse_expr() -> brepl_ir::Function {
+    let mut b = FunctionBuilder::new("parse_expr", 0);
+    let acc = b.reg();
+    let rhs = b.reg();
+    let kind = b.reg();
+
+    let loop_head = b.new_block();
+    let plus = b.new_block();
+    let not_plus = b.new_block();
+    let minus = b.new_block();
+    let fin = b.new_block();
+
+    b.call(Some(acc), "parse_term", vec![]);
+    b.jmp(loop_head);
+
+    b.switch_to(loop_head);
+    b.load(kind, Operand::imm(G_KIND));
+    let is_plus = b.eq(kind.into(), Operand::imm(T_PLUS));
+    b.br(is_plus, plus, not_plus);
+
+    b.switch_to(plus);
+    b.call(None, "next_token", vec![]);
+    b.call(Some(rhs), "parse_term", vec![]);
+    b.add(acc, acc.into(), rhs.into());
+    b.jmp(loop_head);
+
+    b.switch_to(not_plus);
+    let is_minus = b.eq(kind.into(), Operand::imm(T_MINUS));
+    b.br(is_minus, minus, fin);
+
+    b.switch_to(minus);
+    b.call(None, "next_token", vec![]);
+    b.call(Some(rhs), "parse_term", vec![]);
+    b.sub(acc, acc.into(), rhs.into());
+    b.jmp(loop_head);
+
+    b.switch_to(fin);
+    b.ret(Some(acc.into()));
+    b.finish()
+}
+
+/// `main` — statement loop.
+fn build_main() -> brepl_ir::Function {
+    let mut b = FunctionBuilder::new("main", 0);
+    let kind = b.reg();
+    let target = b.reg();
+    let value = b.reg();
+    let stmts = b.reg();
+    let checksum = b.reg();
+    let addr = b.reg();
+
+    let stmt_loop = b.new_block();
+    let assign = b.new_block();
+    let not_assign = b.new_block();
+    let print = b.new_block();
+    let skip = b.new_block();
+    let semi = b.new_block();
+    let fin = b.new_block();
+
+    b.const_int(stmts, 0);
+    b.const_int(checksum, 11);
+    b.call(None, "next_token", vec![]);
+    b.jmp(stmt_loop);
+
+    b.switch_to(stmt_loop);
+    b.load(kind, Operand::imm(G_KIND));
+    let is_var = b.eq(kind.into(), Operand::imm(T_VAR));
+    b.br(is_var, assign, not_assign);
+
+    // VAR '=' expr ';'
+    b.switch_to(assign);
+    b.load(target, Operand::imm(G_VALUE));
+    b.call(None, "next_token", vec![]); // consume var, expect '='
+    b.call(None, "next_token", vec![]); // consume '='
+    b.call(Some(value), "parse_expr", vec![]);
+    b.add(addr, Operand::imm(G_VARS), target.into());
+    b.store(addr.into(), value.into());
+    b.jmp(semi);
+
+    b.switch_to(not_assign);
+    let is_print = b.eq(kind.into(), Operand::imm(T_PRINT));
+    b.br(is_print, print, fin);
+
+    // '!' VAR ';'
+    b.switch_to(print);
+    b.call(None, "next_token", vec![]);
+    b.load(target, Operand::imm(G_VALUE));
+    b.add(addr, Operand::imm(G_VARS), target.into());
+    b.load(value, addr.into());
+    b.mul(checksum, checksum.into(), Operand::imm(31));
+    b.add(checksum, checksum.into(), value.into());
+    b.bin(
+        brepl_ir::BinOp::And,
+        checksum,
+        checksum.into(),
+        Operand::imm((1 << 40) - 1),
+    );
+    b.call(None, "next_token", vec![]); // consume var
+    b.jmp(semi);
+
+    b.switch_to(semi);
+    // Current token should be ';'; consume tokens until it is (simple
+    // error recovery that also handles well-formed input in one step).
+    b.load(kind, Operand::imm(G_KIND));
+    let is_semi = b.eq(kind.into(), Operand::imm(T_SEMI));
+    let eat = b.new_block();
+    b.br(is_semi, eat, skip);
+
+    b.switch_to(skip);
+    b.load(kind, Operand::imm(G_KIND));
+    let at_eof = b.eq(kind.into(), Operand::imm(T_EOF));
+    let eat2 = b.new_block();
+    b.br(at_eof, fin, eat2);
+    b.switch_to(eat2);
+    b.call(None, "next_token", vec![]);
+    b.jmp(semi);
+
+    b.switch_to(eat);
+    b.call(None, "next_token", vec![]);
+    b.add(stmts, stmts.into(), Operand::imm(1));
+    b.jmp(stmt_loop);
+
+    b.switch_to(fin);
+    b.out(checksum.into());
+    b.out(stmts.into());
+    b.ret(Some(checksum.into()));
+    b.finish()
+}
+
+/// Generates a program as a character stream. Real source code is highly
+/// repetitive — the same statement shapes recur in runs (initializer
+/// blocks, accumulation chains, generated code) — so the generator
+/// alternates between *template runs* (many statements of one repeated
+/// shape) and free-form statements. The repetition is what gives a parser
+/// the predictable branch patterns the paper measures on lcc.
+fn generate_source(scale: Scale, seed: u64) -> Vec<Value> {
+    let statements = match scale {
+        Scale::Small => 700,
+        Scale::Full => 25_000,
+    };
+    let mut rng = XorShift::new(0xCC0 ^ seed.wrapping_mul(0x9E3779B97F4A7C15));
+    let mut src = String::new();
+    let mut initialized: Vec<u8> = Vec::new();
+
+    let mut s = 0usize;
+    while s < statements {
+        if rng.chance(3, 4) && !initialized.is_empty() {
+            // A template run: one statement shape repeated.
+            let run = (4 + rng.below(20)) as usize;
+            let shape = rng.below(3);
+            let base = initialized[rng.below(initialized.len() as u64) as usize];
+            for k in 0..run.min(statements - s) {
+                let target = b'a' + ((base - b'a') as u64 + k as u64) as u8 % 26;
+                match shape {
+                    0 => {
+                        // accumulate: t=t+D;
+                        src.push(target as char);
+                        src.push('=');
+                        src.push(target as char);
+                        src.push('+');
+                        src.push((b'0' + rng.below(10) as u8) as char);
+                        src.push(';');
+                    }
+                    1 => {
+                        // scale: t=b*D;
+                        src.push(target as char);
+                        src.push('=');
+                        src.push(base as char);
+                        src.push('*');
+                        src.push((b'1' + rng.below(9) as u8) as char);
+                        src.push(';');
+                    }
+                    _ => {
+                        // print run: !t;
+                        src.push('!');
+                        src.push(target as char);
+                        src.push(';');
+                    }
+                }
+                if !initialized.contains(&target) {
+                    initialized.push(target);
+                }
+                s += 1;
+            }
+            continue;
+        }
+        // Free-form statement.
+        let target = b'a' + rng.below(26) as u8;
+        src.push(target as char);
+        src.push('=');
+        gen_expr(&mut rng, &initialized, 0, &mut src);
+        src.push(';');
+        if !initialized.contains(&target) {
+            initialized.push(target);
+        }
+        if rng.chance(1, 6) {
+            src.push(' ');
+        }
+        s += 1;
+    }
+    src.chars().map(|c| Value::Int(c as i64)).collect()
+}
+
+fn gen_expr(rng: &mut XorShift, vars: &[u8], depth: u32, out: &mut String) {
+    let terms = rng.range(1, 4);
+    for t in 0..terms {
+        if t > 0 {
+            out.push(if rng.chance(1, 2) { '+' } else { '-' });
+        }
+        gen_term(rng, vars, depth, out);
+    }
+}
+
+fn gen_term(rng: &mut XorShift, vars: &[u8], depth: u32, out: &mut String) {
+    let factors = rng.range(1, 3);
+    for f in 0..factors {
+        if f > 0 {
+            // Division only by literal nonzero digits, so evaluation never
+            // hits the div-by-zero recovery path by construction.
+            if rng.chance(1, 4) {
+                out.push('/');
+                out.push((b'1' + rng.below(9) as u8) as char);
+                continue;
+            }
+            out.push('*');
+        }
+        gen_factor(rng, vars, depth, out);
+    }
+}
+
+fn gen_factor(rng: &mut XorShift, vars: &[u8], depth: u32, out: &mut String) {
+    if depth < 3 && rng.chance(1, 5) {
+        out.push('(');
+        gen_expr(rng, vars, depth + 1, out);
+        out.push(')');
+        return;
+    }
+    if rng.chance(1, 8) {
+        out.push('-');
+    }
+    if !vars.is_empty() && rng.chance(1, 2) {
+        out.push(vars[rng.below(vars.len() as u64) as usize] as char);
+    } else {
+        out.push((b'0' + rng.below(10) as u8) as char);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_whole_program() {
+        let w = build(Scale::Small);
+        let (outcome, output) = w.run_with_output().unwrap();
+        let stmts = output[1].as_int().unwrap();
+        assert_eq!(stmts, 700, "every statement parsed");
+        assert!(outcome.trace.len() > 20_000);
+    }
+
+    #[test]
+    fn hand_written_program_evaluates_correctly() {
+        let mut w = build(Scale::Small);
+        // a=3; b=a*4; !b;   => checksum = (11*31 + 12) & mask
+        w.input = "a=3;b=a*4;!b;".chars().map(|c| Value::Int(c as i64)).collect();
+        let (_, output) = w.run_with_output().unwrap();
+        assert_eq!(output[0].as_int(), Some(11 * 31 + 12));
+        assert_eq!(output[1].as_int(), Some(3));
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let mut w = build(Scale::Small);
+        // a=2+3*4; !a;  => 14
+        w.input = "a=2+3*4;!a;z=(2+3)*4;!z;"
+            .chars()
+            .map(|c| Value::Int(c as i64))
+            .collect();
+        let (_, output) = w.run_with_output().unwrap();
+        let expected = ((11i64 * 31 + 14) * 31 + 20) & ((1 << 40) - 1);
+        assert_eq!(output[0].as_int(), Some(expected));
+    }
+}

@@ -1,0 +1,233 @@
+//! `compress` — LZW compression with a hash-table dictionary, standing in
+//! for the SPEC `compress` benchmark. The probe loop, the hit/miss branch
+//! and the dictionary-full check give the mix of biased and data-dependent
+//! branches typical of compressors.
+
+use brepl_ir::{FunctionBuilder, Module, Operand, Value};
+
+use crate::util::XorShift;
+use crate::{Scale, Workload};
+
+/// log2 of the hash-table size.
+const TABLE_BITS: i64 = 14;
+const TABLE_SIZE: i64 = 1 << TABLE_BITS;
+/// Maximum dictionary code before we stop inserting. Must stay well below
+/// the table capacity or the open-addressing probe loop would degenerate
+/// (a full table has no empty slot to terminate a miss).
+const MAX_CODE: i64 = 256 + (TABLE_SIZE * 3) / 4;
+
+/// Builds the compress workload.
+pub fn build(scale: Scale) -> Workload {
+    build_seeded(scale, 0)
+}
+
+/// Builds the compress workload with an alternate input dataset.
+pub fn build_seeded(scale: Scale, seed: u64) -> Workload {
+    let mut module = Module::new();
+    module.push_function(build_main());
+    module.verify().expect("compress module must verify");
+    Workload {
+        name: "compress",
+        description: "LZW compression over synthetic text (hash-table dictionary)",
+        module,
+        args: vec![],
+        input: generate_text(scale, seed),
+    }
+}
+
+fn build_main() -> brepl_ir::Function {
+    let mut b = FunctionBuilder::new("main", 0);
+    // Registers.
+    let tbl = b.reg(); // table base: pairs (key+1, code)
+    let next_code = b.reg();
+    let prefix = b.reg();
+    let c = b.reg();
+    let key = b.reg();
+    let h = b.reg();
+    let k = b.reg();
+    let checksum = b.reg();
+    let count = b.reg();
+    let tmp = b.reg();
+    let addr = b.reg();
+
+    let read_loop = b.new_block();
+    let have_char = b.new_block();
+    let probe = b.new_block();
+    let probe_empty = b.new_block();
+    let probe_hit_check = b.new_block();
+    let probe_hit = b.new_block();
+    let probe_next = b.new_block();
+    let emit = b.new_block();
+    let insert = b.new_block();
+    let after_insert = b.new_block();
+    let finish = b.new_block();
+    let done = b.new_block();
+
+    // Entry: allocate table, read first symbol.
+    b.alloc(tbl, Operand::imm(TABLE_SIZE * 2));
+    b.const_int(next_code, 256);
+    b.const_int(checksum, 7);
+    b.const_int(count, 0);
+    let first = b.input();
+    b.copy(prefix, first.into());
+    let c0 = b.lt(prefix.into(), Operand::imm(0));
+    b.br(c0, done, read_loop);
+
+    // read_loop: next symbol.
+    b.switch_to(read_loop);
+    let nxt = b.input();
+    b.copy(c, nxt.into());
+    let eof = b.lt(c.into(), Operand::imm(0));
+    b.br(eof, finish, have_char);
+
+    // have_char: key = prefix * 512 + c ; h = hash(key).
+    b.switch_to(have_char);
+    b.mul(key, prefix.into(), Operand::imm(512));
+    b.add(key, key.into(), c.into());
+    b.mul(h, key.into(), Operand::imm(40503));
+    b.bin(
+        brepl_ir::BinOp::And,
+        h,
+        h.into(),
+        Operand::imm(TABLE_SIZE - 1),
+    );
+    b.jmp(probe);
+
+    // probe: k = tbl[2h]; empty / hit / collision.
+    b.switch_to(probe);
+    b.mul(addr, h.into(), Operand::imm(2));
+    b.add(addr, addr.into(), tbl.into());
+    b.load(k, addr.into());
+    let is_empty = b.eq(k.into(), Operand::imm(0));
+    b.br(is_empty, probe_empty, probe_hit_check);
+
+    b.switch_to(probe_hit_check);
+    b.add(tmp, key.into(), Operand::imm(1));
+    let is_hit = b.eq(k.into(), tmp.into());
+    b.br(is_hit, probe_hit, probe_next);
+
+    // probe_next: linear probing.
+    b.switch_to(probe_next);
+    b.add(h, h.into(), Operand::imm(1));
+    b.bin(
+        brepl_ir::BinOp::And,
+        h,
+        h.into(),
+        Operand::imm(TABLE_SIZE - 1),
+    );
+    b.jmp(probe);
+
+    // probe_hit: extend the phrase.
+    b.switch_to(probe_hit);
+    b.add(tmp, addr.into(), Operand::imm(1));
+    b.load(prefix, tmp.into());
+    b.jmp(read_loop);
+
+    // probe_empty: emit prefix code, maybe insert the new phrase.
+    b.switch_to(probe_empty);
+    b.jmp(emit);
+
+    b.switch_to(emit);
+    // checksum = checksum * 31 + prefix (mod 2^40 to stay bounded).
+    b.mul(checksum, checksum.into(), Operand::imm(31));
+    b.add(checksum, checksum.into(), prefix.into());
+    b.bin(
+        brepl_ir::BinOp::And,
+        checksum,
+        checksum.into(),
+        Operand::imm((1 << 40) - 1),
+    );
+    b.add(count, count.into(), Operand::imm(1));
+    let full = b.ge(next_code.into(), Operand::imm(MAX_CODE));
+    b.br(full, after_insert, insert);
+
+    b.switch_to(insert);
+    b.add(tmp, key.into(), Operand::imm(1));
+    b.store(addr.into(), tmp.into());
+    b.add(tmp, addr.into(), Operand::imm(1));
+    b.store(tmp.into(), next_code.into());
+    b.add(next_code, next_code.into(), Operand::imm(1));
+    b.jmp(after_insert);
+
+    b.switch_to(after_insert);
+    b.copy(prefix, c.into());
+    b.jmp(read_loop);
+
+    // finish: flush last code.
+    b.switch_to(finish);
+    b.mul(checksum, checksum.into(), Operand::imm(31));
+    b.add(checksum, checksum.into(), prefix.into());
+    b.add(count, count.into(), Operand::imm(1));
+    b.jmp(done);
+
+    b.switch_to(done);
+    b.out(checksum.into());
+    b.out(count.into());
+    b.out(next_code.into());
+    b.ret(Some(checksum.into()));
+
+    b.finish()
+}
+
+/// Synthetic "text": words drawn from a Zipf-ish vocabulary with spaces,
+/// so phrases repeat and the dictionary actually compresses.
+fn generate_text(scale: Scale, seed: u64) -> Vec<Value> {
+    let symbols = match scale {
+        Scale::Small => 20_000,
+        Scale::Full => 600_000,
+    };
+    let mut rng = XorShift::new(0xC0FFEE ^ seed.wrapping_mul(0x9E3779B97F4A7C15));
+    // Vocabulary of 64 words, lengths 2..=9, over 26 letters.
+    let vocab: Vec<Vec<i64>> = (0..64)
+        .map(|_| {
+            let len = rng.range(2, 10);
+            (0..len).map(|_| rng.range(97, 123)).collect()
+        })
+        .collect();
+    let mut out = Vec::with_capacity(symbols + 16);
+    while out.len() < symbols {
+        // Zipf-ish: prefer early vocabulary entries.
+        let r = rng.below(64 * 65 / 2) as usize;
+        let mut idx = 0;
+        let mut acc = 64;
+        while r >= acc && idx < 63 {
+            idx += 1;
+            acc += 64 - idx;
+        }
+        for &ch in &vocab[idx] {
+            out.push(Value::Int(ch));
+        }
+        out.push(Value::Int(32));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compresses_and_terminates() {
+        let w = build(Scale::Small);
+        let (outcome, output) = w.run_with_output().unwrap();
+        assert_eq!(output.len(), 3);
+        let count = output[1].as_int().unwrap();
+        let codes = output[2].as_int().unwrap();
+        // Compression: emitted codes are far fewer than input symbols.
+        assert!(count > 0);
+        assert!((count as usize) < w.input.len() / 2, "count={count}");
+        assert!(codes > 256, "dictionary grew");
+        assert!(outcome.trace.len() > 10_000);
+    }
+
+    #[test]
+    fn probe_loop_branches_are_biased() {
+        let w = build(Scale::Small);
+        let outcome = w.run().unwrap();
+        let stats = outcome.trace.stats();
+        // Profile prediction should do reasonably well on a compressor
+        // (most branches are biased), but clearly not perfectly.
+        let pct = stats.profile_misprediction_percent();
+        assert!(pct > 0.5 && pct < 30.0, "misprediction {pct}");
+    }
+}

@@ -1,0 +1,431 @@
+//! `ghostview` — a vector-drawing interpreter rasterizing into a
+//! framebuffer, standing in for the PostScript previewer. The opcode
+//! dispatch chain gives correlated equality branches, Bresenham's line
+//! error term gives a data-dependent intra-loop branch, and the pixel
+//! bounds checks give strongly biased branches.
+
+use brepl_ir::{FunctionBuilder, Module, Operand, Value};
+
+use crate::util::XorShift;
+use crate::{Scale, Workload};
+
+const WIDTH: i64 = 128;
+const HEIGHT: i64 = 96;
+
+/// Builds the ghostview workload.
+pub fn build(scale: Scale) -> Workload {
+    build_seeded(scale, 0)
+}
+
+/// Builds the ghostview workload with an alternate input dataset.
+pub fn build_seeded(scale: Scale, seed: u64) -> Workload {
+    let mut module = Module::new();
+    module.push_function(build_set_pixel());
+    module.push_function(build_draw_line());
+    module.push_function(build_fill_rect());
+    module.push_function(build_main());
+    module.verify().expect("ghostview module must verify");
+    Workload {
+        name: "ghostview",
+        description: "vector-drawing interpreter with Bresenham rasterization",
+        module,
+        args: vec![],
+        input: generate_scene(scale, seed),
+    }
+}
+
+/// `set_pixel(fb, x, y, color)` — bounds-checked pixel write.
+fn build_set_pixel() -> brepl_ir::Function {
+    let mut b = FunctionBuilder::new("set_pixel", 4);
+    let fb = b.param(0);
+    let x = b.param(1);
+    let y = b.param(2);
+    let color = b.param(3);
+    let ok1 = b.new_block();
+    let ok2 = b.new_block();
+    let ok3 = b.new_block();
+    let write = b.new_block();
+    let skip = b.new_block();
+
+    let c1 = b.ge(x.into(), Operand::imm(0));
+    b.br(c1, ok1, skip);
+    b.switch_to(ok1);
+    let c2 = b.lt(x.into(), Operand::imm(WIDTH));
+    b.br(c2, ok2, skip);
+    b.switch_to(ok2);
+    let c3 = b.ge(y.into(), Operand::imm(0));
+    b.br(c3, ok3, skip);
+    b.switch_to(ok3);
+    let c4 = b.lt(y.into(), Operand::imm(HEIGHT));
+    b.br(c4, write, skip);
+    b.switch_to(write);
+    let addr = b.reg();
+    b.mul(addr, y.into(), Operand::imm(WIDTH));
+    b.add(addr, addr.into(), x.into());
+    b.add(addr, addr.into(), fb.into());
+    let old = b.reg();
+    b.load(old, addr.into());
+    let mixed = b.reg();
+    b.add(mixed, old.into(), color.into());
+    b.bin(
+        brepl_ir::BinOp::And,
+        mixed,
+        mixed.into(),
+        Operand::imm(255),
+    );
+    b.store(addr.into(), mixed.into());
+    b.ret(Some(Operand::imm(1)));
+    b.switch_to(skip);
+    b.ret(Some(Operand::imm(0)));
+    b.finish()
+}
+
+/// `draw_line(fb, x0, y0, x1, y1)` — integer Bresenham, all octants.
+fn build_draw_line() -> brepl_ir::Function {
+    let mut b = FunctionBuilder::new("draw_line", 5);
+    let fb = b.param(0);
+    let x0 = b.param(1);
+    let y0 = b.param(2);
+    let x1 = b.param(3);
+    let y1 = b.param(4);
+
+    let dx = b.reg();
+    let dy = b.reg();
+    let sx = b.reg();
+    let sy = b.reg();
+    let err = b.reg();
+    let e2 = b.reg();
+    let x = b.reg();
+    let y = b.reg();
+    let tmp = b.reg();
+
+    let sx_neg = b.new_block();
+    let sx_done = b.new_block();
+    let sy_neg = b.new_block();
+    let sy_done = b.new_block();
+    let dy_fix = b.new_block();
+    let dy_done = b.new_block();
+    let dx_fix = b.new_block();
+    let dx_done = b.new_block();
+    let loop_head = b.new_block();
+    let at_end = b.new_block();
+    let step = b.new_block();
+    let do_x = b.new_block();
+    let no_x = b.new_block();
+    let do_y = b.new_block();
+    let no_y = b.new_block();
+    let fin = b.new_block();
+
+    b.copy(x, x0.into());
+    b.copy(y, y0.into());
+    b.sub(dx, x1.into(), x0.into());
+    b.sub(dy, y1.into(), y0.into());
+    b.const_int(sx, 1);
+    b.const_int(sy, 1);
+    let xneg = b.lt(dx.into(), Operand::imm(0));
+    b.br(xneg, sx_neg, sx_done);
+
+    b.switch_to(sx_neg);
+    b.const_int(sx, -1);
+    b.jmp(sx_done);
+
+    b.switch_to(sx_done);
+    let yneg = b.lt(dy.into(), Operand::imm(0));
+    b.br(yneg, sy_neg, sy_done);
+
+    b.switch_to(sy_neg);
+    b.const_int(sy, -1);
+    b.jmp(sy_done);
+
+    b.switch_to(sy_done);
+    // dx = |dx|, dy = -|dy| (standard all-octant formulation).
+    let dxn = b.lt(dx.into(), Operand::imm(0));
+    b.br(dxn, dx_fix, dx_done);
+    b.switch_to(dx_fix);
+    b.sub(dx, Operand::imm(0), dx.into());
+    b.jmp(dx_done);
+    b.switch_to(dx_done);
+    let dyp = b.gt(dy.into(), Operand::imm(0));
+    b.br(dyp, dy_fix, dy_done);
+    b.switch_to(dy_fix);
+    b.sub(dy, Operand::imm(0), dy.into());
+    b.jmp(dy_done);
+    b.switch_to(dy_done);
+    b.add(err, dx.into(), dy.into());
+    b.jmp(loop_head);
+
+    b.switch_to(loop_head);
+    b.call(
+        None,
+        "set_pixel",
+        vec![fb.into(), x.into(), y.into(), Operand::imm(7)],
+    );
+    let ex = b.eq(x.into(), x1.into());
+    let ey = b.eq(y.into(), y1.into());
+    b.bin(brepl_ir::BinOp::And, tmp, ex.into(), ey.into());
+    b.br(tmp, at_end, step);
+
+    b.switch_to(at_end);
+    b.jmp(fin);
+
+    b.switch_to(step);
+    b.mul(e2, err.into(), Operand::imm(2));
+    let ge_dy = b.ge(e2.into(), dy.into());
+    b.br(ge_dy, do_x, no_x);
+
+    b.switch_to(do_x);
+    b.add(err, err.into(), dy.into());
+    b.add(x, x.into(), sx.into());
+    b.jmp(no_x);
+
+    b.switch_to(no_x);
+    let le_dx = b.le(e2.into(), dx.into());
+    b.br(le_dx, do_y, no_y);
+
+    b.switch_to(do_y);
+    b.add(err, err.into(), dx.into());
+    b.add(y, y.into(), sy.into());
+    b.jmp(no_y);
+
+    b.switch_to(no_y);
+    b.jmp(loop_head);
+
+    b.switch_to(fin);
+    b.ret(None);
+    b.finish()
+}
+
+/// `fill_rect(fb, x, y, w, h)` — nested row/column loops.
+fn build_fill_rect() -> brepl_ir::Function {
+    let mut b = FunctionBuilder::new("fill_rect", 5);
+    let fb = b.param(0);
+    let x = b.param(1);
+    let y = b.param(2);
+    let w = b.param(3);
+    let h = b.param(4);
+    let i = b.reg();
+    let j = b.reg();
+    let px = b.reg();
+    let py = b.reg();
+
+    let row_loop = b.new_block();
+    let row_body = b.new_block();
+    let col_loop = b.new_block();
+    let col_body = b.new_block();
+    let col_done = b.new_block();
+    let fin = b.new_block();
+
+    b.const_int(i, 0);
+    b.jmp(row_loop);
+
+    b.switch_to(row_loop);
+    let more_rows = b.lt(i.into(), h.into());
+    b.br(more_rows, row_body, fin);
+
+    b.switch_to(row_body);
+    b.const_int(j, 0);
+    b.add(py, y.into(), i.into());
+    b.jmp(col_loop);
+
+    b.switch_to(col_loop);
+    let more_cols = b.lt(j.into(), w.into());
+    b.br(more_cols, col_body, col_done);
+
+    b.switch_to(col_body);
+    b.add(px, x.into(), j.into());
+    b.call(
+        None,
+        "set_pixel",
+        vec![fb.into(), px.into(), py.into(), Operand::imm(3)],
+    );
+    b.add(j, j.into(), Operand::imm(1));
+    b.jmp(col_loop);
+
+    b.switch_to(col_done);
+    b.add(i, i.into(), Operand::imm(1));
+    b.jmp(row_loop);
+
+    b.switch_to(fin);
+    b.ret(None);
+    b.finish()
+}
+
+/// `main`: allocate the framebuffer, dispatch drawing ops, checksum.
+fn build_main() -> brepl_ir::Function {
+    let mut b = FunctionBuilder::new("main", 0);
+    let fb = b.reg();
+    let op = b.reg();
+    let a1 = b.reg();
+    let a2 = b.reg();
+    let a3 = b.reg();
+    let a4 = b.reg();
+    let i = b.reg();
+    let acc = b.reg();
+    let tmp = b.reg();
+    let addr = b.reg();
+
+    let dispatch = b.new_block();
+    let read_args = b.new_block();
+    let is_line = b.new_block();
+    let not_line = b.new_block();
+    let is_rect = b.new_block();
+    let is_hline = b.new_block();
+    let op_done = b.new_block();
+    let checksum = b.new_block();
+    let sum_body = b.new_block();
+    let fin = b.new_block();
+
+    b.alloc(fb, Operand::imm(WIDTH * HEIGHT));
+    b.jmp(dispatch);
+
+    b.switch_to(dispatch);
+    let o = b.input();
+    b.copy(op, o.into());
+    let end = b.le(op.into(), Operand::imm(0));
+    b.br(end, checksum, read_args);
+
+    b.switch_to(read_args);
+    let v1 = b.input();
+    b.copy(a1, v1.into());
+    let v2 = b.input();
+    b.copy(a2, v2.into());
+    let v3 = b.input();
+    b.copy(a3, v3.into());
+    let v4 = b.input();
+    b.copy(a4, v4.into());
+    let line = b.eq(op.into(), Operand::imm(1));
+    b.br(line, is_line, not_line);
+
+    b.switch_to(is_line);
+    b.call(
+        None,
+        "draw_line",
+        vec![fb.into(), a1.into(), a2.into(), a3.into(), a4.into()],
+    );
+    b.jmp(op_done);
+
+    b.switch_to(not_line);
+    let rect = b.eq(op.into(), Operand::imm(2));
+    b.br(rect, is_rect, is_hline);
+
+    b.switch_to(is_rect);
+    b.call(
+        None,
+        "fill_rect",
+        vec![fb.into(), a1.into(), a2.into(), a3.into(), a4.into()],
+    );
+    b.jmp(op_done);
+
+    // Horizontal line: a degenerate rect of height 1 (a4 unused).
+    b.switch_to(is_hline);
+    b.call(
+        None,
+        "fill_rect",
+        vec![fb.into(), a1.into(), a2.into(), a3.into(), Operand::imm(1)],
+    );
+    b.jmp(op_done);
+
+    b.switch_to(op_done);
+    b.jmp(dispatch);
+
+    // Checksum the framebuffer.
+    b.switch_to(checksum);
+    b.const_int(i, 0);
+    b.const_int(acc, 5);
+    b.jmp(sum_body);
+
+    b.switch_to(sum_body);
+    let more = b.lt(i.into(), Operand::imm(WIDTH * HEIGHT));
+    let body = b.new_block();
+    b.br(more, body, fin);
+
+    b.switch_to(body);
+    b.add(addr, fb.into(), i.into());
+    b.load(tmp, addr.into());
+    b.mul(acc, acc.into(), Operand::imm(33));
+    b.add(acc, acc.into(), tmp.into());
+    b.bin(
+        brepl_ir::BinOp::And,
+        acc,
+        acc.into(),
+        Operand::imm((1 << 40) - 1),
+    );
+    b.add(i, i.into(), Operand::imm(1));
+    b.jmp(sum_body);
+
+    b.switch_to(fin);
+    b.out(acc.into());
+    b.ret(Some(acc.into()));
+    b.finish()
+}
+
+/// Generates a drawing scene: lines, rectangles and horizontal strokes,
+/// some deliberately clipping the framebuffer edge so the bounds-check
+/// branches occasionally go the cold way.
+fn generate_scene(scale: Scale, seed: u64) -> Vec<Value> {
+    let ops = match scale {
+        Scale::Small => 300,
+        Scale::Full => 9_000,
+    };
+    let mut rng = XorShift::new(0x9057 ^ seed.wrapping_mul(0x9E3779B97F4A7C15));
+    let mut out = Vec::with_capacity(ops * 5 + 1);
+    for _ in 0..ops {
+        let kind = match rng.below(10) {
+            0..=4 => 1, // line
+            5..=7 => 2, // rect
+            _ => 3,     // hline
+        };
+        out.push(Value::Int(kind));
+        match kind {
+            1 => {
+                // Some endpoints off-screen to exercise clipping.
+                out.push(Value::Int(rng.range(-10, WIDTH + 10)));
+                out.push(Value::Int(rng.range(-10, HEIGHT + 10)));
+                out.push(Value::Int(rng.range(-10, WIDTH + 10)));
+                out.push(Value::Int(rng.range(-10, HEIGHT + 10)));
+            }
+            2 => {
+                out.push(Value::Int(rng.range(0, WIDTH - 1)));
+                out.push(Value::Int(rng.range(0, HEIGHT - 1)));
+                out.push(Value::Int(rng.range(1, 24)));
+                out.push(Value::Int(rng.range(1, 16)));
+            }
+            _ => {
+                out.push(Value::Int(rng.range(0, WIDTH - 1)));
+                out.push(Value::Int(rng.range(0, HEIGHT - 1)));
+                out.push(Value::Int(rng.range(4, 60)));
+                out.push(Value::Int(0));
+            }
+        }
+    }
+    out.push(Value::Int(0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scene() {
+        let w = build(Scale::Small);
+        let (outcome, output) = w.run_with_output().unwrap();
+        assert_eq!(output.len(), 1);
+        assert!(output[0].as_int().unwrap() > 0);
+        assert!(outcome.trace.len() > 30_000);
+    }
+
+    #[test]
+    fn bounds_checks_are_biased() {
+        let w = build(Scale::Small);
+        let outcome = w.run().unwrap();
+        let stats = outcome.trace.stats();
+        let biased = stats
+            .iter_executed()
+            .filter(|(_, c)| {
+                c.total() > 1000 && (c.minority_count() as f64) < 0.12 * c.total() as f64
+            })
+            .count();
+        assert!(biased >= 3, "bounds checks should be strongly biased");
+    }
+}

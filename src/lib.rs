@@ -1,0 +1,48 @@
+//! # brepl — improving semi-static branch prediction by code replication
+//!
+//! A full reproduction of Andreas Krall's PLDI 1994 paper. The library
+//! profiles a program (written in the [`ir`] intermediate representation),
+//! collects per-branch history pattern tables, compacts them into small
+//! branch prediction state machines, and *replicates code* — loop bodies
+//! and predecessor paths — so that each machine state becomes its own copy
+//! of the code and the branch inside every copy is statically predictable.
+//!
+//! ## Crate map
+//!
+//! * [`ir`] — the register-based program representation;
+//! * [`mod@cfg`] — control-flow analysis (dominators, natural loops, branch
+//!   classification);
+//! * [`trace`] — compact branch traces;
+//! * [`sim`] — the tracing interpreter (the "profiling tool");
+//! * [`predict`] — the predictor zoo: static, dynamic and semi-static;
+//! * [`core`] — the paper's contribution: state machines, searches,
+//!   selection, greedy sizing and the replication transforms;
+//! * [`workloads`] — the eight-program benchmark suite, written in the IR.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use brepl::pipeline::{run_pipeline, PipelineConfig};
+//! use brepl::workloads::{workload_by_name, Scale};
+//!
+//! let w = workload_by_name("compress", Scale::Small).unwrap();
+//! let result = run_pipeline(&w.module, &w.args, &w.input, PipelineConfig::default()).unwrap();
+//! // Replication never makes the profile-based prediction worse ...
+//! assert!(result.replicated_misprediction_percent
+//!     <= result.profile_misprediction_percent + 1e-9);
+//! // ... and costs some code size.
+//! assert!(result.size_growth >= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use brepl_cfg as cfg;
+pub use brepl_core as core;
+pub use brepl_ir as ir;
+pub use brepl_predict as predict;
+pub use brepl_sim as sim;
+pub use brepl_trace as trace;
+pub use brepl_workloads as workloads;
+
+pub mod pipeline;

@@ -1,0 +1,260 @@
+//! The end-to-end pipeline: profile → select machines → replicate →
+//! verify → re-measure. This is the workflow an optimizing compiler would
+//! run between profiling and code generation.
+
+use std::error::Error;
+use std::fmt;
+
+use brepl_core::replicate::ReplicateError;
+use brepl_core::{apply_plan, check_equivalence, select_strategies, ReplicatedProgram, Selection};
+use brepl_ir::{Module, Value};
+use brepl_predict::evaluate_static;
+use brepl_sim::{Machine, RunConfig, RunError};
+
+/// Pipeline tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Maximum states per branch machine (the paper explores 2..=10).
+    pub max_states: usize,
+    /// Interpreter limits for both profiling and verification runs.
+    pub run: RunConfig,
+    /// When true (default), verify semantic equivalence of the replicated
+    /// program against the original on the profiling input.
+    pub verify_equivalence: bool,
+    /// Estimated code-size budget (growth factor). Branches are enabled in
+    /// greedy benefit-per-size order until the estimate exceeds the budget
+    /// — the paper's "cost function will calculate whether the increase in
+    /// code size is worth the gain". `None` replicates every improving
+    /// branch.
+    pub max_size_growth: Option<f64>,
+    /// When true (default), re-measure the replicated program and *drop*
+    /// machines whose realized prediction is no better than profile (the
+    /// trace-suffix profile of correlated machines is an approximation of
+    /// the CFG-path replica, so a few machines can fail to transfer);
+    /// replication is then redone with the pruned plan.
+    pub refine: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            max_states: 4,
+            run: RunConfig::default(),
+            verify_equivalence: true,
+            max_size_growth: Some(3.0),
+            refine: true,
+        }
+    }
+}
+
+/// Pipeline failure.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A program run trapped.
+    Run(RunError),
+    /// The replication transform failed.
+    Replicate(ReplicateError),
+    /// The replicated program was not equivalent to the original.
+    Equivalence(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Run(e) => write!(f, "program run failed: {e}"),
+            PipelineError::Replicate(e) => write!(f, "replication failed: {e}"),
+            PipelineError::Equivalence(e) => write!(f, "equivalence check failed: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+impl From<RunError> for PipelineError {
+    fn from(e: RunError) -> Self {
+        PipelineError::Run(e)
+    }
+}
+
+impl From<ReplicateError> for PipelineError {
+    fn from(e: ReplicateError) -> Self {
+        PipelineError::Replicate(e)
+    }
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug)]
+pub struct PipelineResult {
+    /// Misprediction (%) of plain profile prediction on the original
+    /// program.
+    pub profile_misprediction_percent: f64,
+    /// Misprediction (%) of static per-site prediction on the replicated
+    /// program.
+    pub replicated_misprediction_percent: f64,
+    /// Misprediction (%) the selection promised on the profiling run
+    /// (ignoring replication mechanics); close to the replicated number.
+    pub selected_misprediction_percent: f64,
+    /// Code size growth factor.
+    pub size_growth: f64,
+    /// Branch events in the profiling trace.
+    pub trace_events: u64,
+    /// The per-branch strategy selection.
+    pub selection: Selection,
+    /// The replicated program with predictions and provenance.
+    pub program: ReplicatedProgram,
+}
+
+/// Runs the whole pipeline on `module` with entry function `main`.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] if any run traps, replication fails, or the
+/// equivalence check finds a divergence (the latter would be a bug — the
+/// check is belt-and-braces).
+pub fn run_pipeline(
+    module: &Module,
+    args: &[Value],
+    input: &[Value],
+    config: PipelineConfig,
+) -> Result<PipelineResult, PipelineError> {
+    // 1. Profile.
+    let mut machine = Machine::new(module, config.run);
+    machine.set_input(input.to_vec());
+    let outcome = machine.run("main", args)?;
+    let stats = outcome.trace.stats();
+    let profile_pct = stats.profile_misprediction_percent();
+
+    // 2. Select per-branch machines, then apply the size budget by taking
+    // branches in greedy benefit-per-size order.
+    let selection = select_strategies(module, &outcome.trace, config.max_states);
+    let mut enabled: std::collections::BTreeSet<brepl_ir::BranchId> = match config.max_size_growth
+    {
+        None => selection
+            .choices()
+            .iter()
+            .filter(|c| c.benefit() > 0)
+            .map(|c| c.site)
+            .collect(),
+        Some(budget) => {
+            let curve = brepl_core::greedy::greedy_curve_from_selection(
+                module,
+                &selection,
+                outcome.trace.len() as u64,
+            );
+            curve.sites_within_budget(budget).into_iter().collect()
+        }
+    };
+
+    // 3–5. Replicate, measure, and back off machines that fail to transfer
+    // (at most a few refinement rounds; each round only shrinks the plan).
+    let (program, report) = loop {
+        let plan = selection.to_plan_filtered(|site| enabled.contains(&site));
+        let program = apply_plan(module, &plan, &stats)?;
+        if config.verify_equivalence {
+            check_equivalence(module, &program, "main", args, input)
+                .map_err(|e| PipelineError::Equivalence(e.to_string()))?;
+        }
+        let mut machine2 = Machine::new(&program.module, config.run);
+        machine2.set_input(input.to_vec());
+        let outcome2 = machine2.run("main", args)?;
+        let report = evaluate_static(&program.predictions, &outcome2.trace);
+        if !config.refine {
+            break (program, report);
+        }
+        // Fold replicated-site mispredictions back to original sites.
+        let mut folded: std::collections::HashMap<brepl_ir::BranchId, u64> =
+            std::collections::HashMap::new();
+        for (site, _, wrong) in report.iter_sites() {
+            *folded.entry(program.provenance[site.index()]).or_default() += wrong;
+        }
+        let mut dropped = false;
+        for choice in selection.choices() {
+            if !enabled.contains(&choice.site) {
+                continue;
+            }
+            let realized = folded.get(&choice.site).copied().unwrap_or(0);
+            if realized >= choice.profile_misses && choice.profile_misses > 0
+                || realized > choice.profile_misses
+            {
+                enabled.remove(&choice.site);
+                dropped = true;
+            }
+        }
+        if !dropped {
+            break (program, report);
+        }
+    };
+
+    Ok(PipelineResult {
+        profile_misprediction_percent: profile_pct,
+        replicated_misprediction_percent: report.misprediction_percent(),
+        selected_misprediction_percent: selection.misprediction_percent(),
+        size_growth: program.size_growth(module),
+        trace_events: outcome.trace.len() as u64,
+        selection,
+        program,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::{FunctionBuilder, Operand};
+
+    fn alternating_module() -> Module {
+        let mut b = FunctionBuilder::new("main", 0);
+        let i = b.reg();
+        let acc = b.reg();
+        b.const_int(i, 0);
+        b.const_int(acc, 0);
+        let head = b.new_block();
+        let even = b.new_block();
+        let odd = b.new_block();
+        let latch = b.new_block();
+        let exit = b.new_block();
+        b.jmp(head);
+        b.switch_to(head);
+        let r = b.reg();
+        b.rem(r, i.into(), Operand::imm(2));
+        let c = b.eq(r.into(), Operand::imm(0));
+        b.br(c, even, odd);
+        b.switch_to(even);
+        b.add(acc, acc.into(), Operand::imm(3));
+        b.jmp(latch);
+        b.switch_to(odd);
+        b.add(acc, acc.into(), Operand::imm(5));
+        b.jmp(latch);
+        b.switch_to(latch);
+        b.add(i, i.into(), Operand::imm(1));
+        let c2 = b.lt(i.into(), Operand::imm(300));
+        b.br(c2, head, exit);
+        b.switch_to(exit);
+        b.out(acc.into());
+        b.ret(Some(acc.into()));
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn pipeline_halves_misprediction_on_alternation() {
+        let m = alternating_module();
+        let result = run_pipeline(&m, &[], &[], PipelineConfig::default()).unwrap();
+        // Profile: the alternating branch costs ~25% of all events.
+        assert!(result.profile_misprediction_percent > 20.0);
+        // Replication: near zero.
+        assert!(result.replicated_misprediction_percent < 1.0);
+        assert!(result.size_growth > 1.0 && result.size_growth < 4.0);
+        assert_eq!(result.trace_events, 600);
+    }
+
+    #[test]
+    fn verification_can_be_disabled() {
+        let m = alternating_module();
+        let config = PipelineConfig {
+            verify_equivalence: false,
+            ..PipelineConfig::default()
+        };
+        assert!(run_pipeline(&m, &[], &[], config).is_ok());
+    }
+}

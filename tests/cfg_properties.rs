@@ -1,0 +1,104 @@
+//! Property-based testing of the control-flow analyses on random
+//! generated programs.
+
+mod common;
+
+use brepl::cfg::{Cfg, ClassifiedBranches, DomTree, LoopForest};
+use brepl::ir::FuncId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dominator facts: the entry dominates everything reachable; idom
+    /// strictly dominates its node; dominance is consistent with a brute
+    /// force path check on small graphs.
+    #[test]
+    fn dominator_invariants(
+        seed in any::<u64>(),
+        diamonds in 0usize..5,
+        trip in 1i64..20,
+    ) {
+        let module = common::random_loop_module(seed, diamonds, trip);
+        let func = module.function(FuncId(0));
+        let cfg = Cfg::new(func);
+        let dom = DomTree::new(&cfg);
+        for b in cfg.blocks() {
+            if !dom.is_reachable(b) {
+                continue;
+            }
+            prop_assert!(dom.dominates(cfg.entry(), b));
+            prop_assert!(dom.dominates(b, b));
+            if let Some(idom) = dom.idom(b) {
+                prop_assert!(dom.strictly_dominates(idom, b));
+            }
+        }
+    }
+
+    /// Loop facts: headers dominate every loop block; back edges end at
+    /// the header; exit edges leave the block set; nesting parents are
+    /// strict supersets.
+    #[test]
+    fn loop_invariants(
+        seed in any::<u64>(),
+        diamonds in 0usize..5,
+        trip in 1i64..20,
+    ) {
+        let module = common::random_loop_module(seed, diamonds, trip);
+        let func = module.function(FuncId(0));
+        let cfg = Cfg::new(func);
+        let dom = DomTree::new(&cfg);
+        let forest = LoopForest::new(&cfg, &dom);
+        for l in forest.loops() {
+            for &b in &l.blocks {
+                prop_assert!(dom.dominates(l.header, b));
+            }
+            for &(tail, head) in &l.back_edges {
+                prop_assert_eq!(head, l.header);
+                prop_assert!(l.blocks.contains(&tail));
+            }
+            for &(from, to) in &l.exit_edges {
+                prop_assert!(l.blocks.contains(&from));
+                prop_assert!(!l.blocks.contains(&to));
+            }
+            if let Some(parent) = l.parent {
+                let p = forest.get(parent);
+                prop_assert!(p.blocks.is_superset(&l.blocks));
+                prop_assert!(p.blocks.len() > l.blocks.len());
+                prop_assert_eq!(p.depth + 1, l.depth);
+            }
+        }
+    }
+
+    /// Branch classification covers every conditional branch exactly once,
+    /// and class membership matches target membership.
+    #[test]
+    fn classification_invariants(
+        seed in any::<u64>(),
+        diamonds in 0usize..5,
+        trip in 1i64..20,
+    ) {
+        let module = common::random_loop_module(seed, diamonds, trip);
+        let func = module.function(FuncId(0));
+        let cfg = Cfg::new(func);
+        let dom = DomTree::new(&cfg);
+        let forest = LoopForest::new(&cfg, &dom);
+        let classes = ClassifiedBranches::analyze(func, &forest);
+        prop_assert_eq!(classes.branches().len(), func.branch_count());
+        for info in classes.branches() {
+            match info.class {
+                brepl::cfg::BranchClass::IntraLoop => {
+                    prop_assert!(info.then_in_loop && info.else_in_loop);
+                    prop_assert!(info.innermost_loop.is_some());
+                }
+                brepl::cfg::BranchClass::LoopExit => {
+                    prop_assert!(!(info.then_in_loop && info.else_in_loop));
+                    prop_assert!(info.innermost_loop.is_some());
+                }
+                brepl::cfg::BranchClass::NonLoop => {
+                    prop_assert!(info.innermost_loop.is_none());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based testing of the IR layer: textual round-tripping,
+//! verification of generated programs, and execution determinism.
+
+mod common;
+
+use brepl::ir::parse_module;
+use brepl::sim::{Machine, RunConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn textual_format_round_trips(
+        seed in any::<u64>(),
+        diamonds in 1usize..5,
+        trip in 1i64..50,
+    ) {
+        let module = common::random_loop_module(seed, diamonds, trip);
+        let text = module.to_string();
+        let parsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
+        prop_assert_eq!(&parsed, &module);
+        // And the round-tripped module runs identically.
+        let a = Machine::new(&module, RunConfig::default()).run("main", &[]).unwrap();
+        let b = Machine::new(&parsed, RunConfig::default()).run("main", &[]).unwrap();
+        prop_assert_eq!(a.result, b.result);
+        prop_assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn execution_is_deterministic(
+        seed in any::<u64>(),
+        diamonds in 1usize..4,
+        trip in 1i64..60,
+    ) {
+        let module = common::random_loop_module(seed, diamonds, trip);
+        let a = Machine::new(&module, RunConfig::default()).run("main", &[]).unwrap();
+        let b = Machine::new(&module, RunConfig::default()).run("main", &[]).unwrap();
+        prop_assert_eq!(a.result, b.result);
+        prop_assert_eq!(a.trace.len(), b.trace.len());
+        let ev_a: Vec<_> = a.trace.iter().collect();
+        let ev_b: Vec<_> = b.trace.iter().collect();
+        prop_assert_eq!(ev_a, ev_b);
+    }
+
+    #[test]
+    fn trace_serialization_round_trips(
+        seed in any::<u64>(),
+        diamonds in 1usize..4,
+        trip in 1i64..80,
+    ) {
+        let module = common::random_loop_module(seed, diamonds, trip);
+        let trace = Machine::new(&module, RunConfig::default())
+            .run("main", &[])
+            .unwrap()
+            .trace;
+        let bytes = trace.to_bytes();
+        let back = brepl::trace::Trace::from_bytes(&bytes).expect("decodes");
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn generated_modules_always_verify(
+        seed in any::<u64>(),
+        diamonds in 0usize..6,
+        trip in 0i64..40,
+    ) {
+        let module = common::random_loop_module(seed, diamonds, trip);
+        prop_assert_eq!(module.verify(), Ok(()));
+        prop_assert!(module.branch_count() >= 1);
+    }
+}

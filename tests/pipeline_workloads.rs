@@ -1,0 +1,93 @@
+//! End-to-end pipeline runs over the whole benchmark suite: the paper's
+//! workflow must hold on every program — semantics preserved, replicated
+//! prediction no worse than profile, size growth within the configured
+//! budget's ballpark.
+
+use brepl::pipeline::{run_pipeline, PipelineConfig};
+use brepl::workloads::{all_workloads, Scale};
+
+#[test]
+fn pipeline_improves_or_holds_every_workload() {
+    for w in all_workloads(Scale::Small) {
+        let result = run_pipeline(&w.module, &w.args, &w.input, PipelineConfig::default())
+            .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", w.name));
+        assert!(
+            result.replicated_misprediction_percent
+                <= result.profile_misprediction_percent + 1e-9,
+            "{}: replicated {:.3}% worse than profile {:.3}%",
+            w.name,
+            result.replicated_misprediction_percent,
+            result.profile_misprediction_percent
+        );
+        assert!(
+            result.size_growth >= 1.0,
+            "{}: size shrank ({:.2})",
+            w.name,
+            result.size_growth
+        );
+        assert!(
+            result.program.module.verify().is_ok(),
+            "{}: replicated module invalid",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn pipeline_gains_are_substantial_where_promised() {
+    // doduc's convergence loop and predict's periodic branches must show
+    // clear wins, the suite's bellwethers for the paper's headline.
+    let check = |name: &str, min_relative_gain: f64| {
+        let w = brepl::workloads::workload_by_name(name, Scale::Small).unwrap();
+        let r = run_pipeline(&w.module, &w.args, &w.input, PipelineConfig::default()).unwrap();
+        let gain = (r.profile_misprediction_percent - r.replicated_misprediction_percent)
+            / r.profile_misprediction_percent.max(1e-9);
+        assert!(
+            gain >= min_relative_gain,
+            "{name}: gain {gain:.2} below {min_relative_gain}"
+        );
+    };
+    check("doduc", 0.5);
+    check("predict", 0.3);
+    check("ghostview", 0.15);
+}
+
+#[test]
+fn unlimited_budget_reaches_selection_promise() {
+    let w = brepl::workloads::workload_by_name("doduc", Scale::Small).unwrap();
+    let config = PipelineConfig {
+        max_size_growth: None,
+        ..PipelineConfig::default()
+    };
+    let r = run_pipeline(&w.module, &w.args, &w.input, config).unwrap();
+    // Without a budget, the realized result lands near the selection's
+    // promise (refinement may drop a few non-transferring machines).
+    assert!(
+        r.replicated_misprediction_percent
+            <= r.selected_misprediction_percent + 3.0,
+        "realized {:.2}% far from promised {:.2}%",
+        r.replicated_misprediction_percent,
+        r.selected_misprediction_percent
+    );
+}
+
+#[test]
+fn provenance_is_complete_and_consistent() {
+    for w in all_workloads(Scale::Small).into_iter().take(3) {
+        let r = run_pipeline(&w.module, &w.args, &w.input, PipelineConfig::default()).unwrap();
+        assert_eq!(
+            r.program.provenance.len(),
+            r.program.module.branch_count(),
+            "{}",
+            w.name
+        );
+        let original_branches = w.module.branch_count();
+        for orig in &r.program.provenance {
+            assert!(
+                orig.index() < original_branches,
+                "{}: provenance {orig} out of range",
+                w.name
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based testing of the predictor zoo and pattern tables.
+
+use brepl::ir::BranchId;
+use brepl::predict::dynamic::{LastDirection, SaturatingCounters, TwoBitCounters, TwoLevel};
+use brepl::predict::semistatic::{combine_best, loop_report, profile_report};
+use brepl::predict::{simulate_dynamic, HistoryKind, PatternTableSet};
+use brepl::trace::{Trace, TraceEvent};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    // A few sites, each with a behavior class and parameters.
+    proptest::collection::vec((0u32..6, 0u8..4, 2u64..9, any::<u64>()), 1..5).prop_map(
+        |site_specs| {
+            let mut t = Trace::new();
+            let mut rngs: Vec<u64> = site_specs.iter().map(|&(_, _, _, s)| s | 1).collect();
+            for step in 0..4000usize {
+                let idx = step % site_specs.len();
+                let (site, class, period, _) = site_specs[idx];
+                let r = &mut rngs[idx];
+                *r ^= *r << 13;
+                *r ^= *r >> 7;
+                *r ^= *r << 17;
+                let phase = (step / site_specs.len()) as u64;
+                let taken = match class {
+                    0 => true,
+                    1 => phase % period != period - 1,
+                    2 => phase.is_multiple_of(2),
+                    _ => *r & 7 != 0,
+                };
+                t.push(TraceEvent {
+                    site: BranchId(site),
+                    taken,
+                });
+            }
+            t
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every predictor's report covers the whole trace.
+    #[test]
+    fn reports_cover_all_events(trace in arb_trace()) {
+        let n = trace.len() as u64;
+        prop_assert_eq!(simulate_dynamic(&mut LastDirection::new(), &trace).total(), n);
+        prop_assert_eq!(simulate_dynamic(&mut TwoBitCounters::new(), &trace).total(), n);
+        prop_assert_eq!(simulate_dynamic(&mut TwoLevel::paper_4k(), &trace).total(), n);
+        prop_assert_eq!(profile_report(&trace).total(), n);
+        prop_assert_eq!(loop_report(&trace, 5).total(), n);
+    }
+
+    /// Profile prediction is optimal among per-site constant predictions,
+    /// so any history scheme's *ideal* table can only match or beat it.
+    #[test]
+    fn history_never_beats_by_less_than_profile(trace in arb_trace()) {
+        let profile = profile_report(&trace);
+        for bits in [1u32, 3, 6, 9] {
+            let local = loop_report(&trace, bits);
+            prop_assert!(
+                local.mispredictions() <= profile.mispredictions(),
+                "bits={bits}: {} > {}",
+                local.mispredictions(),
+                profile.mispredictions()
+            );
+        }
+    }
+
+    /// Longer ideal local history is monotonically at least as good.
+    #[test]
+    fn longer_history_monotone(trace in arb_trace()) {
+        let mut prev = u64::MAX;
+        for bits in 1..=9u32 {
+            let w = loop_report(&trace, bits).mispredictions();
+            prop_assert!(w <= prev);
+            prev = w;
+        }
+    }
+
+    /// The best-of combination is at least as good as either input.
+    #[test]
+    fn combine_best_dominates(trace in arb_trace()) {
+        let a = loop_report(&trace, 2);
+        let b = loop_report(&trace, 7);
+        let c = combine_best(&a, &b);
+        prop_assert!(c.mispredictions() <= a.mispredictions());
+        prop_assert!(c.mispredictions() <= b.mispredictions());
+        prop_assert_eq!(c.total(), a.total());
+    }
+
+    /// Pattern-table suffix aggregation: the counts of the two refinements
+    /// of a suffix sum to the counts of the suffix itself.
+    #[test]
+    fn suffix_refinement_partitions(trace in arb_trace()) {
+        let pts = PatternTableSet::build(&trace, HistoryKind::Local, 6);
+        for (_, table) in pts.iter_sites() {
+            for len in 0..5u32 {
+                for suffix in 0..(1u32 << len) {
+                    let whole = table.suffix_counts(suffix, len);
+                    let zero = table.suffix_counts(suffix, len + 1);
+                    let one = table.suffix_counts(suffix | 1 << len, len + 1);
+                    prop_assert_eq!(whole.taken, zero.taken + one.taken);
+                    prop_assert_eq!(whole.not_taken, zero.not_taken + one.not_taken);
+                }
+            }
+        }
+    }
+
+    /// Saturating counters of any width track a constant stream perfectly
+    /// after warmup.
+    #[test]
+    fn counters_lock_onto_constant_streams(bits in 1u32..6, taken in any::<bool>()) {
+        let trace: Trace = (0..200)
+            .map(|_| TraceEvent { site: BranchId(0), taken })
+            .collect();
+        let report = simulate_dynamic(&mut SaturatingCounters::new(bits), &trace);
+        // At most 2^(bits-1) warmup misses.
+        prop_assert!(report.mispredictions() <= 1 << bits.saturating_sub(1));
+    }
+
+    /// Fill rate is within [0, 100] and weakly decreasing in history bits
+    /// for traces long enough to saturate short tables.
+    #[test]
+    fn fill_rate_bounds(trace in arb_trace()) {
+        for bits in 1..=9u32 {
+            let f = PatternTableSet::build(&trace, HistoryKind::Local, bits).fill_rate_percent();
+            prop_assert!((0.0..=100.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based testing of the replication transform: for random
+//! branch-rich loop programs, applying the full selection must preserve
+//! semantics exactly (result, output tape, step count, per-site branch
+//! histogram) and must never make the static prediction worse.
+
+mod common;
+
+use brepl::core::{apply_plan, check_equivalence, select_strategies};
+use brepl::pipeline::{run_pipeline, PipelineConfig};
+use brepl::sim::{Machine, RunConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn replication_preserves_semantics(
+        seed in any::<u64>(),
+        diamonds in 1usize..4,
+        trip in 8i64..120,
+    ) {
+        let module = common::random_loop_module(seed, diamonds, trip);
+        let trace = Machine::new(&module, RunConfig::default())
+            .run("main", &[])
+            .expect("generated programs terminate")
+            .trace;
+        prop_assume!(trace.len() > 10);
+
+        for max_states in [2usize, 4] {
+            let selection = select_strategies(&module, &trace, max_states);
+            let plan = selection.to_plan();
+            let program = apply_plan(&module, &plan, &trace.stats())
+                .expect("replication applies");
+            check_equivalence(&module, &program, "main", &[], &[])
+                .expect("replicated program is equivalent");
+        }
+    }
+
+    #[test]
+    fn pipeline_never_degrades_prediction(
+        seed in any::<u64>(),
+        diamonds in 1usize..4,
+        trip in 8i64..100,
+    ) {
+        let module = common::random_loop_module(seed, diamonds, trip);
+        let config = PipelineConfig {
+            max_states: 3,
+            ..PipelineConfig::default()
+        };
+        let result = run_pipeline(&module, &[], &[], config).expect("pipeline runs");
+        prop_assert!(
+            result.replicated_misprediction_percent
+                <= result.profile_misprediction_percent + 1e-9
+        );
+        prop_assert!(result.size_growth >= 1.0);
+    }
+
+    #[test]
+    fn selection_misses_bounded_by_profile(
+        seed in any::<u64>(),
+        diamonds in 1usize..5,
+        trip in 8i64..150,
+    ) {
+        let module = common::random_loop_module(seed, diamonds, trip);
+        let trace = Machine::new(&module, RunConfig::default())
+            .run("main", &[])
+            .expect("terminates")
+            .trace;
+        prop_assume!(!trace.is_empty());
+        let selection = select_strategies(&module, &trace, 4);
+        prop_assert!(selection.total_misses() <= selection.profile_misses());
+        // Every individual choice is at least as good as profile.
+        for c in selection.choices() {
+            prop_assert!(c.chosen_misses <= c.profile_misses, "site {}", c.site);
+        }
+    }
+}
