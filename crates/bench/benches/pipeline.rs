@@ -1,51 +1,64 @@
-//! Criterion benchmarks: end-to-end pipeline stages on one benchmark
-//! program — interpretation/tracing throughput, strategy selection, and
-//! the replication transform itself.
-
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+//! Benchmarks (std-only harness): end-to-end pipeline stages on one
+//! benchmark program — interpretation/tracing throughput, strategy
+//! selection (serial vs parallel vs memo-warm), and the replication
+//! transform itself. Run with `cargo bench -p brepl-bench`.
 
 use brepl::pipeline::{run_pipeline, PipelineConfig};
-use brepl_core::{apply_plan, select_strategies};
+use brepl_bench::timing::{bench_throughput, bench_time};
+use brepl_core::{apply_plan, select_strategies, select_strategies_with_threads};
 use brepl_sim::{Machine, RunConfig};
 use brepl_workloads::{workload_by_name, Scale};
 
-fn bench_stages(c: &mut Criterion) {
+fn main() {
     let w = workload_by_name("ghostview", Scale::Small).expect("workload exists");
     let outcome = w.run().expect("runs");
     let trace = outcome.trace;
     let stats = trace.stats();
 
-    let mut group = c.benchmark_group("pipeline-stages");
-    group.sample_size(20);
-
-    group.throughput(Throughput::Elements(outcome.steps));
-    group.bench_function("interpret-and-trace", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(&w.module, RunConfig::default());
-            m.set_input(w.input.clone());
-            m.run("main", &w.args).expect("runs")
-        })
+    println!("pipeline-stages ({} trace events)", trace.len());
+    bench_throughput("interpret-and-trace", outcome.steps, || {
+        let mut m = Machine::new(&w.module, RunConfig::default());
+        m.set_input(w.input.clone());
+        m.run("main", &w.args).expect("runs")
     });
 
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("select-strategies-4", |b| {
-        b.iter(|| select_strategies(&w.module, &trace, 4))
-    });
+    // Selection three ways: cold serial, cold parallel, then memo-warm.
+    // The memo is process-wide, so clear it before each cold sample.
+    bench_throughput(
+        "select-strategies-4 (serial, cold)",
+        trace.len() as u64,
+        || {
+            brepl_core::memo::clear();
+            select_strategies_with_threads(&w.module, &trace, 4, 1)
+        },
+    );
+    bench_throughput(
+        "select-strategies-4 (parallel, cold)",
+        trace.len() as u64,
+        || {
+            brepl_core::memo::clear();
+            select_strategies(&w.module, &trace, 4)
+        },
+    );
+    brepl_core::memo::clear();
+    let _warm = select_strategies(&w.module, &trace, 4);
+    bench_throughput(
+        "select-strategies-4 (memo-warm)",
+        trace.len() as u64,
+        || select_strategies(&w.module, &trace, 4),
+    );
 
     let selection = select_strategies(&w.module, &trace, 4);
     let plan = selection.to_plan();
-    group.bench_function("apply-plan", |b| {
-        b.iter(|| apply_plan(&w.module, &plan, &stats).expect("applies"))
+    bench_time("apply-plan", || {
+        apply_plan(&w.module, &plan, &stats).expect("applies")
     });
 
-    group.bench_function("full-pipeline", |b| {
-        b.iter(|| {
-            run_pipeline(&w.module, &w.args, &w.input, PipelineConfig::default())
-                .expect("pipeline runs")
-        })
+    bench_time("full-pipeline", || {
+        run_pipeline(&w.module, &w.args, &w.input, PipelineConfig::default())
+            .expect("pipeline runs")
     });
-    group.finish();
+
+    let (entries, hits) = brepl_core::memo::stats();
+    println!("search memo: {entries} entries, {hits} hits");
 }
-
-criterion_group!(benches, bench_stages);
-criterion_main!(benches);

@@ -1,56 +1,43 @@
-//! Criterion benchmarks: predictor simulation throughput. The paper notes
-//! its trace analysis runs "in a few seconds" on mid-90s hardware; these
-//! benches document the events-per-second of each strategy in this
-//! implementation.
+//! Benchmarks (std-only harness): predictor simulation throughput. The
+//! paper notes its trace analysis runs "in a few seconds" on mid-90s
+//! hardware; these benches document the events-per-second of each
+//! strategy in this implementation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use brepl_bench::timing::bench_throughput;
 use brepl_predict::dynamic::{LastDirection, TwoBitCounters, TwoLevel};
 use brepl_predict::semistatic::{loop_correlation_report, profile_report};
 use brepl_predict::{simulate_dynamic, HistoryKind, PatternTableSet};
 use brepl_workloads::{workload_by_name, Scale};
 
-fn bench_predictors(c: &mut Criterion) {
+fn main() {
     let w = workload_by_name("compress", Scale::Small).expect("workload exists");
     let trace = w.run().expect("runs").trace;
     let events = trace.len() as u64;
 
-    let mut group = c.benchmark_group("predictors");
-    group.throughput(Throughput::Elements(events));
+    println!("predictors ({events} trace events)");
+    bench_throughput("dynamic/last-direction", events, || {
+        simulate_dynamic(&mut LastDirection::new(), &trace)
+    });
+    bench_throughput("dynamic/2bit-counter", events, || {
+        simulate_dynamic(&mut TwoBitCounters::new(), &trace)
+    });
+    bench_throughput("dynamic/two-level-4k", events, || {
+        simulate_dynamic(&mut TwoLevel::paper_4k(), &trace)
+    });
+    bench_throughput("semistatic/profile", events, || profile_report(&trace));
+    bench_throughput("semistatic/loop-correlation", events, || {
+        loop_correlation_report(&trace)
+    });
+    bench_throughput("tables/build-9bit-local", events, || {
+        PatternTableSet::build(&trace, HistoryKind::Local, 9)
+    });
 
-    group.bench_function(BenchmarkId::new("dynamic", "last-direction"), |b| {
-        b.iter(|| simulate_dynamic(&mut LastDirection::new(), &trace))
-    });
-    group.bench_function(BenchmarkId::new("dynamic", "2bit-counter"), |b| {
-        b.iter(|| simulate_dynamic(&mut TwoBitCounters::new(), &trace))
-    });
-    group.bench_function(BenchmarkId::new("dynamic", "two-level-4k"), |b| {
-        b.iter(|| simulate_dynamic(&mut TwoLevel::paper_4k(), &trace))
-    });
-    group.bench_function(BenchmarkId::new("semistatic", "profile"), |b| {
-        b.iter(|| profile_report(&trace))
-    });
-    group.bench_function(BenchmarkId::new("semistatic", "loop-correlation"), |b| {
-        b.iter(|| loop_correlation_report(&trace))
-    });
-    group.bench_function(BenchmarkId::new("tables", "build-9bit-local"), |b| {
-        b.iter(|| PatternTableSet::build(&trace, HistoryKind::Local, 9))
-    });
-    group.finish();
-}
-
-fn bench_trace_codec(c: &mut Criterion) {
-    let w = workload_by_name("compress", Scale::Small).expect("workload exists");
-    let trace = w.run().expect("runs").trace;
     let bytes = trace.to_bytes();
-
-    let mut group = c.benchmark_group("trace-codec");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("encode", |b| b.iter(|| trace.to_bytes()));
-    group.bench_function("decode", |b| {
-        b.iter(|| brepl_trace::Trace::from_bytes(&bytes).expect("decodes"))
+    println!("trace-codec");
+    bench_throughput("encode", events, || trace.to_bytes());
+    bench_throughput("decode", events, || {
+        brepl_trace::Trace::from_bytes(&bytes).expect("decodes")
     });
-    group.finish();
     println!(
         "trace compression: {} events -> {} bytes ({:.2} bytes/event)",
         trace.len(),
@@ -58,6 +45,3 @@ fn bench_trace_codec(c: &mut Criterion) {
         bytes.len() as f64 / trace.len() as f64
     );
 }
-
-criterion_group!(benches, bench_predictors, bench_trace_codec);
-criterion_main!(benches);

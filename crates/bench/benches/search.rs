@@ -1,12 +1,11 @@
-//! Criterion benchmarks: state-machine search cost — the exhaustive
-//! intra-loop antichain search, the exit-chain scoring and the correlated
-//! path selection. These dominate compile-time cost in a production
-//! deployment of the technique.
+//! Benchmarks (std-only harness): state-machine search cost — the
+//! exhaustive intra-loop antichain search, the exit-chain scoring and the
+//! correlated path selection. These dominate compile-time cost in a
+//! production deployment of the technique.
 
 use std::collections::HashMap;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use brepl_bench::timing::bench_time;
 use brepl_cfg::PathStep;
 use brepl_core::correlated::profile_paths;
 use brepl_core::intra_loop::IntraLoopSearch;
@@ -24,52 +23,39 @@ fn periodic_trace(period: usize, n: usize) -> Trace {
         .collect()
 }
 
-fn bench_intra_search(c: &mut Criterion) {
+fn main() {
     let trace = periodic_trace(7, 50_000);
     let tables = PatternTableSet::build(&trace, HistoryKind::Local, 9);
     let table = tables.site(BranchId(0)).expect("site exists").clone();
 
-    let mut group = c.benchmark_group("intra-loop-search");
+    println!("intra-loop-search (period-7 trace, 50k events)");
     for max_states in [4usize, 6, 8, 10] {
         let search = IntraLoopSearch::new(max_states, 9);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(max_states),
-            &max_states,
-            |b, _| b.iter(|| search.search(&table)),
-        );
+        bench_time(&format!("search/{max_states}-states"), || {
+            search.search(&table)
+        });
     }
-    group.finish();
-}
+    bench_time("antichain-enumeration-10", || IntraLoopSearch::new(10, 9));
 
-fn bench_search_space_construction(c: &mut Criterion) {
-    c.bench_function("antichain-enumeration-10", |b| {
-        b.iter(|| IntraLoopSearch::new(10, 9))
+    let exit_trace = periodic_trace(9, 50_000);
+    let exit_tables = PatternTableSet::build(&exit_trace, HistoryKind::Local, 9);
+    let exit_table = exit_tables.site(BranchId(0)).expect("site exists").clone();
+    let outcomes: Vec<bool> = exit_trace.iter().map(|e| e.taken).collect();
+    bench_time("exit-machine-search-10", || {
+        best_exit_machine(10, &exit_table, &outcomes)
     });
-}
 
-fn bench_exit_machines(c: &mut Criterion) {
-    let trace = periodic_trace(9, 50_000);
-    let tables = PatternTableSet::build(&trace, HistoryKind::Local, 9);
-    let table = tables.site(BranchId(0)).expect("site exists").clone();
-    let outcomes: Vec<bool> = trace.iter().map(|e| e.taken).collect();
-
-    c.bench_function("exit-machine-search-10", |b| {
-        b.iter(|| best_exit_machine(10, &table, &outcomes))
-    });
-}
-
-fn bench_correlated_selection(c: &mut Criterion) {
     // Two interleaved correlated branches.
-    let mut trace = Trace::new();
+    let mut corr = Trace::new();
     let mut x = 5u64;
     for _ in 0..25_000 {
         x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
         let d = x >> 30 & 1 == 1;
-        trace.push(TraceEvent {
+        corr.push(TraceEvent {
             site: BranchId(0),
             taken: d,
         });
-        trace.push(TraceEvent {
+        corr.push(TraceEvent {
             site: BranchId(1),
             taken: d ^ (x >> 31 & 1 == 1),
         });
@@ -89,22 +75,8 @@ fn bench_correlated_selection(c: &mut Criterion) {
         ],
     );
 
-    let mut group = c.benchmark_group("correlated");
-    group.bench_function("profile-paths", |b| {
-        b.iter(|| profile_paths(&trace, &candidates))
-    });
-    let profiles = profile_paths(&trace, &candidates);
-    group.bench_function("greedy-select-4", |b| {
-        b.iter(|| profiles[&BranchId(1)].select(4))
-    });
-    group.finish();
+    println!("correlated (50k interleaved events)");
+    bench_time("profile-paths", || profile_paths(&corr, &candidates));
+    let profiles = profile_paths(&corr, &candidates);
+    bench_time("greedy-select-4", || profiles[&BranchId(1)].select(4));
 }
-
-criterion_group!(
-    benches,
-    bench_intra_search,
-    bench_search_space_construction,
-    bench_exit_machines,
-    bench_correlated_selection
-);
-criterion_main!(benches);

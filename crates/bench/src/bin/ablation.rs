@@ -74,8 +74,13 @@ fn main() {
         let mut repl_sum = 0.0;
         let mut size_sum = 0.0;
         let mut n = 0.0;
-        for w in all_workloads(scale) {
-            match run_pipeline(&w.module, &w.args, &w.input, row.config) {
+        // The eight workloads are independent; fan them out per config row.
+        let workloads = all_workloads(scale);
+        let results = brepl_core::par_map(&workloads, |w| {
+            run_pipeline(&w.module, &w.args, &w.input, row.config)
+        });
+        for (w, result) in workloads.iter().zip(results) {
+            match result {
                 Ok(r) => {
                     profile_sum += r.profile_misprediction_percent;
                     repl_sum += r.replicated_misprediction_percent;

@@ -32,50 +32,10 @@ fn main() {
     );
     println!("{}", "-".repeat(62));
 
-    for name in NAMES {
-        let train = workload_by_name(name, scale).expect("workload exists");
-        let test = workload_with_seed(name, scale, 7).expect("workload exists");
-
-        // Train: run the pipeline on the reference dataset.
-        let result =
-            match run_pipeline(&train.module, &train.args, &train.input, PipelineConfig::default())
-            {
-                Ok(r) => r,
-                Err(e) => {
-                    println!("{name:<12} FAILED: {e}");
-                    continue;
-                }
-            };
-
-        // Evaluate the frozen predictions on the alternate dataset: run the
-        // *replicated* program on the test input.
-        let mut m = Machine::new(&result.program.module, RunConfig::default());
-        m.set_input(test.input.clone());
-        let cross_trace = match m.run("main", &test.args) {
-            Ok(o) => o.trace,
-            Err(e) => {
-                println!("{name:<12} cross run FAILED: {e}");
-                continue;
-            }
-        };
-        let repl_cross = evaluate_static(&result.program.predictions, &cross_trace)
-            .misprediction_percent();
-
-        // Baseline: profile predictions trained on A, evaluated on B, on
-        // the *original* program.
-        let train_trace = Machine::new(&train.module, RunConfig::default())
-            .run_with_input(&train.input, &train.args);
-        let test_trace = Machine::new(&train.module, RunConfig::default())
-            .run_with_input(&test.input, &test.args);
-        let profile_pred =
-            brepl::predict::semistatic::profile_prediction(&train_trace.stats());
-        let prof_self = evaluate_static(&profile_pred, &train_trace).misprediction_percent();
-        let prof_cross = evaluate_static(&profile_pred, &test_trace).misprediction_percent();
-
-        println!(
-            "{name:<12} {prof_self:>10.2}% {prof_cross:>10.2}% {:>11.2}% {repl_cross:>11.2}%",
-            result.replicated_misprediction_percent
-        );
+    // Each program's train/cross-evaluate cycle is independent; fan them
+    // out over engine workers and print the rows in suite order.
+    for line in brepl_core::par_map(&NAMES, |&name| crossdata_row(name, scale)) {
+        println!("{line}");
     }
     println!();
     println!(
@@ -84,10 +44,57 @@ fn main() {
     );
 }
 
+/// Trains on `name`'s reference dataset, cross-evaluates on the seed-7
+/// alternate, and returns the formatted table row (or a FAILED row).
+fn crossdata_row(name: &str, scale: brepl_workloads::Scale) -> String {
+    let train = workload_by_name(name, scale).expect("workload exists");
+    let test = workload_with_seed(name, scale, 7).expect("workload exists");
+
+    // Train: run the pipeline on the reference dataset.
+    let result = match run_pipeline(
+        &train.module,
+        &train.args,
+        &train.input,
+        PipelineConfig::default(),
+    ) {
+        Ok(r) => r,
+        Err(e) => return format!("{name:<12} FAILED: {e}"),
+    };
+
+    // Evaluate the frozen predictions on the alternate dataset: run the
+    // *replicated* program on the test input.
+    let mut m = Machine::new(&result.program.module, RunConfig::default());
+    m.set_input(test.input.clone());
+    let cross_trace = match m.run("main", &test.args) {
+        Ok(o) => o.trace,
+        Err(e) => return format!("{name:<12} cross run FAILED: {e}"),
+    };
+    let repl_cross =
+        evaluate_static(&result.program.predictions, &cross_trace).misprediction_percent();
+
+    // Baseline: profile predictions trained on A, evaluated on B, on
+    // the *original* program.
+    let train_trace =
+        Machine::new(&train.module, RunConfig::default()).run_with_input(&train.input, &train.args);
+    let test_trace =
+        Machine::new(&train.module, RunConfig::default()).run_with_input(&test.input, &test.args);
+    let profile_pred = brepl::predict::semistatic::profile_prediction(&train_trace.stats());
+    let prof_self = evaluate_static(&profile_pred, &train_trace).misprediction_percent();
+    let prof_cross = evaluate_static(&profile_pred, &test_trace).misprediction_percent();
+
+    format!(
+        "{name:<12} {prof_self:>10.2}% {prof_cross:>10.2}% {:>11.2}% {repl_cross:>11.2}%",
+        result.replicated_misprediction_percent
+    )
+}
+
 /// Small extension trait to run a machine with a given input in one call.
 trait RunWithInput {
-    fn run_with_input(self, input: &[brepl::ir::Value], args: &[brepl::ir::Value])
-        -> brepl::trace::Trace;
+    fn run_with_input(
+        self,
+        input: &[brepl::ir::Value],
+        args: &[brepl::ir::Value],
+    ) -> brepl::trace::Trace;
 }
 
 impl RunWithInput for Machine<'_> {

@@ -47,7 +47,11 @@ fn main() {
         println!("{}", "-".repeat(68));
         println!(
             "{:<12} {:>10} {:>11.2}% {:>11.2}% {:>7.2}x",
-            "average", "", profile_sum / n, replicated_sum / n, size_sum / n
+            "average",
+            "",
+            profile_sum / n,
+            replicated_sum / n,
+            size_sum / n
         );
         println!(
             "\nmisprediction reduced by {:.0}% at {:.2}x average size \

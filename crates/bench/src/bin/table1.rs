@@ -3,9 +3,7 @@
 
 use brepl_bench::{print_header, print_row, print_row_counts, profile_suite, scale_from_env};
 use brepl_predict::dynamic::{LastDirection, TwoBitCounters, TwoLevel};
-use brepl_predict::semistatic::{
-    combine_best, correlation_report, loop_report, profile_report,
-};
+use brepl_predict::semistatic::{combine_best, correlation_report, loop_report, profile_report};
 use brepl_predict::simulate_dynamic;
 
 fn main() {
@@ -76,9 +74,7 @@ fn main() {
     print_row_counts("improved branches", &improved_branches);
 
     // The paper's qualitative claims, checked on the spot.
-    let avg = |i: usize| -> f64 {
-        rows[i].1.iter().sum::<f64>() / rows[i].1.len() as f64
-    };
+    let avg = |i: usize| -> f64 { rows[i].1.iter().sum::<f64>() / rows[i].1.len() as f64 };
     println!();
     println!(
         "averages: two-level {:.2}%  profile {:.2}%  loop-correlation {:.2}%",

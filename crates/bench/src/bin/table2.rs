@@ -12,9 +12,7 @@ fn main() {
     for bits in 1..=9u32 {
         let values: Vec<f64> = suite
             .iter()
-            .map(|p| {
-                PatternTableSet::build(&p.trace, HistoryKind::Local, bits).fill_rate_percent()
-            })
+            .map(|p| PatternTableSet::build(&p.trace, HistoryKind::Local, bits).fill_rate_percent())
             .collect();
         print_row(&format!("{bits} bit history"), &values);
     }

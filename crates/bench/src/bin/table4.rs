@@ -58,7 +58,11 @@ fn main() {
                 t += r.total;
                 w += r.mispredictions();
             }
-            per_n.push(if t == 0 { 0.0 } else { 100.0 * w as f64 / t as f64 });
+            per_n.push(if t == 0 {
+                0.0
+            } else {
+                100.0 * w as f64 / t as f64
+            });
         }
 
         preps.push(Prep {

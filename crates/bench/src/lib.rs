@@ -19,6 +19,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use brepl_trace::Trace;
 use brepl_workloads::{all_workloads, Scale, Workload};
 
@@ -42,18 +44,25 @@ pub struct ProfiledWorkload {
 }
 
 /// Runs the whole suite once and keeps the traces.
+///
+/// The eight programs profile independently, so the runs fan out over
+/// [`brepl_core::engine`] workers (`BREPL_THREADS` overrides the count);
+/// results come back in suite order, bit-identical to a serial run.
 pub fn profile_suite(scale: Scale) -> Vec<ProfiledWorkload> {
-    all_workloads(scale)
+    let workloads = all_workloads(scale);
+    let profiled = brepl_core::par_map(&workloads, |workload| {
+        let outcome = workload
+            .run()
+            .unwrap_or_else(|e| panic!("{} failed: {e}", workload.name));
+        (outcome.trace, outcome.steps)
+    });
+    workloads
         .into_iter()
-        .map(|workload| {
-            let outcome = workload
-                .run()
-                .unwrap_or_else(|e| panic!("{} failed: {e}", workload.name));
-            ProfiledWorkload {
-                workload,
-                trace: outcome.trace,
-                steps: outcome.steps,
-            }
+        .zip(profiled)
+        .map(|(workload, (trace, steps))| ProfiledWorkload {
+            workload,
+            trace,
+            steps,
         })
         .collect()
 }

@@ -1,0 +1,118 @@
+//! A dependency-free timing harness for the `[[bench]]` binaries.
+//!
+//! The workspace must build with zero network access, so the benches use
+//! this std-only harness instead of criterion: warm up, run a fixed
+//! minimum of timed iterations (more until a wall-clock floor is met),
+//! and report min/median/mean. The statistics are intentionally simple —
+//! these benches exist to track order-of-magnitude throughput and
+//! regressions, not microsecond-level noise.
+
+use std::time::{Duration, Instant};
+
+/// Minimum timed iterations per benchmark.
+const MIN_ITERS: u32 = 10;
+/// Keep sampling until this much wall-clock time has accumulated.
+const MIN_TOTAL: Duration = Duration::from_millis(250);
+
+/// One benchmark's collected samples.
+pub struct Samples {
+    name: String,
+    samples: Vec<Duration>,
+}
+
+impl Samples {
+    /// Median sample.
+    pub fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        s[s.len() / 2]
+    }
+
+    /// Fastest sample.
+    pub fn min(&self) -> Duration {
+        self.samples.iter().copied().min().unwrap_or_default()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Duration {
+        let total: Duration = self.samples.iter().sum();
+        total / self.samples.len().max(1) as u32
+    }
+
+    /// Prints `name  median (min .. mean)` plus an optional throughput
+    /// line computed from `elements` per iteration.
+    pub fn report(&self, elements: Option<u64>) {
+        print!(
+            "{:<44} {:>12} (min {:>12}, mean {:>12})",
+            self.name,
+            fmt_duration(self.median()),
+            fmt_duration(self.min()),
+            fmt_duration(self.mean()),
+        );
+        if let Some(n) = elements {
+            let secs = self.median().as_secs_f64();
+            if secs > 0.0 {
+                print!("  {:>10.1} Melem/s", n as f64 / secs / 1e6);
+            }
+        }
+        println!();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Times `f`, discarding its result via [`std::hint::black_box`] so the
+/// optimizer cannot delete the work.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Samples {
+    // Warmup: one untimed call (fills caches, triggers lazy init).
+    std::hint::black_box(f());
+    let mut samples = Vec::new();
+    let started = Instant::now();
+    let mut iters = 0u32;
+    while iters < MIN_ITERS || started.elapsed() < MIN_TOTAL {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t.elapsed());
+        iters += 1;
+        if iters >= 10_000 {
+            break; // fast function: enough samples for a median
+        }
+    }
+    Samples {
+        name: name.to_string(),
+        samples,
+    }
+}
+
+/// [`bench`] + immediate report with a throughput denominator.
+pub fn bench_throughput<R>(name: &str, elements: u64, f: impl FnMut() -> R) {
+    bench(name, f).report(Some(elements));
+}
+
+/// [`bench`] + immediate time-only report.
+pub fn bench_time<R>(name: &str, f: impl FnMut() -> R) {
+    bench(name, f).report(None);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_at_least_min_iters() {
+        let s = bench("noop", || 1 + 1);
+        assert!(s.samples.len() >= MIN_ITERS as usize);
+        assert!(s.min() <= s.median());
+    }
+}

@@ -76,7 +76,13 @@ impl ClassifiedBranches {
                 Some(_) => BranchClass::LoopExit,
             };
             let taken_is_back_edge = innermost_loop
-                .map(|l| forest.get(l).back_edges.iter().any(|&(t, h)| t == bid && h == then_))
+                .map(|l| {
+                    forest
+                        .get(l)
+                        .back_edges
+                        .iter()
+                        .any(|&(t, h)| t == bid && h == then_)
+                })
                 .unwrap_or(false);
             branches.push(BranchInfo {
                 site,
@@ -342,10 +348,7 @@ mod tests {
         // always "head branch taken".
         let pp = PredecessorPaths::enumerate(&f, &cfg, BlockId(2), 1);
         assert!(pp.paths.iter().all(|p| p.len() <= 1));
-        assert!(pp
-            .paths
-            .iter()
-            .any(|p| p.len() == 1 && p[0].taken));
+        assert!(pp.paths.iter().any(|p| p.len() == 1 && p[0].taken));
     }
 
     #[test]

@@ -51,14 +51,8 @@ pub fn function_to_dot(func: &Function) -> String {
                         BranchClass::NonLoop => "black",
                     })
                     .unwrap_or("black");
-                let _ = writeln!(
-                    out,
-                    "  {bid} -> {then_} [label=\"T\", color={color}];"
-                );
-                let _ = writeln!(
-                    out,
-                    "  {bid} -> {else_} [label=\"N\", color={color}];"
-                );
+                let _ = writeln!(out, "  {bid} -> {then_} [label=\"T\", color={color}];");
+                let _ = writeln!(out, "  {bid} -> {else_} [label=\"N\", color={color}];");
             }
             Term::Jmp { target } => {
                 let _ = writeln!(out, "  {bid} -> {target};");

@@ -259,17 +259,9 @@ mod tests {
     fn exit_edges_found() {
         let f = nested();
         let (_, lf) = forest(&f);
-        let outer = lf
-            .loops()
-            .iter()
-            .find(|l| l.header == BlockId(1))
-            .unwrap();
+        let outer = lf.loops().iter().find(|l| l.header == BlockId(1)).unwrap();
         assert!(outer.exit_edges.contains(&(BlockId(1), BlockId(5))));
-        let inner = lf
-            .loops()
-            .iter()
-            .find(|l| l.header == BlockId(2))
-            .unwrap();
+        let inner = lf.loops().iter().find(|l| l.header == BlockId(2)).unwrap();
         assert!(inner.exit_edges.contains(&(BlockId(2), BlockId(4))));
     }
 

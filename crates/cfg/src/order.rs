@@ -9,8 +9,8 @@ use crate::graph::Cfg;
 pub fn postorder(cfg: &Cfg) -> Vec<BlockId> {
     let mut order = Vec::with_capacity(cfg.len());
     let mut state = vec![0u8; cfg.len()]; // 0 unvisited, 1 on stack, 2 done
-    // Iterative DFS with an explicit (block, next-successor-index) stack so
-    // deep CFGs cannot overflow the call stack.
+                                          // Iterative DFS with an explicit (block, next-successor-index) stack so
+                                          // deep CFGs cannot overflow the call stack.
     let mut stack: Vec<(BlockId, usize)> = vec![(cfg.entry(), 0)];
     state[cfg.entry().index()] = 1;
     while let Some(&mut (b, ref mut next)) = stack.last_mut() {

@@ -344,10 +344,7 @@ mod tests {
             t.push(ev(1, d));
         }
         let mut cands = HashMap::new();
-        cands.insert(
-            BranchId(1),
-            vec![vec![step(0, true)], vec![step(0, false)]],
-        );
+        cands.insert(BranchId(1), vec![vec![step(0, true)], vec![step(0, false)]]);
         (t, cands)
     }
 

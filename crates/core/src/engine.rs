@@ -1,0 +1,195 @@
+//! Deterministic parallel execution engine for the analysis side of the
+//! pipeline.
+//!
+//! The per-branch machine search, the suite profiling runs and the
+//! table/figure sweeps are all embarrassingly parallel: every unit of work
+//! is a pure function of read-only inputs. [`par_map`] fans such work out
+//! over `std::thread::scope` and merges the results back **in input
+//! order**, so the output is bit-identical to the serial path no matter
+//! how the OS schedules the workers.
+//!
+//! Thread count resolution, in priority order:
+//!
+//! 1. `BREPL_THREADS=<n>` environment variable (`1` forces serial);
+//! 2. [`std::thread::available_parallelism`];
+//! 3. `1` when the `parallel` feature is disabled.
+//!
+//! Nested calls run serially: a `par_map` issued from inside a `par_map`
+//! worker does not spawn further threads, so parallel bench drivers can
+//! call parallel library entry points without oversubscribing the machine.
+
+#[cfg(feature = "parallel")]
+use std::cell::Cell;
+#[cfg(feature = "parallel")]
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[cfg(feature = "parallel")]
+thread_local! {
+    /// True inside a `par_map` worker; makes nested calls serial.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Upper bound on worker threads — beyond this the scoped-thread spawn
+/// cost dominates any realistic analysis workload.
+const MAX_THREADS: usize = 64;
+
+/// The number of worker threads [`par_map`] will use.
+///
+/// Reads `BREPL_THREADS` (clamped to `1..=64`) and falls back to the
+/// machine's available parallelism. Returns `1` when the `parallel`
+/// feature is off or when called from inside a `par_map` worker.
+pub fn thread_count() -> usize {
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+    #[cfg(feature = "parallel")]
+    {
+        if IN_WORKER.with(Cell::get) {
+            return 1;
+        }
+        if let Ok(v) = std::env::var("BREPL_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.clamp(1, MAX_THREADS);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(MAX_THREADS))
+            .unwrap_or(1)
+    }
+}
+
+/// Applies `f` to every element of `items` using up to `threads` workers
+/// and returns the results in input order.
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven per-item
+/// costs — the per-branch search varies by ~5× — still balance. Each
+/// worker records `(index, result)` pairs; the merge sorts by index, so
+/// the output is **deterministic and identical to the serial path**
+/// regardless of scheduling.
+pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, MAX_THREADS).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    run_parallel(threads, items, &f)
+}
+
+/// [`par_map_with`] at the engine's default [`thread_count`].
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(thread_count(), items, f)
+}
+
+#[cfg(feature = "parallel")]
+fn run_parallel<T, R, F>(threads: usize, items: &[T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    });
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    for part in &mut parts {
+        indexed.append(part);
+    }
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(not(feature = "parallel"))]
+fn run_parallel<T, R, F>(_threads: usize, items: &[T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    items.iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map_with(8, &items, |&x| x * x);
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn parallel_matches_serial_under_uneven_cost() {
+        let items: Vec<u64> = (0..257).collect();
+        let work = |&x: &u64| -> u64 {
+            // Cost varies by item so workers interleave arbitrarily.
+            let mut acc = x;
+            for i in 0..(x % 17) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        };
+        let serial = par_map_with(1, &items, work);
+        let parallel = par_map_with(4, &items, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_with(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map_with(4, &[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_calls_stay_serial() {
+        let items: Vec<u32> = (0..16).collect();
+        let out = par_map_with(4, &items, |&x| {
+            // Inside a worker the engine reports a single thread, so the
+            // nested map cannot oversubscribe.
+            assert_eq!(thread_count(), 1);
+            let inner: Vec<u32> = par_map(&[x, x + 1], |&y| y * 2);
+            inner.iter().sum::<u32>()
+        });
+        let expect: Vec<u32> = items.iter().map(|&x| 4 * x + 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -50,9 +50,7 @@ impl GreedyCurve {
 
     /// The best (final) misprediction percentage on the curve.
     pub fn best_misprediction(&self) -> f64 {
-        self.points
-            .last()
-            .map_or(0.0, |p| p.misprediction_percent)
+        self.points.last().map_or(0.0, |p| p.misprediction_percent)
     }
 }
 
@@ -83,11 +81,7 @@ pub fn greedy_curve_from_selection(
                 let key = (fid, lp.header);
                 loop_of_site.insert(info.site, key);
                 loops.entry(key).or_insert(LoopInfo {
-                    size_units: lp
-                        .blocks
-                        .iter()
-                        .map(|&b| func.block(b).size_units())
-                        .sum(),
+                    size_units: lp.blocks.iter().map(|&b| func.block(b).size_units()).sum(),
                     product: 1,
                 });
             }
@@ -113,11 +107,7 @@ pub fn greedy_curve_from_selection(
             states: c.chosen.states(),
             correlated_block_units: match &c.chosen {
                 ChosenStrategy::Correlated(m) => {
-                    let per_path: usize = m
-                        .paths
-                        .iter()
-                        .map(|(p, _)| p.len().max(1))
-                        .sum();
+                    let per_path: usize = m.paths.iter().map(|(p, _)| p.len().max(1)).sum();
                     per_path
                 }
                 _ => 0,
@@ -125,9 +115,7 @@ pub fn greedy_curve_from_selection(
         })
         .collect();
 
-    let cost_of = |step: &Step,
-                   loops: &HashMap<(FuncId, BlockId), LoopInfo>|
-     -> f64 {
+    let cost_of = |step: &Step, loops: &HashMap<(FuncId, BlockId), LoopInfo>| -> f64 {
         match loop_of_site.get(&step.site) {
             Some(key) => {
                 // Same-loop machines multiply: going from product P to

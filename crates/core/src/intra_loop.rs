@@ -64,7 +64,10 @@ impl IntraLoopSearch {
         // repeatedly split a leaf into its two older-bit refinements. To
         // enumerate each antichain exactly once, only split leaves at or
         // after the last-split position (canonical order).
-        let initial = vec![HistPattern::parse("0"), HistPattern::parse("1")];
+        let initial = vec![
+            HistPattern::parse("0").unwrap(),
+            HistPattern::parse("1").unwrap(),
+        ];
         let mut stack: Vec<(Vec<HistPattern>, usize)> = vec![(initial, 0)];
         while let Some((set, from)) = stack.pop() {
             by_size[set.len()].push(set.clone());
@@ -204,9 +207,7 @@ mod tests {
     #[test]
     fn monotone_in_state_count() {
         // More states never hurt the best achievable score.
-        let dirs: Vec<bool> = (0..5000)
-            .map(|i| matches!(i % 7, 0 | 2 | 3 | 6))
-            .collect();
+        let dirs: Vec<bool> = (0..5000).map(|i| matches!(i % 7, 0 | 2 | 3 | 6)).collect();
         let pts = table_for(&dirs);
         let table = pts.site(BranchId(0)).unwrap();
         let search = IntraLoopSearch::new(8, 9);

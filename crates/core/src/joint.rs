@@ -118,6 +118,7 @@ pub fn allocate_joint_states(curves: &[BranchCurve], budget: u64) -> JointAlloca
     }
 
     // Depth-first branch and bound.
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         curves: &[BranchCurve],
         suffix_best: &[u64],

@@ -23,21 +23,26 @@
 #![warn(missing_docs)]
 
 pub mod correlated;
+pub mod engine;
 pub mod greedy;
 pub mod intra_loop;
 pub mod joint;
 pub mod loop_exit;
 pub mod machine;
+pub mod memo;
 pub mod pattern;
 pub mod replicate;
 pub mod select;
 
+pub use engine::{par_map, par_map_with, thread_count};
 pub use greedy::{greedy_curve, CurvePoint, GreedyCurve};
 pub use intra_loop::{IntraLoopSearch, SearchResult};
 pub use joint::{allocate_joint_states, BranchCurve, JointAllocation};
 pub use machine::{MachineState, StateMachine};
-pub use pattern::HistPattern;
+pub use pattern::{HistPattern, ParsePatternError};
 pub use replicate::{
     apply_plan, check_equivalence, BranchMachine, ReplicatedProgram, ReplicationPlan,
 };
-pub use select::{select_strategies, ChosenStrategy, Selection, StrategyChoice};
+pub use select::{
+    select_strategies, select_strategies_with_threads, ChosenStrategy, Selection, StrategyChoice,
+};

@@ -37,7 +37,7 @@ use crate::pattern::HistPattern;
 pub fn exit_chain(n: usize, table: &PatternTable) -> StateMachine {
     assert!((2..=10).contains(&n), "chain length must be in 2..=10");
     let mut patterns = Vec::with_capacity(n);
-    patterns.push(HistPattern::parse("0"));
+    patterns.push(HistPattern::parse("0").unwrap());
     for ones in 1..n - 1 {
         // 0 followed by `ones` ones: bits = (1 << ones) - 1, len = ones + 1.
         patterns.push(HistPattern::new((1 << ones) - 1, ones as u32 + 1));
@@ -163,9 +163,7 @@ fn table_from_outcomes(outcomes: &[bool], bits: u32) -> PatternTable {
         })
         .collect();
     let set = brepl_predict::PatternTableSet::build(&t, brepl_predict::HistoryKind::Local, bits);
-    set.site(brepl_ir::BranchId(0))
-        .cloned()
-        .unwrap_or_default()
+    set.site(brepl_ir::BranchId(0)).cloned().unwrap_or_default()
 }
 
 /// Helper for tests and diagnostics: the profile (1-state) baseline on an

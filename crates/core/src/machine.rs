@@ -218,10 +218,7 @@ impl StateMachine {
             per_state[j].not_taken += counts.not_taken;
         }
         let total: u64 = per_state.iter().map(SiteCounts::total).sum();
-        let correct: u64 = per_state
-            .iter()
-            .map(|c| c.taken.max(c.not_taken))
-            .sum();
+        let correct: u64 = per_state.iter().map(|c| c.taken.max(c.not_taken)).sum();
         (correct, total)
     }
 
@@ -294,7 +291,10 @@ mod tests {
         let dirs = alternating(1000);
         let pts = table_for(&dirs, 9);
         let table = pts.site(BranchId(0)).unwrap();
-        let patterns = [HistPattern::parse("0"), HistPattern::parse("1")];
+        let patterns = [
+            HistPattern::parse("0").unwrap(),
+            HistPattern::parse("1").unwrap(),
+        ];
         let m = StateMachine::from_patterns(&patterns, table).unwrap();
         assert_eq!(m.len(), 2);
         assert!(m.is_strongly_connected());
@@ -317,15 +317,15 @@ mod tests {
         // {0, 01, 11}: from "0" on taken, history ends "01" -> state 01;
         // from "01" on taken -> ends "11" -> state 11; on not-taken -> "0".
         let patterns = [
-            HistPattern::parse("0"),
-            HistPattern::parse("01"),
-            HistPattern::parse("11"),
+            HistPattern::parse("0").unwrap(),
+            HistPattern::parse("01").unwrap(),
+            HistPattern::parse("11").unwrap(),
         ];
         let m = StateMachine::from_patterns(&patterns, table).unwrap();
         let idx = |s: &str| {
             m.states()
                 .iter()
-                .position(|st| st.pattern == HistPattern::parse(s))
+                .position(|st| st.pattern == HistPattern::parse(s).unwrap())
                 .unwrap()
         };
         assert_eq!(m.next(idx("0"), true), idx("01"));
@@ -344,7 +344,10 @@ mod tests {
         let table = pts.site(BranchId(0)).unwrap();
         // {0, 01}: from "0" on taken the history ends "...1": "01" could
         // match or not depending on an unknown older bit -> ambiguous.
-        let patterns = [HistPattern::parse("0"), HistPattern::parse("01")];
+        let patterns = [
+            HistPattern::parse("0").unwrap(),
+            HistPattern::parse("01").unwrap(),
+        ];
         assert!(StateMachine::from_patterns(&patterns, table).is_none());
     }
 
@@ -363,9 +366,9 @@ mod tests {
         let pts = table_for(&dirs, 9);
         let table = pts.site(BranchId(0)).unwrap();
         let patterns = [
-            HistPattern::parse("0"),
-            HistPattern::parse("01"),
-            HistPattern::parse("11"),
+            HistPattern::parse("0").unwrap(),
+            HistPattern::parse("01").unwrap(),
+            HistPattern::parse("11").unwrap(),
         ];
         let m = StateMachine::from_patterns(&patterns, table).unwrap();
         let (sc, st) = m.simulate(dirs.iter().copied());
@@ -381,13 +384,13 @@ mod tests {
     fn not_strongly_connected_detected() {
         let states = vec![
             MachineState {
-                pattern: HistPattern::parse("0"),
+                pattern: HistPattern::parse("0").unwrap(),
                 predict: true,
                 on_taken: 1,
                 on_not_taken: 1,
             },
             MachineState {
-                pattern: HistPattern::parse("1"),
+                pattern: HistPattern::parse("1").unwrap(),
                 predict: true,
                 on_taken: 1,
                 on_not_taken: 1,
@@ -403,7 +406,10 @@ mod tests {
         let pts = table_for(&dirs, 9);
         let table = pts.site(BranchId(0)).unwrap();
         let m = StateMachine::from_patterns(
-            &[HistPattern::parse("0"), HistPattern::parse("1")],
+            &[
+                HistPattern::parse("0").unwrap(),
+                HistPattern::parse("1").unwrap(),
+            ],
             table,
         )
         .unwrap();
@@ -424,9 +430,9 @@ mod tests {
         let table = pts.site(BranchId(0)).unwrap();
         let m = StateMachine::from_patterns(
             &[
-                HistPattern::parse("0"),
-                HistPattern::parse("01"),
-                HistPattern::parse("11"),
+                HistPattern::parse("0").unwrap(),
+                HistPattern::parse("01").unwrap(),
+                HistPattern::parse("11").unwrap(),
             ],
             table,
         )

@@ -1,0 +1,178 @@
+//! Process-wide memo for per-branch machine searches.
+//!
+//! The state-machine search is a pure function of `(branch class, pattern
+//! table, outcome stream, state budget)` — and across a pipeline run the
+//! same table is searched many times: the 2..=10-state sweeps of `table5`
+//! re-analyze identical tables at repeated budgets, `ablation` re-runs the
+//! pipeline on the same workloads row after row, `crossdata` trains twice
+//! per program, and many branches inside one program have bit-identical
+//! profiles (always-taken guards, shared loop latches). Keying the search
+//! result on a canonical fingerprint of its inputs makes every repeat a
+//! hash lookup.
+//!
+//! Determinism: the cached value for a key is exactly what the search
+//! would recompute, so cache hits cannot change results — only wall-clock.
+//! The map is guarded by a [`Mutex`] and shared by all engine workers.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use brepl_cfg::BranchClass;
+
+use crate::machine::StateMachine;
+
+/// One entry per machine size: the best machine of exactly that size and
+/// its simulated mispredictions (indices 0 and 1 stay `None`).
+pub type SizeMenu = Vec<Option<(StateMachine, u64)>>;
+
+/// The memoized outcome of the loop-machine search for one branch.
+#[derive(Clone, Debug)]
+pub struct LoopSearchOutcome {
+    /// The winning machine and its simulated misses, when one beats the
+    /// profile baseline it was searched against.
+    pub best: Option<(StateMachine, u64)>,
+    /// Best machine per exact state count, for joint §6 rebalancing.
+    pub menu: SizeMenu,
+}
+
+/// Memo key: branch class, canonical table fingerprint, outcome-stream
+/// fingerprint, and the state budget of the search.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct MemoKey {
+    class: BranchClass,
+    table_fp: (u64, u64),
+    outcomes_fp: (u64, u64),
+    max_states: usize,
+}
+
+/// Entry cap: a full-suite `BREPL_SCALE=full` sweep stays far below this;
+/// the cap only guards against pathological long-running processes.
+const MAX_ENTRIES: usize = 1 << 16;
+
+/// `BREPL_NO_MEMO=1` disables caching (read once per process). An A/B
+/// knob for measuring what the memo buys; results are identical either
+/// way, only wall-clock differs.
+fn disabled() -> bool {
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    *DISABLED.get_or_init(|| std::env::var_os("BREPL_NO_MEMO").is_some_and(|v| v == "1"))
+}
+
+struct Memo {
+    map: Mutex<HashMap<MemoKey, Arc<LoopSearchOutcome>>>,
+    hits: Mutex<u64>,
+}
+
+fn memo() -> &'static Memo {
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    MEMO.get_or_init(|| Memo {
+        map: Mutex::new(HashMap::new()),
+        hits: Mutex::new(0),
+    })
+}
+
+/// Canonical 128-bit fingerprint of a branch's outcome stream.
+pub fn fingerprint_outcomes(outcomes: &[bool]) -> (u64, u64) {
+    let mut a = 0xcbf2_9ce4_8422_2325u64;
+    let mut b = 0x6c62_272e_07bb_0142u64;
+    let mut mix = |x: u64| {
+        a = (a ^ x).wrapping_mul(0x0000_0100_0000_01b3);
+        b = (b ^ x.rotate_left(32)).wrapping_mul(0x0000_01b3_0000_0193);
+    };
+    mix(outcomes.len() as u64);
+    // Pack 64 outcomes per word before mixing.
+    for chunk in outcomes.chunks(64) {
+        let mut word = 0u64;
+        for (i, &taken) in chunk.iter().enumerate() {
+            word |= u64::from(taken) << i;
+        }
+        mix(word);
+    }
+    (a, b)
+}
+
+/// Looks up a search outcome, computing and caching it on a miss.
+///
+/// `compute` must be a pure function of the fingerprinted inputs: the
+/// memo returns the cached value verbatim on a repeat key.
+pub fn lookup_or_compute(
+    class: BranchClass,
+    table_fp: (u64, u64),
+    outcomes_fp: (u64, u64),
+    max_states: usize,
+    compute: impl FnOnce() -> LoopSearchOutcome,
+) -> Arc<LoopSearchOutcome> {
+    if disabled() {
+        return Arc::new(compute());
+    }
+    let key = MemoKey {
+        class,
+        table_fp,
+        outcomes_fp,
+        max_states,
+    };
+    let m = memo();
+    if let Some(hit) = m.map.lock().expect("memo poisoned").get(&key).cloned() {
+        *m.hits.lock().expect("memo poisoned") += 1;
+        return hit;
+    }
+    let value = Arc::new(compute());
+    let mut map = m.map.lock().expect("memo poisoned");
+    // Two workers may race to compute the same key; both computed the same
+    // value, so first-insert-wins keeps a single canonical Arc.
+    if let Some(existing) = map.get(&key) {
+        return existing.clone();
+    }
+    if map.len() < MAX_ENTRIES {
+        map.insert(key, value.clone());
+    }
+    value
+}
+
+/// `(entries, hits)` — observability for tests and the bench harness.
+pub fn stats() -> (usize, u64) {
+    let m = memo();
+    let entries = m.map.lock().expect("memo poisoned").len();
+    let hits = *m.hits.lock().expect("memo poisoned");
+    (entries, hits)
+}
+
+/// Empties the memo (tests; long-lived servers switching workloads).
+pub fn clear() {
+    let m = memo();
+    m.map.lock().expect("memo poisoned").clear();
+    *m.hits.lock().expect("memo poisoned") = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_fingerprint_discriminates() {
+        let a: Vec<bool> = (0..200).map(|i| i % 2 == 0).collect();
+        let b: Vec<bool> = (0..200).map(|i| i % 2 == 1).collect();
+        let c: Vec<bool> = (0..201).map(|i| i % 2 == 0).collect();
+        assert_eq!(fingerprint_outcomes(&a), fingerprint_outcomes(&a));
+        assert_ne!(fingerprint_outcomes(&a), fingerprint_outcomes(&b));
+        assert_ne!(fingerprint_outcomes(&a), fingerprint_outcomes(&c));
+        assert_ne!(fingerprint_outcomes(&[]), fingerprint_outcomes(&[false]));
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let fp = fingerprint_outcomes(&[true, false, true, true]);
+        let table_fp = (0xdead_beef, 0xfeed_face);
+        let mut computed = 0;
+        for _ in 0..3 {
+            let out = lookup_or_compute(BranchClass::IntraLoop, table_fp, fp, 4, || {
+                computed += 1;
+                LoopSearchOutcome {
+                    best: None,
+                    menu: vec![None; 5],
+                }
+            });
+            assert!(out.best.is_none());
+        }
+        assert_eq!(computed, 1, "repeat keys must not recompute");
+    }
+}

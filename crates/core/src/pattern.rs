@@ -1,6 +1,39 @@
 //! History pattern strings — the labels of state-machine states.
 
 use std::fmt;
+use std::str::FromStr;
+
+/// Error parsing a [`HistPattern`] from its string notation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParsePatternError {
+    /// A character other than `0` or `1` at the given byte index.
+    InvalidChar {
+        /// Byte offset of the offending character.
+        index: usize,
+        /// The character found.
+        found: char,
+    },
+    /// The string encodes more than 16 outcomes.
+    TooLong {
+        /// Number of characters supplied.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePatternError::InvalidChar { index, found } => {
+                write!(f, "invalid pattern character {found:?} at index {index}")
+            }
+            ParsePatternError::TooLong { len } => {
+                write!(f, "pattern length {len} exceeds 16 outcomes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParsePatternError {}
 
 /// A branch-history pattern: up to 16 outcomes with the *newest* outcome in
 /// bit 0, exactly like [`brepl_predict::PatternTable`] keys. The paper
@@ -31,21 +64,32 @@ impl HistPattern {
     }
 
     /// Parses the paper's string notation, e.g. `"011"` (rightmost digit
-    /// most recent).
+    /// most recent). Also available through [`FromStr`] (`s.parse()`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on characters other than `0`/`1` or length > 16.
-    pub fn parse(s: &str) -> Self {
+    /// Returns [`ParsePatternError`] on characters other than `0`/`1` or
+    /// on more than 16 outcomes — malformed caller input never aborts the
+    /// process.
+    pub fn parse(s: &str) -> Result<Self, ParsePatternError> {
+        let n = s.chars().count();
+        if n > 16 {
+            return Err(ParsePatternError::TooLong { len: n });
+        }
         let mut bits = 0u32;
-        for (i, c) in s.chars().rev().enumerate() {
+        for (i, (idx, c)) in s.char_indices().rev().enumerate() {
             match c {
                 '0' => {}
                 '1' => bits |= 1 << i,
-                _ => panic!("invalid pattern character {c:?}"),
+                _ => {
+                    return Err(ParsePatternError::InvalidChar {
+                        index: idx,
+                        found: c,
+                    })
+                }
             }
         }
-        HistPattern::new(bits, s.len() as u32)
+        Ok(HistPattern::new(bits, n as u32))
     }
 
     /// The raw bits (newest outcome in bit 0).
@@ -115,6 +159,14 @@ impl HistPattern {
     }
 }
 
+impl FromStr for HistPattern {
+    type Err = ParsePatternError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        HistPattern::parse(s)
+    }
+}
+
 impl fmt::Debug for HistPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{self}")
@@ -140,37 +192,37 @@ mod tests {
     #[test]
     fn parse_and_display_round_trip() {
         for s in ["0", "1", "01", "011", "1101", "000000000"] {
-            assert_eq!(HistPattern::parse(s).to_string(), s);
+            assert_eq!(HistPattern::parse(s).unwrap().to_string(), s);
         }
         assert_eq!(HistPattern::EMPTY.to_string(), "ε");
     }
 
     #[test]
     fn newest_is_rightmost() {
-        assert_eq!(HistPattern::parse("01").newest(), Some(true));
-        assert_eq!(HistPattern::parse("10").newest(), Some(false));
+        assert_eq!(HistPattern::parse("01").unwrap().newest(), Some(true));
+        assert_eq!(HistPattern::parse("10").unwrap().newest(), Some(false));
         assert_eq!(HistPattern::EMPTY.newest(), None);
     }
 
     #[test]
     fn append_shifts_and_truncates() {
-        let p = HistPattern::parse("011");
+        let p = HistPattern::parse("011").unwrap();
         assert_eq!(p.append(false, 4).to_string(), "0110");
         assert_eq!(p.append(true, 3).to_string(), "111");
     }
 
     #[test]
     fn prepend_older_refines() {
-        let p = HistPattern::parse("1");
+        let p = HistPattern::parse("1").unwrap();
         assert_eq!(p.prepend_older(false).to_string(), "01");
         assert_eq!(p.prepend_older(true).to_string(), "11");
     }
 
     #[test]
     fn suffix_relation() {
-        let one = HistPattern::parse("1");
-        let zero_one = HistPattern::parse("01");
-        let one_one = HistPattern::parse("11");
+        let one = HistPattern::parse("1").unwrap();
+        let zero_one = HistPattern::parse("01").unwrap();
+        let one_one = HistPattern::parse("11").unwrap();
         assert!(one.is_suffix_of(zero_one));
         assert!(one.is_suffix_of(one_one));
         assert!(!zero_one.is_suffix_of(one_one));
@@ -181,15 +233,44 @@ mod tests {
 
     #[test]
     fn matches_concrete_history() {
-        let p = HistPattern::parse("01");
+        let p = HistPattern::parse("01").unwrap();
         assert!(p.matches(0b101, 3));
         assert!(!p.matches(0b111, 3));
         assert!(HistPattern::EMPTY.matches(0b111, 3));
     }
 
     #[test]
-    #[should_panic(expected = "invalid pattern character")]
-    fn bad_parse_panics() {
-        let _ = HistPattern::parse("0x1");
+    fn bad_characters_are_errors_not_panics() {
+        assert_eq!(
+            HistPattern::parse("0x1"),
+            Err(ParsePatternError::InvalidChar {
+                index: 1,
+                found: 'x'
+            })
+        );
+        let e = HistPattern::parse("01☃").unwrap_err();
+        assert!(matches!(
+            e,
+            ParsePatternError::InvalidChar { found: '☃', .. }
+        ));
+        assert!(e.to_string().contains("invalid pattern character"));
+    }
+
+    #[test]
+    fn overlong_patterns_are_errors_not_panics() {
+        let s = "01".repeat(9); // 18 outcomes
+        assert_eq!(
+            HistPattern::parse(&s),
+            Err(ParsePatternError::TooLong { len: 18 })
+        );
+        // 16 outcomes is the documented maximum and still fine.
+        assert!(HistPattern::parse(&"10".repeat(8)).is_ok());
+    }
+
+    #[test]
+    fn from_str_round_trips() {
+        let p: HistPattern = "0110".parse().unwrap();
+        assert_eq!(p.to_string(), "0110");
+        assert!("2".parse::<HistPattern>().is_err());
     }
 }

@@ -81,8 +81,7 @@ pub fn check_equivalence(
         Ok((outcome, m.output().to_vec()))
     };
     let (a, a_out) = run(original).map_err(|e| EquivalenceError::Trap(e.to_string()))?;
-    let (b, b_out) =
-        run(&replicated.module).map_err(|e| EquivalenceError::Trap(e.to_string()))?;
+    let (b, b_out) = run(&replicated.module).map_err(|e| EquivalenceError::Trap(e.to_string()))?;
 
     if a.result != b.result {
         return Err(EquivalenceError::ResultMismatch {

@@ -170,9 +170,11 @@ pub fn replicate_loop(
             };
             match term {
                 brepl_ir::Term::Br { then_, else_, .. } => {
-                    let retarget = |t: BlockId, taken: bool, copy_of: &Vec<Vec<BlockId>>| match loop_index(t) {
-                        Some(ti) => copy_of[succ_state(taken)][ti],
-                        None => t,
+                    let retarget = |t: BlockId, taken: bool, copy_of: &Vec<Vec<BlockId>>| {
+                        match loop_index(t) {
+                            Some(ti) => copy_of[succ_state(taken)][ti],
+                            None => t,
+                        }
                     };
                     let new_then = retarget(*then_, true, &copy_of);
                     let new_else = retarget(*else_, false, &copy_of);
@@ -254,13 +256,13 @@ mod tests {
         StateMachine::from_states(
             vec![
                 MachineState {
-                    pattern: HistPattern::parse("0"),
+                    pattern: HistPattern::parse("0").unwrap(),
                     predict: true,
                     on_taken: 1,
                     on_not_taken: 0,
                 },
                 MachineState {
-                    pattern: HistPattern::parse("1"),
+                    pattern: HistPattern::parse("1").unwrap(),
                     predict: false,
                     on_taken: 1,
                     on_not_taken: 0,
@@ -287,8 +289,7 @@ mod tests {
         let loop_blocks = forest.loops()[0].blocks.clone();
         let machine = two_state_machine();
         let branch_block = BlockId(1); // head holds the alternating branch
-        let info =
-            replicate_loop(func, &loop_blocks, &[(branch_block, &machine)]).unwrap();
+        let info = replicate_loop(func, &loop_blocks, &[(branch_block, &machine)]).unwrap();
         assert_eq!(info.copies.len(), 2);
         assert_eq!(info.branch_predictions.len(), 2);
         super::super::cleanup::remove_unreachable(func);
@@ -342,12 +343,8 @@ mod tests {
         let loop_blocks = forest.loops()[0].blocks.clone();
         let m1 = two_state_machine();
         let m2 = two_state_machine();
-        let info = replicate_loop(
-            func,
-            &loop_blocks,
-            &[(BlockId(1), &m1), (BlockId(4), &m2)],
-        )
-        .unwrap();
+        let info =
+            replicate_loop(func, &loop_blocks, &[(BlockId(1), &m1), (BlockId(4), &m2)]).unwrap();
         assert_eq!(info.copies.len(), 4);
         super::super::cleanup::remove_unreachable(func);
         replicated.renumber_branches();

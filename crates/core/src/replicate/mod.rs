@@ -11,9 +11,7 @@ mod simplify;
 pub use check::{check_equivalence, EquivalenceError};
 pub use cleanup::remove_unreachable;
 pub use loop_replicate::{replicate_loop, LoopReplicateError, LoopReplication, MAX_PRODUCT_STATES};
-pub use path_replicate::{
-    decision_path, replicate_correlated, split_by_paths, PathSplit,
-};
+pub use path_replicate::{decision_path, replicate_correlated, split_by_paths, PathSplit};
 pub use simplify::{simplify_function, simplify_function_with_map, simplify_module, SimplifyStats};
 
 use std::collections::{BTreeMap, HashMap};
@@ -135,9 +133,7 @@ pub fn apply_plan(
             .ok_or(ReplicateError::UnknownBranch(site))?;
         match machine {
             BranchMachine::Loop(_) => loop_branches.entry(fid).or_default().push((bid, site)),
-            BranchMachine::Correlated(_) => {
-                corr_branches.entry(fid).or_default().push((bid, site))
-            }
+            BranchMachine::Correlated(_) => corr_branches.entry(fid).or_default().push((bid, site)),
         }
     }
 
@@ -147,8 +143,7 @@ pub fn apply_plan(
     let fids: Vec<FuncId> = out.iter_functions().map(|(f, _)| f).collect();
     for fid in fids {
         // --- Loop machines, innermost loops first -----------------------
-        let mut todo: Vec<(BlockId, BranchId)> =
-            loop_branches.remove(&fid).unwrap_or_default();
+        let mut todo: Vec<(BlockId, BranchId)> = loop_branches.remove(&fid).unwrap_or_default();
         while !todo.is_empty() {
             let func = out.function_mut(fid);
             let cfg = Cfg::new(func);
@@ -168,9 +163,7 @@ pub fn apply_plan(
                 }
             }
             let (idx, _) = best.expect("todo not empty");
-            let target_loop = forest
-                .innermost(todo[idx].0)
-                .expect("checked above");
+            let target_loop = forest.innermost(todo[idx].0).expect("checked above");
             let loop_blocks = forest.get(target_loop).blocks.clone();
 
             // All remaining branches in this same loop replicate together
@@ -392,13 +385,13 @@ mod tests {
         StateMachine::from_states(
             vec![
                 MachineState {
-                    pattern: HistPattern::parse("0"),
+                    pattern: HistPattern::parse("0").unwrap(),
                     predict: true,
                     on_taken: 1,
                     on_not_taken: 0,
                 },
                 MachineState {
-                    pattern: HistPattern::parse("1"),
+                    pattern: HistPattern::parse("1").unwrap(),
                     predict: false,
                     on_taken: 1,
                     on_not_taken: 0,
@@ -432,7 +425,9 @@ mod tests {
     fn planned_loop_replication_halves_mispredictions() {
         let m = alternating_module();
         let args = [Value::Int(100)];
-        let original = Sim::new(&m, RunConfig::default()).run("main", &args).unwrap();
+        let original = Sim::new(&m, RunConfig::default())
+            .run("main", &args)
+            .unwrap();
         let stats = original.trace.stats();
 
         // The alternating branch is site 0 (first branch of the function).

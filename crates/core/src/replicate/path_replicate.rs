@@ -79,7 +79,10 @@ fn split_rec(
     // walking back through a jump-only predecessor does not consume it,
     // matching how `PredecessorPaths::enumerate` counts path length.
     let preds: Vec<BlockId> = {
-        let mut p: Vec<BlockId> = incoming_edges(func, block).into_iter().map(|(b, _)| b).collect();
+        let mut p: Vec<BlockId> = incoming_edges(func, block)
+            .into_iter()
+            .map(|(b, _)| b)
+            .collect();
         p.sort();
         p.dedup();
         p
@@ -129,10 +132,7 @@ pub fn decision_path(func: &Function, block: BlockId, depth: usize) -> Vec<(Bran
             break;
         }
         let p = preds[0];
-        if let Term::Br {
-            then_, site, ..
-        } = func.block(p).term
-        {
+        if let Term::Br { then_, site, .. } = func.block(p).term {
             path.push((site, then_ == cur));
         }
         cur = p;
@@ -219,9 +219,7 @@ mod tests {
         m.verify().unwrap();
         // Each copy has exactly one predecessor now.
         let func = m.function(fid);
-        for &(bid, _) in
-            [(BlockId(3), 0usize), (BlockId::from_index(6), 0)].iter()
-        {
+        for &(bid, _) in [(BlockId(3), 0usize), (BlockId::from_index(6), 0)].iter() {
             let preds = incoming_edges(func, bid);
             assert_eq!(preds.len(), 1, "copy {bid} should have one pred");
         }

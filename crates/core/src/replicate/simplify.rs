@@ -32,9 +32,7 @@ pub fn simplify_function(func: &mut Function) -> SimplifyStats {
 /// its absorbing block; unreachable blocks map to `None`). Callers that
 /// track per-block annotations — the replication pipeline tracks branch
 /// predictions — remap through this.
-pub fn simplify_function_with_map(
-    func: &mut Function,
-) -> (SimplifyStats, Vec<Option<BlockId>>) {
+pub fn simplify_function_with_map(func: &mut Function) -> (SimplifyStats, Vec<Option<BlockId>>) {
     let mut stats = SimplifyStats::default();
     let original_len = func.blocks.len();
     // Where each block's *contents* (in particular its terminator) live

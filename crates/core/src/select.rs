@@ -7,17 +7,19 @@ use std::collections::HashMap;
 
 use brepl_cfg::{BranchClass, Cfg, ClassifiedBranches, DomTree, LoopForest, PredecessorPaths};
 use brepl_ir::{BranchId, Module};
-use brepl_predict::{HistoryKind, PatternTableSet};
-use brepl_trace::Trace;
+use brepl_predict::{HistoryKind, PatternTable, PatternTableSet};
+use brepl_trace::{SiteCounts, Trace};
 
-use crate::correlated::{profile_paths, CorrelatedMachine};
+use crate::correlated::{profile_paths, CorrelatedMachine, PathProfile};
+use crate::engine;
 use crate::intra_loop::IntraLoopSearch;
 use crate::loop_exit::best_exit_machine;
 use crate::machine::StateMachine;
+use crate::memo::{self, LoopSearchOutcome, SizeMenu};
 use crate::replicate::{BranchMachine, ReplicationPlan};
 
 /// The strategy chosen for one branch.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ChosenStrategy {
     /// Plain profile prediction (one state; no replication).
     Profile,
@@ -39,7 +41,7 @@ impl ChosenStrategy {
 }
 
 /// Selection result for one branch.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StrategyChoice {
     /// The branch.
     pub site: BranchId,
@@ -63,7 +65,7 @@ impl StrategyChoice {
 }
 
 /// The per-branch selection over a whole module.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Selection {
     choices: Vec<StrategyChoice>,
     total_events: u64,
@@ -139,10 +141,36 @@ impl Selection {
 /// Selects the best strategy for every executed branch of `module` with at
 /// most `max_states` states per machine.
 ///
+/// Fans the per-branch search out over [`engine::thread_count`] workers;
+/// the result is bit-identical to the serial path (see
+/// [`select_strategies_with_threads`]).
+///
 /// # Panics
 ///
 /// Panics unless `2 <= max_states <= 10`.
 pub fn select_strategies(module: &Module, trace: &Trace, max_states: usize) -> Selection {
+    select_strategies_with_threads(module, trace, max_states, engine::thread_count())
+}
+
+/// [`select_strategies`] with an explicit worker count (`1` = serial).
+///
+/// Each branch's candidate search is independent: the workers read only
+/// shared immutable analysis state, and results are merged back in
+/// `BranchId` order, so the `Selection` is **bit-identical** for every
+/// thread count. Searches are additionally memoized process-wide (see
+/// [`crate::memo`]), keyed on a canonical fingerprint of the branch's
+/// pattern table and outcome stream — repeated sweeps over the same trace
+/// (refinement rounds, 2..=10-state curves) become hash lookups.
+///
+/// # Panics
+///
+/// Panics unless `2 <= max_states <= 10`.
+pub fn select_strategies_with_threads(
+    module: &Module,
+    trace: &Trace,
+    max_states: usize,
+    threads: usize,
+) -> Selection {
     assert!(
         (2..=10).contains(&max_states),
         "max_states must be in 2..=10"
@@ -187,86 +215,32 @@ pub fn select_strategies(module: &Module, trace: &Trace, max_states: usize) -> S
     }
     let path_profiles = profile_paths(trace, &candidates);
 
-    // Per-site machine menus: `menu[site][n]` = best loop machine with
-    // exactly n states and its simulated misses (index 0 = profile).
-    let mut menus: HashMap<BranchId, Vec<Option<(StateMachine, u64)>>> = HashMap::new();
-
-    let mut choices = Vec::new();
     let mut sites: Vec<BranchId> = class_of.keys().copied().collect();
     sites.sort();
-    for site in sites {
-        let class = class_of[&site];
-        let counts = stats.site(site);
-        let profile_misses = counts.minority_count();
-        let mut best_misses = profile_misses;
-        let mut best = ChosenStrategy::Profile;
 
-        let table = tables.site(site);
-        if let Some(table) = table {
-            let mut menu: Vec<Option<(StateMachine, u64)>> = vec![None; max_states + 1];
-            match class {
-                BranchClass::IntraLoop => {
-                    // Rank candidates by partition score (the paper's
-                    // bookkeeping), then judge the winners by *simulation*
-                    // on the real outcome stream — that is what the
-                    // replicated code will actually do.
-                    let outs = &outcomes[site.index()];
-                    for r in search.search(table).into_iter().flatten() {
-                        let (correct, total) = r.machine.simulate(outs.iter().copied());
-                        let misses = total - correct;
-                        let n = r.machine.len();
-                        if misses < best_misses {
-                            best_misses = misses;
-                            best = ChosenStrategy::Loop(r.machine.clone());
-                        }
-                        match &menu[n] {
-                            Some((_, m)) if *m <= misses => {}
-                            _ => menu[n] = Some((r.machine, misses)),
-                        }
-                    }
-                }
-                BranchClass::LoopExit => {
-                    for n in 2..=max_states {
-                        let r = best_exit_machine(n, table, &outcomes[site.index()]);
-                        let misses = r.total - r.correct;
-                        let sz = r.machine.len();
-                        if misses < best_misses {
-                            best_misses = misses;
-                            best = ChosenStrategy::Loop(r.machine.clone());
-                        }
-                        match &menu[sz] {
-                            Some((_, m)) if *m <= misses => {}
-                            _ => menu[sz] = Some((r.machine, misses)),
-                        }
-                    }
-                }
-                BranchClass::NonLoop => {}
-            }
-            if matches!(best, ChosenStrategy::Loop(_)) {
-                menus.insert(site, menu);
-            }
-        }
-
-        if let Some(p) = path_profiles.get(&site) {
-            // Guard against path overfitting: demand each path pay for
-            // itself with at least ~0.5% of the branch's executions.
-            let min_gain = (counts.total() / 200).max(2);
-            let r = p.select_with_threshold(max_states, min_gain);
-            if r.mispredictions() < best_misses && r.machine.states() > 1 {
-                best_misses = r.mispredictions();
-                best = ChosenStrategy::Correlated(r.machine);
-                menus.remove(&site);
-            }
-        }
-
-        choices.push(StrategyChoice {
-            site,
-            class,
-            chosen: best,
-            executions: counts.total(),
-            profile_misses,
-            chosen_misses: best_misses,
+    // Fan out: one pure search per branch over shared read-only state.
+    let per_site: Vec<(StrategyChoice, Option<SizeMenu>)> =
+        engine::par_map_with(threads, &sites, |&site| {
+            search_site(
+                site,
+                class_of[&site],
+                stats.site(site),
+                tables.site(site),
+                outcomes.get(site.index()).map_or(&[][..], Vec::as_slice),
+                path_profiles.get(&site),
+                &search,
+                max_states,
+            )
         });
+
+    // Merge in site order (par_map preserves input order).
+    let mut choices = Vec::with_capacity(per_site.len());
+    let mut menus: HashMap<BranchId, SizeMenu> = HashMap::new();
+    for (choice, menu) in per_site {
+        if let Some(menu) = menu {
+            menus.insert(choice.site, menu);
+        }
+        choices.push(choice);
     }
 
     rebalance_same_loop_machines(&mut choices, &menus, &loop_of);
@@ -275,6 +249,132 @@ pub fn select_strategies(module: &Module, trace: &Trace, max_states: usize) -> S
         choices,
         total_events: trace.len() as u64,
     }
+}
+
+/// The per-branch unit of work: searches every applicable strategy family
+/// for one branch and returns its choice plus (when a loop machine won)
+/// the per-size menu for §6 joint rebalancing.
+///
+/// Pure with respect to its inputs — safe to run on any engine worker.
+#[allow(clippy::too_many_arguments)]
+fn search_site(
+    site: BranchId,
+    class: BranchClass,
+    counts: SiteCounts,
+    table: Option<&PatternTable>,
+    outcomes: &[bool],
+    path_profile: Option<&PathProfile>,
+    search: &IntraLoopSearch,
+    max_states: usize,
+) -> (StrategyChoice, Option<SizeMenu>) {
+    let profile_misses = counts.minority_count();
+    let mut best_misses = profile_misses;
+    let mut best = ChosenStrategy::Profile;
+    let mut menu: Option<SizeMenu> = None;
+
+    if let Some(table) = table {
+        if !matches!(class, BranchClass::NonLoop) {
+            // The loop-machine search depends only on (class, table,
+            // outcome stream, budget) — memoize it process-wide.
+            let outcome = memo::lookup_or_compute(
+                class,
+                table.fingerprint(),
+                memo::fingerprint_outcomes(outcomes),
+                max_states,
+                || loop_search(class, table, outcomes, search, max_states),
+            );
+            if let Some((machine, misses)) = &outcome.best {
+                if *misses < best_misses {
+                    best_misses = *misses;
+                    best = ChosenStrategy::Loop(machine.clone());
+                    menu = Some(outcome.menu.clone());
+                }
+            }
+        }
+    }
+
+    if let Some(p) = path_profile {
+        // Guard against path overfitting: demand each path pay for
+        // itself with at least ~0.5% of the branch's executions.
+        let min_gain = (counts.total() / 200).max(2);
+        let r = p.select_with_threshold(max_states, min_gain);
+        if r.mispredictions() < best_misses && r.machine.states() > 1 {
+            best_misses = r.mispredictions();
+            best = ChosenStrategy::Correlated(r.machine);
+            menu = None;
+        }
+    }
+
+    (
+        StrategyChoice {
+            site,
+            class,
+            chosen: best,
+            executions: counts.total(),
+            profile_misses,
+            chosen_misses: best_misses,
+        },
+        menu,
+    )
+}
+
+/// The memoized kernel: finds the best intra-loop or loop-exit machine for
+/// one `(table, outcome stream, budget)` input, plus the best machine per
+/// exact size. `best` is populated only when a machine strictly beats the
+/// profile baseline of the same outcome stream.
+fn loop_search(
+    class: BranchClass,
+    table: &PatternTable,
+    outcomes: &[bool],
+    search: &IntraLoopSearch,
+    max_states: usize,
+) -> LoopSearchOutcome {
+    // Profile baseline, derived from the same stream the memo key hashes.
+    let taken = outcomes.iter().filter(|&&t| t).count() as u64;
+    let not_taken = outcomes.len() as u64 - taken;
+    let profile_misses = taken.min(not_taken);
+
+    let mut best: Option<(StateMachine, u64)> = None;
+    let mut best_misses = profile_misses;
+    let mut menu: SizeMenu = vec![None; max_states + 1];
+    match class {
+        BranchClass::IntraLoop => {
+            // Rank candidates by partition score (the paper's
+            // bookkeeping), then judge the winners by *simulation*
+            // on the real outcome stream — that is what the
+            // replicated code will actually do.
+            for r in search.search(table).into_iter().flatten() {
+                let (correct, total) = r.machine.simulate(outcomes.iter().copied());
+                let misses = total - correct;
+                let n = r.machine.len();
+                if misses < best_misses {
+                    best_misses = misses;
+                    best = Some((r.machine.clone(), misses));
+                }
+                match &menu[n] {
+                    Some((_, m)) if *m <= misses => {}
+                    _ => menu[n] = Some((r.machine, misses)),
+                }
+            }
+        }
+        BranchClass::LoopExit => {
+            for n in 2..=max_states {
+                let r = best_exit_machine(n, table, outcomes);
+                let misses = r.total - r.correct;
+                let sz = r.machine.len();
+                if misses < best_misses {
+                    best_misses = misses;
+                    best = Some((r.machine.clone(), misses));
+                }
+                match &menu[sz] {
+                    Some((_, m)) if *m <= misses => {}
+                    _ => menu[sz] = Some((r.machine, misses)),
+                }
+            }
+        }
+        BranchClass::NonLoop => {}
+    }
+    LoopSearchOutcome { best, menu }
 }
 
 /// The paper's §6 joint search, applied where it matters: when several
@@ -308,10 +408,7 @@ fn rebalance_same_loop_machines(
         if idxs.len() < 2 {
             continue; // nothing to balance
         }
-        let product: usize = idxs
-            .iter()
-            .map(|&i| choices[i].chosen.states())
-            .product();
+        let product: usize = idxs.iter().map(|&i| choices[i].chosen.states()).product();
         if product <= MAX_PRODUCT_STATES {
             continue; // independent choices already fit
         }
@@ -474,8 +571,7 @@ mod tests {
         let plan = sel.to_plan();
         assert!(!plan.is_empty());
         let program = crate::replicate::apply_plan(&m, &plan, &t.stats()).unwrap();
-        crate::replicate::check_equivalence(&m, &program, "main", &[Value::Int(100)], &[])
-            .unwrap();
+        crate::replicate::check_equivalence(&m, &program, "main", &[Value::Int(100)], &[]).unwrap();
     }
 
     /// A loop whose body holds several period-7 branches: independently
@@ -541,8 +637,7 @@ mod tests {
         // And the plan applies without shedding, preserving semantics.
         let plan = sel.to_plan();
         let program = crate::replicate::apply_plan(&m, &plan, &t.stats()).unwrap();
-        crate::replicate::check_equivalence(&m, &program, "main", &[Value::Int(700)], &[])
-            .unwrap();
+        crate::replicate::check_equivalence(&m, &program, "main", &[Value::Int(700)], &[]).unwrap();
     }
 
     #[test]

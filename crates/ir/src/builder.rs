@@ -1,8 +1,32 @@
 //! A fluent builder for [`Function`]s.
 
+use std::fmt;
+
 use crate::ids::{BlockId, BranchId, Reg};
 use crate::inst::{BinOp, CmpOp, Inst, Intrinsic, Operand, Term, Value};
 use crate::module::{Block, Function};
+
+/// A structural error detected when finishing a built function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// The block was created but never given a terminator.
+    MissingTerminator {
+        /// The unterminated block.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MissingTerminator { block } => {
+                write!(f, "block b{} lacks a terminator", block.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// Builds a [`Function`] block by block.
 ///
@@ -301,28 +325,40 @@ impl FunctionBuilder {
         self.terminate(Term::Ret { value });
     }
 
-    /// Finishes the function.
+    /// Finishes the function, surfacing structural mistakes as a typed
+    /// error instead of aborting the process.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any block lacks a terminator.
-    pub fn finish(self) -> Function {
-        let blocks: Vec<Block> = self
-            .blocks
-            .into_iter()
-            .enumerate()
-            .map(|(i, (insts, term))| Block {
-                insts,
-                term: term.unwrap_or_else(|| panic!("block b{i} lacks a terminator")),
-            })
-            .collect();
-        Function {
+    /// Returns [`BuildError::MissingTerminator`] naming the first block
+    /// (in creation order) that was never terminated.
+    pub fn try_finish(self) -> Result<Function, BuildError> {
+        let mut blocks: Vec<Block> = Vec::with_capacity(self.blocks.len());
+        for (i, (insts, term)) in self.blocks.into_iter().enumerate() {
+            let Some(term) = term else {
+                return Err(BuildError::MissingTerminator {
+                    block: BlockId(i as u32),
+                });
+            };
+            blocks.push(Block { insts, term });
+        }
+        Ok(Function {
             name: self.name,
             n_params: self.n_params,
             n_regs: self.next_reg,
             blocks,
             entry: self.entry,
-        }
+        })
+    }
+
+    /// Finishes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block lacks a terminator; [`Self::try_finish`] is the
+    /// non-panicking form.
+    pub fn finish(self) -> Function {
+        self.try_finish().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -359,6 +395,26 @@ mod tests {
     fn unterminated_block_panics_on_finish() {
         let b = FunctionBuilder::new("f", 0);
         let _ = b.finish();
+    }
+
+    #[test]
+    fn try_finish_reports_missing_terminator() {
+        // The entry is terminated; the second block is left dangling, so
+        // the error must name it rather than the entry.
+        let mut b = FunctionBuilder::new("f", 0);
+        let dangling = b.new_block();
+        b.jmp(dangling);
+        let err = b.try_finish().unwrap_err();
+        assert_eq!(err, BuildError::MissingTerminator { block: dangling });
+        assert_eq!(err.to_string(), "block b1 lacks a terminator");
+    }
+
+    #[test]
+    fn try_finish_succeeds_on_complete_function() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.ret(None);
+        let f = b.try_finish().expect("complete function builds");
+        assert_eq!(f.blocks.len(), 1);
     }
 
     #[test]

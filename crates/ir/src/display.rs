@@ -121,7 +121,16 @@ mod tests {
         let mut m = Module::new();
         m.push_function(b.finish());
         let text = m.to_string();
-        for needle in ["func @main", "const 5", "add", "out(", "br", "; s0", "ret 1", "ret"] {
+        for needle in [
+            "func @main",
+            "const 5",
+            "add",
+            "out(",
+            "br",
+            "; s0",
+            "ret 1",
+            "ret",
+        ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
     }

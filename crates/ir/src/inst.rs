@@ -539,6 +539,9 @@ mod tests {
             site: BranchId(0),
         };
         t.map_successors(|b| BlockId(b.0 + 10));
-        assert_eq!(t.successors().collect::<Vec<_>>(), vec![BlockId(10), BlockId(11)]);
+        assert_eq!(
+            t.successors().collect::<Vec<_>>(),
+            vec![BlockId(10), BlockId(11)]
+        );
     }
 }

@@ -63,7 +63,7 @@ mod module;
 mod parse;
 mod verify;
 
-pub use builder::FunctionBuilder;
+pub use builder::{BuildError, FunctionBuilder};
 pub use ids::{BlockId, BranchId, FuncId, Reg};
 pub use inst::{BinOp, CmpOp, Inst, Intrinsic, Operand, Term, Value};
 pub use module::{Block, Function, Module};

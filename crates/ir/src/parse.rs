@@ -350,7 +350,10 @@ fn parse_term(text: &str, line: usize) -> Result<Term, ParseModuleError> {
     })
 }
 
-fn parse_func_header(header: &str, line: usize) -> Result<(String, u32, u32, BlockId), ParseModuleError> {
+fn parse_func_header(
+    header: &str,
+    line: usize,
+) -> Result<(String, u32, u32, BlockId), ParseModuleError> {
     // func @name(N) regs=M entry=bK {
     let fail = |msg: &str| ParseModuleError {
         line,
@@ -360,7 +363,9 @@ fn parse_func_header(header: &str, line: usize) -> Result<(String, u32, u32, Blo
         .strip_prefix("func ")
         .ok_or_else(|| fail("expected `func`"))?
         .trim();
-    let rest = rest.strip_prefix('@').ok_or_else(|| fail("expected @name"))?;
+    let rest = rest
+        .strip_prefix('@')
+        .ok_or_else(|| fail("expected @name"))?;
     let open = rest.find('(').ok_or_else(|| fail("expected ("))?;
     let name = rest[..open].to_string();
     let close = rest.find(')').ok_or_else(|| fail("expected )"))?;
@@ -428,11 +433,10 @@ pub fn parse_module(src: &str) -> Result<Module, ParseModuleError> {
             };
             if l == "}" {
                 if let Some((insts, term)) = cur.take() {
-                    let term =
-                        term.ok_or_else(|| ParseModuleError {
-                            line,
-                            message: "block missing terminator".into(),
-                        })?;
+                    let term = term.ok_or_else(|| ParseModuleError {
+                        line,
+                        message: "block missing terminator".into(),
+                    })?;
                     blocks.push(Block { insts, term });
                 }
                 break;
@@ -570,8 +574,7 @@ mod tests {
 
     #[test]
     fn dense_labels_enforced() {
-        let err =
-            parse_module("func @f(0) regs=0 entry=b0 {\nb5:\n  ret\n}").unwrap_err();
+        let err = parse_module("func @f(0) regs=0 entry=b0 {\nb5:\n  ret\n}").unwrap_err();
         assert!(err.message.contains("dense"));
     }
 }

@@ -169,9 +169,7 @@ impl Module {
                     }
                 }
                 match &block.term {
-                    Term::Br {
-                        cond, site, ..
-                    } => {
+                    Term::Br { cond, site, .. } => {
                         check_op(*cond)?;
                         if !seen_sites.insert(site.0) {
                             return Err(VerifyError::DuplicateBranchSite { site: site.0 });
@@ -254,10 +252,7 @@ mod tests {
             callee: "nope".into(),
             args: vec![],
         });
-        assert!(matches!(
-            m.verify(),
-            Err(VerifyError::UnknownCallee { .. })
-        ));
+        assert!(matches!(m.verify(), Err(VerifyError::UnknownCallee { .. })));
     }
 
     #[test]

@@ -150,10 +150,7 @@ mod tests {
         let dirs: Vec<bool> = (0..1100).map(|i| i % 11 != 10).collect();
         let trace = trace_of(dirs.clone());
         let two_bit = simulate_dynamic(&mut TwoBitCounters::new(), &trace);
-        let last = simulate_dynamic(
-            &mut crate::dynamic::LastDirection::new(),
-            &trace_of(dirs),
-        );
+        let last = simulate_dynamic(&mut crate::dynamic::LastDirection::new(), &trace_of(dirs));
         assert!(two_bit.mispredictions() < last.mispredictions());
         assert_eq!(TwoBitCounters::new().name(), "2bit counter");
     }
@@ -162,12 +159,8 @@ mod tests {
     fn one_bit_counter_equals_last_direction_after_warmup() {
         let dirs: Vec<bool> = (0..500).map(|i| (i / 7) % 2 == 0).collect();
         let one_bit = simulate_dynamic(&mut SaturatingCounters::new(1), &trace_of(dirs.clone()));
-        let last = simulate_dynamic(
-            &mut crate::dynamic::LastDirection::new(),
-            &trace_of(dirs),
-        );
-        let diff =
-            (one_bit.mispredictions() as i64 - last.mispredictions() as i64).unsigned_abs();
+        let last = simulate_dynamic(&mut crate::dynamic::LastDirection::new(), &trace_of(dirs));
+        let diff = (one_bit.mispredictions() as i64 - last.mispredictions() as i64).unsigned_abs();
         assert!(diff <= 1, "only cold-start may differ, got {diff}");
     }
 

@@ -184,7 +184,10 @@ mod tests {
         let cb = simulate_dynamic(&mut TwoBitCounters::new(), &t).mispredictions();
         let mut tour = Tournament::new(Gshare::new(6), TwoBitCounters::new(), 1024);
         let to = simulate_dynamic(&mut tour, &t).mispredictions();
-        assert!(to <= ga.max(cb), "tournament {to} vs gshare {ga}, 2bit {cb}");
+        assert!(
+            to <= ga.max(cb),
+            "tournament {to} vs gshare {ga}, 2bit {cb}"
+        );
         assert_eq!(tour.name(), "tournament");
     }
 

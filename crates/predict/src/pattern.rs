@@ -94,6 +94,31 @@ impl PatternTable {
     pub fn ideal_mispredictions(&self) -> u64 {
         self.counts.values().map(SiteCounts::minority_count).sum()
     }
+
+    /// A canonical 128-bit fingerprint of the table: equal tables (same
+    /// `(pattern, taken, not_taken)` triples, in any internal order) hash
+    /// equal. Used as a memo key by search caches — two branches with
+    /// identical profiled behavior share one machine search.
+    pub fn fingerprint(&self) -> (u64, u64) {
+        let mut entries: Vec<(u32, SiteCounts)> =
+            self.counts.iter().map(|(&p, &c)| (p, c)).collect();
+        entries.sort_unstable_by_key(|&(p, _)| p);
+        // Two independent FNV-1a streams over the sorted entries; a joint
+        // collision across 128 bits is not a realistic concern.
+        let mut a = 0xcbf2_9ce4_8422_2325u64;
+        let mut b = 0x6c62_272e_07bb_0142u64;
+        let mut mix = |x: u64| {
+            a = (a ^ x).wrapping_mul(0x0000_0100_0000_01b3);
+            b = (b ^ x.rotate_left(32)).wrapping_mul(0x0000_01b3_0000_0193);
+        };
+        mix(entries.len() as u64);
+        for (p, c) in entries {
+            mix(u64::from(p));
+            mix(c.taken);
+            mix(c.not_taken);
+        }
+        (a, b)
+    }
 }
 
 /// Pattern tables for every site of one trace, built with a given history
@@ -303,6 +328,25 @@ mod tests {
         // Period 7 fits in 9 bits of history: perfect prediction modulo
         // warmup.
         assert!(prev < 10);
+    }
+
+    #[test]
+    fn fingerprint_is_canonical_and_discriminating() {
+        let t = alternating(1000);
+        let a = PatternTableSet::build(&t, HistoryKind::Local, 4);
+        let b = PatternTableSet::build(&t, HistoryKind::Local, 4);
+        // Same data, independently built hash maps: equal fingerprints.
+        assert_eq!(
+            a.site(BranchId(0)).unwrap().fingerprint(),
+            b.site(BranchId(0)).unwrap().fingerprint()
+        );
+        // A different trace produces a different fingerprint.
+        let t2: Trace = (0..1000).map(|i| ev(0, i % 3 == 0)).collect();
+        let c = PatternTableSet::build(&t2, HistoryKind::Local, 4);
+        assert_ne!(
+            a.site(BranchId(0)).unwrap().fingerprint(),
+            c.site(BranchId(0)).unwrap().fingerprint()
+        );
     }
 
     #[test]

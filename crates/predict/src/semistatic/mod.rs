@@ -78,7 +78,9 @@ mod tests {
         let mut t = Trace::new();
         let mut x = 7u64;
         for i in 0..3000usize {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let noisy = x >> 33 & 1 == 1;
             t.push(ev(0, noisy));
             t.push(ev(1, noisy)); // correlated with site 0

@@ -19,9 +19,7 @@ pub(crate) fn branch_condition(
     let cond_reg = cond.reg()?;
     for inst in b.insts.iter().rev() {
         match inst {
-            Inst::Cmp { op, dst, lhs, rhs } if *dst == cond_reg => {
-                return Some((*op, *lhs, *rhs))
-            }
+            Inst::Cmp { op, dst, lhs, rhs } if *dst == cond_reg => return Some((*op, *lhs, *rhs)),
             _ if inst.def() == Some(cond_reg) => return None,
             _ => {}
         }

@@ -19,10 +19,7 @@ pub fn backward_taken(module: &Module) -> StaticPrediction {
     let mut p = StaticPrediction::with_default(true);
     for (_, func) in module.iter_functions() {
         for (bid, block) in func.iter_blocks() {
-            if let Term::Br {
-                then_, site, ..
-            } = block.term
-            {
+            if let Term::Br { then_, site, .. } = block.term {
                 p.set(site, then_.index() <= bid.index());
             }
         }

@@ -1,8 +1,6 @@
 //! The interpreter proper.
 
-use brepl_ir::{
-    BinOp, BlockId, CmpOp, FuncId, Inst, Intrinsic, Module, Operand, Term, Value,
-};
+use brepl_ir::{BinOp, BlockId, CmpOp, FuncId, Inst, Intrinsic, Module, Operand, Term, Value};
 use brepl_trace::{Trace, TraceEvent};
 
 use crate::error::RunError;
@@ -166,9 +164,7 @@ impl<'m> Machine<'m> {
                 frame.inst_idx += 1;
                 match inst {
                     Inst::Const { dst, value } => frame.regs[dst.index()] = *value,
-                    Inst::Copy { dst, src } => {
-                        frame.regs[dst.index()] = read(&frame.regs, *src)
-                    }
+                    Inst::Copy { dst, src } => frame.regs[dst.index()] = read(&frame.regs, *src),
                     Inst::Bin { op, dst, lhs, rhs } => {
                         let a = read(&frame.regs, *lhs);
                         let b = read(&frame.regs, *rhs);
@@ -207,9 +203,7 @@ impl<'m> Machine<'m> {
                             return Err(RunError::TypeError("alloc size must be non-negative"));
                         }
                         let base = self.brk;
-                        let end = base
-                            .checked_add(w as usize)
-                            .ok_or(RunError::OutOfMemory)?;
+                        let end = base.checked_add(w as usize).ok_or(RunError::OutOfMemory)?;
                         if end > self.heap.len() {
                             return Err(RunError::OutOfMemory);
                         }
@@ -241,8 +235,7 @@ impl<'m> Machine<'m> {
                         continue 'run;
                     }
                     Inst::Intrin { dst, which, args } => {
-                        let argv: Vec<Value> =
-                            args.iter().map(|a| read(&frame.regs, *a)).collect();
+                        let argv: Vec<Value> = args.iter().map(|a| read(&frame.regs, *a)).collect();
                         let result = match which {
                             Intrinsic::Out => {
                                 let v = *argv

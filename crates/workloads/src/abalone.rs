@@ -195,7 +195,12 @@ fn build_negamax() -> brepl_ir::Function {
     let within_cap = b.le(t.into(), Operand::imm(MAX_TAKE));
     let within_pile = b.le(t.into(), stones.into());
     let ok = b.reg();
-    b.bin(brepl_ir::BinOp::And, ok, within_cap.into(), within_pile.into());
+    b.bin(
+        brepl_ir::BinOp::And,
+        ok,
+        within_cap.into(),
+        within_pile.into(),
+    );
     b.br(ok, take_body, pile_next);
 
     b.switch_to(take_body);
@@ -473,9 +478,7 @@ mod tests {
         // never taken.
         let mixed = stats
             .iter_executed()
-            .filter(|(_, c)| {
-                c.total() > 1000 && c.minority_count() * 10 > c.total()
-            })
+            .filter(|(_, c)| c.total() > 1000 && c.minority_count() * 10 > c.total())
             .count();
         assert!(mixed >= 1, "expected a mixed pruning-style branch");
     }

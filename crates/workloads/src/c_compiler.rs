@@ -546,7 +546,10 @@ mod tests {
     fn hand_written_program_evaluates_correctly() {
         let mut w = build(Scale::Small);
         // a=3; b=a*4; !b;   => checksum = (11*31 + 12) & mask
-        w.input = "a=3;b=a*4;!b;".chars().map(|c| Value::Int(c as i64)).collect();
+        w.input = "a=3;b=a*4;!b;"
+            .chars()
+            .map(|c| Value::Int(c as i64))
+            .collect();
         let (_, output) = w.run_with_output().unwrap();
         assert_eq!(output[0].as_int(), Some(11 * 31 + 12));
         assert_eq!(output[1].as_int(), Some(3));

@@ -26,7 +26,8 @@ pub fn build_seeded(scale: Scale, seed: u64) -> Workload {
     let input = if seed == 0 {
         vec![]
     } else {
-        let mut rng = crate::util::XorShift::new(0xD0D0C ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            crate::util::XorShift::new(0xD0D0C ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         (0..n * n)
             .map(|_| brepl_ir::Value::Int(rng.range(0, 80)))
             .collect()
@@ -142,8 +143,8 @@ fn build_main(n: i64, max_sweeps: i64, particle_steps: i64) -> brepl_ir::Functio
     b.switch_to(col_body);
     let cols_left = b.lt(x.into(), Operand::imm(n - 1));
     b.br(cols_left, abs_neg, row_next); // abs_neg reused as cell body entry
-    // NOTE: abs_neg here is the *cell body*; the abs test's negative arm is
-    // inlined below via abs_done.
+                                        // NOTE: abs_neg here is the *cell body*; the abs test's negative arm is
+                                        // inlined below via abs_done.
 
     // Cell body: average the four neighbors.
     b.switch_to(abs_neg);
@@ -306,7 +307,9 @@ mod tests {
         // minority) — the wall bounces.
         let strongly_biased = stats
             .iter_executed()
-            .filter(|(_, c)| c.total() > 100 && (c.minority_count() as f64) < 0.02 * c.total() as f64)
+            .filter(|(_, c)| {
+                c.total() > 100 && (c.minority_count() as f64) < 0.02 * c.total() as f64
+            })
             .count();
         assert!(strongly_biased >= 2);
     }

@@ -67,12 +67,7 @@ fn build_set_pixel() -> brepl_ir::Function {
     b.load(old, addr.into());
     let mixed = b.reg();
     b.add(mixed, old.into(), color.into());
-    b.bin(
-        brepl_ir::BinOp::And,
-        mixed,
-        mixed.into(),
-        Operand::imm(255),
-    );
+    b.bin(brepl_ir::BinOp::And, mixed, mixed.into(), Operand::imm(255));
     b.store(addr.into(), mixed.into());
     b.ret(Some(Operand::imm(1)));
     b.switch_to(skip);

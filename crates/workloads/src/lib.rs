@@ -150,7 +150,9 @@ mod tests {
     #[test]
     fn every_workload_verifies_and_runs() {
         for w in all_workloads(Scale::Small) {
-            w.module.verify().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            w.module
+                .verify()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             let outcome = w
                 .run()
                 .unwrap_or_else(|e| panic!("{} failed to run: {e}", w.name));

@@ -196,11 +196,11 @@ fn generate_trace(scale: Scale, seed: u64) -> Vec<Value> {
         let p = &mut phase[site as usize];
         *p += 1;
         let dir = match site % 8 {
-            0 | 4 => *p % 13 != 12,         // long loop, regular exit
-            1 | 5 => *p % 2 == 0,           // alternating
-            2 | 6 => *p % 5 != 4,           // periodic loop-like
-            3 => true,                      // monomorphic
-            _ => rng.chance(9, 10),         // biased with noise
+            0 | 4 => *p % 13 != 12, // long loop, regular exit
+            1 | 5 => *p % 2 == 0,   // alternating
+            2 | 6 => *p % 5 != 4,   // periodic loop-like
+            3 => true,              // monomorphic
+            _ => rng.chance(9, 10), // biased with noise
         };
         out.push(Value::Int(site));
         out.push(Value::Int(i64::from(dir)));

@@ -57,8 +57,8 @@ fn main() {
     let module = parse_module(SOURCE).expect("source parses");
     module.verify().expect("source verifies");
 
-    let result = run_pipeline(&module, &[], &[], PipelineConfig::default())
-        .expect("pipeline succeeds");
+    let result =
+        run_pipeline(&module, &[], &[], PipelineConfig::default()).expect("pipeline succeeds");
     println!(
         "profile {:.2}% -> replicated {:.2}% at {:.2}x size",
         result.profile_misprediction_percent,

@@ -45,8 +45,7 @@ fn main() {
     ));
     rows.push((
         "Ball-Larus (static)".into(),
-        evaluate_static(BallLarus::analyze(&w.module).prediction(), &trace)
-            .misprediction_percent(),
+        evaluate_static(BallLarus::analyze(&w.module).prediction(), &trace).misprediction_percent(),
     ));
 
     // Dynamic strategies.

@@ -42,8 +42,8 @@ fn main() {
     module.push_function(b.finish());
     module.verify().expect("valid module");
 
-    let result = run_pipeline(&module, &[], &[], PipelineConfig::default())
-        .expect("pipeline succeeds");
+    let result =
+        run_pipeline(&module, &[], &[], PipelineConfig::default()).expect("pipeline succeeds");
 
     println!("branch events profiled : {}", result.trace_events);
     println!(

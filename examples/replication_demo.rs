@@ -54,13 +54,13 @@ fn main() {
     let machine = StateMachine::from_states(
         vec![
             MachineState {
-                pattern: HistPattern::parse("0"),
+                pattern: HistPattern::parse("0").unwrap(),
                 predict: true,
                 on_taken: 1,
                 on_not_taken: 0,
             },
             MachineState {
-                pattern: HistPattern::parse("1"),
+                pattern: HistPattern::parse("1").unwrap(),
                 predict: false,
                 on_taken: 1,
                 on_not_taken: 0,

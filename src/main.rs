@@ -114,7 +114,10 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     m.set_input(l.input.clone());
     let outcome = m.run("main", &l.args).map_err(|e| e.to_string())?;
     let stats = outcome.trace.stats();
-    println!("{:<8} {:>12} {:>12} {:>10} {:>8}", "site", "taken", "not-taken", "majority", "miss%");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>8}",
+        "site", "taken", "not-taken", "majority", "miss%"
+    );
     for (site, c) in stats.iter_executed() {
         println!(
             "{:<8} {:>12} {:>12} {:>10} {:>7.2}%",
@@ -221,10 +224,7 @@ fn cmd_shootout(args: &[String]) -> Result<(), String> {
             "gshare 12",
             simulate_dynamic(&mut Gshare::new(12), &trace).misprediction_percent(),
         ),
-        (
-            "profile",
-            profile_report(&trace).misprediction_percent(),
-        ),
+        ("profile", profile_report(&trace).misprediction_percent()),
         (
             "loop-correlation",
             loop_correlation_report(&trace).misprediction_percent(),

@@ -100,6 +100,9 @@ pub struct PipelineResult {
     pub trace_events: u64,
     /// The per-branch strategy selection.
     pub selection: Selection,
+    /// The sites whose machines actually shipped: enabled by the size
+    /// budget and kept by every refinement round.
+    pub replicated_sites: std::collections::BTreeSet<brepl_ir::BranchId>,
     /// The replicated program with predictions and provenance.
     pub program: ReplicatedProgram,
 }
@@ -127,8 +130,7 @@ pub fn run_pipeline(
     // 2. Select per-branch machines, then apply the size budget by taking
     // branches in greedy benefit-per-size order.
     let selection = select_strategies(module, &outcome.trace, config.max_states);
-    let mut enabled: std::collections::BTreeSet<brepl_ir::BranchId> = match config.max_size_growth
-    {
+    let mut enabled: std::collections::BTreeSet<brepl_ir::BranchId> = match config.max_size_growth {
         None => selection
             .choices()
             .iter()
@@ -173,9 +175,7 @@ pub fn run_pipeline(
                 continue;
             }
             let realized = folded.get(&choice.site).copied().unwrap_or(0);
-            if realized >= choice.profile_misses && choice.profile_misses > 0
-                || realized > choice.profile_misses
-            {
+            if refine_should_drop(realized, choice.profile_misses) {
                 enabled.remove(&choice.site);
                 dropped = true;
             }
@@ -192,8 +192,25 @@ pub fn run_pipeline(
         size_growth: program.size_growth(module),
         trace_events: outcome.trace.len() as u64,
         selection,
+        replicated_sites: enabled,
         program,
     })
+}
+
+/// The refinement drop rule: a machine is kept only while it is *strictly
+/// better* than plain profile prediction on the re-measured run.
+///
+/// Intended rule, stated explicitly (the original expression leaned on
+/// `&&`/`||` precedence): drop when the realized machine is no better than
+/// profile —
+///
+/// * `profile_misses > 0`: drop when `realized >= profile_misses` (equal
+///   realized misses mean the replication bought nothing and only costs
+///   code size);
+/// * `profile_misses == 0`: profile is already perfect, so keep the
+///   machine only while it is also perfect — drop when `realized > 0`.
+fn refine_should_drop(realized: u64, profile_misses: u64) -> bool {
+    (profile_misses > 0 && realized >= profile_misses) || (profile_misses == 0 && realized > 0)
 }
 
 #[cfg(test)]
@@ -246,6 +263,64 @@ mod tests {
         assert!(result.replicated_misprediction_percent < 1.0);
         assert!(result.size_growth > 1.0 && result.size_growth < 4.0);
         assert_eq!(result.trace_events, 600);
+    }
+
+    /// The refine rule must drop a branch whose realized machine exactly
+    /// matches profile (`realized == profile_misses`): such a machine buys
+    /// nothing and only costs code size. This pins the intended semantics
+    /// of the old precedence-reliant expression
+    /// `a >= b && b > 0 || a > b`.
+    #[test]
+    fn refine_drops_machines_no_better_than_profile() {
+        // realized == profile_misses > 0: no better than profile -> drop.
+        assert!(refine_should_drop(5, 5));
+        // Strictly worse than profile -> drop.
+        assert!(refine_should_drop(6, 5));
+        // Strictly better than profile -> keep.
+        assert!(!refine_should_drop(4, 5));
+        assert!(!refine_should_drop(0, 5));
+        // Profile is perfect: keep only a perfect machine.
+        assert!(!refine_should_drop(0, 0));
+        assert!(refine_should_drop(1, 0));
+    }
+
+    /// End-to-end: a machine whose re-measured misses equal its profile
+    /// misses is pruned by the refinement loop, never shipped.
+    #[test]
+    fn shipped_machines_strictly_beat_profile() {
+        let m = alternating_module();
+        let result = run_pipeline(&m, &[], &[], PipelineConfig::default()).unwrap();
+        let mut folded: std::collections::HashMap<brepl_ir::BranchId, u64> =
+            std::collections::HashMap::new();
+        // Re-measure the shipped program and fold misses to original sites.
+        let outcome = Machine::new(&result.program.module, RunConfig::default())
+            .run("main", &[])
+            .unwrap();
+        let report = evaluate_static(&result.program.predictions, &outcome.trace);
+        for (site, _, wrong) in report.iter_sites() {
+            *folded
+                .entry(result.program.provenance[site.index()])
+                .or_default() += wrong;
+        }
+        for choice in result.selection.choices() {
+            if !result.replicated_sites.contains(&choice.site) {
+                continue;
+            }
+            let realized = folded.get(&choice.site).copied().unwrap_or(0);
+            // The site's machine shipped: it must have survived
+            // refinement, i.e. be strictly better than profile.
+            assert!(
+                !refine_should_drop(realized, choice.profile_misses),
+                "site {} shipped with realized {} vs profile {}",
+                choice.site,
+                realized,
+                choice.profile_misses
+            );
+        }
+        assert!(
+            !result.replicated_sites.is_empty(),
+            "the alternating branch should ship a machine"
+        );
     }
 
     #[test]

@@ -1,24 +1,32 @@
-//! Property-based testing of the control-flow analyses on random
-//! generated programs.
+//! Property-style testing of the control-flow analyses on random
+//! generated programs. Cases are driven by a deterministic xorshift
+//! generator (the workspace builds with zero network access, so no
+//! external property-testing framework).
 
 mod common;
 
 use brepl::cfg::{Cfg, ClassifiedBranches, DomTree, LoopForest};
 use brepl::ir::FuncId;
-use proptest::prelude::*;
+use common::Gen;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// Dominator facts: the entry dominates everything reachable; idom
-    /// strictly dominates its node; dominance is consistent with a brute
-    /// force path check on small graphs.
-    #[test]
-    fn dominator_invariants(
-        seed in any::<u64>(),
-        diamonds in 0usize..5,
-        trip in 1i64..20,
-    ) {
+/// Derives one case's generator parameters: an arbitrary module seed,
+/// 0..5 diamonds and a 1..20 trip count.
+fn case_params(salt: u64, case: u64) -> (u64, usize, i64) {
+    let mut g = Gen::new(salt ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let seed = g.next();
+    let diamonds = g.below(5) as usize;
+    let trip = g.below(19) as i64 + 1;
+    (seed, diamonds, trip)
+}
+
+/// Dominator facts: the entry dominates everything reachable; idom
+/// strictly dominates its node.
+#[test]
+fn dominator_invariants() {
+    for case in 0..CASES {
+        let (seed, diamonds, trip) = case_params(0xD0D0, case);
         let module = common::random_loop_module(seed, diamonds, trip);
         let func = module.function(FuncId(0));
         let cfg = Cfg::new(func);
@@ -27,23 +35,22 @@ proptest! {
             if !dom.is_reachable(b) {
                 continue;
             }
-            prop_assert!(dom.dominates(cfg.entry(), b));
-            prop_assert!(dom.dominates(b, b));
+            assert!(dom.dominates(cfg.entry(), b), "case {case}");
+            assert!(dom.dominates(b, b), "case {case}");
             if let Some(idom) = dom.idom(b) {
-                prop_assert!(dom.strictly_dominates(idom, b));
+                assert!(dom.strictly_dominates(idom, b), "case {case}");
             }
         }
     }
+}
 
-    /// Loop facts: headers dominate every loop block; back edges end at
-    /// the header; exit edges leave the block set; nesting parents are
-    /// strict supersets.
-    #[test]
-    fn loop_invariants(
-        seed in any::<u64>(),
-        diamonds in 0usize..5,
-        trip in 1i64..20,
-    ) {
+/// Loop facts: headers dominate every loop block; back edges end at
+/// the header; exit edges leave the block set; nesting parents are
+/// strict supersets.
+#[test]
+fn loop_invariants() {
+    for case in 0..CASES {
+        let (seed, diamonds, trip) = case_params(0x100B, case);
         let module = common::random_loop_module(seed, diamonds, trip);
         let func = module.function(FuncId(0));
         let cfg = Cfg::new(func);
@@ -51,52 +58,51 @@ proptest! {
         let forest = LoopForest::new(&cfg, &dom);
         for l in forest.loops() {
             for &b in &l.blocks {
-                prop_assert!(dom.dominates(l.header, b));
+                assert!(dom.dominates(l.header, b), "case {case}");
             }
             for &(tail, head) in &l.back_edges {
-                prop_assert_eq!(head, l.header);
-                prop_assert!(l.blocks.contains(&tail));
+                assert_eq!(head, l.header, "case {case}");
+                assert!(l.blocks.contains(&tail), "case {case}");
             }
             for &(from, to) in &l.exit_edges {
-                prop_assert!(l.blocks.contains(&from));
-                prop_assert!(!l.blocks.contains(&to));
+                assert!(l.blocks.contains(&from), "case {case}");
+                assert!(!l.blocks.contains(&to), "case {case}");
             }
             if let Some(parent) = l.parent {
                 let p = forest.get(parent);
-                prop_assert!(p.blocks.is_superset(&l.blocks));
-                prop_assert!(p.blocks.len() > l.blocks.len());
-                prop_assert_eq!(p.depth + 1, l.depth);
+                assert!(p.blocks.is_superset(&l.blocks), "case {case}");
+                assert!(p.blocks.len() > l.blocks.len(), "case {case}");
+                assert_eq!(p.depth + 1, l.depth, "case {case}");
             }
         }
     }
+}
 
-    /// Branch classification covers every conditional branch exactly once,
-    /// and class membership matches target membership.
-    #[test]
-    fn classification_invariants(
-        seed in any::<u64>(),
-        diamonds in 0usize..5,
-        trip in 1i64..20,
-    ) {
+/// Branch classification covers every conditional branch exactly once,
+/// and class membership matches target membership.
+#[test]
+fn classification_invariants() {
+    for case in 0..CASES {
+        let (seed, diamonds, trip) = case_params(0xC1A5, case);
         let module = common::random_loop_module(seed, diamonds, trip);
         let func = module.function(FuncId(0));
         let cfg = Cfg::new(func);
         let dom = DomTree::new(&cfg);
         let forest = LoopForest::new(&cfg, &dom);
         let classes = ClassifiedBranches::analyze(func, &forest);
-        prop_assert_eq!(classes.branches().len(), func.branch_count());
+        assert_eq!(classes.branches().len(), func.branch_count(), "case {case}");
         for info in classes.branches() {
             match info.class {
                 brepl::cfg::BranchClass::IntraLoop => {
-                    prop_assert!(info.then_in_loop && info.else_in_loop);
-                    prop_assert!(info.innermost_loop.is_some());
+                    assert!(info.then_in_loop && info.else_in_loop, "case {case}");
+                    assert!(info.innermost_loop.is_some(), "case {case}");
                 }
                 brepl::cfg::BranchClass::LoopExit => {
-                    prop_assert!(!(info.then_in_loop && info.else_in_loop));
-                    prop_assert!(info.innermost_loop.is_some());
+                    assert!(!(info.then_in_loop && info.else_in_loop), "case {case}");
+                    assert!(info.innermost_loop.is_some(), "case {case}");
                 }
                 brepl::cfg::BranchClass::NonLoop => {
-                    prop_assert!(info.innermost_loop.is_none());
+                    assert!(info.innermost_loop.is_none(), "case {case}");
                 }
             }
         }

@@ -1,10 +1,13 @@
 //! Shared helpers for the integration tests: a deterministic random
 //! program generator producing terminating, branch-rich modules.
 
+// Each integration-test binary includes this module but uses only part
+// of it.
+#![allow(dead_code)]
+
 use brepl::ir::{BlockId, FunctionBuilder, Module, Operand, Reg};
 
-/// Simple xorshift for deterministic generation from a proptest-chosen
-/// seed.
+/// Simple xorshift for deterministic generation from a test-chosen seed.
 pub struct Gen {
     state: u64,
 }

@@ -1,55 +1,75 @@
-//! Property-based testing of the IR layer: textual round-tripping,
+//! Property-style testing of the IR layer: textual round-tripping,
 //! verification of generated programs, and execution determinism.
+//! Cases are driven by a deterministic xorshift generator (the workspace
+//! builds with zero network access, so no external property-testing
+//! framework).
 
 mod common;
 
 use brepl::ir::parse_module;
 use brepl::sim::{Machine, RunConfig};
-use proptest::prelude::*;
+use common::Gen;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    #[test]
-    fn textual_format_round_trips(
-        seed in any::<u64>(),
-        diamonds in 1usize..5,
-        trip in 1i64..50,
-    ) {
+/// Derives one case's parameters: an arbitrary module seed, diamonds in
+/// `dmin..dmax` and trip in `tmin..tmax`.
+fn case_params(
+    salt: u64,
+    case: u64,
+    (dmin, dmax): (u64, u64),
+    (tmin, tmax): (i64, i64),
+) -> (u64, usize, i64) {
+    let mut g = Gen::new(salt ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let seed = g.next();
+    let diamonds = (dmin + g.below(dmax - dmin)) as usize;
+    let trip = tmin + g.below((tmax - tmin) as u64) as i64;
+    (seed, diamonds, trip)
+}
+
+#[test]
+fn textual_format_round_trips() {
+    for case in 0..CASES {
+        let (seed, diamonds, trip) = case_params(0x7E87, case, (1, 5), (1, 50));
         let module = common::random_loop_module(seed, diamonds, trip);
         let text = module.to_string();
-        let parsed = parse_module(&text)
-            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
-        prop_assert_eq!(&parsed, &module);
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
+        assert_eq!(&parsed, &module, "case {case}");
         // And the round-tripped module runs identically.
-        let a = Machine::new(&module, RunConfig::default()).run("main", &[]).unwrap();
-        let b = Machine::new(&parsed, RunConfig::default()).run("main", &[]).unwrap();
-        prop_assert_eq!(a.result, b.result);
-        prop_assert_eq!(a.steps, b.steps);
+        let a = Machine::new(&module, RunConfig::default())
+            .run("main", &[])
+            .unwrap();
+        let b = Machine::new(&parsed, RunConfig::default())
+            .run("main", &[])
+            .unwrap();
+        assert_eq!(a.result, b.result, "case {case}");
+        assert_eq!(a.steps, b.steps, "case {case}");
     }
+}
 
-    #[test]
-    fn execution_is_deterministic(
-        seed in any::<u64>(),
-        diamonds in 1usize..4,
-        trip in 1i64..60,
-    ) {
+#[test]
+fn execution_is_deterministic() {
+    for case in 0..CASES {
+        let (seed, diamonds, trip) = case_params(0xDE7E, case, (1, 4), (1, 60));
         let module = common::random_loop_module(seed, diamonds, trip);
-        let a = Machine::new(&module, RunConfig::default()).run("main", &[]).unwrap();
-        let b = Machine::new(&module, RunConfig::default()).run("main", &[]).unwrap();
-        prop_assert_eq!(a.result, b.result);
-        prop_assert_eq!(a.trace.len(), b.trace.len());
+        let a = Machine::new(&module, RunConfig::default())
+            .run("main", &[])
+            .unwrap();
+        let b = Machine::new(&module, RunConfig::default())
+            .run("main", &[])
+            .unwrap();
+        assert_eq!(a.result, b.result, "case {case}");
+        assert_eq!(a.trace.len(), b.trace.len(), "case {case}");
         let ev_a: Vec<_> = a.trace.iter().collect();
         let ev_b: Vec<_> = b.trace.iter().collect();
-        prop_assert_eq!(ev_a, ev_b);
+        assert_eq!(ev_a, ev_b, "case {case}");
     }
+}
 
-    #[test]
-    fn trace_serialization_round_trips(
-        seed in any::<u64>(),
-        diamonds in 1usize..4,
-        trip in 1i64..80,
-    ) {
+#[test]
+fn trace_serialization_round_trips() {
+    for case in 0..CASES {
+        let (seed, diamonds, trip) = case_params(0x5E7A, case, (1, 4), (1, 80));
         let module = common::random_loop_module(seed, diamonds, trip);
         let trace = Machine::new(&module, RunConfig::default())
             .run("main", &[])
@@ -57,17 +77,16 @@ proptest! {
             .trace;
         let bytes = trace.to_bytes();
         let back = brepl::trace::Trace::from_bytes(&bytes).expect("decodes");
-        prop_assert_eq!(back, trace);
+        assert_eq!(back, trace, "case {case}");
     }
+}
 
-    #[test]
-    fn generated_modules_always_verify(
-        seed in any::<u64>(),
-        diamonds in 0usize..6,
-        trip in 0i64..40,
-    ) {
+#[test]
+fn generated_modules_always_verify() {
+    for case in 0..CASES {
+        let (seed, diamonds, trip) = case_params(0x7E51, case, (0, 6), (0, 40));
         let module = common::random_loop_module(seed, diamonds, trip);
-        prop_assert_eq!(module.verify(), Ok(()));
-        prop_assert!(module.branch_count() >= 1);
+        assert_eq!(module.verify(), Ok(()), "case {case}");
+        assert!(module.branch_count() >= 1, "case {case}");
     }
 }

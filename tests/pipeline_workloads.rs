@@ -12,8 +12,7 @@ fn pipeline_improves_or_holds_every_workload() {
         let result = run_pipeline(&w.module, &w.args, &w.input, PipelineConfig::default())
             .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", w.name));
         assert!(
-            result.replicated_misprediction_percent
-                <= result.profile_misprediction_percent + 1e-9,
+            result.replicated_misprediction_percent <= result.profile_misprediction_percent + 1e-9,
             "{}: replicated {:.3}% worse than profile {:.3}%",
             w.name,
             result.replicated_misprediction_percent,
@@ -63,8 +62,7 @@ fn unlimited_budget_reaches_selection_promise() {
     // Without a budget, the realized result lands near the selection's
     // promise (refinement may drop a few non-transferring machines).
     assert!(
-        r.replicated_misprediction_percent
-            <= r.selected_misprediction_percent + 3.0,
+        r.replicated_misprediction_percent <= r.selected_misprediction_percent + 3.0,
         "realized {:.2}% far from promised {:.2}%",
         r.replicated_misprediction_percent,
         r.selected_misprediction_percent

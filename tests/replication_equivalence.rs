@@ -1,77 +1,100 @@
-//! Property-based testing of the replication transform: for random
+//! Property-style testing of the replication transform: for random
 //! branch-rich loop programs, applying the full selection must preserve
 //! semantics exactly (result, output tape, step count, per-site branch
 //! histogram) and must never make the static prediction worse.
+//! Cases are driven by a deterministic xorshift generator (the workspace
+//! builds with zero network access, so no external property-testing
+//! framework).
 
 mod common;
 
 use brepl::core::{apply_plan, check_equivalence, select_strategies};
 use brepl::pipeline::{run_pipeline, PipelineConfig};
 use brepl::sim::{Machine, RunConfig};
-use proptest::prelude::*;
+use common::Gen;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn replication_preserves_semantics(
-        seed in any::<u64>(),
-        diamonds in 1usize..4,
-        trip in 8i64..120,
-    ) {
+/// Derives one case's parameters: an arbitrary module seed, diamonds in
+/// `dmin..dmax` and trip in `tmin..tmax`.
+fn case_params(
+    salt: u64,
+    case: u64,
+    (dmin, dmax): (u64, u64),
+    (tmin, tmax): (i64, i64),
+) -> (u64, usize, i64) {
+    let mut g = Gen::new(salt ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let seed = g.next();
+    let diamonds = (dmin + g.below(dmax - dmin)) as usize;
+    let trip = tmin + g.below((tmax - tmin) as u64) as i64;
+    (seed, diamonds, trip)
+}
+
+#[test]
+fn replication_preserves_semantics() {
+    for case in 0..CASES {
+        let (seed, diamonds, trip) = case_params(0x5E3A, case, (1, 4), (8, 120));
         let module = common::random_loop_module(seed, diamonds, trip);
         let trace = Machine::new(&module, RunConfig::default())
             .run("main", &[])
             .expect("generated programs terminate")
             .trace;
-        prop_assume!(trace.len() > 10);
+        if trace.len() <= 10 {
+            continue;
+        }
 
         for max_states in [2usize, 4] {
             let selection = select_strategies(&module, &trace, max_states);
             let plan = selection.to_plan();
-            let program = apply_plan(&module, &plan, &trace.stats())
-                .expect("replication applies");
+            let program = apply_plan(&module, &plan, &trace.stats()).expect("replication applies");
             check_equivalence(&module, &program, "main", &[], &[])
                 .expect("replicated program is equivalent");
         }
     }
+}
 
-    #[test]
-    fn pipeline_never_degrades_prediction(
-        seed in any::<u64>(),
-        diamonds in 1usize..4,
-        trip in 8i64..100,
-    ) {
+#[test]
+fn pipeline_never_degrades_prediction() {
+    for case in 0..CASES {
+        let (seed, diamonds, trip) = case_params(0xDE62, case, (1, 4), (8, 100));
         let module = common::random_loop_module(seed, diamonds, trip);
         let config = PipelineConfig {
             max_states: 3,
             ..PipelineConfig::default()
         };
         let result = run_pipeline(&module, &[], &[], config).expect("pipeline runs");
-        prop_assert!(
-            result.replicated_misprediction_percent
-                <= result.profile_misprediction_percent + 1e-9
+        assert!(
+            result.replicated_misprediction_percent <= result.profile_misprediction_percent + 1e-9,
+            "case {case}"
         );
-        prop_assert!(result.size_growth >= 1.0);
+        assert!(result.size_growth >= 1.0, "case {case}");
     }
+}
 
-    #[test]
-    fn selection_misses_bounded_by_profile(
-        seed in any::<u64>(),
-        diamonds in 1usize..5,
-        trip in 8i64..150,
-    ) {
+#[test]
+fn selection_misses_bounded_by_profile() {
+    for case in 0..CASES {
+        let (seed, diamonds, trip) = case_params(0xB0D5, case, (1, 5), (8, 150));
         let module = common::random_loop_module(seed, diamonds, trip);
         let trace = Machine::new(&module, RunConfig::default())
             .run("main", &[])
             .expect("terminates")
             .trace;
-        prop_assume!(!trace.is_empty());
+        if trace.is_empty() {
+            continue;
+        }
         let selection = select_strategies(&module, &trace, 4);
-        prop_assert!(selection.total_misses() <= selection.profile_misses());
+        assert!(
+            selection.total_misses() <= selection.profile_misses(),
+            "case {case}"
+        );
         // Every individual choice is at least as good as profile.
         for c in selection.choices() {
-            prop_assert!(c.chosen_misses <= c.profile_misses, "site {}", c.site);
+            assert!(
+                c.chosen_misses <= c.profile_misses,
+                "case {case} site {}",
+                c.site
+            );
         }
     }
 }

@@ -3,9 +3,7 @@
 //! the guarantees EXPERIMENTS.md reports.
 
 use brepl::predict::dynamic::{LastDirection, TwoBitCounters, TwoLevel};
-use brepl::predict::semistatic::{
-    combine_best, correlation_report, loop_report, profile_report,
-};
+use brepl::predict::semistatic::{combine_best, correlation_report, loop_report, profile_report};
 use brepl::predict::simulate_dynamic;
 use brepl::trace::Trace;
 use brepl::workloads::{all_workloads, Scale};
@@ -27,12 +25,17 @@ fn paper_orderings_hold_per_program() {
         let corr1 = correlation_report(&t, 1).mispredictions();
         let loop1 = loop_report(&t, 1).mispredictions();
         let loop9 = loop_report(&t, 9).mispredictions();
-        let lc = combine_best(&correlation_report(&t, 1), &loop_report(&t, 9))
-            .mispredictions();
+        let lc = combine_best(&correlation_report(&t, 1), &loop_report(&t, 9)).mispredictions();
 
         // Ideal history tables refine profile prediction.
-        assert!(corr1 <= profile, "{name}: corr1 {corr1} > profile {profile}");
-        assert!(loop1 <= profile, "{name}: loop1 {loop1} > profile {profile}");
+        assert!(
+            corr1 <= profile,
+            "{name}: corr1 {corr1} > profile {profile}"
+        );
+        assert!(
+            loop1 <= profile,
+            "{name}: loop1 {loop1} > profile {profile}"
+        );
         assert!(loop9 <= loop1, "{name}: loop9 {loop9} > loop1 {loop1}");
         // The combination dominates both components.
         assert!(lc <= corr1 && lc <= loop9, "{name}: combination not best");
@@ -67,8 +70,7 @@ fn history_schemes_reach_dynamic_territory() {
     for (_, t) in &traces {
         two_level += simulate_dynamic(&mut TwoLevel::paper_4k(), t).misprediction_percent();
         profile += profile_report(t).misprediction_percent();
-        lc += combine_best(&correlation_report(t, 1), &loop_report(t, 9))
-            .misprediction_percent();
+        lc += combine_best(&correlation_report(t, 1), &loop_report(t, 9)).misprediction_percent();
     }
     let n = traces.len() as f64;
     let (two_level, profile, lc) = (two_level / n, profile / n, lc / n);
