@@ -1,0 +1,221 @@
+//! Diagnostics: stable codes, severities and locations for everything the
+//! lints and the translation validator report.
+
+use std::fmt;
+
+use brepl_ir::{Loc, Module};
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but semantics-preserving; reported, never fatal.
+    Warning,
+    /// The simulation relation is broken — the transformed program must not
+    /// ship.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The stable diagnostic codes. Codes are append-only: meanings never
+/// change, retired codes are never reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// `BR001` — a replica block is unreachable from its function entry.
+    UnreachableReplica,
+    /// `BR002` — an instruction writes a register no later execution reads.
+    DeadStore,
+    /// `BR003` — a register is read on some path before any write.
+    UseBeforeDef,
+    /// `BR004` — a replica CFG edge does not project to an original edge.
+    OrphanReplicaEdge,
+    /// `BR005` — a replica block's instruction stream differs from its
+    /// origin chain.
+    InstStreamMismatch,
+    /// `BR006` — a statically predicted direction contradicts the branch-
+    /// machine state the replica encodes.
+    PredictionMismatch,
+    /// `BR007` — a register live into a replica block is not live into its
+    /// origin.
+    LiveInMismatch,
+    /// `BR008` — the replica map itself is malformed (wrong shape, dangling
+    /// ids).
+    InvalidReplicaMap,
+}
+
+impl DiagCode {
+    /// The stable code string (`BR001`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::UnreachableReplica => "BR001",
+            DiagCode::DeadStore => "BR002",
+            DiagCode::UseBeforeDef => "BR003",
+            DiagCode::OrphanReplicaEdge => "BR004",
+            DiagCode::InstStreamMismatch => "BR005",
+            DiagCode::PredictionMismatch => "BR006",
+            DiagCode::LiveInMismatch => "BR007",
+            DiagCode::InvalidReplicaMap => "BR008",
+        }
+    }
+
+    /// A short hyphenated name, as used in documentation.
+    pub fn title(self) -> &'static str {
+        match self {
+            DiagCode::UnreachableReplica => "unreachable-replica",
+            DiagCode::DeadStore => "dead-store",
+            DiagCode::UseBeforeDef => "use-before-def",
+            DiagCode::OrphanReplicaEdge => "orphan-replica-edge",
+            DiagCode::InstStreamMismatch => "inst-stream-mismatch",
+            DiagCode::PredictionMismatch => "prediction-mismatch",
+            DiagCode::LiveInMismatch => "live-in-mismatch",
+            DiagCode::InvalidReplicaMap => "invalid-replica-map",
+        }
+    }
+
+    /// The severity of every diagnostic carrying this code. The first three
+    /// codes describe suspicious-but-sound situations (the simulator zero-
+    /// initializes registers, and unreachable/dead code cannot execute);
+    /// the rest break the simulation relation.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::UnreachableReplica | DiagCode::DeadStore | DiagCode::UseBeforeDef => {
+                Severity::Warning
+            }
+            DiagCode::OrphanReplicaEdge
+            | DiagCode::InstStreamMismatch
+            | DiagCode::PredictionMismatch
+            | DiagCode::LiveInMismatch
+            | DiagCode::InvalidReplicaMap => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.as_str(), self.title())
+    }
+}
+
+/// One finding from a lint or the translation validator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalysisDiag {
+    /// The stable code.
+    pub code: DiagCode,
+    /// Where in the (replicated) module the finding points.
+    pub loc: Loc,
+    /// A human-readable explanation with the specifics.
+    pub message: String,
+}
+
+impl AnalysisDiag {
+    /// Builds a diagnostic.
+    pub fn new(code: DiagCode, loc: Loc, message: impl Into<String>) -> Self {
+        AnalysisDiag {
+            code,
+            loc,
+            message: message.into(),
+        }
+    }
+
+    /// The severity, derived from the code.
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// Renders the diagnostic with the function *name* resolved against
+    /// `module` (the module the location points into).
+    pub fn render(&self, module: &Module) -> String {
+        format!(
+            "{}[{}] {}: {}",
+            self.severity(),
+            self.code.as_str(),
+            module.describe_loc(&self.loc),
+            self.message
+        )
+    }
+}
+
+impl fmt::Display for AnalysisDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity(),
+            self.code.as_str(),
+            self.loc,
+            self.message
+        )
+    }
+}
+
+/// True when any diagnostic has error severity.
+pub fn has_errors(diags: &[AnalysisDiag]) -> bool {
+    diags.iter().any(|d| d.severity() == Severity::Error)
+}
+
+/// Counts `(errors, warnings)`.
+pub fn count_by_severity(diags: &[AnalysisDiag]) -> (usize, usize) {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .count();
+    (errors, diags.len() - errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::{BlockId, FuncId};
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(DiagCode::UnreachableReplica.as_str(), "BR001");
+        assert_eq!(DiagCode::DeadStore.as_str(), "BR002");
+        assert_eq!(DiagCode::UseBeforeDef.as_str(), "BR003");
+        assert_eq!(DiagCode::OrphanReplicaEdge.as_str(), "BR004");
+        assert_eq!(DiagCode::InstStreamMismatch.as_str(), "BR005");
+        assert_eq!(DiagCode::PredictionMismatch.as_str(), "BR006");
+        assert_eq!(DiagCode::LiveInMismatch.as_str(), "BR007");
+        assert_eq!(DiagCode::InvalidReplicaMap.as_str(), "BR008");
+    }
+
+    #[test]
+    fn severity_split() {
+        assert_eq!(DiagCode::UnreachableReplica.severity(), Severity::Warning);
+        assert_eq!(DiagCode::DeadStore.severity(), Severity::Warning);
+        assert_eq!(DiagCode::UseBeforeDef.severity(), Severity::Warning);
+        assert_eq!(DiagCode::OrphanReplicaEdge.severity(), Severity::Error);
+        assert_eq!(DiagCode::InstStreamMismatch.severity(), Severity::Error);
+        assert_eq!(DiagCode::PredictionMismatch.severity(), Severity::Error);
+        assert_eq!(DiagCode::LiveInMismatch.severity(), Severity::Error);
+        assert_eq!(DiagCode::InvalidReplicaMap.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn display_and_error_detection() {
+        let warn = AnalysisDiag::new(
+            DiagCode::DeadStore,
+            Loc::inst(FuncId(0), BlockId(1), 2),
+            "r3 is never read",
+        );
+        assert_eq!(
+            warn.to_string(),
+            "warning[BR002] f0:b1:i2: r3 is never read"
+        );
+        assert!(!has_errors(std::slice::from_ref(&warn)));
+        let err = AnalysisDiag::new(
+            DiagCode::OrphanReplicaEdge,
+            Loc::term(FuncId(0), BlockId(1)),
+            "edge b1 -> b9 has no original counterpart",
+        );
+        assert!(has_errors(&[warn.clone(), err.clone()]));
+        assert_eq!(count_by_severity(&[warn, err]), (1, 1));
+    }
+}

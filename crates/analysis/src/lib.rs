@@ -1,0 +1,59 @@
+//! # brepl-analysis — dataflow analyses and static translation validation
+//!
+//! Code replication (Krall, PLDI 1994) rewrites whole loop nests so branch
+//! history is encoded in the program counter. This crate provides the
+//! static machinery to trust that rewrite — and to reason about the IR in
+//! general:
+//!
+//! * a generic **worklist dataflow solver** ([`solve`]) over
+//!   [`brepl_cfg::Cfg`] graphs, parameterized by direction and meet
+//!   ([`DataflowAnalysis`] for arbitrary lattices, [`GenKill`] for
+//!   bit-vector problems);
+//! * concrete analyses for the non-SSA register IR: [`liveness`],
+//!   [`reaching_defs`], [`use_before_def`] and [`reachable_blocks`];
+//! * a **translation validator** ([`validate_replication`]) that checks a
+//!   simulation relation between an original module and its replicated
+//!   form, using the [`ReplicaMap`] witness the replicator emits;
+//! * a diagnostics layer ([`AnalysisDiag`]) with stable codes `BR001`
+//!   through `BR008` and [`lint_module`] for the warning-severity lints.
+//!
+//! ```
+//! use brepl_analysis::{validate_replication, ReplicaMap};
+//! use brepl_ir::{FunctionBuilder, Module};
+//! use brepl_predict::StaticPrediction;
+//!
+//! let mut b = FunctionBuilder::new("main", 0);
+//! b.ret(None);
+//! let mut m = Module::new();
+//! m.push_function(b.finish());
+//!
+//! // A module trivially simulates itself under the identity witness.
+//! let map = ReplicaMap::identity(&m);
+//! let predictions = StaticPrediction::with_default(true);
+//! assert!(validate_replication(&m, &m, &map, &predictions).is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod diag;
+mod lint;
+mod liveness;
+mod reach;
+mod reaching;
+mod replica_map;
+mod solver;
+mod uninit;
+mod validate;
+
+pub use bitset::BitSet;
+pub use diag::{count_by_severity, has_errors, AnalysisDiag, DiagCode, Severity};
+pub use lint::{dead_store_diags, lint_module, unreachable_diags, use_before_def_diags};
+pub use liveness::{liveness, term_uses, Liveness};
+pub use reach::{reachable_blocks, unreachable_blocks};
+pub use reaching::{reaching_defs, DefSite, ReachingDefs};
+pub use replica_map::{ReplicaFuncMap, ReplicaMap};
+pub use solver::{solve, DataflowAnalysis, DataflowSolution, Direction, GenKill, Meet};
+pub use uninit::{use_before_def, UseBeforeDef};
+pub use validate::validate_replication;

@@ -1,0 +1,49 @@
+//! Block reachability, shared by the `BR001` lint and the replicator's
+//! unreachable-replica cleanup (`brepl-core::replicate::cleanup`).
+
+use brepl_cfg::Cfg;
+use brepl_ir::{BlockId, Function};
+
+/// Per-block reachability from the function entry.
+pub fn reachable_blocks(func: &Function) -> Vec<bool> {
+    Cfg::new(func).reachable()
+}
+
+/// The ids of blocks *not* reachable from the function entry.
+pub fn unreachable_blocks(func: &Function) -> Vec<BlockId> {
+    reachable_blocks(func)
+        .iter()
+        .enumerate()
+        .filter(|(_, &r)| !r)
+        .map(|(i, _)| BlockId::from_index(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::FunctionBuilder;
+
+    #[test]
+    fn finds_unreachable() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let dead = b.new_block();
+        let dead2 = b.new_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.jmp(dead2);
+        b.switch_to(dead2);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(reachable_blocks(&f), vec![true, false, false]);
+        assert_eq!(unreachable_blocks(&f), vec![dead, dead2]);
+    }
+
+    #[test]
+    fn fully_reachable_is_empty() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.ret(None);
+        let f = b.finish();
+        assert!(unreachable_blocks(&f).is_empty());
+    }
+}

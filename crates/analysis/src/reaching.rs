@@ -1,0 +1,214 @@
+//! Reaching definitions (forward, may).
+//!
+//! The fact universe is the set of *definition sites*: one bit per
+//! register-writing instruction, plus one pseudo-definition per function
+//! parameter (parameters are defined at function entry). A definition
+//! reaches a point when some path from it to the point contains no other
+//! write to the same register.
+
+use brepl_cfg::Cfg;
+use brepl_ir::{BlockId, Function, Reg};
+
+use crate::bitset::BitSet;
+use crate::solver::{solve, Direction, GenKill, Meet};
+
+/// One definition site in the fact universe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DefSite {
+    /// The register written.
+    pub reg: Reg,
+    /// The writing instruction as `(block, instruction index)`, or `None`
+    /// for the pseudo-definition of a parameter at function entry.
+    pub site: Option<(BlockId, usize)>,
+}
+
+/// The reaching-definitions solution for one function.
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    /// The definition-site universe; bit `i` refers to `sites[i]`.
+    pub sites: Vec<DefSite>,
+    /// Definitions reaching each block's entry.
+    pub reach_in: Vec<BitSet>,
+    /// Definitions reaching each block's exit.
+    pub reach_out: Vec<BitSet>,
+    defs_of: Vec<Vec<usize>>,
+}
+
+impl ReachingDefs {
+    /// The universe indices of all definitions of `reg`.
+    pub fn defs_of(&self, reg: Reg) -> &[usize] {
+        &self.defs_of[reg.index()]
+    }
+
+    /// Definitions of `reg` reaching the entry of `b`, as site descriptors.
+    pub fn reaching_defs_of(&self, b: BlockId, reg: Reg) -> Vec<DefSite> {
+        self.defs_of(reg)
+            .iter()
+            .copied()
+            .filter(|&i| self.reach_in[b.index()].contains(i))
+            .map(|i| self.sites[i])
+            .collect()
+    }
+}
+
+/// Computes reaching definitions for `func` over its CFG.
+pub fn reaching_defs(func: &Function, cfg: &Cfg) -> ReachingDefs {
+    // Enumerate the universe: parameter pseudo-defs first, then every
+    // register-writing instruction in (block, index) order.
+    let mut sites = Vec::new();
+    let mut defs_of: Vec<Vec<usize>> = vec![Vec::new(); func.n_regs as usize];
+    let mut site_index = std::collections::HashMap::new();
+    for p in 0..func.n_params {
+        let reg = Reg(p);
+        defs_of[reg.index()].push(sites.len());
+        sites.push(DefSite { reg, site: None });
+    }
+    for (bid, block) in func.iter_blocks() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let Some(reg) = inst.def() {
+                defs_of[reg.index()].push(sites.len());
+                site_index.insert((bid, i), sites.len());
+                sites.push(DefSite {
+                    reg,
+                    site: Some((bid, i)),
+                });
+            }
+        }
+    }
+
+    let mut p = GenKill::new(Direction::Forward, Meet::Union, cfg.len(), sites.len());
+    // Parameters reach the entry boundary.
+    for i in 0..func.n_params as usize {
+        p.boundary.insert(i);
+    }
+    for (bid, block) in func.iter_blocks() {
+        // Walk forward remembering the last def of each register: the last
+        // one is generated, every other def of a locally-written register
+        // is killed.
+        let mut last_def: Vec<Option<usize>> = vec![None; func.n_regs as usize];
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let Some(reg) = inst.def() {
+                last_def[reg.index()] = Some(site_index[&(bid, i)]);
+            }
+        }
+        let gen = &mut p.gen[bid.index()];
+        let kill = &mut p.kill[bid.index()];
+        for (reg_idx, last) in last_def.iter().enumerate() {
+            if let Some(idx) = last {
+                gen.insert(*idx);
+                for &d in &defs_of[reg_idx] {
+                    if d != *idx {
+                        kill.insert(d);
+                    }
+                }
+            }
+        }
+    }
+
+    let sol = solve(cfg, &p);
+    ReachingDefs {
+        sites,
+        reach_in: sol.entry,
+        reach_out: sol.exit,
+        defs_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::{FunctionBuilder, Operand};
+
+    #[test]
+    fn both_arms_reach_the_join() {
+        // x = 1 in one arm, x = 2 in the other: both defs reach the join,
+        // and the entry def of the parameter is killed on both paths.
+        let mut b = FunctionBuilder::new("f", 1);
+        let p0 = b.param(0);
+        let x = b.reg();
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.gt(p0.into(), Operand::imm(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.const_int(x, 1);
+        b.jmp(j);
+        b.switch_to(e);
+        b.const_int(x, 2);
+        b.jmp(j);
+        b.switch_to(j);
+        b.ret(Some(x.into()));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let rd = reaching_defs(&f, &cfg);
+
+        let at_join = rd.reaching_defs_of(j, x);
+        assert_eq!(at_join.len(), 2);
+        assert!(at_join.iter().all(|d| d.site.is_some()));
+        // The parameter's pseudo-def reaches everywhere (it is never
+        // overwritten).
+        assert_eq!(
+            rd.reaching_defs_of(j, p0),
+            vec![DefSite {
+                reg: p0,
+                site: None
+            }]
+        );
+    }
+
+    #[test]
+    fn local_redefinition_kills_upstream() {
+        // Entry defines x, next block redefines it: only the redefinition
+        // reaches the exit.
+        let mut b = FunctionBuilder::new("f", 0);
+        let x = b.reg();
+        let mid = b.new_block();
+        let end = b.new_block();
+        b.const_int(x, 1);
+        b.jmp(mid);
+        b.switch_to(mid);
+        b.const_int(x, 2);
+        b.jmp(end);
+        b.switch_to(end);
+        b.ret(Some(x.into()));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let rd = reaching_defs(&f, &cfg);
+        let at_end = rd.reaching_defs_of(end, x);
+        assert_eq!(
+            at_end,
+            vec![DefSite {
+                reg: x,
+                site: Some((mid, 0))
+            }]
+        );
+    }
+
+    #[test]
+    fn loop_body_def_reaches_its_own_entry() {
+        // i = 0; loop { i = i + 1 }: both the init and the increment reach
+        // the loop head.
+        let mut b = FunctionBuilder::new("f", 1);
+        let n = b.param(0);
+        let i = b.reg();
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.const_int(i, 0);
+        b.jmp(head);
+        b.switch_to(head);
+        let c = b.lt(i.into(), n.into());
+        b.br(c, body, exit);
+        b.switch_to(body);
+        b.add(i, i.into(), Operand::imm(1));
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret(Some(i.into()));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let rd = reaching_defs(&f, &cfg);
+        assert_eq!(rd.reaching_defs_of(head, i).len(), 2);
+        assert_eq!(rd.defs_of(i).len(), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Use-before-def detection via definitely-assigned registers (forward,
+//! must).
+//!
+//! A register is *definitely assigned* at a point when every path from the
+//! function entry writes it before that point; parameters are assigned at
+//! entry. A read of a register that is not definitely assigned is reported.
+//! The simulator zero-initializes the whole register file, so such a read
+//! is well-defined at run time — the finding is a code-quality warning
+//! (and, on replicated modules, a cheap detector for register renames that
+//! corrupt dataflow), not an error.
+
+use brepl_cfg::Cfg;
+use brepl_ir::{BlockId, Function, InstIdx, Reg};
+
+use crate::liveness::term_uses;
+use crate::solver::{solve, Direction, GenKill, Meet};
+
+/// One read of a register that is not definitely assigned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UseBeforeDef {
+    /// The block containing the read.
+    pub block: BlockId,
+    /// The reading instruction (or terminator).
+    pub inst: InstIdx,
+    /// The register read.
+    pub reg: Reg,
+}
+
+/// Finds every use of a not-definitely-assigned register in `func`.
+/// Unreachable blocks are skipped (no execution reads them).
+pub fn use_before_def(func: &Function, cfg: &Cfg) -> Vec<UseBeforeDef> {
+    let n_regs = func.n_regs as usize;
+    let mut p = GenKill::new(Direction::Forward, Meet::Intersect, cfg.len(), n_regs);
+    for i in 0..func.n_params as usize {
+        p.boundary.insert(i);
+    }
+    for (bid, block) in func.iter_blocks() {
+        for inst in &block.insts {
+            if let Some(d) = inst.def() {
+                p.gen[bid.index()].insert(d.index());
+            }
+        }
+    }
+    let sol = solve(cfg, &p);
+
+    let reachable = cfg.reachable();
+    let mut findings = Vec::new();
+    for (bid, block) in func.iter_blocks() {
+        if !reachable[bid.index()] {
+            continue;
+        }
+        let mut assigned = sol.entry[bid.index()].clone();
+        for (i, inst) in block.insts.iter().enumerate() {
+            inst.for_each_use(|o| {
+                if let Some(r) = o.reg() {
+                    if !assigned.contains(r.index()) {
+                        findings.push(UseBeforeDef {
+                            block: bid,
+                            inst: InstIdx::Inst(i),
+                            reg: r,
+                        });
+                    }
+                }
+            });
+            if let Some(d) = inst.def() {
+                assigned.insert(d.index());
+            }
+        }
+        term_uses(&block.term, |r| {
+            if !assigned.contains(r.index()) {
+                findings.push(UseBeforeDef {
+                    block: bid,
+                    inst: InstIdx::Term,
+                    reg: r,
+                });
+            }
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::{FunctionBuilder, Operand};
+
+    #[test]
+    fn read_of_unwritten_register_is_flagged() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let x = b.reg();
+        let y = b.reg();
+        b.add(y, x.into(), Operand::imm(1)); // x never written
+        b.ret(Some(y.into()));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let found = use_before_def(&f, &cfg);
+        assert_eq!(
+            found,
+            vec![UseBeforeDef {
+                block: BlockId(0),
+                inst: InstIdx::Inst(0),
+                reg: x,
+            }]
+        );
+    }
+
+    #[test]
+    fn one_arm_assignment_is_flagged_at_join() {
+        // Only the then-arm writes x; reading it at the join is a maybe-
+        // uninitialized read (must-analysis).
+        let mut b = FunctionBuilder::new("f", 1);
+        let p0 = b.param(0);
+        let x = b.reg();
+        let t = b.new_block();
+        let j = b.new_block();
+        let c = b.gt(p0.into(), Operand::imm(0));
+        b.br(c, t, j);
+        b.switch_to(t);
+        b.const_int(x, 1);
+        b.jmp(j);
+        b.switch_to(j);
+        b.ret(Some(x.into()));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let found = use_before_def(&f, &cfg);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].inst, InstIdx::Term);
+        assert_eq!(found[0].reg, x);
+    }
+
+    #[test]
+    fn params_and_dominating_defs_are_clean() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let p0 = b.param(0);
+        let x = b.reg();
+        let next = b.new_block();
+        b.const_int(x, 3);
+        b.jmp(next);
+        b.switch_to(next);
+        let y = b.reg();
+        b.add(y, p0.into(), x.into());
+        b.ret(Some(y.into()));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert!(use_before_def(&f, &cfg).is_empty());
+    }
+
+    #[test]
+    fn unreachable_blocks_are_skipped() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let x = b.reg();
+        let dead = b.new_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(Some(x.into())); // reads x, but can never execute
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert!(use_before_def(&f, &cfg).is_empty());
+    }
+}

@@ -1,0 +1,505 @@
+//! The static translation validator.
+//!
+//! Given the original module, the replicated module, and the
+//! [`ReplicaMap`] witness emitted by the replicator, this module checks a
+//! *simulation relation*: every execution of the replicated program is an
+//! execution of the original with some blocks renamed. Concretely, for
+//! every reachable replica block with origin chain `o1..ok`:
+//!
+//! 1. **Instruction streams** — the replica's instructions equal the
+//!    concatenation of `o1..ok`'s instructions, and its terminator matches
+//!    `ok`'s (same kind, same condition/return operand); block-id operands
+//!    live only in terminators, so this is exactly "equal modulo block-ID
+//!    renaming" (`BR005`).
+//! 2. **Chain links** — consecutive chain blocks were merged along real
+//!    control flow: `oi` ends in an unconditional jump that reaches
+//!    `oi+1` through empty blocks (`BR004`).
+//! 3. **Edge projection** — each replica CFG edge, slot by slot, projects
+//!    to the corresponding original edge out of `ok`, allowing the
+//!    original target to be reached through a chain of empty
+//!    jump-only blocks (the jump threading the simplifier performs)
+//!    (`BR004`); the replica entry must project onto the original entry
+//!    the same way.
+//! 4. **Predictions** — when the witness says a replica block encodes a
+//!    machine state predicting direction `d`, the shipped static
+//!    prediction for that block's branch site must be `d` (`BR006`).
+//! 5. **Live-ins** — every register live into the replica block is live
+//!    into `o1`: replication only restricts paths, so a *new* live-in
+//!    means a renamed or reordered register read (`BR007`).
+//!
+//! Unreachable replica blocks are reported as `BR001` warnings and
+//! excluded from the relation; a malformed witness is `BR008`.
+
+use brepl_cfg::Cfg;
+use brepl_ir::{BlockId, Function, Loc, Module, Reg, Term};
+use brepl_predict::StaticPrediction;
+
+use crate::diag::{AnalysisDiag, DiagCode};
+use crate::liveness::liveness;
+use crate::replica_map::{ReplicaFuncMap, ReplicaMap};
+
+/// Statically validates `replicated` against `original` under the witness
+/// `map` and the shipped `predictions`. Returns every finding; the
+/// transformation is proven correct (with respect to the checked relation)
+/// when no error-severity diagnostic is present.
+pub fn validate_replication(
+    original: &Module,
+    replicated: &Module,
+    map: &ReplicaMap,
+    predictions: &StaticPrediction,
+) -> Vec<AnalysisDiag> {
+    let mut diags = Vec::new();
+
+    if map.functions.len() != replicated.function_count()
+        || original.function_count() != replicated.function_count()
+    {
+        diags.push(AnalysisDiag::new(
+            DiagCode::InvalidReplicaMap,
+            Loc::function(brepl_ir::FuncId(0)),
+            format!(
+                "shape mismatch: {} original / {} replicated functions, {} map entries",
+                original.function_count(),
+                replicated.function_count(),
+                map.functions.len()
+            ),
+        ));
+        return diags;
+    }
+
+    for (fid, rfunc) in replicated.iter_functions() {
+        let ofunc = original.function(fid);
+        let fmap = &map.functions[fid.index()];
+        if let Err(msg) = check_shape(ofunc, rfunc, fmap) {
+            diags.push(AnalysisDiag::new(
+                DiagCode::InvalidReplicaMap,
+                Loc::function(fid),
+                msg,
+            ));
+            continue;
+        }
+        validate_function(fid, ofunc, rfunc, fmap, predictions, &mut diags);
+    }
+    diags
+}
+
+/// Structural witness checks; any failure makes the deeper checks
+/// meaningless for this function.
+fn check_shape(ofunc: &Function, rfunc: &Function, fmap: &ReplicaFuncMap) -> Result<(), String> {
+    if ofunc.name != rfunc.name {
+        return Err(format!(
+            "function name changed: {:?} -> {:?}",
+            ofunc.name, rfunc.name
+        ));
+    }
+    if ofunc.n_params != rfunc.n_params {
+        return Err(format!(
+            "parameter count changed: {} -> {}",
+            ofunc.n_params, rfunc.n_params
+        ));
+    }
+    if fmap.origins.len() != rfunc.blocks.len() {
+        return Err(format!(
+            "map covers {} blocks but the function has {}",
+            fmap.origins.len(),
+            rfunc.blocks.len()
+        ));
+    }
+    if fmap.machine_predictions.len() != rfunc.blocks.len() {
+        return Err(format!(
+            "map carries {} prediction slots but the function has {} blocks",
+            fmap.machine_predictions.len(),
+            rfunc.blocks.len()
+        ));
+    }
+    for (i, chain) in fmap.origins.iter().enumerate() {
+        if chain.is_empty() {
+            return Err(format!("block b{i} has an empty origin chain"));
+        }
+        if let Some(&bad) = chain.iter().find(|o| o.index() >= ofunc.blocks.len()) {
+            return Err(format!(
+                "block b{i}'s origin chain names {bad}, outside the original function"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The blocks reachable from `start` in `func` by falling through empty
+/// jump-only blocks, `start` included — the set of legal projection targets
+/// for an edge whose original target is `start`, given that the simplifier
+/// threads jumps past empty blocks.
+fn thread_chain(func: &Function, start: BlockId) -> Vec<BlockId> {
+    let mut chain = vec![start];
+    let mut cur = start;
+    loop {
+        let block = func.block(cur);
+        let Term::Jmp { target } = block.term else {
+            break;
+        };
+        if !block.insts.is_empty() || chain.contains(&target) {
+            break;
+        }
+        chain.push(target);
+        cur = target;
+    }
+    chain
+}
+
+/// Terminator compatibility: same kind, same non-successor operands.
+fn terms_compatible(rterm: &Term, oterm: &Term) -> Result<(), String> {
+    match (rterm, oterm) {
+        (Term::Jmp { .. }, Term::Jmp { .. }) => Ok(()),
+        (Term::Br { cond: rc, .. }, Term::Br { cond: oc, .. }) => {
+            if rc == oc {
+                Ok(())
+            } else {
+                Err(format!("branch condition changed: {oc} -> {rc}"))
+            }
+        }
+        (Term::Ret { value: rv }, Term::Ret { value: ov }) => {
+            if rv == ov {
+                Ok(())
+            } else {
+                Err("return operand changed".to_string())
+            }
+        }
+        _ => Err("terminator kind changed".to_string()),
+    }
+}
+
+fn validate_function(
+    fid: brepl_ir::FuncId,
+    ofunc: &Function,
+    rfunc: &Function,
+    fmap: &ReplicaFuncMap,
+    predictions: &StaticPrediction,
+    diags: &mut Vec<AnalysisDiag>,
+) {
+    let rcfg = Cfg::new(rfunc);
+    let ocfg = Cfg::new(ofunc);
+    let reachable = rcfg.reachable();
+    let rlive = liveness(rfunc, &rcfg);
+    let olive = liveness(ofunc, &ocfg);
+
+    // Entry projection: the replica entry must be (a threaded form of) the
+    // original entry.
+    let entry_origin = fmap.first_origin(rfunc.entry).expect("shape-checked above");
+    if !thread_chain(ofunc, ofunc.entry).contains(&entry_origin) {
+        diags.push(AnalysisDiag::new(
+            DiagCode::OrphanReplicaEdge,
+            Loc::block(fid, rfunc.entry),
+            format!(
+                "entry block originates from {entry_origin}, which the original entry {} does not reach",
+                ofunc.entry
+            ),
+        ));
+    }
+
+    for (bid, rblock) in rfunc.iter_blocks() {
+        if !reachable[bid.index()] {
+            diags.push(AnalysisDiag::new(
+                DiagCode::UnreachableReplica,
+                Loc::block(fid, bid),
+                format!("replica block {bid} is unreachable and should have been cleaned up"),
+            ));
+            continue;
+        }
+        let chain = &fmap.origins[bid.index()];
+
+        // 1. Instruction stream: replica insts == concatenation of the
+        // chain's insts.
+        let expected: Vec<_> = chain
+            .iter()
+            .flat_map(|&o| ofunc.block(o).insts.iter().cloned())
+            .collect();
+        if rblock.insts != expected {
+            diags.push(AnalysisDiag::new(
+                DiagCode::InstStreamMismatch,
+                Loc::block(fid, bid),
+                format!(
+                    "instruction stream ({} insts) differs from origin chain {:?} ({} insts)",
+                    rblock.insts.len(),
+                    chain,
+                    expected.len()
+                ),
+            ));
+        }
+
+        // 2. Chain links: each merge step followed an unconditional jump.
+        for w in chain.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            match ofunc.block(a).term {
+                Term::Jmp { target } if thread_chain(ofunc, target).contains(&b) => {}
+                _ => diags.push(AnalysisDiag::new(
+                    DiagCode::OrphanReplicaEdge,
+                    Loc::block(fid, bid),
+                    format!("origin chain link {a} -> {b} is not an original jump"),
+                )),
+            }
+        }
+
+        // Terminator compatibility with the chain's last block.
+        let last = *chain.last().expect("chains are non-empty");
+        let oterm = &ofunc.block(last).term;
+        if let Err(msg) = terms_compatible(&rblock.term, oterm) {
+            diags.push(AnalysisDiag::new(
+                DiagCode::InstStreamMismatch,
+                Loc::term(fid, bid),
+                format!("terminator differs from origin {last}: {msg}"),
+            ));
+        } else {
+            // 3. Edge projection, slot by slot (taken then not-taken).
+            let rsuccs: Vec<_> = rblock.term.successors().collect();
+            let osuccs: Vec<_> = oterm.successors().collect();
+            for (slot, (&rsucc, &osucc)) in rsuccs.iter().zip(&osuccs).enumerate() {
+                let Some(rsucc_origin) = fmap.first_origin(rsucc) else {
+                    continue; // out-of-range successor: the IR verifier's problem
+                };
+                if !thread_chain(ofunc, osucc).contains(&rsucc_origin) {
+                    diags.push(AnalysisDiag::new(
+                        DiagCode::OrphanReplicaEdge,
+                        Loc::term(fid, bid),
+                        format!(
+                            "edge {bid} -> {rsucc} (slot {slot}) projects to {last} -> {rsucc_origin}, not an original edge (expected a threaded form of {osucc})"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // 4. Prediction consistency with the encoded machine state.
+        if let Some(dir) = fmap.machine_predictions[bid.index()] {
+            match rblock.term.branch_site() {
+                None => diags.push(AnalysisDiag::new(
+                    DiagCode::InvalidReplicaMap,
+                    Loc::term(fid, bid),
+                    format!(
+                        "witness pins prediction {dir} on {bid}, which has no conditional branch"
+                    ),
+                )),
+                Some(site) => {
+                    let shipped = predictions.get(site);
+                    if shipped != dir {
+                        diags.push(AnalysisDiag::new(
+                            DiagCode::PredictionMismatch,
+                            Loc::term(fid, bid),
+                            format!(
+                                "site {site} ships prediction {shipped} but the encoded machine state predicts {dir}"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // 5. Live-in containment: a fresh live-in register means the
+        // replica reads something its origin does not.
+        let first = chain[0];
+        let origin_live = olive.live_in(first);
+        let fresh: Vec<Reg> = rlive
+            .live_in(bid)
+            .iter()
+            .filter(|&r| !origin_live.contains(r))
+            .map(|r| Reg(r as u32))
+            .collect();
+        if !fresh.is_empty() {
+            let names: Vec<String> = fresh.iter().map(|r| r.to_string()).collect();
+            diags.push(AnalysisDiag::new(
+                DiagCode::LiveInMismatch,
+                Loc::block(fid, bid),
+                format!(
+                    "registers [{}] are live into {bid} but not into its origin {first}",
+                    names.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::{FunctionBuilder, Operand};
+
+    /// A loop whose body branches on the parity of the counter.
+    fn small_module() -> Module {
+        let mut b = FunctionBuilder::new("main", 0);
+        let i = b.reg();
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.const_int(i, 0);
+        b.jmp(head);
+        b.switch_to(head);
+        let c = b.lt(i.into(), Operand::imm(10));
+        b.br(c, body, exit);
+        b.switch_to(body);
+        b.add(i, i.into(), Operand::imm(1));
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret(Some(i.into()));
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn identity_validates_clean() {
+        let m = small_module();
+        let map = ReplicaMap::identity(&m);
+        let p = StaticPrediction::with_default(true);
+        assert!(validate_replication(&m, &m, &map, &p).is_empty());
+    }
+
+    #[test]
+    fn faithful_loop_replication_validates_clean() {
+        // Replicate the whole loop into two alternating states — the shape
+        // the real replicator produces: head -> body -> head' -> body' ->
+        // head.
+        let m = small_module();
+        let mut r = m.clone();
+        let f = r.function_mut(brepl_ir::FuncId(0));
+        let head = BlockId(1);
+        let body = BlockId(2);
+        let head2 = BlockId::from_index(f.blocks.len());
+        let body2 = BlockId::from_index(f.blocks.len() + 1);
+        let h = f.blocks[head.index()].clone();
+        f.blocks.push(h);
+        let b2 = f.blocks[body.index()].clone();
+        f.blocks.push(b2);
+        f.blocks[body.index()].term = Term::Jmp { target: head2 };
+        if let Term::Br { then_, .. } = &mut f.blocks[head2.index()].term {
+            *then_ = body2;
+        }
+        f.blocks[body2.index()].term = Term::Jmp { target: head };
+        r.renumber_branches();
+        let mut map = ReplicaMap::identity(&m);
+        map.functions[0].origins.push(vec![head]);
+        map.functions[0].origins.push(vec![body]);
+        map.functions[0].machine_predictions.extend([None, None]);
+        let p = StaticPrediction::with_default(true);
+        let diags = validate_replication(&m, &r, &map, &p);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn dropped_instruction_is_br005() {
+        let m = small_module();
+        let mut r = m.clone();
+        r.function_mut(brepl_ir::FuncId(0)).blocks[2].insts.clear();
+        let map = ReplicaMap::identity(&m);
+        let p = StaticPrediction::with_default(true);
+        let diags = validate_replication(&m, &r, &map, &p);
+        assert!(diags.iter().any(|d| d.code == DiagCode::InstStreamMismatch));
+    }
+
+    #[test]
+    fn retargeted_edge_is_br004() {
+        let m = small_module();
+        let mut r = m.clone();
+        // Point the exit leg of the loop branch back at the body: projects
+        // to head -> body on the wrong slot.
+        if let Term::Br { else_, .. } = &mut r.function_mut(brepl_ir::FuncId(0)).blocks[1].term {
+            *else_ = BlockId(2);
+        }
+        let map = ReplicaMap::identity(&m);
+        let p = StaticPrediction::with_default(true);
+        let diags = validate_replication(&m, &r, &map, &p);
+        assert!(diags.iter().any(|d| d.code == DiagCode::OrphanReplicaEdge));
+    }
+
+    #[test]
+    fn swapped_prediction_is_br006() {
+        let m = small_module();
+        let mut map = ReplicaMap::identity(&m);
+        map.functions[0].machine_predictions[1] = Some(false);
+        let p = StaticPrediction::with_default(true); // ships `true`
+        let diags = validate_replication(&m, &m, &map, &p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::PredictionMismatch);
+    }
+
+    #[test]
+    fn renamed_register_is_caught() {
+        let m = small_module();
+        let mut r = m.clone();
+        let f = r.function_mut(brepl_ir::FuncId(0));
+        // Rename the counter read in the loop body to a different register.
+        let fresh = Reg(f.n_regs);
+        f.n_regs += 1;
+        if let brepl_ir::Inst::Bin { lhs, .. } = &mut f.blocks[2].insts[0] {
+            *lhs = Operand::Reg(fresh);
+        }
+        let map = ReplicaMap::identity(&m);
+        let p = StaticPrediction::with_default(true);
+        let diags = validate_replication(&m, &r, &map, &p);
+        // The edit changes the instruction stream and introduces a fresh
+        // live-in.
+        assert!(diags.iter().any(|d| d.code == DiagCode::InstStreamMismatch));
+        assert!(diags.iter().any(|d| d.code == DiagCode::LiveInMismatch));
+    }
+
+    #[test]
+    fn unreachable_replica_is_br001_warning() {
+        let m = small_module();
+        let mut r = m.clone();
+        let f = r.function_mut(brepl_ir::FuncId(0));
+        f.blocks.push(brepl_ir::Block {
+            insts: vec![],
+            term: Term::Ret { value: None },
+        });
+        let mut map = ReplicaMap::identity(&m);
+        map.functions[0].origins.push(vec![BlockId(3)]);
+        map.functions[0].machine_predictions.push(None);
+        let p = StaticPrediction::with_default(true);
+        let diags = validate_replication(&m, &r, &map, &p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::UnreachableReplica);
+        assert_eq!(diags[0].severity(), crate::diag::Severity::Warning);
+    }
+
+    #[test]
+    fn malformed_map_is_br008() {
+        let m = small_module();
+        let mut map = ReplicaMap::identity(&m);
+        map.functions[0].origins[1].clear();
+        let p = StaticPrediction::with_default(true);
+        let diags = validate_replication(&m, &m, &map, &p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::InvalidReplicaMap);
+    }
+
+    #[test]
+    fn merged_chain_validates_clean() {
+        // Simulate the simplifier merging head-less straight-line blocks:
+        // original a -> b (a: jmp b), replica has one block [a;b].
+        let mut b = FunctionBuilder::new("main", 0);
+        let x = b.reg();
+        let nextb = b.new_block();
+        b.const_int(x, 1);
+        b.jmp(nextb);
+        b.switch_to(nextb);
+        b.add(x, x.into(), Operand::imm(1));
+        b.ret(Some(x.into()));
+        let mut m = Module::new();
+        m.push_function(b.finish());
+
+        let mut rb = FunctionBuilder::new("main", 0);
+        let rx = rb.reg();
+        rb.const_int(rx, 1);
+        rb.add(rx, rx.into(), Operand::imm(1));
+        rb.ret(Some(rx.into()));
+        let mut r = Module::new();
+        r.push_function(rb.finish());
+
+        let map = ReplicaMap {
+            functions: vec![ReplicaFuncMap {
+                origins: vec![vec![BlockId(0), BlockId(1)]],
+                machine_predictions: vec![None],
+            }],
+        };
+        let p = StaticPrediction::with_default(true);
+        let diags = validate_replication(&m, &r, &map, &p);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

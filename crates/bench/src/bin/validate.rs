@@ -1,0 +1,77 @@
+//! Static translation validation over the whole suite: replicates every
+//! workload with the default pipeline settings, then checks the simulation
+//! relation between original and replicated module with
+//! [`brepl_analysis::validate_replication`] and runs the warning lints.
+//!
+//! Prints one row per workload (blocks checked, error/warning counts,
+//! validator wall time) and exits non-zero if any workload produces an
+//! error-severity diagnostic — the CI gate for the replicator.
+
+use std::time::Instant;
+
+use brepl::pipeline::{run_pipeline, PipelineConfig};
+use brepl_analysis::{count_by_severity, lint_module, validate_replication};
+use brepl_bench::scale_from_env;
+use brepl_workloads::all_workloads;
+
+fn main() {
+    let scale = scale_from_env();
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>12}",
+        "program", "blocks", "growth", "errors", "warns", "validate µs"
+    );
+    println!("{}", "-".repeat(62));
+
+    let mut total_errors = 0usize;
+    let mut failed = false;
+    for w in all_workloads(scale) {
+        // Validation runs inside the pipeline too; disable it there so the
+        // timing below measures exactly one validator pass.
+        let config = PipelineConfig {
+            validate: false,
+            dynamic_backstop: false,
+            ..PipelineConfig::default()
+        };
+        let r = match run_pipeline(&w.module, &w.args, &w.input, config) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{:<12} PIPELINE FAILED: {e}", w.name);
+                failed = true;
+                continue;
+            }
+        };
+
+        let start = Instant::now();
+        let mut diags = validate_replication(
+            &w.module,
+            &r.program.module,
+            &r.program.replica_map,
+            &r.program.predictions,
+        );
+        let micros = start.elapsed().as_micros();
+        diags.extend(lint_module(&r.program.module));
+
+        let (errors, warnings) = count_by_severity(&diags);
+        total_errors += errors;
+        let blocks: usize = r
+            .program
+            .module
+            .iter_functions()
+            .map(|(_, f)| f.blocks.len())
+            .sum();
+        println!(
+            "{:<12} {:>8} {:>7.2}x {:>8} {:>8} {:>12}",
+            w.name, blocks, r.size_growth, errors, warnings, micros
+        );
+        for d in &diags {
+            println!("    {}", d.render(&r.program.module));
+        }
+    }
+
+    println!("{}", "-".repeat(62));
+    if failed || total_errors > 0 {
+        println!("FAIL: {total_errors} error-severity diagnostics");
+        std::process::exit(1);
+    }
+    println!("OK: every workload passes static translation validation");
+}

@@ -95,12 +95,12 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Samples {
     }
 }
 
-/// [`bench`] + immediate report with a throughput denominator.
+/// [`bench()`] + immediate report with a throughput denominator.
 pub fn bench_throughput<R>(name: &str, elements: u64, f: impl FnMut() -> R) {
     bench(name, f).report(Some(elements));
 }
 
-/// [`bench`] + immediate time-only report.
+/// [`bench()`] + immediate time-only report.
 pub fn bench_time<R>(name: &str, f: impl FnMut() -> R) {
     bench(name, f).report(None);
 }

@@ -66,6 +66,18 @@ impl Cfg {
         (0..self.len()).map(BlockId::from_index)
     }
 
+    /// Iterates over every edge as `(source, slot, target)`, where `slot`
+    /// is the index of the edge in the source's successor list (so the
+    /// `(taken, not-taken)` legs of a conditional branch are slots 0 and 1,
+    /// and parallel edges stay distinguishable).
+    pub fn edges(&self) -> impl Iterator<Item = (BlockId, usize, BlockId)> + '_ {
+        self.succs.iter().enumerate().flat_map(|(i, ss)| {
+            ss.iter()
+                .enumerate()
+                .map(move |(slot, &t)| (BlockId::from_index(i), slot, t))
+        })
+    }
+
     /// Blocks reachable from the entry, as a boolean vector.
     pub fn reachable(&self) -> Vec<bool> {
         let mut seen = vec![false; self.len()];
@@ -129,6 +141,22 @@ mod tests {
         let cfg = Cfg::new(&f);
         assert_eq!(cfg.succs(BlockId(0)).len(), 2);
         assert_eq!(cfg.preds(BlockId(1)).len(), 2);
+    }
+
+    #[test]
+    fn edges_carry_slots() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let edges: Vec<_> = cfg.edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                (BlockId(0), 0, BlockId(1)),
+                (BlockId(0), 1, BlockId(2)),
+                (BlockId(1), 0, BlockId(3)),
+                (BlockId(2), 0, BlockId(3)),
+            ]
+        );
     }
 
     #[test]

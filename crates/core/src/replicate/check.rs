@@ -1,6 +1,11 @@
-//! Semantic-equivalence checking between an original module and its
-//! replicated version: replication must change *where* branches live, not
-//! what the program does.
+//! Dynamic semantic-equivalence checking between an original module and
+//! its replicated version: replication must change *where* branches live,
+//! not what the program does.
+//!
+//! This is the *backstop* behind the static translation validator
+//! ([`brepl_analysis::validate_replication`]), which proves the simulation
+//! relation on every block without executing anything. One concrete run
+//! here still catches whatever a wrong witness map could hide.
 
 use std::collections::HashMap;
 use std::fmt;

@@ -1,6 +1,10 @@
 //! Dead-block removal after rewiring — the paper's Figure 1 discards the
-//! replicas "2b" and "3a" because no path leads to them.
+//! replicas "2b" and "3a" because no path leads to them. Reachability
+//! comes from `brepl-analysis`, the same computation the `BR001` lint
+//! uses, so "cleanup removed it" and "the validator would flag it" can
+//! never disagree.
 
+use brepl_analysis::reachable_blocks;
 use brepl_ir::{BlockId, Function};
 
 /// Removes blocks unreachable from the entry and compacts the block list.
@@ -9,17 +13,7 @@ use brepl_ir::{BlockId, Function};
 /// removed blocks).
 pub fn remove_unreachable(func: &mut Function) -> Vec<Option<BlockId>> {
     let n = func.blocks.len();
-    let mut reachable = vec![false; n];
-    let mut stack = vec![func.entry];
-    reachable[func.entry.index()] = true;
-    while let Some(b) = stack.pop() {
-        for s in func.block(b).term.successors() {
-            if !reachable[s.index()] {
-                reachable[s.index()] = true;
-                stack.push(s);
-            }
-        }
-    }
+    let reachable = reachable_blocks(func);
     let mut map: Vec<Option<BlockId>> = vec![None; n];
     let mut next = 0u32;
     for i in 0..n {
@@ -76,6 +70,29 @@ mod tests {
         // Terminators remapped: entry branch now targets 1 and 2.
         let succs: Vec<_> = f.block(BlockId(0)).term.successors().collect();
         assert_eq!(succs, vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn post_cleanup_has_zero_br001() {
+        // After cleanup the BR001 lint (unreachable block) must be silent —
+        // the lint and the cleanup share the same reachability analysis.
+        let mut b = FunctionBuilder::new("f", 1);
+        let x = b.param(0);
+        let dead = b.new_block();
+        let dead2 = b.new_block();
+        let end = b.new_block();
+        let c = b.gt(x.into(), Operand::imm(0));
+        b.br(c, end, end);
+        b.switch_to(dead);
+        b.jmp(dead2);
+        b.switch_to(dead2);
+        b.jmp(dead);
+        b.switch_to(end);
+        b.ret(None);
+        let mut f = b.finish();
+        assert!(!brepl_analysis::unreachable_diags(brepl_ir::FuncId(0), &f).is_empty());
+        remove_unreachable(&mut f);
+        assert!(brepl_analysis::unreachable_diags(brepl_ir::FuncId(0), &f).is_empty());
     }
 
     #[test]

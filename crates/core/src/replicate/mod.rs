@@ -12,7 +12,12 @@ pub use check::{check_equivalence, EquivalenceError};
 pub use cleanup::remove_unreachable;
 pub use loop_replicate::{replicate_loop, LoopReplicateError, LoopReplication, MAX_PRODUCT_STATES};
 pub use path_replicate::{decision_path, replicate_correlated, split_by_paths, PathSplit};
-pub use simplify::{simplify_function, simplify_function_with_map, simplify_module, SimplifyStats};
+pub use simplify::{
+    simplify_function, simplify_function_tracked, simplify_function_with_map, simplify_module,
+    SimplifyStats, SimplifyTrace,
+};
+
+pub use brepl_analysis::{ReplicaFuncMap, ReplicaMap};
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -99,6 +104,10 @@ pub struct ReplicatedProgram {
     pub predictions: StaticPrediction,
     /// `provenance[new_site] = original site` the branch was copied from.
     pub provenance: Vec<BranchId>,
+    /// The witness for static translation validation: per replica block,
+    /// the chain of original blocks it carries and the machine-pinned
+    /// prediction, if any (see [`brepl_analysis::validate_replication`]).
+    pub replica_map: ReplicaMap,
 }
 
 impl ReplicatedProgram {
@@ -141,7 +150,16 @@ pub fn apply_plan(
     let mut pending: HashMap<(FuncId, BlockId), bool> = HashMap::new();
 
     let fids: Vec<FuncId> = out.iter_functions().map(|(f, _)| f).collect();
+    let mut fn_maps: Vec<ReplicaFuncMap> = Vec::with_capacity(fids.len());
     for fid in fids {
+        // Origin chains for this function: replica block -> the original
+        // blocks whose instruction streams it carries, maintained through
+        // every transform below. This is the witness the translation
+        // validator checks the simulation relation against.
+        let mut org: Vec<Vec<BlockId>> = (0..out.function(fid).blocks.len())
+            .map(|i| vec![BlockId::from_index(i)])
+            .collect();
+
         // --- Loop machines, innermost loops first -----------------------
         let mut todo: Vec<(BlockId, BranchId)> = loop_branches.remove(&fid).unwrap_or_default();
         while !todo.is_empty() {
@@ -208,11 +226,14 @@ pub fn apply_plan(
             // machines later apply to *every* copy, not just the original.
             let mut new_pending: Vec<((FuncId, BlockId), bool)> = Vec::new();
             let mut corr_clones: Vec<(BlockId, BranchId)> = Vec::new();
+            org.resize(out.function(fid).blocks.len(), Vec::new());
             for state_map in &info.copies {
                 for &(orig, copy) in state_map {
                     if copy == orig {
                         continue;
                     }
+                    // Copies inherit their source block's origin chain.
+                    org[copy.index()] = org[orig.index()].clone();
                     if let Some(&p) = pending.get(&(fid, orig)) {
                         new_pending.push(((fid, copy), p));
                     }
@@ -237,6 +258,7 @@ pub fn apply_plan(
             let map = remove_unreachable(out.function_mut(fid));
             remap_pending(fid, &map, &mut pending);
             remap_blocks(&map, &mut todo);
+            remap_origins(&map, &mut org);
             if let Some(cb) = corr_branches.get_mut(&fid) {
                 remap_blocks(&map, cb);
             }
@@ -253,13 +275,21 @@ pub fn apply_plan(
                 unreachable!("partitioned above")
             };
             let func = out.function_mut(fid);
-            let (annotated, _) = replicate_correlated(func, bid, machine);
+            let (annotated, split) = replicate_correlated(func, bid, machine);
+            // Replay the clone log: each clone inherits its source's
+            // chain. Sources precede their clones, so front-to-back works.
+            for &(src, id) in &split.clones {
+                debug_assert_eq!(id.index(), org.len(), "clone log is in push order");
+                let chain = org[src.index()].clone();
+                org.push(chain);
+            }
             for (copy, p) in annotated {
                 pending.insert((fid, copy), p);
             }
             let map = remove_unreachable(out.function_mut(fid));
             remap_pending(fid, &map, &mut pending);
             remap_blocks(&map, &mut corr_todo);
+            remap_origins(&map, &mut org);
         }
 
         // --- Jump threading / block merging (Mueller–Whalley style) -----
@@ -267,8 +297,26 @@ pub fn apply_plan(
         // real code generator would clean these up, so the size growth we
         // report should too. Simplification never touches a conditional
         // branch, only where it lives.
-        let (_, map) = simplify::simplify_function_with_map(out.function_mut(fid));
-        remap_pending(fid, &map, &mut pending);
+        let (_, strace) = simplify::simplify_function_tracked(out.function_mut(fid));
+        // A merge concatenates the donor's instruction stream onto the
+        // absorber — origin chains concatenate the same way.
+        for &(a, t) in &strace.merges {
+            let chain = std::mem::take(&mut org[t.index()]);
+            org[a.index()].extend(chain);
+        }
+        remap_origins(&strace.cleanup, &mut org);
+        remap_pending(fid, &strace.block_map(), &mut pending);
+
+        // This function is final now (renumbering below does not move
+        // blocks); record its origin chains and machine predictions.
+        let n_blocks = out.function(fid).blocks.len();
+        debug_assert_eq!(org.len(), n_blocks);
+        fn_maps.push(ReplicaFuncMap {
+            origins: org,
+            machine_predictions: (0..n_blocks)
+                .map(|i| pending.get(&(fid, BlockId::from_index(i))).copied())
+                .collect(),
+        });
     }
 
     // Final numbering + prediction table.
@@ -298,7 +346,20 @@ pub fn apply_plan(
         module: out,
         predictions,
         provenance,
+        replica_map: ReplicaMap { functions: fn_maps },
     })
+}
+
+/// Remaps per-block origin chains through a cleanup block map.
+fn remap_origins(map: &[Option<BlockId>], org: &mut Vec<Vec<BlockId>>) {
+    let n_new = map.iter().flatten().count();
+    let mut new_org: Vec<Vec<BlockId>> = vec![Vec::new(); n_new];
+    for (i, chain) in std::mem::take(org).into_iter().enumerate() {
+        if let Some(&Some(nb)) = map.get(i) {
+            new_org[nb.index()] = chain;
+        }
+    }
+    *org = new_org;
 }
 
 /// Remaps the `pending` prediction keys of one function through a cleanup
@@ -445,6 +506,118 @@ mod tests {
         assert!(report.mispredictions() <= 1);
         assert!(program.size_growth(&m) > 1.0);
         assert!(program.size_growth(&m) < 2.0);
+    }
+
+    #[test]
+    fn replica_map_passes_static_validation() {
+        let m = alternating_module();
+        let args = [Value::Int(100)];
+        let stats = Sim::new(&m, RunConfig::default())
+            .run("main", &args)
+            .unwrap()
+            .trace
+            .stats();
+        let mut plan = ReplicationPlan::new();
+        plan.assign(BranchId(0), BranchMachine::Loop(flip_flop()));
+        let program = apply_plan(&m, &plan, &stats).unwrap();
+        let diags = brepl_analysis::validate_replication(
+            &m,
+            &program.module,
+            &program.replica_map,
+            &program.predictions,
+        );
+        assert!(
+            !brepl_analysis::has_errors(&diags),
+            "static validation failed: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn empty_plan_replica_map_is_identity_and_validates() {
+        let m = alternating_module();
+        let stats = Sim::new(&m, RunConfig::default())
+            .run("main", &[Value::Int(10)])
+            .unwrap()
+            .trace
+            .stats();
+        let program = apply_plan(&m, &ReplicationPlan::new(), &stats).unwrap();
+        assert_eq!(program.replica_map, ReplicaMap::identity(&m));
+        let diags = brepl_analysis::validate_replication(
+            &m,
+            &program.module,
+            &program.replica_map,
+            &program.predictions,
+        );
+        assert!(diags.is_empty(), "identity must validate clean: {diags:?}");
+    }
+
+    #[test]
+    fn correlated_replication_passes_static_validation() {
+        // Diamond into a join holding a correlated branch: the second
+        // branch repeats the first's condition, so path depth 1 predicts
+        // it perfectly.
+        let mut b = FunctionBuilder::new("main", 1);
+        let x = b.param(0);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let yes = b.new_block();
+        let no = b.new_block();
+        let c = b.gt(x.into(), Operand::imm(0));
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.jmp(j);
+        b.switch_to(e);
+        b.jmp(j);
+        b.switch_to(j);
+        let c2 = b.gt(x.into(), Operand::imm(0));
+        b.br(c2, yes, no);
+        b.switch_to(yes);
+        b.ret(Some(Operand::imm(1)));
+        b.switch_to(no);
+        b.ret(Some(Operand::imm(0)));
+        let mut m = Module::new();
+        m.push_function(b.finish());
+
+        let args = [Value::Int(5)];
+        let stats = Sim::new(&m, RunConfig::default())
+            .run("main", &args)
+            .unwrap()
+            .trace
+            .stats();
+        let machine = CorrelatedMachine {
+            paths: vec![
+                (
+                    vec![brepl_cfg::PathStep {
+                        site: BranchId(0),
+                        taken: true,
+                    }],
+                    true,
+                ),
+                (
+                    vec![brepl_cfg::PathStep {
+                        site: BranchId(0),
+                        taken: false,
+                    }],
+                    false,
+                ),
+            ],
+            catch_all: true,
+        };
+        let mut plan = ReplicationPlan::new();
+        plan.assign(BranchId(1), BranchMachine::Correlated(machine));
+        let program = apply_plan(&m, &plan, &stats).unwrap();
+        check_equivalence(&m, &program, "main", &args, &[]).unwrap();
+        let diags = brepl_analysis::validate_replication(
+            &m,
+            &program.module,
+            &program.replica_map,
+            &program.predictions,
+        );
+        assert!(
+            !brepl_analysis::has_errors(&diags),
+            "static validation failed: {diags:?}"
+        );
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub struct PathSplit {
     pub branch_copies: Vec<BlockId>,
     /// Blocks added in total (including duplicated intermediate blocks).
     pub added_blocks: usize,
+    /// Every `(source, clone)` pair in creation order — clone ids are
+    /// consecutive and each source precedes its clone, so origin maps can
+    /// replay the log front to back.
+    pub clones: Vec<(BlockId, BlockId)>,
 }
 
 /// Collects `(pred block, is_taken_edge_slot)` pairs — one entry per
@@ -56,10 +60,12 @@ fn retarget_edge(func: &mut Function, pred: BlockId, slot: usize, new_target: Bl
 pub fn split_by_paths(func: &mut Function, block: BlockId, depth: usize) -> PathSplit {
     let mut added = 0usize;
     let mut stack = Vec::new();
-    let copies = split_rec(func, block, depth, &mut stack, &mut added);
+    let mut clones = Vec::new();
+    let copies = split_rec(func, block, depth, &mut stack, &mut added, &mut clones);
     PathSplit {
         branch_copies: copies,
         added_blocks: added,
+        clones,
     }
 }
 
@@ -69,6 +75,7 @@ fn split_rec(
     depth: usize,
     stack: &mut Vec<BlockId>,
     added: &mut usize,
+    clones: &mut Vec<(BlockId, BlockId)>,
 ) -> Vec<BlockId> {
     if depth == 0 || block == func.entry || stack.contains(&block) {
         return vec![block];
@@ -93,7 +100,7 @@ fn split_rec(
                 Term::Br { .. } => depth - 1,
                 _ => depth,
             };
-            let _ = split_rec(func, p, pred_depth, stack, added);
+            let _ = split_rec(func, p, pred_depth, stack, added, clones);
         }
     }
     stack.pop();
@@ -105,6 +112,7 @@ fn split_rec(
         let clone = func.block(block).clone();
         let id = BlockId::from_index(func.blocks.len());
         func.blocks.push(clone);
+        clones.push((block, id));
         *added += 1;
         retarget_edge(func, pred, slot, id);
         copies.push(id);
@@ -145,12 +153,13 @@ pub fn decision_path(func: &Function, block: BlockId, depth: usize) -> Vec<(Bran
 /// the machine's maximum path depth and returns, for every copy, the
 /// static prediction of the matching path state.
 ///
-/// Returns `(copies_with_predictions, added_blocks)`.
+/// Returns `(copies_with_predictions, split)` — the [`PathSplit`] carries
+/// the clone log so origin maps can follow the duplication.
 pub fn replicate_correlated(
     func: &mut Function,
     branch_block: BlockId,
     machine: &CorrelatedMachine,
-) -> (Vec<(BlockId, bool)>, usize) {
+) -> (Vec<(BlockId, bool)>, PathSplit) {
     let depth = machine
         .paths
         .iter()
@@ -158,7 +167,12 @@ pub fn replicate_correlated(
         .max()
         .unwrap_or(0);
     if depth == 0 {
-        return (vec![(branch_block, machine.catch_all)], 0);
+        let split = PathSplit {
+            branch_copies: vec![branch_block],
+            added_blocks: 0,
+            clones: Vec::new(),
+        };
+        return (vec![(branch_block, machine.catch_all)], split);
     }
     let split = split_by_paths(func, branch_block, depth);
     let annotated = split
@@ -169,7 +183,7 @@ pub fn replicate_correlated(
             (copy, machine.predict(&recent))
         })
         .collect();
-    (annotated, split.added_blocks)
+    (annotated, split)
 }
 
 #[cfg(test)]
@@ -267,9 +281,12 @@ mod tests {
         let mut transformed = m.clone();
         let fid = transformed.function_by_name("main").unwrap();
         let func = transformed.function_mut(fid);
-        let (annotated, added) = replicate_correlated(func, BlockId(3), &machine);
+        let (annotated, split) = replicate_correlated(func, BlockId(3), &machine);
         assert_eq!(annotated.len(), 2);
-        assert_eq!(added, 1);
+        assert_eq!(split.added_blocks, 1);
+        assert_eq!(split.clones.len(), 1);
+        // The clone log's source is the split block; the clone id is fresh.
+        assert_eq!(split.clones[0].0, BlockId(3));
         super::super::cleanup::remove_unreachable(func);
         transformed.renumber_branches();
         transformed.verify().unwrap();

@@ -19,12 +19,44 @@ pub struct SimplifyStats {
     pub removed_blocks: usize,
 }
 
+/// What simplification did to the block structure, in enough detail to
+/// replay it over any per-block side table (origin chains, predictions).
+#[derive(Clone, Debug, Default)]
+pub struct SimplifyTrace {
+    /// Straight-line merges `(absorber, donor)` in the order they were
+    /// performed: the donor's instruction stream was appended to the
+    /// absorber. Replay front to back — an absorber may later donate.
+    pub merges: Vec<(BlockId, BlockId)>,
+    /// The final unreachable-block cleanup map, indexed by pre-cleanup
+    /// block id (block count is unchanged by threading and merging).
+    pub cleanup: Vec<Option<BlockId>>,
+}
+
+impl SimplifyTrace {
+    /// Composes the merge log and cleanup into a single map: `map[old] =
+    /// Some(new)` says old block's contents (in particular its terminator)
+    /// live in `new`; `None` means the block became unreachable.
+    pub fn block_map(&self) -> Vec<Option<BlockId>> {
+        let mut home: Vec<usize> = (0..self.cleanup.len()).collect();
+        for &(a, t) in &self.merges {
+            for h in home.iter_mut() {
+                if *h == t.index() {
+                    *h = a.index();
+                }
+            }
+        }
+        home.into_iter()
+            .map(|h| self.cleanup.get(h).copied().flatten())
+            .collect()
+    }
+}
+
 /// Threads edges through empty jump-only blocks and merges straight-line
 /// block pairs, then removes unreachable blocks. Conditional branches and
 /// their site ids are never touched, so predictions and provenance remain
 /// valid.
 pub fn simplify_function(func: &mut Function) -> SimplifyStats {
-    simplify_function_with_map(func).0
+    simplify_function_tracked(func).0
 }
 
 /// Like [`simplify_function`], additionally returning where each original
@@ -33,11 +65,18 @@ pub fn simplify_function(func: &mut Function) -> SimplifyStats {
 /// track per-block annotations — the replication pipeline tracks branch
 /// predictions — remap through this.
 pub fn simplify_function_with_map(func: &mut Function) -> (SimplifyStats, Vec<Option<BlockId>>) {
+    let (stats, trace) = simplify_function_tracked(func);
+    let map = trace.block_map();
+    (stats, map)
+}
+
+/// Like [`simplify_function`], additionally returning the full
+/// [`SimplifyTrace`]. The replicator replays the merge log over its origin
+/// chains (a merge concatenates the donor's chain onto the absorber's),
+/// which the composed map of [`simplify_function_with_map`] cannot express.
+pub fn simplify_function_tracked(func: &mut Function) -> (SimplifyStats, SimplifyTrace) {
     let mut stats = SimplifyStats::default();
-    let original_len = func.blocks.len();
-    // Where each block's *contents* (in particular its terminator) live
-    // now; merges update this.
-    let mut home: Vec<usize> = (0..original_len).collect();
+    let mut trace = SimplifyTrace::default();
 
     // --- 1. Jump threading: resolve chains of empty `jmp` blocks. -------
     let n = func.blocks.len();
@@ -103,11 +142,9 @@ pub fn simplify_function_with_map(func: &mut Function) -> (SimplifyStats, Vec<Op
             func.blocks[a].term = donor_term;
             // Leave b as an unreachable empty return; cleanup removes it.
             func.blocks[t].term = Term::Ret { value: None };
-            for h in home.iter_mut() {
-                if *h == t {
-                    *h = a;
-                }
-            }
+            trace
+                .merges
+                .push((BlockId::from_index(a), BlockId::from_index(t)));
             stats.merged_blocks += 1;
             merged_any = true;
             break; // recompute predecessor counts from scratch
@@ -119,13 +156,9 @@ pub fn simplify_function_with_map(func: &mut Function) -> (SimplifyStats, Vec<Op
 
     // --- 3. Drop whatever became unreachable. ----------------------------
     let before = func.blocks.len();
-    let cleanup_map = remove_unreachable(func);
+    trace.cleanup = remove_unreachable(func);
     stats.removed_blocks = before - func.blocks.len();
-    let map = home
-        .into_iter()
-        .map(|h| cleanup_map.get(h).copied().flatten())
-        .collect();
-    (stats, map)
+    (stats, trace)
 }
 
 /// Simplifies every function of a module. Run

@@ -59,6 +59,7 @@ mod builder;
 mod display;
 mod ids;
 mod inst;
+mod loc;
 mod module;
 mod parse;
 mod verify;
@@ -66,6 +67,7 @@ mod verify;
 pub use builder::{BuildError, FunctionBuilder};
 pub use ids::{BlockId, BranchId, FuncId, Reg};
 pub use inst::{BinOp, CmpOp, Inst, Intrinsic, Operand, Term, Value};
+pub use loc::{InstIdx, Loc};
 pub use module::{Block, Function, Module};
 pub use parse::{parse_module, ParseModuleError};
 pub use verify::VerifyError;

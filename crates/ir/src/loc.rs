@@ -1,0 +1,137 @@
+//! Program locations for diagnostics.
+//!
+//! Analyses and lints need to point at a function, a block within it, or a
+//! single instruction; [`Loc`] is that pointer, with a compact display
+//! (`f0`, `f0:b3`, `f0:b3:i2`, `f0:b3:term`) and a module-aware variant
+//! that substitutes the function name ([`Module::describe_loc`]).
+
+use std::fmt;
+
+use crate::ids::{BlockId, FuncId};
+use crate::module::Module;
+
+/// Index of an instruction within a block, or the block's terminator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InstIdx {
+    /// The `i`-th non-terminator instruction.
+    Inst(usize),
+    /// The block terminator.
+    Term,
+}
+
+impl fmt::Display for InstIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstIdx::Inst(i) => write!(f, "i{i}"),
+            InstIdx::Term => write!(f, "term"),
+        }
+    }
+}
+
+/// A location in a module: a function, optionally narrowed to a block and
+/// further to one instruction or the terminator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc {
+    /// The function.
+    pub func: FuncId,
+    /// The block within the function, when the location is block-precise.
+    pub block: Option<BlockId>,
+    /// The instruction within the block, when instruction-precise.
+    pub inst: Option<InstIdx>,
+}
+
+impl Loc {
+    /// A function-level location.
+    pub fn function(func: FuncId) -> Self {
+        Loc {
+            func,
+            block: None,
+            inst: None,
+        }
+    }
+
+    /// A block-level location.
+    pub fn block(func: FuncId, block: BlockId) -> Self {
+        Loc {
+            func,
+            block: Some(block),
+            inst: None,
+        }
+    }
+
+    /// An instruction-level location.
+    pub fn inst(func: FuncId, block: BlockId, inst: usize) -> Self {
+        Loc {
+            func,
+            block: Some(block),
+            inst: Some(InstIdx::Inst(inst)),
+        }
+    }
+
+    /// A terminator location.
+    pub fn term(func: FuncId, block: BlockId) -> Self {
+        Loc {
+            func,
+            block: Some(block),
+            inst: Some(InstIdx::Term),
+        }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.func)?;
+        if let Some(b) = self.block {
+            write!(f, ":{b}")?;
+        }
+        if let Some(i) = self.inst {
+            write!(f, ":{i}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Module {
+    /// Renders `loc` with the function *name* instead of its numeric id,
+    /// e.g. `main:b3:i2`. Falls back to the numeric id when the function
+    /// index is out of range (a stale location).
+    pub fn describe_loc(&self, loc: &Loc) -> String {
+        let mut s = if loc.func.index() < self.function_count() {
+            format!("@{}", self.function(loc.func).name)
+        } else {
+            loc.func.to_string()
+        };
+        if let Some(b) = loc.block {
+            s.push_str(&format!(":{b}"));
+        }
+        if let Some(i) = loc.inst {
+            s.push_str(&format!(":{i}"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    #[test]
+    fn display_narrows() {
+        assert_eq!(Loc::function(FuncId(0)).to_string(), "f0");
+        assert_eq!(Loc::block(FuncId(1), BlockId(3)).to_string(), "f1:b3");
+        assert_eq!(Loc::inst(FuncId(0), BlockId(2), 7).to_string(), "f0:b2:i7");
+        assert_eq!(Loc::term(FuncId(0), BlockId(2)).to_string(), "f0:b2:term");
+    }
+
+    #[test]
+    fn describe_uses_function_names() {
+        let mut b = FunctionBuilder::new("main", 0);
+        b.ret(None);
+        let mut m = Module::new();
+        let fid = m.push_function(b.finish());
+        assert_eq!(m.describe_loc(&Loc::block(fid, BlockId(0))), "@main:b0");
+        // Out-of-range function falls back to the numeric id.
+        assert_eq!(m.describe_loc(&Loc::function(FuncId(9))), "f9");
+    }
+}

@@ -5,6 +5,7 @@
 use std::error::Error;
 use std::fmt;
 
+use brepl_analysis::{has_errors, validate_replication, AnalysisDiag, Severity};
 use brepl_core::replicate::ReplicateError;
 use brepl_core::{apply_plan, check_equivalence, select_strategies, ReplicatedProgram, Selection};
 use brepl_ir::{Module, Value};
@@ -18,9 +19,18 @@ pub struct PipelineConfig {
     pub max_states: usize,
     /// Interpreter limits for both profiling and verification runs.
     pub run: RunConfig,
-    /// When true (default), verify semantic equivalence of the replicated
-    /// program against the original on the profiling input.
-    pub verify_equivalence: bool,
+    /// When true (default), statically validate every replicated module
+    /// against the original with the translation validator
+    /// ([`brepl_analysis::validate_replication`]): instruction streams,
+    /// edge projections, predicted directions and live-in sets must all
+    /// check out. Error-severity diagnostics abort the pipeline; warnings
+    /// are collected into [`PipelineResult::warnings`].
+    pub validate: bool,
+    /// When true (default), additionally run the *shipped* program and the
+    /// original once on the profiling input and compare results, output
+    /// tapes, step counts and branch histograms — a single dynamic
+    /// backstop behind the static validator, which covers every round.
+    pub dynamic_backstop: bool,
     /// Estimated code-size budget (growth factor). Branches are enabled in
     /// greedy benefit-per-size order until the estimate exceeds the budget
     /// — the paper's "cost function will calculate whether the increase in
@@ -40,7 +50,8 @@ impl Default for PipelineConfig {
         PipelineConfig {
             max_states: 4,
             run: RunConfig::default(),
-            verify_equivalence: true,
+            validate: true,
+            dynamic_backstop: true,
             max_size_growth: Some(3.0),
             refine: true,
         }
@@ -54,7 +65,10 @@ pub enum PipelineError {
     Run(RunError),
     /// The replication transform failed.
     Replicate(ReplicateError),
-    /// The replicated program was not equivalent to the original.
+    /// The static translation validator rejected the replicated program
+    /// (rendered error-severity diagnostics, `; `-joined).
+    Validation(String),
+    /// The dynamic backstop found a divergence between the programs.
     Equivalence(String),
 }
 
@@ -63,6 +77,7 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Run(e) => write!(f, "program run failed: {e}"),
             PipelineError::Replicate(e) => write!(f, "replication failed: {e}"),
+            PipelineError::Validation(e) => write!(f, "static validation failed: {e}"),
             PipelineError::Equivalence(e) => write!(f, "equivalence check failed: {e}"),
         }
     }
@@ -103,6 +118,10 @@ pub struct PipelineResult {
     /// The sites whose machines actually shipped: enabled by the size
     /// budget and kept by every refinement round.
     pub replicated_sites: std::collections::BTreeSet<brepl_ir::BranchId>,
+    /// Warning-severity diagnostics from the static validator's last round
+    /// (empty when validation is disabled). Error-severity diagnostics
+    /// abort the pipeline instead of landing here.
+    pub warnings: Vec<AnalysisDiag>,
     /// The replicated program with predictions and provenance.
     pub program: ReplicatedProgram,
 }
@@ -111,9 +130,10 @@ pub struct PipelineResult {
 ///
 /// # Errors
 ///
-/// Returns a [`PipelineError`] if any run traps, replication fails, or the
-/// equivalence check finds a divergence (the latter would be a bug — the
-/// check is belt-and-braces).
+/// Returns a [`PipelineError`] if any run traps, replication fails, the
+/// static translation validator emits an error-severity diagnostic, or the
+/// dynamic backstop finds a divergence (the latter two would be replicator
+/// bugs — the checks are belt-and-braces).
 pub fn run_pipeline(
     module: &Module,
     args: &[Value],
@@ -147,21 +167,39 @@ pub fn run_pipeline(
         }
     };
 
-    // 3–5. Replicate, measure, and back off machines that fail to transfer
-    // (at most a few refinement rounds; each round only shrinks the plan).
-    let (program, report) = loop {
+    // 3–5. Replicate, validate, measure, and back off machines that fail
+    // to transfer (at most a few refinement rounds; each round only
+    // shrinks the plan).
+    let (program, report, warnings) = loop {
         let plan = selection.to_plan_filtered(|site| enabled.contains(&site));
         let program = apply_plan(module, &plan, &stats)?;
-        if config.verify_equivalence {
-            check_equivalence(module, &program, "main", args, input)
-                .map_err(|e| PipelineError::Equivalence(e.to_string()))?;
+        // Primary gate: the static translation validator checks the
+        // simulation relation against the replica-map witness on every
+        // round — no execution required.
+        let mut warnings = Vec::new();
+        if config.validate {
+            let diags = validate_replication(
+                module,
+                &program.module,
+                &program.replica_map,
+                &program.predictions,
+            );
+            if has_errors(&diags) {
+                let rendered: Vec<String> = diags
+                    .iter()
+                    .filter(|d| d.severity() == Severity::Error)
+                    .map(|d| d.render(&program.module))
+                    .collect();
+                return Err(PipelineError::Validation(rendered.join("; ")));
+            }
+            warnings = diags;
         }
         let mut machine2 = Machine::new(&program.module, config.run);
         machine2.set_input(input.to_vec());
         let outcome2 = machine2.run("main", args)?;
         let report = evaluate_static(&program.predictions, &outcome2.trace);
         if !config.refine {
-            break (program, report);
+            break (program, report, warnings);
         }
         // Fold replicated-site mispredictions back to original sites.
         let mut folded: std::collections::HashMap<brepl_ir::BranchId, u64> =
@@ -181,9 +219,16 @@ pub fn run_pipeline(
             }
         }
         if !dropped {
-            break (program, report);
+            break (program, report, warnings);
         }
     };
+
+    // Backstop behind the static gate: one dynamic run of the shipped
+    // program on the profiling input (the validator covers every round).
+    if config.dynamic_backstop {
+        check_equivalence(module, &program, "main", args, input)
+            .map_err(|e| PipelineError::Equivalence(e.to_string()))?;
+    }
 
     Ok(PipelineResult {
         profile_misprediction_percent: profile_pct,
@@ -193,6 +238,7 @@ pub fn run_pipeline(
         trace_events: outcome.trace.len() as u64,
         selection,
         replicated_sites: enabled,
+        warnings,
         program,
     })
 }
@@ -327,9 +373,25 @@ mod tests {
     fn verification_can_be_disabled() {
         let m = alternating_module();
         let config = PipelineConfig {
-            verify_equivalence: false,
+            validate: false,
+            dynamic_backstop: false,
             ..PipelineConfig::default()
         };
-        assert!(run_pipeline(&m, &[], &[], config).is_ok());
+        let result = run_pipeline(&m, &[], &[], config).unwrap();
+        assert!(
+            result.warnings.is_empty(),
+            "validation off collects nothing"
+        );
+    }
+
+    #[test]
+    fn validation_passes_and_collects_only_warnings() {
+        let m = alternating_module();
+        let result = run_pipeline(&m, &[], &[], PipelineConfig::default()).unwrap();
+        // run_pipeline returned Ok, so no error-severity diagnostics; what
+        // was collected must all be warnings.
+        for d in &result.warnings {
+            assert_eq!(d.severity(), brepl_analysis::Severity::Warning, "{d}");
+        }
     }
 }
