@@ -48,6 +48,22 @@ pub enum DiagCode {
     /// `BR008` — the replica map itself is malformed (wrong shape, dangling
     /// ids).
     InvalidReplicaMap,
+    /// `BR009` — a replica branch is reachable under a machine state whose
+    /// predicted direction differs from the branch's pinned static
+    /// prediction: the history encoding is violated.
+    HistoryPredictionViolation,
+    /// `BR010` — a replica branch is reachable under machine states with
+    /// *conflicting* predictions: the region is under-replicated (two
+    /// machine states share one copy).
+    HistoryConflict,
+    /// `BR011` — a machine state under which no replica branch is ever
+    /// reachable: the state's code copies are wasted size (or were never
+    /// emitted).
+    UnreachableMachineState,
+    /// `BR012` — the product fixpoint could not be computed: the machine
+    /// table is malformed, the product exploded past its cap, or a
+    /// machine-controlled site has no replica branch at all.
+    ProductFixpointFailure,
 }
 
 impl DiagCode {
@@ -62,6 +78,10 @@ impl DiagCode {
             DiagCode::PredictionMismatch => "BR006",
             DiagCode::LiveInMismatch => "BR007",
             DiagCode::InvalidReplicaMap => "BR008",
+            DiagCode::HistoryPredictionViolation => "BR009",
+            DiagCode::HistoryConflict => "BR010",
+            DiagCode::UnreachableMachineState => "BR011",
+            DiagCode::ProductFixpointFailure => "BR012",
         }
     }
 
@@ -76,23 +96,68 @@ impl DiagCode {
             DiagCode::PredictionMismatch => "prediction-mismatch",
             DiagCode::LiveInMismatch => "live-in-mismatch",
             DiagCode::InvalidReplicaMap => "invalid-replica-map",
+            DiagCode::HistoryPredictionViolation => "history-prediction-violation",
+            DiagCode::HistoryConflict => "history-conflict",
+            DiagCode::UnreachableMachineState => "unreachable-machine-state",
+            DiagCode::ProductFixpointFailure => "product-fixpoint-failure",
         }
     }
 
-    /// The severity of every diagnostic carrying this code. The first three
-    /// codes describe suspicious-but-sound situations (the simulator zero-
-    /// initializes registers, and unreachable/dead code cannot execute);
-    /// the rest break the simulation relation.
+    /// Every code, in `BR001..` order — the index in this array is the
+    /// code's position in [`LintConfig`]'s override table.
+    pub const ALL: [DiagCode; 12] = [
+        DiagCode::UnreachableReplica,
+        DiagCode::DeadStore,
+        DiagCode::UseBeforeDef,
+        DiagCode::OrphanReplicaEdge,
+        DiagCode::InstStreamMismatch,
+        DiagCode::PredictionMismatch,
+        DiagCode::LiveInMismatch,
+        DiagCode::InvalidReplicaMap,
+        DiagCode::HistoryPredictionViolation,
+        DiagCode::HistoryConflict,
+        DiagCode::UnreachableMachineState,
+        DiagCode::ProductFixpointFailure,
+    ];
+
+    /// The code's index into [`DiagCode::ALL`].
+    fn index(self) -> usize {
+        match self {
+            DiagCode::UnreachableReplica => 0,
+            DiagCode::DeadStore => 1,
+            DiagCode::UseBeforeDef => 2,
+            DiagCode::OrphanReplicaEdge => 3,
+            DiagCode::InstStreamMismatch => 4,
+            DiagCode::PredictionMismatch => 5,
+            DiagCode::LiveInMismatch => 6,
+            DiagCode::InvalidReplicaMap => 7,
+            DiagCode::HistoryPredictionViolation => 8,
+            DiagCode::HistoryConflict => 9,
+            DiagCode::UnreachableMachineState => 10,
+            DiagCode::ProductFixpointFailure => 11,
+        }
+    }
+
+    /// The default severity of every diagnostic carrying this code (see
+    /// [`LintConfig`] for per-code overrides). The warning codes describe
+    /// suspicious-but-sound situations (the simulator zero-initializes
+    /// registers, unreachable/dead code cannot execute, an unreached
+    /// machine state only wastes size); the rest break the simulation
+    /// relation or the history encoding.
     pub fn severity(self) -> Severity {
         match self {
-            DiagCode::UnreachableReplica | DiagCode::DeadStore | DiagCode::UseBeforeDef => {
-                Severity::Warning
-            }
+            DiagCode::UnreachableReplica
+            | DiagCode::DeadStore
+            | DiagCode::UseBeforeDef
+            | DiagCode::UnreachableMachineState => Severity::Warning,
             DiagCode::OrphanReplicaEdge
             | DiagCode::InstStreamMismatch
             | DiagCode::PredictionMismatch
             | DiagCode::LiveInMismatch
-            | DiagCode::InvalidReplicaMap => Severity::Error,
+            | DiagCode::InvalidReplicaMap
+            | DiagCode::HistoryPredictionViolation
+            | DiagCode::HistoryConflict
+            | DiagCode::ProductFixpointFailure => Severity::Error,
         }
     }
 }
@@ -155,6 +220,92 @@ impl fmt::Display for AnalysisDiag {
     }
 }
 
+/// A per-code lint level: suppress the code entirely, or force a severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Drop diagnostics with this code.
+    Allow,
+    /// Report as a warning, regardless of the code's default severity.
+    Warn,
+    /// Report as an error, regardless of the code's default severity.
+    Error,
+}
+
+/// Per-code severity overrides for the validators and lints.
+///
+/// By default every code keeps [`DiagCode::severity`]; a workload (or a
+/// pipeline embedding) can suppress a code it has audited, or promote a
+/// warning it wants to gate on:
+///
+/// ```
+/// use brepl_analysis::{DiagCode, LintConfig, LintLevel, Severity};
+///
+/// let cfg = LintConfig::new()
+///     .set(DiagCode::DeadStore, LintLevel::Allow)
+///     .set(DiagCode::UnreachableReplica, LintLevel::Error);
+/// assert_eq!(cfg.effective_severity(DiagCode::DeadStore), None);
+/// assert_eq!(
+///     cfg.effective_severity(DiagCode::UnreachableReplica),
+///     Some(Severity::Error)
+/// );
+/// // Untouched codes keep their defaults.
+/// assert_eq!(
+///     cfg.effective_severity(DiagCode::PredictionMismatch),
+///     Some(Severity::Error)
+/// );
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    levels: [Option<LintLevel>; DiagCode::ALL.len()],
+}
+
+impl LintConfig {
+    /// A config with no overrides: every code keeps its default severity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides one code's level (builder style).
+    #[must_use]
+    pub fn set(mut self, code: DiagCode, level: LintLevel) -> Self {
+        self.levels[code.index()] = Some(level);
+        self
+    }
+
+    /// The effective severity of `code` under this config; `None` means
+    /// the code is suppressed.
+    pub fn effective_severity(&self, code: DiagCode) -> Option<Severity> {
+        match self.levels[code.index()] {
+            None => Some(code.severity()),
+            Some(LintLevel::Allow) => None,
+            Some(LintLevel::Warn) => Some(Severity::Warning),
+            Some(LintLevel::Error) => Some(Severity::Error),
+        }
+    }
+
+    /// Splits `diags` into `(errors, warnings)` under this config,
+    /// dropping suppressed codes.
+    pub fn partition(&self, diags: Vec<AnalysisDiag>) -> (Vec<AnalysisDiag>, Vec<AnalysisDiag>) {
+        let mut errors = Vec::new();
+        let mut warnings = Vec::new();
+        for d in diags {
+            match self.effective_severity(d.code) {
+                Some(Severity::Error) => errors.push(d),
+                Some(Severity::Warning) => warnings.push(d),
+                None => {}
+            }
+        }
+        (errors, warnings)
+    }
+
+    /// True when any diagnostic is an error under this config.
+    pub fn has_errors(&self, diags: &[AnalysisDiag]) -> bool {
+        diags
+            .iter()
+            .any(|d| self.effective_severity(d.code) == Some(Severity::Error))
+    }
+}
+
 /// True when any diagnostic has error severity.
 pub fn has_errors(diags: &[AnalysisDiag]) -> bool {
     diags.iter().any(|d| d.severity() == Severity::Error)
@@ -184,6 +335,15 @@ mod tests {
         assert_eq!(DiagCode::PredictionMismatch.as_str(), "BR006");
         assert_eq!(DiagCode::LiveInMismatch.as_str(), "BR007");
         assert_eq!(DiagCode::InvalidReplicaMap.as_str(), "BR008");
+        assert_eq!(DiagCode::HistoryPredictionViolation.as_str(), "BR009");
+        assert_eq!(DiagCode::HistoryConflict.as_str(), "BR010");
+        assert_eq!(DiagCode::UnreachableMachineState.as_str(), "BR011");
+        assert_eq!(DiagCode::ProductFixpointFailure.as_str(), "BR012");
+        // The ALL order is the BR-number order, and index() agrees with it.
+        for (i, c) in DiagCode::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(c.as_str(), format!("BR{:03}", i + 1));
+        }
     }
 
     #[test]
@@ -196,6 +356,59 @@ mod tests {
         assert_eq!(DiagCode::PredictionMismatch.severity(), Severity::Error);
         assert_eq!(DiagCode::LiveInMismatch.severity(), Severity::Error);
         assert_eq!(DiagCode::InvalidReplicaMap.severity(), Severity::Error);
+        assert_eq!(
+            DiagCode::HistoryPredictionViolation.severity(),
+            Severity::Error
+        );
+        assert_eq!(DiagCode::HistoryConflict.severity(), Severity::Error);
+        assert_eq!(
+            DiagCode::UnreachableMachineState.severity(),
+            Severity::Warning
+        );
+        assert_eq!(DiagCode::ProductFixpointFailure.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn lint_config_overrides_and_partitions() {
+        let cfg = LintConfig::new()
+            .set(DiagCode::DeadStore, LintLevel::Error)
+            .set(DiagCode::UnreachableReplica, LintLevel::Allow)
+            .set(DiagCode::PredictionMismatch, LintLevel::Warn);
+        assert_eq!(
+            cfg.effective_severity(DiagCode::DeadStore),
+            Some(Severity::Error)
+        );
+        assert_eq!(cfg.effective_severity(DiagCode::UnreachableReplica), None);
+        assert_eq!(
+            cfg.effective_severity(DiagCode::PredictionMismatch),
+            Some(Severity::Warning)
+        );
+        // Untouched codes keep defaults.
+        assert_eq!(
+            cfg.effective_severity(DiagCode::HistoryConflict),
+            Some(Severity::Error)
+        );
+
+        let loc = Loc::block(FuncId(0), BlockId(0));
+        let diags = vec![
+            AnalysisDiag::new(DiagCode::DeadStore, loc, "promoted"),
+            AnalysisDiag::new(DiagCode::UnreachableReplica, loc, "dropped"),
+            AnalysisDiag::new(DiagCode::PredictionMismatch, loc, "demoted"),
+        ];
+        assert!(cfg.has_errors(&diags));
+        let (errors, warnings) = cfg.partition(diags);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].code, DiagCode::DeadStore);
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].code, DiagCode::PredictionMismatch);
+
+        // The default config reproduces the plain has_errors split.
+        let default = LintConfig::new();
+        let diags = vec![AnalysisDiag::new(DiagCode::DeadStore, loc, "warn")];
+        assert!(!default.has_errors(&diags));
+        let (e, w) = default.partition(diags);
+        assert!(e.is_empty());
+        assert_eq!(w.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Witness-independent checking of the history encoding.
+//!
+//! [`validate_replication`](crate::validate_replication) trusts the
+//! `ReplicaMap` witness the replicator emits — so a transform bug that
+//! corrupts the code *and* its witness consistently slips through.
+//! [`check_history`] closes that gap: it proves, from first principles,
+//! that every replica of a machine-controlled branch is only ever
+//! executed while its machine is in the state whose prediction the
+//! replica pins. Its trust base is disjoint from the witness:
+//!
+//! * the machine tables come from the replication **plan** (the
+//!   transform's input);
+//! * the replica structure comes from the shipped module plus branch
+//!   **provenance** (mechanical renumbering);
+//! * the pinned directions come from the shipped [`StaticPrediction`].
+//!
+//! Over the product fixpoint of [`crate::solve_site_product`] it emits:
+//!
+//! | code  | finding | severity |
+//! |-------|---------|----------|
+//! | BR009 | replica reachable under a state predicting the other way | error |
+//! | BR010 | replica reachable under states with conflicting predictions | error |
+//! | BR011 | machine state under which no replica is reachable | warning |
+//! | BR012 | malformed table / runaway product / machine site without replicas | error |
+
+use brepl_ir::{BranchId, FuncId, Loc, Module};
+use brepl_predict::StaticPrediction;
+
+use crate::diag::{AnalysisDiag, DiagCode};
+use crate::product::{solve_site_product, HistorySpec};
+
+/// Checks the history encoding of every machine-controlled site in `spec`
+/// against the replicated module — without the replica-map witness.
+///
+/// `provenance` maps the replicated module's branch sites back to original
+/// sites (from `Module::renumber_branches_with_provenance`);
+/// `predictions` is the shipped static prediction table.
+pub fn check_history(
+    replicated: &Module,
+    provenance: &[BranchId],
+    spec: &HistorySpec,
+    predictions: &StaticPrediction,
+) -> Vec<AnalysisDiag> {
+    let mut diags = Vec::new();
+    for (&site, table) in &spec.machines {
+        let solution = match solve_site_product(replicated, provenance, site, table) {
+            Err(reason) => {
+                diags.push(AnalysisDiag::new(
+                    DiagCode::ProductFixpointFailure,
+                    site_loc(replicated, provenance, site),
+                    format!("site {site}: {reason}"),
+                ));
+                continue;
+            }
+            Ok(None) => {
+                diags.push(AnalysisDiag::new(
+                    DiagCode::ProductFixpointFailure,
+                    Loc::function(FuncId(0)),
+                    format!(
+                        "site {site} is machine-controlled but no replica branch of it \
+                         exists in the replicated module"
+                    ),
+                ));
+                continue;
+            }
+            Ok(Some(s)) => s,
+        };
+
+        let mut reached = vec![false; table.len()];
+        for &(bid, new_site) in &solution.branches {
+            let states = solution.states_at(bid);
+            for &q in &states {
+                reached[q] = true;
+            }
+            if states.is_empty() {
+                // Unreachable replica: BR001's territory, nothing to say
+                // about history here.
+                continue;
+            }
+            let pinned = predictions.get(new_site);
+            let loc = Loc::term(solution.func, bid);
+            let offending: Vec<usize> = states
+                .iter()
+                .copied()
+                .filter(|&q| table.states[q].predict != pinned)
+                .collect();
+            if !offending.is_empty() {
+                diags.push(AnalysisDiag::new(
+                    DiagCode::HistoryPredictionViolation,
+                    loc,
+                    format!(
+                        "replica of site {site} pins {} but is reachable in machine \
+                         state{} {:?} predicting {}",
+                        dir(pinned),
+                        if offending.len() == 1 { "" } else { "s" },
+                        offending,
+                        dir(!pinned),
+                    ),
+                ));
+            }
+            let has_taken = states.iter().any(|&q| table.states[q].predict);
+            let has_not_taken = states.iter().any(|&q| !table.states[q].predict);
+            if has_taken && has_not_taken {
+                diags.push(AnalysisDiag::new(
+                    DiagCode::HistoryConflict,
+                    loc,
+                    format!(
+                        "replica of site {site} is reachable in states {states:?} whose \
+                         predictions conflict — the region is under-replicated"
+                    ),
+                ));
+            }
+        }
+
+        let missing: Vec<usize> = (0..table.len()).filter(|&q| !reached[q]).collect();
+        if !missing.is_empty() {
+            let loc = solution
+                .branches
+                .first()
+                .map(|&(bid, _)| Loc::term(solution.func, bid))
+                .unwrap_or(Loc::function(solution.func));
+            diags.push(AnalysisDiag::new(
+                DiagCode::UnreachableMachineState,
+                loc,
+                format!(
+                    "machine state{} {missing:?} of site {site} reach{} no replica \
+                     branch — replicated code for {} wasted",
+                    if missing.len() == 1 { "" } else { "s" },
+                    if missing.len() == 1 { "es" } else { "" },
+                    if missing.len() == 1 {
+                        "it is"
+                    } else {
+                        "them is"
+                    },
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+fn dir(taken: bool) -> &'static str {
+    if taken {
+        "taken"
+    } else {
+        "not-taken"
+    }
+}
+
+/// Best-effort location for a site whose product could not be solved: the
+/// first replica branch if one exists, else the first function.
+fn site_loc(replicated: &Module, provenance: &[BranchId], site: BranchId) -> Loc {
+    for (fid, f) in replicated.iter_functions() {
+        for (bid, block) in f.iter_blocks() {
+            if let Some(ns) = block.term.branch_site() {
+                if provenance.get(ns.index()) == Some(&site) {
+                    return Loc::term(fid, bid);
+                }
+            }
+        }
+    }
+    Loc::function(FuncId(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::product::{MachineTable, TableState};
+    use brepl_ir::{BlockId, FunctionBuilder, Operand, Term};
+
+    /// Hand-built faithful replication of an alternating loop branch under
+    /// a 2-state flip-flop: two copies of the loop body, each pinning its
+    /// state's prediction and branching into the *other* state's copy.
+    ///
+    /// Block layout: b0 entry -> b1 head0 (state 0, pins taken) ->
+    /// taken: b2 body -> b3 head1 (state 1, pins not-taken) ->
+    /// not-taken: b4 body -> b1; both heads exit to b5 on the other leg.
+    fn replicated_flip_flop() -> (Module, Vec<BranchId>) {
+        let mut b = FunctionBuilder::new("main", 1);
+        let n = b.param(0);
+        let i = b.reg();
+        b.const_int(i, 0);
+        let head0 = b.new_block();
+        let body0 = b.new_block();
+        let head1 = b.new_block();
+        let body1 = b.new_block();
+        let exit = b.new_block();
+        b.jmp(head0);
+        b.switch_to(head0);
+        let c0 = b.lt(i.into(), n.into());
+        b.br(c0, body0, exit);
+        b.switch_to(body0);
+        b.add(i, i.into(), Operand::imm(1));
+        b.jmp(head1);
+        b.switch_to(head1);
+        let c1 = b.lt(i.into(), n.into());
+        b.br(c1, body1, exit);
+        b.switch_to(body1);
+        b.add(i, i.into(), Operand::imm(1));
+        b.jmp(head0);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        // Both branches are replicas of one original site 0.
+        let provenance = vec![BranchId(0), BranchId(0)];
+        (m, provenance)
+    }
+
+    /// The machine the layout above encodes: state 0 predicts taken and
+    /// moves to state 1 on taken; state 1 predicts not-taken... except the
+    /// loop branch here is always-taken-until-exit, so encode a machine
+    /// whose transitions match the block wiring: taken flips the state,
+    /// not-taken exits (state unchanged).
+    fn wired_machine() -> MachineTable {
+        MachineTable {
+            states: vec![
+                TableState {
+                    predict: true,
+                    on_taken: 1,
+                    on_not_taken: 0,
+                },
+                TableState {
+                    predict: false,
+                    on_taken: 0,
+                    on_not_taken: 1,
+                },
+            ],
+            initial: 0,
+        }
+    }
+
+    fn predictions_for(m: &Module, table: &MachineTable, states: &[usize]) -> StaticPrediction {
+        let mut p = StaticPrediction::with_default(true);
+        let mut i = 0usize;
+        for (_, f) in m.iter_functions() {
+            for (_, block) in f.iter_blocks() {
+                if let Some(site) = block.term.branch_site() {
+                    p.set(site, table.states[states[i]].predict);
+                    i += 1;
+                }
+            }
+        }
+        p
+    }
+
+    fn spec_of(table: MachineTable) -> HistorySpec {
+        let mut spec = HistorySpec::new();
+        spec.insert(BranchId(0), table);
+        spec
+    }
+
+    #[test]
+    fn faithful_encoding_is_clean() {
+        let (m, prov) = replicated_flip_flop();
+        let table = wired_machine();
+        let predictions = predictions_for(&m, &table, &[0, 1]);
+        let diags = check_history(&m, &prov, &spec_of(table), &predictions);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn wrong_pin_is_br009_only() {
+        let (m, prov) = replicated_flip_flop();
+        let table = wired_machine();
+        // Pin state 0's replica with state 1's prediction.
+        let predictions = predictions_for(&m, &table, &[1, 1]);
+        let diags = check_history(&m, &prov, &spec_of(table), &predictions);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, DiagCode::HistoryPredictionViolation);
+    }
+
+    #[test]
+    fn merged_replicas_are_br010() {
+        let (mut m, prov) = replicated_flip_flop();
+        // Redirect body0's fallthrough back to head0 instead of head1:
+        // head0 now executes in both machine states.
+        let f = m.function_mut(brepl_ir::FuncId(0));
+        f.block_mut(BlockId(2)).term = Term::Jmp { target: BlockId(1) };
+        let table = wired_machine();
+        let predictions = predictions_for(&m, &table, &[0, 1]);
+        let diags = check_history(&m, &prov, &spec_of(table), &predictions);
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(
+            codes.contains(&DiagCode::HistoryConflict),
+            "expected BR010, got {diags:?}"
+        );
+    }
+
+    #[test]
+    fn extra_machine_state_is_br011_warning() {
+        let (m, prov) = replicated_flip_flop();
+        let mut table = wired_machine();
+        // A third state nothing transitions into.
+        table.states.push(TableState {
+            predict: true,
+            on_taken: 0,
+            on_not_taken: 1,
+        });
+        let predictions = {
+            let t = wired_machine();
+            predictions_for(&m, &t, &[0, 1])
+        };
+        let diags = check_history(&m, &prov, &spec_of(table), &predictions);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, DiagCode::UnreachableMachineState);
+        assert_eq!(diags[0].severity(), crate::Severity::Warning);
+    }
+
+    #[test]
+    fn malformed_table_and_missing_replicas_are_br012() {
+        let (m, prov) = replicated_flip_flop();
+        let mut bad = wired_machine();
+        bad.states[0].on_taken = 99;
+        let predictions = predictions_for(&m, &wired_machine(), &[0, 1]);
+        let diags = check_history(&m, &prov, &spec_of(bad), &predictions);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, DiagCode::ProductFixpointFailure);
+
+        // A machine for a site with no replicas at all.
+        let mut spec = HistorySpec::new();
+        spec.insert(BranchId(7), wired_machine());
+        let diags = check_history(&m, &prov, &spec, &predictions);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, DiagCode::ProductFixpointFailure);
+        assert!(diags[0].message.contains("no replica branch"));
+    }
+}

@@ -14,8 +14,18 @@
 //! * a **translation validator** ([`validate_replication`]) that checks a
 //!   simulation relation between an original module and its replicated
 //!   form, using the [`ReplicaMap`] witness the replicator emits;
+//! * a **witness-independent history checker** ([`check_history`]) that
+//!   re-proves the encoding by abstract interpretation over the product of
+//!   the replicated CFG with each branch machine's transition table
+//!   ([`solve_site_product`]) — its trust base deliberately excludes the
+//!   `ReplicaMap`, so a transform bug that corrupts code and witness
+//!   consistently still gets caught;
+//! * a **static cost model** ([`static_cost`]) folding the profiling trace
+//!   through the replicated control flow for per-site misprediction bounds
+//!   and code-size growth;
 //! * a diagnostics layer ([`AnalysisDiag`]) with stable codes `BR001`
-//!   through `BR008` and [`lint_module`] for the warning-severity lints.
+//!   through `BR012`, [`lint_module`] for the warning-severity lints, and
+//!   [`LintConfig`] for per-code severity overrides.
 //!
 //! ```
 //! use brepl_analysis::{validate_replication, ReplicaMap};
@@ -37,9 +47,12 @@
 #![warn(missing_docs)]
 
 mod bitset;
+mod cost;
 mod diag;
+mod history;
 mod lint;
 mod liveness;
+mod product;
 mod reach;
 mod reaching;
 mod replica_map;
@@ -48,9 +61,16 @@ mod uninit;
 mod validate;
 
 pub use bitset::BitSet;
-pub use diag::{count_by_severity, has_errors, AnalysisDiag, DiagCode, Severity};
+pub use cost::{static_cost, CostError, CostReport, SiteCost};
+pub use diag::{
+    count_by_severity, has_errors, AnalysisDiag, DiagCode, LintConfig, LintLevel, Severity,
+};
+pub use history::check_history;
 pub use lint::{dead_store_diags, lint_module, unreachable_diags, use_before_def_diags};
 pub use liveness::{liveness, term_uses, Liveness};
+pub use product::{
+    solve_site_product, HistorySpec, MachineTable, ProductSolution, TableState, MAX_PRODUCT_NODES,
+};
 pub use reach::{reachable_blocks, unreachable_blocks};
 pub use reaching::{reaching_defs, DefSite, ReachingDefs};
 pub use replica_map::{ReplicaFuncMap, ReplicaMap};

@@ -1,0 +1,346 @@
+//! The product automaton of a replicated function and a branch machine.
+//!
+//! This module carries the *witness-independent* half of the validation
+//! story. Its inputs deliberately exclude the `ReplicaMap`:
+//!
+//! * [`MachineTable`] — the plain transition table of a branch machine, as
+//!   planned *before* replication ran (the transform's input, not its
+//!   output);
+//! * the replicated module itself and its branch **provenance** (the
+//!   mechanical `new site -> original site` map produced by branch
+//!   renumbering, independent of the replicator's bookkeeping);
+//! * the shipped [`StaticPrediction`] table.
+//!
+//! [`solve_site_product`] explores the product graph `(replica block ×
+//! machine state)` of one machine-controlled site: starting from the
+//! function entry in the machine's initial state, every CFG edge is the
+//! identity on the machine state *except* the two legs of a replica of the
+//! controlled site, which step the machine by its taken/not-taken
+//! transition, and edges re-entering a replica-holding loop from a
+//! non-replica block outside it, which reset the machine to its initial
+//! state (history is pinned in the program counter, so such re-entries
+//! restart at the initial copy; a replica's own legs instead route
+//! directly to the correct state copy and carry the state). The result —
+//! the exact set of machine states under which
+//! each replica branch is reachable — is what [`crate::check_history`]
+//! judges and what the static cost model folds frequencies through.
+
+use std::collections::BTreeMap;
+
+use brepl_cfg::{product_reachable, Cfg, DomTree, LoopForest, ProductReach};
+use brepl_ir::{BlockId, BranchId, FuncId, Module, Term};
+
+/// One state of a [`MachineTable`]: the prediction it pins and where the
+/// machine goes on each outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableState {
+    /// The direction predicted while in this state.
+    pub predict: bool,
+    /// Next state index when the branch is taken.
+    pub on_taken: usize,
+    /// Next state index when the branch is not taken.
+    pub on_not_taken: usize,
+}
+
+/// A branch machine reduced to its transition table — predictions and
+/// transitions only, no pattern labels, no replication bookkeeping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineTable {
+    /// The states; indices are the state ids used by the transitions.
+    pub states: Vec<TableState>,
+    /// The initial state index.
+    pub initial: usize,
+}
+
+impl MachineTable {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when the table has no states (always malformed).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The transition function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range; validate first.
+    pub fn next(&self, state: usize, taken: bool) -> usize {
+        let s = &self.states[state];
+        if taken {
+            s.on_taken
+        } else {
+            s.on_not_taken
+        }
+    }
+
+    /// Checks the table is well formed: non-empty, initial state and every
+    /// transition in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.states.is_empty() {
+            return Err("machine table has no states".into());
+        }
+        if self.initial >= self.states.len() {
+            return Err(format!(
+                "initial state {} out of range (machine has {} states)",
+                self.initial,
+                self.states.len()
+            ));
+        }
+        for (i, s) in self.states.iter().enumerate() {
+            if s.on_taken >= self.states.len() || s.on_not_taken >= self.states.len() {
+                return Err(format!(
+                    "state {i} transitions to ({}, {}) but the machine has {} states",
+                    s.on_taken,
+                    s.on_not_taken,
+                    self.states.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Which original branch sites are history-encoded, and by which machine —
+/// assembled from the replication *plan* (see
+/// `ReplicationPlan::history_spec` in `brepl-core`), never from the
+/// replica-map witness.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistorySpec {
+    /// Per original-site machine tables, in site order.
+    pub machines: BTreeMap<BranchId, MachineTable>,
+}
+
+impl HistorySpec {
+    /// An empty spec (nothing is history-encoded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `site` as controlled by `table`.
+    pub fn insert(&mut self, site: BranchId, table: MachineTable) {
+        self.machines.insert(site, table);
+    }
+
+    /// The table controlling `site`, if any.
+    pub fn get(&self, site: BranchId) -> Option<&MachineTable> {
+        self.machines.get(&site)
+    }
+
+    /// Number of machine-controlled sites.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True when no site is machine-controlled.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+}
+
+/// Node cap for one site's product exploration. Replication itself caps
+/// loop products at 512 states, so any real function stays far below this;
+/// hitting the cap means a runaway input and is reported as `BR012`.
+pub const MAX_PRODUCT_NODES: usize = 1 << 22;
+
+/// The solved product of one machine-controlled site: for every replica
+/// branch of the site, the machine states under which it executes.
+#[derive(Clone, Debug)]
+pub struct ProductSolution {
+    /// The function holding the site's replicas.
+    pub func: FuncId,
+    /// Per-block reachable machine states (the product fixpoint).
+    pub reach: ProductReach,
+    /// The site's replica branches as `(block, new site id)`, in block
+    /// order.
+    pub branches: Vec<(BlockId, BranchId)>,
+}
+
+impl ProductSolution {
+    /// The machine states under which the replica branch in `block` is
+    /// reachable.
+    pub fn states_at(&self, block: BlockId) -> Vec<usize> {
+        self.reach.states_at(block).collect()
+    }
+}
+
+/// Solves the product automaton of one machine-controlled site.
+///
+/// Scans `replicated` for conditional branches whose provenance is `site`
+/// (they all live in one function: replication never moves a branch across
+/// functions), then explores `(block × machine state)` reachability from
+/// the function entry in the machine's initial state. Replica branches
+/// step the machine by their taken/not-taken transitions; edges from a
+/// non-replica block into a natural loop holding replicas reset it to the
+/// initial state, mirroring how replication re-enters at the initial
+/// state's copy; every other edge carries the state unchanged.
+///
+/// Returns `Ok(None)` when no replica branch of `site` exists.
+///
+/// # Errors
+///
+/// Returns a description when `table` is malformed or the product
+/// exploration exceeds [`MAX_PRODUCT_NODES`].
+pub fn solve_site_product(
+    replicated: &Module,
+    provenance: &[BranchId],
+    site: BranchId,
+    table: &MachineTable,
+) -> Result<Option<ProductSolution>, String> {
+    table.validate()?;
+
+    // Locate the replicas: every Br whose new site maps back to `site`.
+    let mut func: Option<FuncId> = None;
+    let mut branches: Vec<(BlockId, BranchId)> = Vec::new();
+    for (fid, f) in replicated.iter_functions() {
+        for (bid, block) in f.iter_blocks() {
+            let Some(new_site) = block.term.branch_site() else {
+                continue;
+            };
+            if provenance.get(new_site.index()) == Some(&site) {
+                if func.is_some_and(|prev| prev != fid) {
+                    return Err(format!(
+                        "replicas of site {site} span functions {} and {fid}",
+                        func.expect("checked is_some")
+                    ));
+                }
+                func = Some(fid);
+                branches.push((bid, new_site));
+            }
+        }
+    }
+    let Some(fid) = func else {
+        return Ok(None);
+    };
+
+    // Per-block machine step: replicas of `site` step the machine on their
+    // taken/not-taken legs, every other edge is the identity — except that
+    // edges *entering* the replicated loop region from outside reset the
+    // machine to its initial state. Replication pins history in the
+    // program counter, so leaving the loop and coming back re-enters at
+    // the initial state's copy; carrying the stale exit state across that
+    // re-entry edge would pollute every copy's reachable set.
+    let f = replicated.function(fid);
+    let is_replica: Vec<bool> = f
+        .blocks
+        .iter()
+        .map(|b| match &b.term {
+            Term::Br { site: s, .. } => provenance.get(s.index()) == Some(&site),
+            _ => false,
+        })
+        .collect();
+    let cfg = Cfg::new(f);
+    let dom = DomTree::new(&cfg);
+    let loops = LoopForest::new(&cfg, &dom);
+    // The replicated region: the innermost natural loops of the replicas.
+    // Entering the region from a non-replica block outside it re-enters
+    // the replicated structure at the initial state's copy, so such edges
+    // reset the machine. Edges leaving a replica of the same site are
+    // exempt: its legs are wired directly to the correct state copy and
+    // therefore carry the state, even when they cross a loop boundary.
+    let mut in_region = vec![false; f.blocks.len()];
+    for &(bid, _) in &branches {
+        if let Some(lid) = loops.innermost(bid) {
+            for &b in &loops.get(lid).blocks {
+                in_region[b.index()] = true;
+            }
+        }
+    }
+    let resets = |src: BlockId, dst: BlockId| -> bool {
+        !is_replica[src.index()] && !in_region[src.index()] && in_region[dst.index()]
+    };
+    let reach = product_reachable(
+        &cfg,
+        table.len(),
+        table.initial,
+        MAX_PRODUCT_NODES,
+        |b, slot, q| {
+            if is_replica[b.index()] {
+                table.next(q, slot == 0)
+            } else if resets(b, cfg.succs(b)[slot]) {
+                table.initial
+            } else {
+                q
+            }
+        },
+    )
+    .ok_or_else(|| {
+        format!(
+            "product exploration of site {site} exceeded {} nodes",
+            MAX_PRODUCT_NODES
+        )
+    })?;
+
+    Ok(Some(ProductSolution {
+        func: fid,
+        reach,
+        branches,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flip_flop() -> MachineTable {
+        MachineTable {
+            states: vec![
+                TableState {
+                    predict: true,
+                    on_taken: 1,
+                    on_not_taken: 0,
+                },
+                TableState {
+                    predict: false,
+                    on_taken: 1,
+                    on_not_taken: 0,
+                },
+            ],
+            initial: 0,
+        }
+    }
+
+    #[test]
+    fn validate_catches_malformations() {
+        assert!(flip_flop().validate().is_ok());
+        let empty = MachineTable {
+            states: vec![],
+            initial: 0,
+        };
+        assert!(empty.validate().unwrap_err().contains("no states"));
+        let bad_initial = MachineTable {
+            initial: 5,
+            ..flip_flop()
+        };
+        assert!(bad_initial.validate().unwrap_err().contains("initial"));
+        let mut bad_edge = flip_flop();
+        bad_edge.states[1].on_not_taken = 9;
+        assert!(bad_edge.validate().unwrap_err().contains("transitions"));
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        let mut spec = HistorySpec::new();
+        assert!(spec.is_empty());
+        spec.insert(BranchId(3), flip_flop());
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec.get(BranchId(3)), Some(&flip_flop()));
+        assert_eq!(spec.get(BranchId(0)), None);
+    }
+
+    #[test]
+    fn next_follows_table() {
+        let t = flip_flop();
+        assert_eq!(t.next(0, true), 1);
+        assert_eq!(t.next(0, false), 0);
+        assert_eq!(t.next(1, true), 1);
+        assert_eq!(t.next(1, false), 0);
+    }
+}

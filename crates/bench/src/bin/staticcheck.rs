@@ -1,0 +1,128 @@
+//! Witness-independent static checking over the whole suite: replicates
+//! every workload with the default pipeline settings, then
+//!
+//! * re-proves the history encoding with [`brepl_analysis::check_history`]
+//!   (product of the replicated CFG with each planned machine's transition
+//!   table — the replica-map witness is never consulted), and
+//! * computes the static misprediction bound with
+//!   [`brepl_analysis::static_cost`] (folding the profiling trace through
+//!   the replicated control flow) next to the simulator-measured rate.
+//!
+//! Prints one row per workload (machine-controlled sites, static bound vs.
+//! simulated misprediction, size growth, error/warning counts, checker wall
+//! time) and exits non-zero on any error-severity diagnostic
+//! (BR009/BR010/BR012), any cost-replay failure, or a bound below the
+//! simulated rate — the CI gate behind the witness validator.
+
+use std::time::Instant;
+
+use brepl::pipeline::{run_pipeline, PipelineConfig};
+use brepl_analysis::{check_history, count_by_severity, static_cost};
+use brepl_bench::scale_from_env;
+use brepl_sim::{Machine, RunConfig};
+use brepl_workloads::all_workloads;
+
+fn main() {
+    let scale = scale_from_env();
+    println!(
+        "{:<12} {:>6} {:>9} {:>9} {:>8} {:>7} {:>6} {:>10}",
+        "program", "sites", "bound %", "sim %", "growth", "errors", "warns", "check µs"
+    );
+    println!("{}", "-".repeat(75));
+
+    let mut total_errors = 0usize;
+    let mut failed = false;
+    for w in all_workloads(scale) {
+        // Both static gates run inside the pipeline too; disable them there
+        // so the timing below measures exactly one checker pass.
+        let config = PipelineConfig {
+            validate: false,
+            check_history: false,
+            dynamic_backstop: false,
+            ..PipelineConfig::default()
+        };
+        let r = match run_pipeline(&w.module, &w.args, &w.input, config) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{:<12} PIPELINE FAILED: {e}", w.name);
+                failed = true;
+                continue;
+            }
+        };
+
+        // The spec comes from the shipped plan — the transform's input.
+        let plan = r
+            .selection
+            .to_plan_filtered(|site| r.replicated_sites.contains(&site));
+        let spec = plan.history_spec();
+
+        let start = Instant::now();
+        let diags = check_history(
+            &r.program.module,
+            &r.program.provenance,
+            &spec,
+            &r.program.predictions,
+        );
+        let micros = start.elapsed().as_micros();
+        let (errors, warnings) = count_by_severity(&diags);
+        total_errors += errors;
+
+        // Profile the original once more for the cost fold.
+        let mut machine = Machine::new(&w.module, RunConfig::default());
+        machine.set_input(w.input.clone());
+        let trace = match machine.run("main", &w.args) {
+            Ok(outcome) => outcome.trace,
+            Err(e) => {
+                println!("{:<12} PROFILE FAILED: {e}", w.name);
+                failed = true;
+                continue;
+            }
+        };
+        let report = match static_cost(
+            &w.module,
+            &r.program.module,
+            &r.program.provenance,
+            &r.program.predictions,
+            &trace,
+            "main",
+        ) {
+            Ok(report) => report,
+            Err(e) => {
+                println!("{:<12} COST REPLAY FAILED: {e}", w.name);
+                failed = true;
+                continue;
+            }
+        };
+
+        let bound = report.bound_percent();
+        let simulated = r.replicated_misprediction_percent;
+        if bound + 1e-9 < simulated {
+            println!(
+                "{:<12} BOUND VIOLATED: static {bound:.4}% < simulated {simulated:.4}%",
+                w.name
+            );
+            failed = true;
+        }
+        println!(
+            "{:<12} {:>6} {:>8.3}% {:>8.3}% {:>7.2}x {:>7} {:>6} {:>10}",
+            w.name,
+            spec.len(),
+            bound,
+            simulated,
+            r.size_growth,
+            errors,
+            warnings,
+            micros
+        );
+        for d in &diags {
+            println!("    {}", d.render(&r.program.module));
+        }
+    }
+
+    println!("{}", "-".repeat(75));
+    if failed || total_errors > 0 {
+        println!("FAIL: {total_errors} error-severity diagnostics");
+        std::process::exit(1);
+    }
+    println!("OK: every workload passes witness-independent history checking");
+}

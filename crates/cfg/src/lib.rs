@@ -44,6 +44,7 @@ mod dot;
 mod graph;
 mod loops;
 mod order;
+mod product;
 
 pub use classify::{BranchClass, BranchInfo, ClassifiedBranches, PathStep, PredecessorPaths};
 pub use dom::DomTree;
@@ -51,3 +52,4 @@ pub use dot::function_to_dot;
 pub use graph::Cfg;
 pub use loops::{LoopForest, LoopId, NaturalLoop};
 pub use order::{postorder, reverse_postorder};
+pub use product::{product_reachable, ProductReach};

@@ -1,0 +1,179 @@
+//! Product-graph iteration: reachability over the product of a [`Cfg`]
+//! with a small finite automaton.
+//!
+//! Code replication encodes a branch predictor's state in the program
+//! counter, so checking the encoding means exploring the product graph
+//! whose nodes are `(block, automaton state)` pairs. This helper walks
+//! exactly that product: the caller supplies the per-edge state map (which
+//! automaton state an edge `(block, slot)` leads to from a given state) and
+//! gets back, for every block, the set of states under which it is
+//! reachable.
+//!
+//! The walk is a plain BFS over at most `blocks × states` nodes, so it
+//! always terminates; callers guard against runaway products with
+//! [`product_reachable`]'s node cap.
+
+use brepl_ir::BlockId;
+
+use crate::graph::Cfg;
+
+/// Which automaton states reach each block, as computed by
+/// [`product_reachable`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProductReach {
+    /// `seen[block][state]` — true when `(block, state)` is reachable.
+    seen: Vec<Vec<bool>>,
+    n_states: usize,
+}
+
+impl ProductReach {
+    /// True when `(block, state)` is reachable from the product entry.
+    pub fn is_reachable(&self, block: BlockId, state: usize) -> bool {
+        self.seen
+            .get(block.index())
+            .is_some_and(|row| row.get(state).copied().unwrap_or(false))
+    }
+
+    /// The states under which `block` is reachable, in increasing order.
+    pub fn states_at(&self, block: BlockId) -> impl Iterator<Item = usize> + '_ {
+        self.seen[block.index()]
+            .iter()
+            .enumerate()
+            .filter_map(|(q, &r)| if r { Some(q) } else { None })
+    }
+
+    /// Number of automaton states in the product.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+}
+
+/// Explores the product of `cfg` with an `n_states`-state automaton,
+/// starting from `(entry block, entry_state)`.
+///
+/// `step(block, slot, state)` maps the automaton state across the CFG edge
+/// leaving `block` through successor `slot` (terminator order: the taken
+/// and not-taken legs of a conditional branch are slots 0 and 1). Most
+/// edges are the identity; replica branches step their machine.
+///
+/// Returns `None` when the product has more than `max_nodes` nodes — the
+/// caller's divergence guard — or when `step` ever returns an
+/// out-of-range state (a malformed automaton).
+pub fn product_reachable(
+    cfg: &Cfg,
+    n_states: usize,
+    entry_state: usize,
+    max_nodes: usize,
+    mut step: impl FnMut(BlockId, usize, usize) -> usize,
+) -> Option<ProductReach> {
+    if n_states == 0 || entry_state >= n_states {
+        return None;
+    }
+    if cfg.len().checked_mul(n_states)? > max_nodes {
+        return None;
+    }
+    let mut seen = vec![vec![false; n_states]; cfg.len()];
+    let entry = cfg.entry();
+    seen[entry.index()][entry_state] = true;
+    let mut stack = vec![(entry, entry_state)];
+    while let Some((b, q)) = stack.pop() {
+        for (slot, &succ) in cfg.succs(b).iter().enumerate() {
+            let q2 = step(b, slot, q);
+            if q2 >= n_states {
+                return None;
+            }
+            if !seen[succ.index()][q2] {
+                seen[succ.index()][q2] = true;
+                stack.push((succ, q2));
+            }
+        }
+    }
+    Some(ProductReach { seen, n_states })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::{FunctionBuilder, Operand};
+
+    /// Loop with an alternating-style branch: b0 -> head(b1) -> {b2,b3} ->
+    /// latch(b4) -> head | exit(b5).
+    fn loopy() -> brepl_ir::Function {
+        let mut b = FunctionBuilder::new("f", 1);
+        let n = b.param(0);
+        let i = b.reg();
+        b.const_int(i, 0);
+        let head = b.new_block();
+        let even = b.new_block();
+        let odd = b.new_block();
+        let latch = b.new_block();
+        let exit = b.new_block();
+        b.jmp(head);
+        b.switch_to(head);
+        let r = b.reg();
+        b.rem(r, i.into(), Operand::imm(2));
+        let c = b.eq(r.into(), Operand::imm(0));
+        b.br(c, even, odd);
+        b.switch_to(even);
+        b.jmp(latch);
+        b.switch_to(odd);
+        b.jmp(latch);
+        b.switch_to(latch);
+        b.add(i, i.into(), Operand::imm(1));
+        let c2 = b.lt(i.into(), n.into());
+        b.br(c2, head, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn identity_step_reaches_entry_state_everywhere() {
+        let f = loopy();
+        let cfg = Cfg::new(&f);
+        let r = product_reachable(&cfg, 3, 1, 1 << 20, |_, _, q| q).unwrap();
+        for b in cfg.blocks() {
+            assert_eq!(r.states_at(b).collect::<Vec<_>>(), vec![1], "{b}");
+        }
+        assert!(!r.is_reachable(BlockId(0), 0));
+        assert_eq!(r.n_states(), 3);
+    }
+
+    #[test]
+    fn branch_step_splits_states() {
+        let f = loopy();
+        let cfg = Cfg::new(&f);
+        // A 2-state flip-flop stepped at the head branch (block 1): taken
+        // -> state 1, not taken -> state 0; all other edges identity.
+        let r = product_reachable(&cfg, 2, 0, 1 << 20, |b, slot, q| {
+            if b == BlockId(1) {
+                if slot == 0 {
+                    1
+                } else {
+                    0
+                }
+            } else {
+                q
+            }
+        })
+        .unwrap();
+        // The taken arm (b2) is only ever reached in state 1, the
+        // not-taken arm (b3) only in state 0; the latch sees both.
+        assert_eq!(r.states_at(BlockId(2)).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(r.states_at(BlockId(3)).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(r.states_at(BlockId(4)).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn caps_and_malformed_steps_rejected() {
+        let f = loopy();
+        let cfg = Cfg::new(&f);
+        // Node cap exceeded.
+        assert!(product_reachable(&cfg, 4, 0, 5, |_, _, q| q).is_none());
+        // Out-of-range entry state / empty automaton.
+        assert!(product_reachable(&cfg, 2, 2, 1 << 20, |_, _, q| q).is_none());
+        assert!(product_reachable(&cfg, 0, 0, 1 << 20, |_, _, q| q).is_none());
+        // Step function escapes the state universe.
+        assert!(product_reachable(&cfg, 2, 0, 1 << 20, |_, _, _| 7).is_none());
+    }
+}

@@ -151,6 +151,24 @@ impl StateMachine {
         }
     }
 
+    /// The machine reduced to its bare transition table — the
+    /// witness-independent form `brepl_analysis::check_history` consumes
+    /// (predictions and transitions only, no pattern labels).
+    pub fn to_table(&self) -> brepl_analysis::MachineTable {
+        brepl_analysis::MachineTable {
+            states: self
+                .states
+                .iter()
+                .map(|s| brepl_analysis::TableState {
+                    predict: s.predict,
+                    on_taken: s.on_taken,
+                    on_not_taken: s.on_not_taken,
+                })
+                .collect(),
+            initial: self.initial,
+        }
+    }
+
     /// True if every state can reach every other state — the paper's
     /// requirement that "each state can be reached from another state and
     /// via other states from the initial state".

@@ -22,8 +22,8 @@ pub use brepl_analysis::{ReplicaFuncMap, ReplicaMap};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
-use brepl_cfg::{Cfg, DomTree, LoopForest};
-use brepl_ir::{BlockId, BranchId, FuncId, Module};
+use brepl_cfg::{Cfg, DomTree, LoopForest, LoopId};
+use brepl_ir::{BlockId, BranchId, FuncId, Function, Module, Term};
 use brepl_predict::StaticPrediction;
 use brepl_trace::TraceStats;
 
@@ -33,7 +33,8 @@ use crate::machine::StateMachine;
 /// The machine assigned to one branch.
 #[derive(Clone, Debug)]
 pub enum BranchMachine {
-    /// Intra-loop or loop-exit machine: replicate the innermost loop.
+    /// Intra-loop or loop-exit machine: replicate the innermost loop that
+    /// can carry the machine's history (see `region_loop`).
     Loop(StateMachine),
     /// Correlated machine: tail-duplicate the incoming paths.
     Correlated(CorrelatedMachine),
@@ -66,6 +67,25 @@ impl ReplicationPlan {
     /// True when no branches are planned.
     pub fn is_empty(&self) -> bool {
         self.assignments.is_empty()
+    }
+
+    /// The plan's history specification: the bare transition table of every
+    /// [`BranchMachine::Loop`] assignment, keyed by original site.
+    ///
+    /// This is the input to the witness-independent checker
+    /// ([`brepl_analysis::check_history`]): it is derived from the
+    /// transform's *input*, never from the `ReplicaMap` the transform
+    /// emits. Correlated machines have no state-transition table — their
+    /// tail-duplicated paths are covered by the witness validator's BR006
+    /// check and by the exact cost replay.
+    pub fn history_spec(&self) -> brepl_analysis::HistorySpec {
+        let mut spec = brepl_analysis::HistorySpec::new();
+        for (&site, machine) in &self.assignments {
+            if let BranchMachine::Loop(m) = machine {
+                spec.insert(site, m.to_table());
+            }
+        }
+        spec
     }
 }
 
@@ -117,6 +137,57 @@ impl ReplicatedProgram {
     }
 }
 
+/// The replication region for a loop machine controlling the branch in
+/// `bid`: the innermost containing loop that can carry the machine's
+/// history.
+///
+/// `replicate_loop` keeps the original target for any leg leaving the
+/// replicated region, which lands re-entries on the initial state's copy
+/// — the machine step of that leg is dropped. Starting from the branch's
+/// innermost loop, this walks up the nest until every leg either stays
+/// inside the region, resets the machine (`next(q, leg) == initial` for
+/// all `q`, so the dropped step coincides with the re-entry reset), or
+/// leaves every loop containing the branch (control then never returns
+/// to the branch, so the lost state is irrelevant). Without the walk, a
+/// machine whose non-reset leg exits the innermost loop — e.g. one
+/// counting consecutive takens of a loop-exit branch across iterations
+/// of the *enclosing* loop — degenerates: its non-initial copies are
+/// unreachable and every surviving copy pins the initial state's
+/// prediction, silently diverging from the plan.
+///
+/// Returns `None` when the branch is in no loop at all.
+fn region_loop(
+    func: &Function,
+    forest: &LoopForest,
+    bid: BlockId,
+    machine: &StateMachine,
+) -> Option<LoopId> {
+    let mut cur = forest.innermost(bid)?;
+    let Term::Br { then_, else_, .. } = &func.block(bid).term else {
+        return Some(cur);
+    };
+    let mut top = cur;
+    while let Some(p) = forest.get(top).parent {
+        top = p;
+    }
+    let resets =
+        |taken: bool| (0..machine.len()).all(|q| machine.next(q, taken) == machine.initial());
+    let legs = [(*then_, true), (*else_, false)];
+    loop {
+        let l = forest.get(cur);
+        let carried = legs
+            .iter()
+            .all(|&(t, taken)| l.contains(t) || resets(taken) || !forest.get(top).contains(t));
+        if carried {
+            return Some(cur);
+        }
+        match l.parent {
+            Some(p) => cur = p,
+            None => return Some(cur),
+        }
+    }
+}
+
 /// Applies `plan` to a copy of `module`. `profile` supplies the fallback
 /// profile predictions for unplanned branches (use the stats of the
 /// profiling trace).
@@ -160,7 +231,7 @@ pub fn apply_plan(
             .map(|i| vec![BlockId::from_index(i)])
             .collect();
 
-        // --- Loop machines, innermost loops first -----------------------
+        // --- Loop machines, deepest regions first -----------------------
         let mut todo: Vec<(BlockId, BranchId)> = loop_branches.remove(&fid).unwrap_or_default();
         while !todo.is_empty() {
             let func = out.function_mut(fid);
@@ -168,12 +239,23 @@ pub fn apply_plan(
             let dom = DomTree::new(&cfg);
             let forest = LoopForest::new(&cfg, &dom);
 
-            // Deepest innermost loop among remaining branches.
-            let mut best: Option<(usize, u32)> = None; // (todo idx, depth)
-            for (i, &(bid, site)) in todo.iter().enumerate() {
-                let Some(l) = forest.innermost(bid) else {
+            // Each branch's replication region, then the deepest among
+            // the remaining branches.
+            let machine_of = |site: BranchId| -> &StateMachine {
+                match &plan.assignments[&site] {
+                    BranchMachine::Loop(m) => m,
+                    BranchMachine::Correlated(_) => unreachable!("loop_branches holds Loop sites"),
+                }
+            };
+            let mut regions: Vec<LoopId> = Vec::with_capacity(todo.len());
+            for &(bid, site) in &todo {
+                let Some(l) = region_loop(func, &forest, bid, machine_of(site)) else {
                     return Err(ReplicateError::NotInLoop(site));
                 };
+                regions.push(l);
+            }
+            let mut best: Option<(usize, u32)> = None; // (todo idx, depth)
+            for (i, &l) in regions.iter().enumerate() {
                 let depth = forest.get(l).depth;
                 match best {
                     Some((_, d)) if d >= depth => {}
@@ -181,16 +263,21 @@ pub fn apply_plan(
                 }
             }
             let (idx, _) = best.expect("todo not empty");
-            let target_loop = forest.innermost(todo[idx].0).expect("checked above");
+            let target_loop = regions[idx];
             let loop_blocks = forest.get(target_loop).blocks.clone();
 
-            // All remaining branches in this same loop replicate together
-            // (product machine), as the paper prescribes for same-loop
-            // branches.
-            let (group, rest): (Vec<_>, Vec<_>) = todo
-                .iter()
-                .copied()
-                .partition(|&(bid, _)| forest.innermost(bid) == Some(target_loop));
+            // All remaining branches with this same region replicate
+            // together (product machine), as the paper prescribes for
+            // same-loop branches.
+            let mut group: Vec<(BlockId, BranchId)> = Vec::new();
+            let mut rest: Vec<(BlockId, BranchId)> = Vec::new();
+            for (i, &entry) in todo.iter().enumerate() {
+                if regions[i] == target_loop {
+                    group.push(entry);
+                } else {
+                    rest.push(entry);
+                }
+            }
             todo = rest;
 
             let mut machines: Vec<(BlockId, &StateMachine)> = group
@@ -278,10 +365,20 @@ pub fn apply_plan(
             let (annotated, split) = replicate_correlated(func, bid, machine);
             // Replay the clone log: each clone inherits its source's
             // chain. Sources precede their clones, so front-to-back works.
+            // A clone also inherits its source's machine-pinned prediction:
+            // tail duplication places the copy on one incoming path of the
+            // source, so the machine states reaching the clone are a subset
+            // of those reaching the source and the pin stays consistent.
+            // (Dropping the pin here silently reverted such clones to the
+            // profile-majority prediction — and hid them from the witness
+            // validator, whose machine_predictions entry went None with it.)
             for &(src, id) in &split.clones {
                 debug_assert_eq!(id.index(), org.len(), "clone log is in push order");
                 let chain = org[src.index()].clone();
                 org.push(chain);
+                if let Some(&p) = pending.get(&(fid, src)) {
+                    pending.insert((fid, id), p);
+                }
             }
             for (copy, p) in annotated {
                 pending.insert((fid, copy), p);
@@ -506,6 +603,113 @@ mod tests {
         assert!(report.mispredictions() <= 1);
         assert!(program.size_growth(&m) > 1.0);
         assert!(program.size_growth(&m) < 2.0);
+    }
+
+    #[test]
+    fn machine_advancing_on_inner_loop_exit_widens_region() {
+        // Nested loops shaped like compress's scan loop: the controlled
+        // branch A heads the inner loop, but its taken leg exits to C in
+        // the enclosing loop, and the machine advances on taken. The
+        // innermost loop alone cannot carry that history (the step would
+        // be dropped at the region boundary and every copy would pin the
+        // initial state), so the region must widen to the outer loop.
+        //
+        //   h: br -> A | exit      (outer header)
+        //   A: br -> C | B         (inner header, machine-controlled)
+        //   B: br -> h | A         (inner latch / outer latch)
+        //   C: jmp h               (outer blocks only)
+        let mut b = FunctionBuilder::new("main", 0);
+        let i = b.reg();
+        let acc = b.reg();
+        b.const_int(i, 0);
+        b.const_int(acc, 0);
+        let h = b.new_block();
+        let a = b.new_block();
+        let bb = b.new_block();
+        let c = b.new_block();
+        let exit = b.new_block();
+        b.jmp(h);
+        b.switch_to(h);
+        let c1 = b.lt(i.into(), Operand::imm(30));
+        b.br(c1, a, exit);
+        b.switch_to(a);
+        b.add(i, i.into(), Operand::imm(1));
+        let r = b.reg();
+        b.rem(r, i.into(), Operand::imm(3));
+        let c2 = b.eq(r.into(), Operand::imm(0));
+        b.br(c2, c, bb);
+        b.switch_to(bb);
+        let r2 = b.reg();
+        b.rem(r2, i.into(), Operand::imm(2));
+        let c3 = b.eq(r2.into(), Operand::imm(0));
+        b.br(c3, h, a);
+        b.switch_to(c);
+        b.add(acc, acc.into(), Operand::imm(1));
+        b.jmp(h);
+        b.switch_to(exit);
+        b.out(acc.into());
+        b.ret(Some(acc.into()));
+        let mut m = Module::new();
+        m.push_function(b.finish());
+
+        // Predict taken only after two consecutive takens of A; on_taken
+        // advances, so the exit leg must stay inside the region.
+        let machine = StateMachine::from_states(
+            vec![
+                MachineState {
+                    pattern: HistPattern::parse("0").unwrap(),
+                    predict: false,
+                    on_taken: 1,
+                    on_not_taken: 0,
+                },
+                MachineState {
+                    pattern: HistPattern::parse("01").unwrap(),
+                    predict: false,
+                    on_taken: 2,
+                    on_not_taken: 0,
+                },
+                MachineState {
+                    pattern: HistPattern::parse("11").unwrap(),
+                    predict: true,
+                    on_taken: 2,
+                    on_not_taken: 0,
+                },
+            ],
+            0,
+        );
+
+        let stats = Sim::new(&m, RunConfig::default())
+            .run("main", &[])
+            .unwrap()
+            .trace
+            .stats();
+        let mut plan = ReplicationPlan::new();
+        plan.assign(BranchId(1), BranchMachine::Loop(machine));
+        let program = apply_plan(&m, &plan, &stats).unwrap();
+        check_equivalence(&m, &program, "main", &[], &[]).unwrap();
+
+        // The witness-independent checker re-derives the per-copy states;
+        // before region widening it reported BR009/BR010 here, because the
+        // non-initial copies were unreachable and every surviving copy
+        // pinned the initial state's prediction.
+        let diags = brepl_analysis::check_history(
+            &program.module,
+            &program.provenance,
+            &plan.history_spec(),
+            &program.predictions,
+        );
+        assert!(diags.is_empty(), "history check must pass: {diags:?}");
+
+        // The predict-taken state is realized by some copy.
+        let f = program
+            .module
+            .function(program.module.function_by_name("main").unwrap());
+        let has_taken_pin = f.iter_blocks().any(|(_, block)| {
+            block.term.branch_site().is_some_and(|s| {
+                program.provenance[s.index()] == BranchId(1) && program.predictions.get(s)
+            })
+        });
+        assert!(has_taken_pin, "no copy pins the machine's taken state");
     }
 
     #[test]

@@ -98,7 +98,6 @@ fn build_solve() -> brepl_ir::Function {
     b.switch_to(start);
     b.const_int(found, 0);
     b.const_int(reached, 0);
-    b.const_int(sp, 0);
     b.store(stack.into(), x.into());
     b.const_int(sp, 1);
     b.add(addr, visited.into(), x.into());

@@ -5,7 +5,7 @@
 use std::error::Error;
 use std::fmt;
 
-use brepl_analysis::{has_errors, validate_replication, AnalysisDiag, Severity};
+use brepl_analysis::{check_history, validate_replication, AnalysisDiag, LintConfig};
 use brepl_core::replicate::ReplicateError;
 use brepl_core::{apply_plan, check_equivalence, select_strategies, ReplicatedProgram, Selection};
 use brepl_ir::{Module, Value};
@@ -26,6 +26,18 @@ pub struct PipelineConfig {
     /// check out. Error-severity diagnostics abort the pipeline; warnings
     /// are collected into [`PipelineResult::warnings`].
     pub validate: bool,
+    /// When true (default), additionally gate every round on the
+    /// witness-independent history checker
+    /// ([`brepl_analysis::check_history`]): the product of the replicated
+    /// CFG with each planned machine's transition table must show every
+    /// replica reachable only under states agreeing with its pinned
+    /// prediction. Independent trust base from `validate` — it never reads
+    /// the replica-map witness.
+    pub check_history: bool,
+    /// Per-diagnostic-code severity overrides applied to both static
+    /// validators' output (allow-listing a code, promoting warnings,
+    /// demoting errors). Default: every code at its built-in severity.
+    pub lint: LintConfig,
     /// When true (default), additionally run the *shipped* program and the
     /// original once on the profiling input and compare results, output
     /// tapes, step counts and branch histograms — a single dynamic
@@ -51,6 +63,8 @@ impl Default for PipelineConfig {
             max_states: 4,
             run: RunConfig::default(),
             validate: true,
+            check_history: true,
+            lint: LintConfig::new(),
             dynamic_backstop: true,
             max_size_growth: Some(3.0),
             refine: true,
@@ -68,6 +82,9 @@ pub enum PipelineError {
     /// The static translation validator rejected the replicated program
     /// (rendered error-severity diagnostics, `; `-joined).
     Validation(String),
+    /// The witness-independent history checker rejected the replicated
+    /// program (rendered error-severity diagnostics, `; `-joined).
+    History(String),
     /// The dynamic backstop found a divergence between the programs.
     Equivalence(String),
 }
@@ -78,6 +95,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Run(e) => write!(f, "program run failed: {e}"),
             PipelineError::Replicate(e) => write!(f, "replication failed: {e}"),
             PipelineError::Validation(e) => write!(f, "static validation failed: {e}"),
+            PipelineError::History(e) => write!(f, "history check failed: {e}"),
             PipelineError::Equivalence(e) => write!(f, "equivalence check failed: {e}"),
         }
     }
@@ -118,9 +136,11 @@ pub struct PipelineResult {
     /// The sites whose machines actually shipped: enabled by the size
     /// budget and kept by every refinement round.
     pub replicated_sites: std::collections::BTreeSet<brepl_ir::BranchId>,
-    /// Warning-severity diagnostics from the static validator's last round
-    /// (empty when validation is disabled). Error-severity diagnostics
-    /// abort the pipeline instead of landing here.
+    /// Warning-severity diagnostics from the last round of both static
+    /// gates — the witness validator and the history checker, as filtered
+    /// by [`PipelineConfig::lint`] (empty when both are disabled).
+    /// Error-severity diagnostics abort the pipeline instead of landing
+    /// here.
     pub warnings: Vec<AnalysisDiag>,
     /// The replicated program with predictions and provenance.
     pub program: ReplicatedProgram,
@@ -131,9 +151,10 @@ pub struct PipelineResult {
 /// # Errors
 ///
 /// Returns a [`PipelineError`] if any run traps, replication fails, the
-/// static translation validator emits an error-severity diagnostic, or the
-/// dynamic backstop finds a divergence (the latter two would be replicator
-/// bugs — the checks are belt-and-braces).
+/// static translation validator or the witness-independent history checker
+/// emits an error-severity diagnostic, or the dynamic backstop finds a
+/// divergence (the latter three would be replicator bugs — the checks are
+/// belt-and-braces).
 pub fn run_pipeline(
     module: &Module,
     args: &[Value],
@@ -184,15 +205,31 @@ pub fn run_pipeline(
                 &program.replica_map,
                 &program.predictions,
             );
-            if has_errors(&diags) {
-                let rendered: Vec<String> = diags
-                    .iter()
-                    .filter(|d| d.severity() == Severity::Error)
-                    .map(|d| d.render(&program.module))
-                    .collect();
+            let (errors, warns) = config.lint.partition(diags);
+            if !errors.is_empty() {
+                let rendered: Vec<String> =
+                    errors.iter().map(|d| d.render(&program.module)).collect();
                 return Err(PipelineError::Validation(rendered.join("; ")));
             }
-            warnings = diags;
+            warnings = warns;
+        }
+        // Second gate, independent trust base: re-prove the history
+        // encoding from the plan's transition tables and the shipped
+        // module alone — the replica-map witness is never consulted.
+        if config.check_history {
+            let diags = check_history(
+                &program.module,
+                &program.provenance,
+                &plan.history_spec(),
+                &program.predictions,
+            );
+            let (errors, warns) = config.lint.partition(diags);
+            if !errors.is_empty() {
+                let rendered: Vec<String> =
+                    errors.iter().map(|d| d.render(&program.module)).collect();
+                return Err(PipelineError::History(rendered.join("; ")));
+            }
+            warnings.extend(warns);
         }
         let mut machine2 = Machine::new(&program.module, config.run);
         machine2.set_input(input.to_vec());

@@ -1,0 +1,261 @@
+//! Mutation testing of the witness-independent history checker: starting
+//! from a genuine replicated program (loop replication of an alternating
+//! branch by a two-state flip-flop), each test injects one class of
+//! corruption and asserts the documented diagnostic:
+//!
+//! | mutation                                   | code                    |
+//! |--------------------------------------------|-------------------------|
+//! | flip a pin AND forge the witness to match  | BR009 (BR006 is blind)  |
+//! | merge two state copies onto one block      | BR010                   |
+//! | add an unreachable machine state           | BR011 (warning only)    |
+//! | malform the machine table                  | BR012                   |
+//!
+//! The first row is the reason the checker exists: a transform bug that
+//! corrupts the code and its own witness *consistently* passes every
+//! BR001–BR008 check, because the witness validator trusts the replica
+//! map that `apply_plan` itself emits. The history checker re-derives the
+//! per-copy predictor states from the replicated control flow and the
+//! planned machine table alone, so the same corruption is caught.
+
+use brepl::core::replicate::{apply_plan, BranchMachine, ReplicatedProgram, ReplicationPlan};
+use brepl::core::{HistPattern, MachineState, StateMachine};
+use brepl::ir::{BlockId, BranchId, FunctionBuilder, Module, Operand, Term, Value};
+use brepl::sim::{Machine as Sim, RunConfig};
+use brepl_analysis::{
+    check_history, has_errors, validate_replication, AnalysisDiag, DiagCode, HistorySpec, Severity,
+    TableState,
+};
+
+/// Loop over i in 0..100 with an alternating branch and an exit branch.
+fn alternating_module() -> Module {
+    let mut b = FunctionBuilder::new("main", 1);
+    let n = b.param(0);
+    let i = b.reg();
+    let acc = b.reg();
+    b.const_int(i, 0);
+    b.const_int(acc, 0);
+    let head = b.new_block();
+    let even = b.new_block();
+    let odd = b.new_block();
+    let latch = b.new_block();
+    let exit = b.new_block();
+    b.jmp(head);
+    b.switch_to(head);
+    let r = b.reg();
+    b.rem(r, i.into(), Operand::imm(2));
+    let c = b.eq(r.into(), Operand::imm(0));
+    b.br(c, even, odd);
+    b.switch_to(even);
+    b.add(acc, acc.into(), Operand::imm(3));
+    b.jmp(latch);
+    b.switch_to(odd);
+    b.add(acc, acc.into(), Operand::imm(5));
+    b.jmp(latch);
+    b.switch_to(latch);
+    b.add(i, i.into(), Operand::imm(1));
+    let c2 = b.lt(i.into(), n.into());
+    b.br(c2, head, exit);
+    b.switch_to(exit);
+    b.out(acc.into());
+    b.ret(Some(acc.into()));
+    let mut m = Module::new();
+    m.push_function(b.finish());
+    m
+}
+
+fn flip_flop() -> StateMachine {
+    StateMachine::from_states(
+        vec![
+            MachineState {
+                pattern: HistPattern::parse("0").unwrap(),
+                predict: true,
+                on_taken: 1,
+                on_not_taken: 0,
+            },
+            MachineState {
+                pattern: HistPattern::parse("1").unwrap(),
+                predict: false,
+                on_taken: 1,
+                on_not_taken: 0,
+            },
+        ],
+        0,
+    )
+}
+
+/// A faithful replication of the alternating module plus the plan it came
+/// from; validates clean under both checkers.
+fn replicated() -> (Module, ReplicationPlan, ReplicatedProgram) {
+    let m = alternating_module();
+    let stats = Sim::new(&m, RunConfig::default())
+        .run("main", &[Value::Int(100)])
+        .unwrap()
+        .trace
+        .stats();
+    let mut plan = ReplicationPlan::new();
+    plan.assign(BranchId(0), BranchMachine::Loop(flip_flop()));
+    let program = apply_plan(&m, &plan, &stats).unwrap();
+    (m, plan, program)
+}
+
+fn history(program: &ReplicatedProgram, spec: &HistorySpec) -> Vec<AnalysisDiag> {
+    check_history(
+        &program.module,
+        &program.provenance,
+        spec,
+        &program.predictions,
+    )
+}
+
+fn codes(diags: &[AnalysisDiag]) -> Vec<DiagCode> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+/// The replicas of original site 0, as `(block, new site)` pairs.
+fn site0_replicas(program: &ReplicatedProgram) -> Vec<(BlockId, BranchId)> {
+    let fid = program.module.function_by_name("main").unwrap();
+    program
+        .module
+        .function(fid)
+        .iter_blocks()
+        .filter_map(|(bid, block)| {
+            let site = block.term.branch_site()?;
+            (program.provenance[site.index()] == BranchId(0)).then_some((bid, site))
+        })
+        .collect()
+}
+
+#[test]
+fn faithful_replication_passes_both_checkers() {
+    let (m, plan, program) = replicated();
+    let witness = validate_replication(
+        &m,
+        &program.module,
+        &program.replica_map,
+        &program.predictions,
+    );
+    assert!(!has_errors(&witness), "{witness:?}");
+    let diags = history(&program, &plan.history_spec());
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn consistently_forged_pin_is_invisible_to_witness_but_caught_as_br009() {
+    let (m, plan, mut program) = replicated();
+    // Flip one machine-pinned prediction AND forge the witness to agree —
+    // exactly what a transform bug corrupting both its output and its own
+    // bookkeeping produces.
+    let fid = program.module.function_by_name("main").unwrap();
+    let (bid, site) = site0_replicas(&program)[0];
+    let old = program.predictions.get(site);
+    program.predictions.set(site, !old);
+    program.replica_map.functions[fid.index()].machine_predictions[bid.index()] = Some(!old);
+
+    let witness = validate_replication(
+        &m,
+        &program.module,
+        &program.replica_map,
+        &program.predictions,
+    );
+    assert!(
+        !codes(&witness).contains(&DiagCode::PredictionMismatch),
+        "BR006 must be blind to a consistently forged witness, got {witness:?}"
+    );
+    assert!(
+        !has_errors(&witness),
+        "the witness validator must pass the consistent corruption entirely, got {witness:?}"
+    );
+
+    let diags = history(&program, &plan.history_spec());
+    assert!(
+        codes(&diags).contains(&DiagCode::HistoryPredictionViolation),
+        "expected BR009 from the witness-independent checker, got {diags:?}"
+    );
+}
+
+#[test]
+fn merged_state_copies_caught_as_br010() {
+    let (_, plan, mut program) = replicated();
+    // Route every edge into one state's copy of the controlled branch to
+    // the other state's copy: the surviving copy is now reachable in both
+    // machine states, whose predictions conflict.
+    let replicas = site0_replicas(&program);
+    assert!(
+        replicas.len() >= 2,
+        "flip-flop replication makes two copies"
+    );
+    let (keep, _) = replicas[0];
+    let (drop, _) = replicas[1];
+    let fid = program.module.function_by_name("main").unwrap();
+    for block in &mut program.module.function_mut(fid).blocks {
+        match &mut block.term {
+            Term::Br { then_, else_, .. } => {
+                if *then_ == drop {
+                    *then_ = keep;
+                }
+                if *else_ == drop {
+                    *else_ = keep;
+                }
+            }
+            Term::Jmp { target } => {
+                if *target == drop {
+                    *target = keep;
+                }
+            }
+            Term::Ret { .. } => {}
+        }
+    }
+    let diags = history(&program, &plan.history_spec());
+    assert!(
+        codes(&diags).contains(&DiagCode::HistoryConflict),
+        "expected BR010, got {diags:?}"
+    );
+}
+
+#[test]
+fn unreachable_machine_state_is_br011_warning_only() {
+    let (_, plan, program) = replicated();
+    // Grow the planned table by a state no transition ever enters.
+    let mut spec = plan.history_spec();
+    let table = spec.machines.get_mut(&BranchId(0)).unwrap();
+    let dead = table.states.len();
+    table.states.push(TableState {
+        predict: true,
+        on_taken: dead,
+        on_not_taken: dead,
+    });
+    let diags = history(&program, &spec);
+    let missing: Vec<_> = diags
+        .iter()
+        .filter(|d| d.code == DiagCode::UnreachableMachineState)
+        .collect();
+    assert!(!missing.is_empty(), "expected BR011, got {diags:?}");
+    for d in &missing {
+        assert_eq!(d.severity(), Severity::Warning);
+    }
+    assert!(
+        !has_errors(&diags),
+        "an unreached state must never be an error: {diags:?}"
+    );
+}
+
+#[test]
+fn malformed_machine_table_caught_as_br012() {
+    let (_, plan, program) = replicated();
+    let mut spec = plan.history_spec();
+    spec.machines.get_mut(&BranchId(0)).unwrap().initial = 99;
+    let diags = history(&program, &spec);
+    assert!(
+        codes(&diags).contains(&DiagCode::ProductFixpointFailure),
+        "expected BR012 for out-of-range initial state, got {diags:?}"
+    );
+    assert!(has_errors(&diags), "BR012 must be error severity");
+
+    let mut empty = plan.history_spec();
+    empty.machines.get_mut(&BranchId(0)).unwrap().states.clear();
+    let diags = history(&program, &empty);
+    assert!(
+        codes(&diags).contains(&DiagCode::ProductFixpointFailure),
+        "expected BR012 for an empty table, got {diags:?}"
+    );
+}

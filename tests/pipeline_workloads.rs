@@ -29,6 +29,15 @@ fn pipeline_improves_or_holds_every_workload() {
             "{}: replicated module invalid",
             w.name
         );
+        // Both static gates ran (witness validation and the history
+        // checker); the suite is warning-clean, so anything here is a
+        // regression — e.g. a dead store creeping back into a workload.
+        assert!(
+            result.warnings.is_empty(),
+            "{}: unexpected gate warnings: {:?}",
+            w.name,
+            result.warnings
+        );
     }
 }
 
