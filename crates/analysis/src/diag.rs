@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use brepl_ir::{Loc, Module};
+use brepl_ir::{BranchId, Loc, Module};
 
 /// How serious a diagnostic is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -177,16 +177,31 @@ pub struct AnalysisDiag {
     pub loc: Loc,
     /// A human-readable explanation with the specifics.
     pub message: String,
+    /// The *original* branch site the finding is attributable to, when the
+    /// emitting analysis knows it (the history checker always does). Used
+    /// by the pipeline's per-site quarantine to drop exactly the offending
+    /// replication site instead of aborting the whole plan.
+    pub site: Option<BranchId>,
 }
 
 impl AnalysisDiag {
-    /// Builds a diagnostic.
+    /// Builds a diagnostic (not attributed to any site; see
+    /// [`AnalysisDiag::with_site`]).
     pub fn new(code: DiagCode, loc: Loc, message: impl Into<String>) -> Self {
         AnalysisDiag {
             code,
             loc,
             message: message.into(),
+            site: None,
         }
+    }
+
+    /// Attributes the diagnostic to an original branch site (builder
+    /// style).
+    #[must_use]
+    pub fn with_site(mut self, site: BranchId) -> Self {
+        self.site = Some(site);
+        self
     }
 
     /// The severity, derived from the code.

@@ -45,22 +45,28 @@ pub fn check_history(
     for (&site, table) in &spec.machines {
         let solution = match solve_site_product(replicated, provenance, site, table) {
             Err(reason) => {
-                diags.push(AnalysisDiag::new(
-                    DiagCode::ProductFixpointFailure,
-                    site_loc(replicated, provenance, site),
-                    format!("site {site}: {reason}"),
-                ));
+                diags.push(
+                    AnalysisDiag::new(
+                        DiagCode::ProductFixpointFailure,
+                        site_loc(replicated, provenance, site),
+                        format!("site {site}: {reason}"),
+                    )
+                    .with_site(site),
+                );
                 continue;
             }
             Ok(None) => {
-                diags.push(AnalysisDiag::new(
-                    DiagCode::ProductFixpointFailure,
-                    Loc::function(FuncId(0)),
-                    format!(
-                        "site {site} is machine-controlled but no replica branch of it \
-                         exists in the replicated module"
-                    ),
-                ));
+                diags.push(
+                    AnalysisDiag::new(
+                        DiagCode::ProductFixpointFailure,
+                        Loc::function(FuncId(0)),
+                        format!(
+                            "site {site} is machine-controlled but no replica branch of it \
+                             exists in the replicated module"
+                        ),
+                    )
+                    .with_site(site),
+                );
                 continue;
             }
             Ok(Some(s)) => s,
@@ -85,30 +91,36 @@ pub fn check_history(
                 .filter(|&q| table.states[q].predict != pinned)
                 .collect();
             if !offending.is_empty() {
-                diags.push(AnalysisDiag::new(
-                    DiagCode::HistoryPredictionViolation,
-                    loc,
-                    format!(
-                        "replica of site {site} pins {} but is reachable in machine \
-                         state{} {:?} predicting {}",
-                        dir(pinned),
-                        if offending.len() == 1 { "" } else { "s" },
-                        offending,
-                        dir(!pinned),
-                    ),
-                ));
+                diags.push(
+                    AnalysisDiag::new(
+                        DiagCode::HistoryPredictionViolation,
+                        loc,
+                        format!(
+                            "replica of site {site} pins {} but is reachable in machine \
+                             state{} {:?} predicting {}",
+                            dir(pinned),
+                            if offending.len() == 1 { "" } else { "s" },
+                            offending,
+                            dir(!pinned),
+                        ),
+                    )
+                    .with_site(site),
+                );
             }
             let has_taken = states.iter().any(|&q| table.states[q].predict);
             let has_not_taken = states.iter().any(|&q| !table.states[q].predict);
             if has_taken && has_not_taken {
-                diags.push(AnalysisDiag::new(
-                    DiagCode::HistoryConflict,
-                    loc,
-                    format!(
-                        "replica of site {site} is reachable in states {states:?} whose \
-                         predictions conflict — the region is under-replicated"
-                    ),
-                ));
+                diags.push(
+                    AnalysisDiag::new(
+                        DiagCode::HistoryConflict,
+                        loc,
+                        format!(
+                            "replica of site {site} is reachable in states {states:?} whose \
+                             predictions conflict — the region is under-replicated"
+                        ),
+                    )
+                    .with_site(site),
+                );
             }
         }
 
@@ -119,21 +131,24 @@ pub fn check_history(
                 .first()
                 .map(|&(bid, _)| Loc::term(solution.func, bid))
                 .unwrap_or(Loc::function(solution.func));
-            diags.push(AnalysisDiag::new(
-                DiagCode::UnreachableMachineState,
-                loc,
-                format!(
-                    "machine state{} {missing:?} of site {site} reach{} no replica \
-                     branch — replicated code for {} wasted",
-                    if missing.len() == 1 { "" } else { "s" },
-                    if missing.len() == 1 { "es" } else { "" },
-                    if missing.len() == 1 {
-                        "it is"
-                    } else {
-                        "them is"
-                    },
-                ),
-            ));
+            diags.push(
+                AnalysisDiag::new(
+                    DiagCode::UnreachableMachineState,
+                    loc,
+                    format!(
+                        "machine state{} {missing:?} of site {site} reach{} no replica \
+                         branch — replicated code for {} wasted",
+                        if missing.len() == 1 { "" } else { "s" },
+                        if missing.len() == 1 { "es" } else { "" },
+                        if missing.len() == 1 {
+                            "it is"
+                        } else {
+                            "them is"
+                        },
+                    ),
+                )
+                .with_site(site),
+            );
         }
     }
     diags

@@ -74,6 +74,9 @@ pub use product::{
 pub use reach::{reachable_blocks, unreachable_blocks};
 pub use reaching::{reaching_defs, DefSite, ReachingDefs};
 pub use replica_map::{ReplicaFuncMap, ReplicaMap};
-pub use solver::{solve, DataflowAnalysis, DataflowSolution, Direction, GenKill, Meet};
+pub use solver::{
+    default_solve_budget, solve, solve_metered, DataflowAnalysis, DataflowSolution, Direction,
+    GenKill, Meet, SolveStats,
+};
 pub use uninit::{use_before_def, UseBeforeDef};
 pub use validate::validate_replication;

@@ -55,11 +55,47 @@ pub struct DataflowSolution<F> {
     pub exit: Vec<F>,
 }
 
+/// Convergence accounting returned by [`solve_metered`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Block-processings performed (worklist pops).
+    pub steps: u64,
+    /// True when the worklist drained — the facts are a true fixpoint.
+    /// False when the step budget ran out first; the returned facts are the
+    /// last iterate, not a fixpoint, and any client gating correctness on
+    /// them must fail closed.
+    pub converged: bool,
+}
+
+/// The default step budget for a CFG with `n_blocks` blocks.
+///
+/// Every in-crate analysis is a monotone bit-vector problem that converges
+/// in at most `blocks × lattice-height` block-processings, far below this
+/// bound — the budget exists so an adversarial [`DataflowAnalysis`]
+/// implementation (a non-monotone transfer, an unbounded lattice) makes
+/// [`solve`] terminate with `converged: false` instead of spinning forever.
+pub fn default_solve_budget(n_blocks: usize) -> u64 {
+    (n_blocks as u64).saturating_mul(1024).max(1 << 16)
+}
+
 /// Runs the worklist algorithm for `analysis` over `cfg` to a fixpoint.
 ///
 /// Termination requires the usual conditions: a finite-height lattice and a
-/// monotone transfer function. All analyses in this crate satisfy both.
+/// monotone transfer function. All analyses in this crate satisfy both; as
+/// a backstop, iteration is capped at [`default_solve_budget`] steps (see
+/// [`solve_metered`] for the capped variant with convergence accounting).
 pub fn solve<A: DataflowAnalysis>(cfg: &Cfg, analysis: &A) -> DataflowSolution<A::Fact> {
+    solve_metered(cfg, analysis, default_solve_budget(cfg.len())).0
+}
+
+/// [`solve`] with an explicit step budget, reporting whether the worklist
+/// actually drained. Each worklist pop costs one step; when `max_steps`
+/// runs out the queue is abandoned and `converged` is false.
+pub fn solve_metered<A: DataflowAnalysis>(
+    cfg: &Cfg,
+    analysis: &A,
+    max_steps: u64,
+) -> (DataflowSolution<A::Fact>, SolveStats) {
     let n = cfg.len();
     let forward = analysis.direction() == Direction::Forward;
     let mut entry = vec![analysis.top_fact(); n];
@@ -78,7 +114,14 @@ pub fn solve<A: DataflowAnalysis>(cfg: &Cfg, analysis: &A) -> DataflowSolution<A
         queued[b.index()] = true;
     }
 
+    let mut steps = 0u64;
+    let mut converged = true;
     while let Some(b) = queue.pop_front() {
+        if steps >= max_steps {
+            converged = false;
+            break;
+        }
+        steps += 1;
         queued[b.index()] = false;
         let i = b.index();
 
@@ -119,7 +162,10 @@ pub fn solve<A: DataflowAnalysis>(cfg: &Cfg, analysis: &A) -> DataflowSolution<A
         }
     }
 
-    DataflowSolution { entry, exit }
+    (
+        DataflowSolution { entry, exit },
+        SolveStats { steps, converged },
+    )
 }
 
 /// The meet operator of a bit-vector problem.
@@ -275,6 +321,23 @@ mod tests {
         assert!(sol.entry[2].contains(0));
         assert!(sol.exit[1].contains(0));
         assert!(sol.entry[0].contains(0));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_not_hung() {
+        let f = looped();
+        let cfg = Cfg::new(&f);
+        let mut p = GenKill::new(Direction::Forward, Meet::Union, cfg.len(), 1);
+        p.gen[0].insert(0);
+        // One step cannot drain a 3-block worklist.
+        let (_, stats) = solve_metered(&cfg, &p, 1);
+        assert_eq!(stats.steps, 1);
+        assert!(!stats.converged);
+        // A generous budget converges and reports so.
+        let (sol, stats) = solve_metered(&cfg, &p, default_solve_budget(cfg.len()));
+        assert!(stats.converged);
+        assert!(stats.steps >= cfg.len() as u64);
+        assert!(sol.exit[2].contains(0));
     }
 
     #[test]

@@ -206,6 +206,17 @@ fn validate_function(
         }
         let chain = &fmap.origins[bid.index()];
 
+        // The original branch site this replica block descends from — the
+        // per-site quarantine target when a check below fires. `None` when
+        // the origin chain ends in a jump or return.
+        let origin_site = chain
+            .last()
+            .and_then(|&o| ofunc.block(o).term.branch_site());
+        let tag = |d: AnalysisDiag| match origin_site {
+            Some(s) => d.with_site(s),
+            None => d,
+        };
+
         // 1. Instruction stream: replica insts == concatenation of the
         // chain's insts.
         let expected: Vec<_> = chain
@@ -213,7 +224,7 @@ fn validate_function(
             .flat_map(|&o| ofunc.block(o).insts.iter().cloned())
             .collect();
         if rblock.insts != expected {
-            diags.push(AnalysisDiag::new(
+            diags.push(tag(AnalysisDiag::new(
                 DiagCode::InstStreamMismatch,
                 Loc::block(fid, bid),
                 format!(
@@ -222,7 +233,7 @@ fn validate_function(
                     chain,
                     expected.len()
                 ),
-            ));
+            )));
         }
 
         // 2. Chain links: each merge step followed an unconditional jump.
@@ -230,11 +241,11 @@ fn validate_function(
             let (a, b) = (w[0], w[1]);
             match ofunc.block(a).term {
                 Term::Jmp { target } if thread_chain(ofunc, target).contains(&b) => {}
-                _ => diags.push(AnalysisDiag::new(
+                _ => diags.push(tag(AnalysisDiag::new(
                     DiagCode::OrphanReplicaEdge,
                     Loc::block(fid, bid),
                     format!("origin chain link {a} -> {b} is not an original jump"),
-                )),
+                ))),
             }
         }
 
@@ -242,11 +253,11 @@ fn validate_function(
         let last = *chain.last().expect("chains are non-empty");
         let oterm = &ofunc.block(last).term;
         if let Err(msg) = terms_compatible(&rblock.term, oterm) {
-            diags.push(AnalysisDiag::new(
+            diags.push(tag(AnalysisDiag::new(
                 DiagCode::InstStreamMismatch,
                 Loc::term(fid, bid),
                 format!("terminator differs from origin {last}: {msg}"),
-            ));
+            )));
         } else {
             // 3. Edge projection, slot by slot (taken then not-taken).
             let rsuccs: Vec<_> = rblock.term.successors().collect();
@@ -256,13 +267,13 @@ fn validate_function(
                     continue; // out-of-range successor: the IR verifier's problem
                 };
                 if !thread_chain(ofunc, osucc).contains(&rsucc_origin) {
-                    diags.push(AnalysisDiag::new(
+                    diags.push(tag(AnalysisDiag::new(
                         DiagCode::OrphanReplicaEdge,
                         Loc::term(fid, bid),
                         format!(
                             "edge {bid} -> {rsucc} (slot {slot}) projects to {last} -> {rsucc_origin}, not an original edge (expected a threaded form of {osucc})"
                         ),
-                    ));
+                    )));
                 }
             }
         }
@@ -270,23 +281,23 @@ fn validate_function(
         // 4. Prediction consistency with the encoded machine state.
         if let Some(dir) = fmap.machine_predictions[bid.index()] {
             match rblock.term.branch_site() {
-                None => diags.push(AnalysisDiag::new(
+                None => diags.push(tag(AnalysisDiag::new(
                     DiagCode::InvalidReplicaMap,
                     Loc::term(fid, bid),
                     format!(
                         "witness pins prediction {dir} on {bid}, which has no conditional branch"
                     ),
-                )),
+                ))),
                 Some(site) => {
                     let shipped = predictions.get(site);
                     if shipped != dir {
-                        diags.push(AnalysisDiag::new(
+                        diags.push(tag(AnalysisDiag::new(
                             DiagCode::PredictionMismatch,
                             Loc::term(fid, bid),
                             format!(
                                 "site {site} ships prediction {shipped} but the encoded machine state predicts {dir}"
                             ),
-                        ));
+                        )));
                     }
                 }
             }
@@ -304,14 +315,14 @@ fn validate_function(
             .collect();
         if !fresh.is_empty() {
             let names: Vec<String> = fresh.iter().map(|r| r.to_string()).collect();
-            diags.push(AnalysisDiag::new(
+            diags.push(tag(AnalysisDiag::new(
                 DiagCode::LiveInMismatch,
                 Loc::block(fid, bid),
                 format!(
                     "registers [{}] are live into {bid} but not into its origin {first}",
                     names.join(", ")
                 ),
-            ));
+            )));
         }
     }
 }

@@ -1,0 +1,199 @@
+//! Release-scale differential fuzzing of the pipeline: deterministic
+//! random loop programs through `run_pipeline` with every gate and the
+//! dynamic backstop armed, asserting no panic and execution equivalence.
+//!
+//! The tier-1 test `tests/fuzz_pipeline.rs` runs a bounded slice of this
+//! harness; this bin runs thousands of iterations in release mode and is
+//! what the ≥1000-iteration acceptance run and the CI fuzz smoke use.
+//!
+//! Usage: `fuzz [--iters N] [--seed0 S] [--json]`
+//!
+//! Iteration `i` uses seed `seed0 + i`; the config cycles deterministically
+//! through four variants (default, refine-off, strict, tight growth
+//! budget), so any failure is reproducible from `(seed, variant)` alone.
+//! Failures shrink automatically to a minimal `(seed, diamonds, trip)`
+//! recipe for `brepl_workloads::synth::random_loop_module` and the bin
+//! exits non-zero.
+
+use std::time::Instant;
+
+use brepl::pipeline::{run_pipeline, PipelineConfig};
+use brepl_bench::json;
+use brepl_workloads::synth::random_loop_module;
+
+/// The deterministic config cycle. Index = seed % 4.
+const VARIANT_NAMES: [&str; 4] = ["default", "refine-off", "strict", "growth-budget-1.2"];
+
+fn variant_config(idx: usize) -> PipelineConfig {
+    match idx {
+        1 => PipelineConfig {
+            refine: false,
+            ..PipelineConfig::default()
+        },
+        2 => PipelineConfig {
+            strict: true,
+            ..PipelineConfig::default()
+        },
+        3 => PipelineConfig {
+            max_realized_growth: Some(1.2),
+            ..PipelineConfig::default()
+        },
+        _ => PipelineConfig::default(),
+    }
+}
+
+/// One fuzz case; `Err` describes the failure (panic text or typed error).
+/// Success with the default/strict configs implies execution equivalence —
+/// the dynamic backstop replayed original vs. replicated and they agreed.
+fn pipeline_case(
+    seed: u64,
+    diamonds: usize,
+    trip: i64,
+    config: PipelineConfig,
+) -> Result<(), String> {
+    let outcome = std::panic::catch_unwind(|| {
+        let m = random_loop_module(seed, diamonds, trip);
+        run_pipeline(&m, &[], &[], config)
+    });
+    match outcome {
+        Err(payload) => Err(format!("panicked: {}", panic_text(&payload))),
+        Ok(Err(e)) => Err(format!("pipeline error: {e}")),
+        Ok(Ok(result)) => {
+            if config.strict && !result.quarantined.is_empty() {
+                Err("strict run returned quarantined sites".to_string())
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "<non-string payload>".to_string())
+}
+
+/// Greedily shrinks a failing case, reducing `diamonds` first (structure),
+/// then halving `trip` (work), while the failure persists.
+fn shrink(seed: u64, diamonds: usize, trip: i64, config: PipelineConfig) -> (usize, i64) {
+    let (mut d, mut t) = (diamonds, trip);
+    loop {
+        if d > 0 && pipeline_case(seed, d - 1, t, config).is_err() {
+            d -= 1;
+        } else if t > 1 && pipeline_case(seed, d, t / 2, config).is_err() {
+            t /= 2;
+        } else {
+            break;
+        }
+    }
+    (d, t)
+}
+
+struct Failure {
+    seed: u64,
+    variant: usize,
+    diamonds: usize,
+    trip: i64,
+    shrunk_diamonds: usize,
+    shrunk_trip: i64,
+    error: String,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_mode = args.iter().any(|a| a == "--json");
+    let flag = |name: &str| -> Option<u64> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let iters = flag("--iters").unwrap_or(1000);
+    let seed0 = flag("--seed0").unwrap_or(0);
+
+    let start = Instant::now();
+    let mut failures: Vec<Failure> = Vec::new();
+    for i in 0..iters {
+        let seed = seed0 + i;
+        let variant = (seed % 4) as usize;
+        let config = variant_config(variant);
+        let diamonds = (seed % 5) as usize;
+        let trip = 20 + (seed % 7) as i64 * 20;
+        if let Err(error) = pipeline_case(seed, diamonds, trip, config) {
+            let (sd, st) = shrink(seed, diamonds, trip, config);
+            if !json_mode {
+                eprintln!(
+                    "fuzz failure, minimal repro: seed={seed} diamonds={sd} trip={st} \
+                     variant={} (random_loop_module(seed, diamonds, trip)); \
+                     original failure: {error}",
+                    VARIANT_NAMES[variant]
+                );
+            }
+            failures.push(Failure {
+                seed,
+                variant,
+                diamonds,
+                trip,
+                shrunk_diamonds: sd,
+                shrunk_trip: st,
+                error,
+            });
+        }
+        if !json_mode && (i + 1) % 200 == 0 {
+            eprintln!(
+                "  {}/{iters} iterations, {} failure(s), {:.1}s",
+                i + 1,
+                failures.len(),
+                start.elapsed().as_secs_f64()
+            );
+        }
+    }
+
+    let elapsed = start.elapsed().as_secs_f64();
+    let ok = failures.is_empty();
+    if json_mode {
+        let rendered: Vec<String> = failures
+            .iter()
+            .map(|f| {
+                json::Obj::new()
+                    .int("seed", f.seed)
+                    .str("variant", VARIANT_NAMES[f.variant])
+                    .int("diamonds", f.diamonds as u64)
+                    .int("trip", f.trip as u64)
+                    .int("shrunk_diamonds", f.shrunk_diamonds as u64)
+                    .int("shrunk_trip", f.shrunk_trip as u64)
+                    .str("error", &f.error)
+                    .build()
+            })
+            .collect();
+        println!(
+            "{}",
+            json::Obj::new()
+                .str("tool", "fuzz")
+                .int("iters", iters)
+                .int("seed0", seed0)
+                .bool("ok", ok)
+                .int("failures", failures.len() as u64)
+                .num("elapsed_s", elapsed)
+                .raw("failure_details", &json::array(&rendered))
+                .build()
+        );
+    } else if ok {
+        println!(
+            "OK: {iters} fuzz iterations (seed0={seed0}, variants cycled \
+             default/refine-off/strict/growth-budget), no panics, no pipeline \
+             errors, execution equivalence held — {elapsed:.1}s"
+        );
+    } else {
+        println!(
+            "FAIL: {} of {iters} iterations failed ({elapsed:.1}s)",
+            failures.len()
+        );
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

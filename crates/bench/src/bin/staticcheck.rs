@@ -13,25 +13,43 @@
 //! time) and exits non-zero on any error-severity diagnostic
 //! (BR009/BR010/BR012), any cost-replay failure, or a bound below the
 //! simulated rate — the CI gate behind the witness validator.
+//!
+//! With `--json` the same data is emitted as one machine-readable JSON
+//! document on stdout (stable schema shared with `validate --json`),
+//! including any per-site quarantine records the pipeline produced.
 
 use std::time::Instant;
 
 use brepl::pipeline::{run_pipeline, PipelineConfig};
 use brepl_analysis::{check_history, count_by_severity, static_cost};
-use brepl_bench::scale_from_env;
+use brepl_bench::{json, quarantine_json, scale_from_env};
 use brepl_sim::{Machine, RunConfig};
 use brepl_workloads::all_workloads;
 
 fn main() {
+    let json_mode = std::env::args().any(|a| a == "--json");
     let scale = scale_from_env();
-    println!(
-        "{:<12} {:>6} {:>9} {:>9} {:>8} {:>7} {:>6} {:>10}",
-        "program", "sites", "bound %", "sim %", "growth", "errors", "warns", "check µs"
-    );
-    println!("{}", "-".repeat(75));
+    if !json_mode {
+        println!(
+            "{:<12} {:>6} {:>9} {:>9} {:>8} {:>7} {:>6} {:>10}",
+            "program", "sites", "bound %", "sim %", "growth", "errors", "warns", "check µs"
+        );
+        println!("{}", "-".repeat(75));
+    }
 
     let mut total_errors = 0usize;
     let mut failed = false;
+    let mut rows: Vec<String> = Vec::new();
+    let fail_row = |rows: &mut Vec<String>, name: &str, kind: &str, msg: String| {
+        if json_mode {
+            rows.push(json::Obj::new().str("name", name).str(kind, &msg).build());
+        } else {
+            println!(
+                "{name:<12} {}: {msg}",
+                kind.to_uppercase().replace('_', " ")
+            );
+        }
+    };
     for w in all_workloads(scale) {
         // Both static gates run inside the pipeline too; disable them there
         // so the timing below measures exactly one checker pass.
@@ -44,7 +62,7 @@ fn main() {
         let r = match run_pipeline(&w.module, &w.args, &w.input, config) {
             Ok(r) => r,
             Err(e) => {
-                println!("{:<12} PIPELINE FAILED: {e}", w.name);
+                fail_row(&mut rows, w.name, "pipeline_error", format!("{e}"));
                 failed = true;
                 continue;
             }
@@ -73,7 +91,7 @@ fn main() {
         let trace = match machine.run("main", &w.args) {
             Ok(outcome) => outcome.trace,
             Err(e) => {
-                println!("{:<12} PROFILE FAILED: {e}", w.name);
+                fail_row(&mut rows, w.name, "profile_error", format!("{e}"));
                 failed = true;
                 continue;
             }
@@ -88,7 +106,7 @@ fn main() {
         ) {
             Ok(report) => report,
             Err(e) => {
-                println!("{:<12} COST REPLAY FAILED: {e}", w.name);
+                fail_row(&mut rows, w.name, "cost_replay_error", format!("{e}"));
                 failed = true;
                 continue;
             }
@@ -96,33 +114,81 @@ fn main() {
 
         let bound = report.bound_percent();
         let simulated = r.replicated_misprediction_percent;
-        if bound + 1e-9 < simulated {
-            println!(
-                "{:<12} BOUND VIOLATED: static {bound:.4}% < simulated {simulated:.4}%",
-                w.name
-            );
+        let bound_violated = bound + 1e-9 < simulated;
+        if bound_violated {
             failed = true;
+            if !json_mode {
+                println!(
+                    "{:<12} BOUND VIOLATED: static {bound:.4}% < simulated {simulated:.4}%",
+                    w.name
+                );
+            }
         }
-        println!(
-            "{:<12} {:>6} {:>8.3}% {:>8.3}% {:>7.2}x {:>7} {:>6} {:>10}",
-            w.name,
-            spec.len(),
-            bound,
-            simulated,
-            r.size_growth,
-            errors,
-            warnings,
-            micros
-        );
-        for d in &diags {
-            println!("    {}", d.render(&r.program.module));
+        if json_mode {
+            let rendered: Vec<String> = diags.iter().map(|d| d.render(&r.program.module)).collect();
+            let quarantined: Vec<String> = r.quarantined.iter().map(quarantine_json).collect();
+            rows.push(
+                json::Obj::new()
+                    .str("name", w.name)
+                    .int("sites", spec.len() as u64)
+                    .num("bound_percent", bound)
+                    .num("simulated_percent", simulated)
+                    .bool("bound_violated", bound_violated)
+                    .num("growth", r.size_growth)
+                    .int("errors", errors as u64)
+                    .int("warnings", warnings as u64)
+                    .int("check_us", micros as u64)
+                    .raw("diags", &json::string_array(&rendered))
+                    .raw("quarantined", &json::array(&quarantined))
+                    .build(),
+            );
+        } else {
+            println!(
+                "{:<12} {:>6} {:>8.3}% {:>8.3}% {:>7.2}x {:>7} {:>6} {:>10}",
+                w.name,
+                spec.len(),
+                bound,
+                simulated,
+                r.size_growth,
+                errors,
+                warnings,
+                micros
+            );
+            for d in &diags {
+                println!("    {}", d.render(&r.program.module));
+            }
         }
     }
 
-    println!("{}", "-".repeat(75));
-    if failed || total_errors > 0 {
-        println!("FAIL: {total_errors} error-severity diagnostics");
+    let ok = !failed && total_errors == 0;
+    if json_mode {
+        println!(
+            "{}",
+            json::Obj::new()
+                .str("tool", "staticcheck")
+                .str(
+                    "scale",
+                    if scale == brepl_workloads::Scale::Full {
+                        "full"
+                    } else {
+                        "small"
+                    }
+                )
+                .bool("ok", ok)
+                .int("total_errors", total_errors as u64)
+                .raw("workloads", &json::array(&rows))
+                .build()
+        );
+    } else {
+        println!("{}", "-".repeat(75));
+    }
+    if !ok {
+        if !json_mode {
+            println!("FAIL: {total_errors} error-severity diagnostics");
+        }
         std::process::exit(1);
     }
-    println!("OK: every workload passes witness-independent history checking");
+    if !json_mode {
+        println!("OK: every workload passes witness-independent history checking");
+    }
 }

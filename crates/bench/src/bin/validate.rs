@@ -6,27 +6,36 @@
 //! Prints one row per workload (blocks checked, error/warning counts,
 //! validator wall time) and exits non-zero if any workload produces an
 //! error-severity diagnostic — the CI gate for the replicator.
+//!
+//! With `--json` the same data is emitted as one machine-readable JSON
+//! document on stdout (stable schema shared with `staticcheck --json`),
+//! including any per-site quarantine records the pipeline produced.
 
 use std::time::Instant;
 
 use brepl::pipeline::{run_pipeline, PipelineConfig};
 use brepl_analysis::{count_by_severity, lint_module, validate_replication};
-use brepl_bench::scale_from_env;
+use brepl_bench::{json, quarantine_json, scale_from_env};
 use brepl_workloads::all_workloads;
 
 fn main() {
+    let json_mode = std::env::args().any(|a| a == "--json");
     let scale = scale_from_env();
-    println!(
-        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>12}",
-        "program", "blocks", "growth", "errors", "warns", "validate µs"
-    );
-    println!("{}", "-".repeat(62));
+    if !json_mode {
+        println!(
+            "{:<12} {:>8} {:>8} {:>8} {:>8} {:>12}",
+            "program", "blocks", "growth", "errors", "warns", "validate µs"
+        );
+        println!("{}", "-".repeat(62));
+    }
 
     let mut total_errors = 0usize;
     let mut failed = false;
+    let mut rows: Vec<String> = Vec::new();
     for w in all_workloads(scale) {
         // Validation runs inside the pipeline too; disable it there so the
-        // timing below measures exactly one validator pass.
+        // timing below measures exactly one validator pass. The remaining
+        // gates stay armed, so quarantine records can still appear.
         let config = PipelineConfig {
             validate: false,
             dynamic_backstop: false,
@@ -35,7 +44,16 @@ fn main() {
         let r = match run_pipeline(&w.module, &w.args, &w.input, config) {
             Ok(r) => r,
             Err(e) => {
-                println!("{:<12} PIPELINE FAILED: {e}", w.name);
+                if json_mode {
+                    rows.push(
+                        json::Obj::new()
+                            .str("name", w.name)
+                            .str("pipeline_error", &format!("{e}"))
+                            .build(),
+                    );
+                } else {
+                    println!("{:<12} PIPELINE FAILED: {e}", w.name);
+                }
                 failed = true;
                 continue;
             }
@@ -59,19 +77,61 @@ fn main() {
             .iter_functions()
             .map(|(_, f)| f.blocks.len())
             .sum();
-        println!(
-            "{:<12} {:>8} {:>7.2}x {:>8} {:>8} {:>12}",
-            w.name, blocks, r.size_growth, errors, warnings, micros
-        );
-        for d in &diags {
-            println!("    {}", d.render(&r.program.module));
+        if json_mode {
+            let rendered: Vec<String> = diags.iter().map(|d| d.render(&r.program.module)).collect();
+            let quarantined: Vec<String> = r.quarantined.iter().map(quarantine_json).collect();
+            rows.push(
+                json::Obj::new()
+                    .str("name", w.name)
+                    .int("blocks", blocks as u64)
+                    .num("growth", r.size_growth)
+                    .int("errors", errors as u64)
+                    .int("warnings", warnings as u64)
+                    .int("validate_us", micros as u64)
+                    .raw("diags", &json::string_array(&rendered))
+                    .raw("quarantined", &json::array(&quarantined))
+                    .build(),
+            );
+        } else {
+            println!(
+                "{:<12} {:>8} {:>7.2}x {:>8} {:>8} {:>12}",
+                w.name, blocks, r.size_growth, errors, warnings, micros
+            );
+            for d in &diags {
+                println!("    {}", d.render(&r.program.module));
+            }
         }
     }
 
-    println!("{}", "-".repeat(62));
-    if failed || total_errors > 0 {
-        println!("FAIL: {total_errors} error-severity diagnostics");
+    let ok = !failed && total_errors == 0;
+    if json_mode {
+        println!(
+            "{}",
+            json::Obj::new()
+                .str("tool", "validate")
+                .str(
+                    "scale",
+                    if scale == brepl_workloads::Scale::Full {
+                        "full"
+                    } else {
+                        "small"
+                    }
+                )
+                .bool("ok", ok)
+                .int("total_errors", total_errors as u64)
+                .raw("workloads", &json::array(&rows))
+                .build()
+        );
+    } else {
+        println!("{}", "-".repeat(62));
+    }
+    if !ok {
+        if !json_mode {
+            println!("FAIL: {total_errors} error-severity diagnostics");
+        }
         std::process::exit(1);
     }
-    println!("OK: every workload passes static translation validation");
+    if !json_mode {
+        println!("OK: every workload passes static translation validation");
+    }
 }

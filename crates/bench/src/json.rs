@@ -1,0 +1,115 @@
+//! Minimal hand-rolled JSON emission for the CI-facing bins.
+//!
+//! The workspace builds with zero external crates, so the `--json` output
+//! of `validate`, `staticcheck`, `fuzz` and `chaos` is assembled with
+//! this writer instead of serde. It only ever *emits* JSON (no parsing),
+//! and the schemas are flat enough that an object builder plus an array
+//! joiner covers everything.
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds one JSON object, field by field, in insertion order.
+#[derive(Default)]
+pub struct Obj {
+    fields: Vec<String>,
+}
+
+impl Obj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push(format!("\"{}\":\"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds a float field. Non-finite values become `null` (JSON has no
+    /// NaN/Infinity).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let v = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push(format!("\"{}\":{v}", escape(key)));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON (an object or
+    /// array built elsewhere).
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.fields.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Renders the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+/// Renders already-JSON items as an array.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+/// Renders strings as an array of JSON string literals.
+pub fn string_array(items: &[String]) -> String {
+    let rendered: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+    array(&rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_and_nesting() {
+        let inner = Obj::new().str("msg", "a \"b\"\nc\\d").int("n", 3).build();
+        let outer = Obj::new()
+            .bool("ok", true)
+            .num("pct", 1.5)
+            .raw("items", &array(&[inner]))
+            .build();
+        assert_eq!(
+            outer,
+            r#"{"ok":true,"pct":1.5,"items":[{"msg":"a \"b\"\nc\\d","n":3}]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Obj::new().num("x", f64::NAN).build(), r#"{"x":null}"#);
+    }
+}

@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod timing;
 
 use brepl_trace::Trace;
@@ -65,6 +66,20 @@ pub fn profile_suite(scale: Scale) -> Vec<ProfiledWorkload> {
             steps,
         })
         .collect()
+}
+
+/// Renders one pipeline quarantine record as JSON — the shared schema the
+/// `--json` modes of `validate`, `staticcheck` and `chaos` all emit:
+/// `{"site":"b12","gate":"validation","codes":["BR006"],"reason":"…","round":1}`.
+pub fn quarantine_json(q: &brepl::pipeline::QuarantinedSite) -> String {
+    let codes: Vec<String> = q.codes.iter().map(|c| format!("{c}")).collect();
+    json::Obj::new()
+        .str("site", &format!("{}", q.site))
+        .str("gate", q.gate.name())
+        .raw("codes", &json::string_array(&codes))
+        .str("reason", &q.reason)
+        .int("round", q.round as u64)
+        .build()
 }
 
 /// Short column headers in the paper's order.

@@ -97,29 +97,64 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    // A panic payload with the index of the item whose closure raised it.
+    type Panic = (usize, Box<dyn std::any::Any + Send + 'static>);
+
     let cursor = AtomicUsize::new(0);
-    let mut parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    let mut panics: Vec<Panic> = Vec::new();
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     IN_WORKER.with(|w| w.set(true));
                     let mut out = Vec::new();
+                    let mut caught: Option<Panic> = None;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        out.push((i, f(&items[i])));
+                        // Catch panics from `f` so every item is still
+                        // claimed and all workers drain the cursor: no
+                        // deadlock, no item processed twice, and — because
+                        // every panicking item panics, not just whichever
+                        // raced first — the payload re-raised below is the
+                        // one the serial path would have raised.
+                        // AssertUnwindSafe is sound here: on panic, all
+                        // results are discarded and the payload re-raised.
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || f(&items[i]),
+                        )) {
+                            Ok(r) => out.push((i, r)),
+                            Err(payload) => match &caught {
+                                Some((j, _)) if *j <= i => {}
+                                _ => caught = Some((i, payload)),
+                            },
+                        }
                     }
-                    out
+                    (out, caught)
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("engine worker panicked"))
-            .collect()
+        for h in handles {
+            // Workers catch panics from `f`; a join error would be a bug in
+            // the loop above, so surface it with a sentinel index.
+            let (out, caught) = h
+                .join()
+                .unwrap_or_else(|payload| (Vec::new(), Some((usize::MAX, payload))));
+            parts.push(out);
+            if let Some(p) = caught {
+                panics.push(p);
+            }
+        }
     });
+    // Deterministic panic propagation: after all workers finish, re-raise
+    // the payload of the lowest item index — exactly what the serial path
+    // surfaces first.
+    if let Some((_, payload)) = panics.into_iter().min_by_key(|p| p.0) {
+        std::panic::resume_unwind(payload);
+    }
     let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
     for part in &mut parts {
         indexed.append(part);
@@ -191,5 +226,50 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    /// S1 of the robustness work: a panicking closure must surface the
+    /// *same* payload in serial and parallel modes — the lowest-index
+    /// item's panic — with no hang and no lost workers.
+    #[test]
+    fn panics_surface_identically_serial_and_parallel() {
+        let items: Vec<u64> = (0..64).collect();
+        let boom = |&x: &u64| -> u64 {
+            if x % 10 == 3 {
+                panic!("boom at item {x}");
+            }
+            x * 2
+        };
+        let serial = std::panic::catch_unwind(|| par_map_with(1, &items, boom))
+            .expect_err("serial path must panic");
+        let parallel = std::panic::catch_unwind(|| par_map_with(4, &items, boom))
+            .expect_err("parallel path must panic");
+        let s = serial
+            .downcast_ref::<String>()
+            .expect("payload is the format string");
+        let p = parallel
+            .downcast_ref::<String>()
+            .expect("payload is the format string");
+        // Items 3, 13, 23, ... all panic; both modes must surface item 3.
+        assert_eq!(s, "boom at item 3");
+        assert_eq!(s, p);
+    }
+
+    /// After a propagated panic the engine is still usable: workers were
+    /// joined, the cursor state was scoped, nothing is poisoned.
+    #[test]
+    fn engine_survives_a_propagated_panic() {
+        let items: Vec<u32> = (0..32).collect();
+        let _ = std::panic::catch_unwind(|| {
+            par_map_with(4, &items, |&x: &u32| -> u32 {
+                if x == 7 {
+                    panic!("one-off");
+                }
+                x
+            })
+        });
+        let out = par_map_with(4, &items, |&x| x + 1);
+        let expect: Vec<u32> = items.iter().map(|&x| x + 1).collect();
+        assert_eq!(out, expect);
     }
 }

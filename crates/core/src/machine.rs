@@ -240,6 +240,60 @@ impl StateMachine {
         (correct, total)
     }
 
+    /// The machine reduced to at most `max_states` states — the pipeline's
+    /// code-growth backoff shrinks oversized machines with this before
+    /// giving a site up entirely.
+    ///
+    /// Keeps the initial state plus the lowest-index survivors; any
+    /// transition into a removed state is redirected to the initial state,
+    /// so the result is always a well-formed machine. Prediction *quality*
+    /// after shrinking is deliberately not preserved — the pipeline's
+    /// refinement loop re-measures and drops machines that stop paying for
+    /// themselves.
+    pub fn shrunk(&self, max_states: usize) -> StateMachine {
+        let k = max_states.clamp(1, self.states.len());
+        if k == self.states.len() {
+            return self.clone();
+        }
+        // Survivors: the initial state and then the lowest indices.
+        let mut keep: Vec<usize> = Vec::with_capacity(k);
+        keep.push(self.initial);
+        for i in 0..self.states.len() {
+            if keep.len() == k {
+                break;
+            }
+            if i != self.initial {
+                keep.push(i);
+            }
+        }
+        keep.sort_unstable();
+        let mut remap = vec![usize::MAX; self.states.len()];
+        for (new, &old) in keep.iter().enumerate() {
+            remap[old] = new;
+        }
+        let initial = remap[self.initial];
+        let redirect = |t: usize| {
+            if remap[t] == usize::MAX {
+                initial
+            } else {
+                remap[t]
+            }
+        };
+        let states = keep
+            .iter()
+            .map(|&old| {
+                let s = &self.states[old];
+                MachineState {
+                    pattern: s.pattern,
+                    predict: s.predict,
+                    on_taken: redirect(s.on_taken),
+                    on_not_taken: redirect(s.on_not_taken),
+                }
+            })
+            .collect();
+        StateMachine { states, initial }
+    }
+
     /// The machine that treats every outcome as its complement: transitions
     /// swapped, predictions negated, pattern labels bit-complemented.
     /// `m.complemented().simulate(xs)` equals `m.simulate(!xs)` — used to
@@ -416,6 +470,42 @@ mod tests {
         ];
         let m = StateMachine::from_states(states, 0);
         assert!(!m.is_strongly_connected());
+    }
+
+    #[test]
+    fn shrunk_keeps_initial_and_stays_valid() {
+        let dirs: Vec<bool> = (0..600).map(|i| i % 3 != 2).collect();
+        let pts = table_for(&dirs, 9);
+        let table = pts.site(BranchId(0)).unwrap();
+        let m = StateMachine::from_patterns(
+            &[
+                HistPattern::parse("0").unwrap(),
+                HistPattern::parse("01").unwrap(),
+                HistPattern::parse("11").unwrap(),
+            ],
+            table,
+        )
+        .unwrap();
+        for k in 1..=4 {
+            let s = m.shrunk(k);
+            assert_eq!(s.len(), k.min(m.len()));
+            assert!(s.initial() < s.len());
+            for st in s.states() {
+                assert!(st.on_taken < s.len() && st.on_not_taken < s.len());
+            }
+            // The surviving initial state keeps its prediction.
+            assert_eq!(
+                s.states()[s.initial()].predict,
+                m.states()[m.initial()].predict
+            );
+        }
+        // Shrinking to the current size is the identity.
+        assert_eq!(m.shrunk(m.len()), m);
+        assert_eq!(m.shrunk(99), m);
+        // A 1-state machine still simulates (it degenerates to a static
+        // prediction).
+        let (_, total) = m.shrunk(1).simulate(dirs.iter().copied());
+        assert_eq!(total, dirs.len() as u64);
     }
 
     #[test]

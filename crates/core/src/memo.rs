@@ -13,6 +13,11 @@
 //! Determinism: the cached value for a key is exactly what the search
 //! would recompute, so cache hits cannot change results — only wall-clock.
 //! The map is guarded by a [`Mutex`] and shared by all engine workers.
+//! Lock poisoning is deliberately ignored (`PoisonError::into_inner`): the
+//! map is only ever mutated by complete, panic-free operations (`get`,
+//! `insert`, `clear`), so a worker that panicked while *holding* the lock
+//! cannot have left a torn entry behind, and a panic propagated out of
+//! [`crate::engine::par_map`] must not brick every later search.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -111,12 +116,23 @@ pub fn lookup_or_compute(
         max_states,
     };
     let m = memo();
-    if let Some(hit) = m.map.lock().expect("memo poisoned").get(&key).cloned() {
-        *m.hits.lock().expect("memo poisoned") += 1;
+    if let Some(hit) = m
+        .map
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&key)
+        .cloned()
+    {
+        *m.hits
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
         return hit;
     }
     let value = Arc::new(compute());
-    let mut map = m.map.lock().expect("memo poisoned");
+    let mut map = m
+        .map
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     // Two workers may race to compute the same key; both computed the same
     // value, so first-insert-wins keeps a single canonical Arc.
     if let Some(existing) = map.get(&key) {
@@ -131,16 +147,28 @@ pub fn lookup_or_compute(
 /// `(entries, hits)` — observability for tests and the bench harness.
 pub fn stats() -> (usize, u64) {
     let m = memo();
-    let entries = m.map.lock().expect("memo poisoned").len();
-    let hits = *m.hits.lock().expect("memo poisoned");
+    let entries = m
+        .map
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .len();
+    let hits = *m
+        .hits
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     (entries, hits)
 }
 
 /// Empties the memo (tests; long-lived servers switching workloads).
 pub fn clear() {
     let m = memo();
-    m.map.lock().expect("memo poisoned").clear();
-    *m.hits.lock().expect("memo poisoned") = 0;
+    m.map
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
+    *m.hits
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = 0;
 }
 
 #[cfg(test)]

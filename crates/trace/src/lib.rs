@@ -30,4 +30,4 @@ mod stats;
 mod trace;
 
 pub use stats::{SiteCounts, TraceStats};
-pub use trace::{Trace, TraceDecodeError, TraceEvent};
+pub use trace::{Trace, TraceDecodeError, TraceError, TraceEvent};

@@ -29,28 +29,35 @@ pub struct Trace {
     packed: Vec<u32>,
 }
 
-/// Error decoding a serialized trace.
+/// A malformed trace: decoding failed or an event cannot be represented.
+///
+/// Every byte-input path through this crate is *total* — malformed input
+/// of any shape yields one of these variants, never a panic.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum TraceDecodeError {
+pub enum TraceError {
     /// The magic number or version did not match.
     BadHeader,
-    /// The byte stream ended prematurely or a varint overflowed.
+    /// The byte stream ended prematurely, a varint overflowed, or the
+    /// declared event count exceeds what the remaining bytes could encode.
     Truncated,
-    /// A decoded site id exceeded the encodable range.
+    /// A site id exceeded the encodable range (31 bits).
     SiteOutOfRange,
 }
 
-impl fmt::Display for TraceDecodeError {
+/// The historical name of [`TraceError`], kept for compatibility.
+pub type TraceDecodeError = TraceError;
+
+impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceDecodeError::BadHeader => write!(f, "bad trace header"),
-            TraceDecodeError::Truncated => write!(f, "truncated trace data"),
-            TraceDecodeError::SiteOutOfRange => write!(f, "branch site id out of range"),
+            TraceError::BadHeader => write!(f, "bad trace header"),
+            TraceError::Truncated => write!(f, "truncated trace data"),
+            TraceError::SiteOutOfRange => write!(f, "branch site id out of range"),
         }
     }
 }
 
-impl Error for TraceDecodeError {}
+impl Error for TraceError {}
 
 const MAGIC: &[u8; 4] = b"BRTR";
 const VERSION: u8 = 1;
@@ -70,14 +77,32 @@ impl Trace {
         }
     }
 
+    /// Appends an event, rejecting unrepresentable site ids with a typed
+    /// error. This is the total form every untrusted path (decoding,
+    /// fuzzing) goes through.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::SiteOutOfRange`] if the site id does not fit in 31
+    /// bits.
+    pub fn try_push(&mut self, ev: TraceEvent) -> Result<(), TraceError> {
+        if ev.site.0 > MAX_SITE {
+            return Err(TraceError::SiteOutOfRange);
+        }
+        self.packed.push(ev.site.0 << 1 | u32::from(ev.taken));
+        Ok(())
+    }
+
     /// Appends an event.
     ///
     /// # Panics
     ///
-    /// Panics if the site id does not fit in 31 bits.
+    /// Panics if the site id does not fit in 31 bits. Site ids produced by
+    /// `Module::renumber_branches` are sequential and can never get close,
+    /// so in-process producers (the simulator) use this form; code handling
+    /// ids from *outside* the process must use [`Trace::try_push`].
     pub fn push(&mut self, ev: TraceEvent) {
-        assert!(ev.site.0 <= MAX_SITE, "site id exceeds 31 bits");
-        self.packed.push(ev.site.0 << 1 | u32::from(ev.taken));
+        self.try_push(ev).expect("site id exceeds 31 bits");
     }
 
     /// Number of events.
@@ -164,24 +189,37 @@ impl Trace {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
-    /// Deserializes a trace produced by [`Trace::to_bytes`].
+    /// Deserializes a trace produced by [`Trace::to_bytes`]. Total: any
+    /// byte string returns `Ok` or a typed error, never a panic.
     ///
     /// # Errors
     ///
-    /// Returns a [`TraceDecodeError`] on malformed input.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceDecodeError> {
+    /// Returns a [`TraceError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
         if bytes.len() < 5 || &bytes[..4] != MAGIC || bytes[4] != VERSION {
-            return Err(TraceDecodeError::BadHeader);
+            return Err(TraceError::BadHeader);
         }
         let mut pos = 5;
-        let count = read_varint(bytes, &mut pos).ok_or(TraceDecodeError::Truncated)? as usize;
+        let count64 = read_varint(bytes, &mut pos).ok_or(TraceError::Truncated)?;
+        // Every event costs at least one site byte (plus direction bits),
+        // so a declared count beyond the remaining bytes is malformed.
+        // Checking *before* allocating keeps an adversarial header from
+        // forcing a huge (or capacity-overflowing) preallocation.
+        if count64 > (bytes.len() - pos) as u64 {
+            return Err(TraceError::Truncated);
+        }
+        let count = count64 as usize;
         let mut sites = Vec::with_capacity(count);
         let mut prev: i64 = 0;
         for _ in 0..count {
-            let delta = read_varint(bytes, &mut pos).ok_or(TraceDecodeError::Truncated)?;
-            let site = prev + unzigzag(delta);
+            let delta = read_varint(bytes, &mut pos).ok_or(TraceError::Truncated)?;
+            // checked_add: an adversarial delta can overflow i64, which is
+            // just another way of being out of range.
+            let site = prev
+                .checked_add(unzigzag(delta))
+                .ok_or(TraceError::SiteOutOfRange)?;
             if site < 0 || site > i64::from(MAX_SITE) {
-                return Err(TraceDecodeError::SiteOutOfRange);
+                return Err(TraceError::SiteOutOfRange);
             }
             prev = site;
             sites.push(site as u32);
@@ -189,11 +227,11 @@ impl Trace {
         let mut dirs = BitReader::new(&bytes[pos..]);
         let mut trace = Trace::with_capacity(count);
         for site in sites {
-            let taken = dirs.next().ok_or(TraceDecodeError::Truncated)?;
-            trace.push(TraceEvent {
+            let taken = dirs.next().ok_or(TraceError::Truncated)?;
+            trace.try_push(TraceEvent {
                 site: BranchId(site),
                 taken,
-            });
+            })?;
         }
         Ok(trace)
     }
@@ -301,12 +339,64 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "31 bits")]
-    fn oversized_site_panics() {
+    fn oversized_site_is_a_typed_error() {
         let mut t = Trace::new();
-        t.push(TraceEvent {
-            site: BranchId(u32::MAX),
-            taken: false,
-        });
+        let err = t
+            .try_push(TraceEvent {
+                site: BranchId(u32::MAX),
+                taken: false,
+            })
+            .unwrap_err();
+        assert_eq!(err, TraceError::SiteOutOfRange);
+        assert!(t.is_empty(), "a rejected event must not be recorded");
+        // The last representable site round-trips.
+        t.try_push(TraceEvent {
+            site: BranchId(u32::MAX >> 1),
+            taken: true,
+        })
+        .unwrap();
+        assert_eq!(Trace::from_bytes(&t.to_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn huge_declared_count_is_rejected_without_allocating() {
+        // Header + varint(u64::MAX) as the event count: must fail fast
+        // with Truncated, not preallocate 2^64 slots.
+        let mut bytes = b"BRTR\x01".to_vec();
+        bytes.extend_from_slice(&[0xff; 9]);
+        bytes.push(0x01);
+        assert_eq!(Trace::from_bytes(&bytes), Err(TraceError::Truncated));
+    }
+
+    /// Deterministic codec fuzz: single-byte mutations, truncations and
+    /// garbage must all decode totally (Ok or typed Err — a panic fails
+    /// the test by unwinding).
+    #[test]
+    fn decoding_is_total_under_mutation() {
+        let valid = loopy_trace(200).to_bytes();
+        for i in 0..valid.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut mutated = valid.clone();
+                mutated[i] ^= flip;
+                let _ = Trace::from_bytes(&mutated);
+            }
+            let _ = Trace::from_bytes(&valid[..i]);
+        }
+        // Xorshift garbage of assorted lengths.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for len in [0usize, 1, 4, 5, 6, 13, 64, 509] {
+            let mut garbage = Vec::with_capacity(len);
+            for _ in 0..len {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                garbage.push((state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8);
+            }
+            let _ = Trace::from_bytes(&garbage);
+            // Garbage behind a valid header must still be total.
+            let mut headed = b"BRTR\x01".to_vec();
+            headed.extend_from_slice(&garbage);
+            let _ = Trace::from_bytes(&headed);
+        }
     }
 }

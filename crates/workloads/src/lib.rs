@@ -41,6 +41,7 @@ mod ghostview;
 mod predict_tool;
 mod prolog;
 mod scheduler;
+pub mod synth;
 pub(crate) mod util;
 
 use brepl_ir::{Module, Value};

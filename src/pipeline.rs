@@ -1,14 +1,24 @@
 //! The end-to-end pipeline: profile → select machines → replicate →
 //! verify → re-measure. This is the workflow an optimizing compiler would
 //! run between profiling and code generation.
+//!
+//! Replication is an *optimization*: a site whose replication fails a
+//! static gate is **quarantined** — dropped from the plan, recorded in
+//! [`PipelineResult::quarantined`], and the pipeline re-applies and
+//! re-validates with the remaining sites — rather than aborting the whole
+//! workload. [`PipelineConfig::strict`] restores the hard abort for CI
+//! use. See DESIGN.md §7 "Degradation modes".
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 
-use brepl_analysis::{check_history, validate_replication, AnalysisDiag, LintConfig};
+use brepl_analysis::{check_history, validate_replication, AnalysisDiag, DiagCode, LintConfig};
 use brepl_core::replicate::ReplicateError;
-use brepl_core::{apply_plan, check_equivalence, select_strategies, ReplicatedProgram, Selection};
-use brepl_ir::{Module, Value};
+use brepl_core::{
+    apply_plan, check_equivalence, select_strategies, BranchMachine, ReplicatedProgram, Selection,
+};
+use brepl_ir::{BranchId, Module, Value};
 use brepl_predict::evaluate_static;
 use brepl_sim::{Machine, RunConfig, RunError};
 
@@ -23,8 +33,9 @@ pub struct PipelineConfig {
     /// against the original with the translation validator
     /// ([`brepl_analysis::validate_replication`]): instruction streams,
     /// edge projections, predicted directions and live-in sets must all
-    /// check out. Error-severity diagnostics abort the pipeline; warnings
-    /// are collected into [`PipelineResult::warnings`].
+    /// check out. Error-severity diagnostics quarantine the offending
+    /// sites (or abort under [`Self::strict`]); warnings are collected
+    /// into [`PipelineResult::warnings`].
     pub validate: bool,
     /// When true (default), additionally gate every round on the
     /// witness-independent history checker
@@ -49,12 +60,32 @@ pub struct PipelineConfig {
     /// code size is worth the gain". `None` replicates every improving
     /// branch.
     pub max_size_growth: Option<f64>,
+    /// *Realized* code-size budget with backoff (default `None` = off).
+    /// Unlike [`Self::max_size_growth`], which gates on the selection-time
+    /// *estimate*, this cap is checked against the actual replicated
+    /// module each round; while exceeded, the pipeline halves the state
+    /// count of the largest enabled machine (recorded in
+    /// [`PipelineResult::size_backoffs`]) and finally drops the site
+    /// (gate [`QuarantineGate::SizeBudget`]) — so adversarial profiles
+    /// terminate at bounded size instead of blowing up.
+    pub max_realized_growth: Option<f64>,
     /// When true (default), re-measure the replicated program and *drop*
     /// machines whose realized prediction is no better than profile (the
     /// trace-suffix profile of correlated machines is an approximation of
     /// the CFG-path replica, so a few machines can fail to transfer);
     /// replication is then redone with the pruned plan.
     pub refine: bool,
+    /// When true, any gate failure aborts with a typed [`PipelineError`]
+    /// — today's pre-quarantine behavior, for CI runs where a firing gate
+    /// means a replicator bug to investigate, not a site to ship without.
+    /// Default `false`: degrade gracefully via per-site quarantine.
+    pub strict: bool,
+    /// Deterministic fault injection (test harness; feature `chaos`).
+    /// `Some(config)` arms exactly one injection point for this run; the
+    /// injected fault and the quarantine it provoked are recorded in
+    /// [`PipelineResult::chaos_injection`] / `quarantined`.
+    #[cfg(feature = "chaos")]
+    pub chaos: Option<brepl_core::chaos::ChaosConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -67,7 +98,11 @@ impl Default for PipelineConfig {
             lint: LintConfig::new(),
             dynamic_backstop: true,
             max_size_growth: Some(3.0),
+            max_realized_growth: None,
             refine: true,
+            strict: false,
+            #[cfg(feature = "chaos")]
+            chaos: None,
         }
     }
 }
@@ -87,6 +122,9 @@ pub enum PipelineError {
     History(String),
     /// The dynamic backstop found a divergence between the programs.
     Equivalence(String),
+    /// The profiling trace failed an integrity check (e.g. it no longer
+    /// decodes after mid-stream truncation).
+    Trace(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -97,6 +135,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Validation(e) => write!(f, "static validation failed: {e}"),
             PipelineError::History(e) => write!(f, "history check failed: {e}"),
             PipelineError::Equivalence(e) => write!(f, "equivalence check failed: {e}"),
+            PipelineError::Trace(e) => write!(f, "profiling trace rejected: {e}"),
         }
     }
 }
@@ -113,6 +152,81 @@ impl From<ReplicateError> for PipelineError {
     fn from(e: ReplicateError) -> Self {
         PipelineError::Replicate(e)
     }
+}
+
+/// Which gate removed a site from the plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QuarantineGate {
+    /// The static translation validator ([`validate_replication`]).
+    Validation,
+    /// The witness-independent history checker ([`check_history`]).
+    History,
+    /// The replication transform itself refused the site.
+    Replicate,
+    /// The profiling trace failed integrity checking.
+    Profile,
+    /// The realized code-growth budget
+    /// ([`PipelineConfig::max_realized_growth`]) was exhausted.
+    SizeBudget,
+}
+
+impl QuarantineGate {
+    /// Stable lowercase name (JSON output, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            QuarantineGate::Validation => "validation",
+            QuarantineGate::History => "history",
+            QuarantineGate::Replicate => "replicate",
+            QuarantineGate::Profile => "profile",
+            QuarantineGate::SizeBudget => "size-budget",
+        }
+    }
+
+    /// The strict-mode error carrying `rendered` for this gate.
+    fn hard_error(self, rendered: String) -> PipelineError {
+        match self {
+            QuarantineGate::History => PipelineError::History(rendered),
+            _ => PipelineError::Validation(rendered),
+        }
+    }
+}
+
+impl fmt::Display for QuarantineGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One site the pipeline dropped instead of aborting, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedSite {
+    /// The original-module branch site.
+    pub site: BranchId,
+    /// The gate that rejected it.
+    pub gate: QuarantineGate,
+    /// Offending diagnostic codes (sorted, deduplicated; empty for
+    /// non-diagnostic gates like [`QuarantineGate::SizeBudget`]).
+    pub codes: Vec<DiagCode>,
+    /// Rendered explanation (first few diagnostics, or the gate's own
+    /// message).
+    pub reason: String,
+    /// Which replication round (1-based) dropped the site.
+    pub round: usize,
+}
+
+/// One growth-budget backoff step: a machine shrunk (or dropped, when
+/// `to_states == 0`) because the realized module exceeded
+/// [`PipelineConfig::max_realized_growth`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SizeBackoff {
+    /// The site whose machine was shrunk.
+    pub site: BranchId,
+    /// State count before the step.
+    pub from_states: usize,
+    /// State count after the step (`0` = the site was dropped).
+    pub to_states: usize,
+    /// Which replication round (1-based) took the step.
+    pub round: usize,
 }
 
 /// Everything the pipeline produced.
@@ -135,26 +249,40 @@ pub struct PipelineResult {
     pub selection: Selection,
     /// The sites whose machines actually shipped: enabled by the size
     /// budget and kept by every refinement round.
-    pub replicated_sites: std::collections::BTreeSet<brepl_ir::BranchId>,
+    pub replicated_sites: BTreeSet<BranchId>,
+    /// Sites dropped by a gate instead of aborting the pipeline
+    /// (empty under [`PipelineConfig::strict`], which aborts instead, and
+    /// on clean runs).
+    pub quarantined: Vec<QuarantinedSite>,
+    /// Growth-budget backoff steps taken
+    /// ([`PipelineConfig::max_realized_growth`]).
+    pub size_backoffs: Vec<SizeBackoff>,
     /// Warning-severity diagnostics from the last round of both static
     /// gates — the witness validator and the history checker, as filtered
     /// by [`PipelineConfig::lint`] (empty when both are disabled).
-    /// Error-severity diagnostics abort the pipeline instead of landing
+    /// Error-severity diagnostics quarantine or abort instead of landing
     /// here.
     pub warnings: Vec<AnalysisDiag>,
+    /// The fault the armed chaos engine injected, if it fired
+    /// (feature `chaos`; see [`PipelineConfig::chaos`]).
+    #[cfg(feature = "chaos")]
+    pub chaos_injection: Option<brepl_core::chaos::Injection>,
     /// The replicated program with predictions and provenance.
     pub program: ReplicatedProgram,
 }
 
 /// Runs the whole pipeline on `module` with entry function `main`.
 ///
+/// Gate failures quarantine the offending sites and re-replicate without
+/// them (see [`PipelineResult::quarantined`]); under
+/// [`PipelineConfig::strict`] they abort instead.
+///
 /// # Errors
 ///
-/// Returns a [`PipelineError`] if any run traps, replication fails, the
-/// static translation validator or the witness-independent history checker
-/// emits an error-severity diagnostic, or the dynamic backstop finds a
-/// divergence (the latter three would be replicator bugs — the checks are
-/// belt-and-braces).
+/// Returns a [`PipelineError`] if any run traps, the dynamic backstop
+/// finds a divergence, a gate fires with *nothing left to quarantine*
+/// (errors on an empty plan would be a validator bug), or — in strict
+/// mode — any gate fires at all.
 pub fn run_pipeline(
     module: &Module,
     args: &[Value],
@@ -171,7 +299,7 @@ pub fn run_pipeline(
     // 2. Select per-branch machines, then apply the size budget by taking
     // branches in greedy benefit-per-size order.
     let selection = select_strategies(module, &outcome.trace, config.max_states);
-    let mut enabled: std::collections::BTreeSet<brepl_ir::BranchId> = match config.max_size_growth {
+    let mut enabled: BTreeSet<BranchId> = match config.max_size_growth {
         None => selection
             .choices()
             .iter()
@@ -188,16 +316,157 @@ pub fn run_pipeline(
         }
     };
 
-    // 3–5. Replicate, validate, measure, and back off machines that fail
-    // to transfer (at most a few refinement rounds; each round only
-    // shrinks the plan).
+    let mut quarantined: Vec<QuarantinedSite> = Vec::new();
+    let mut size_backoffs: Vec<SizeBackoff> = Vec::new();
+    // Machines shrunk by the growth backoff, replacing the selection's
+    // choice for their site in every later round.
+    let mut overrides: BTreeMap<BranchId, BranchMachine> = BTreeMap::new();
+
+    #[cfg(feature = "chaos")]
+    let mut chaos_engine = config.chaos.map(brepl_core::chaos::ChaosEngine::new);
+    #[cfg(feature = "chaos")]
+    if let Some(eng) = &mut chaos_engine {
+        let candidates: Vec<BranchId> = enabled.iter().copied().collect();
+        eng.pin_victim(&candidates);
+        // TruncateTrace fires here, against the profiling trace.
+        if let Some(err) = eng.corrupt_trace(&outcome.trace) {
+            if config.strict {
+                return Err(PipelineError::Trace(format!(
+                    "trace truncated mid-event, decode fails with {err:?}"
+                )));
+            }
+            // The profiling data is untrustworthy for replication: ship
+            // the baseline, quarantining every candidate site.
+            for &site in &enabled {
+                quarantined.push(QuarantinedSite {
+                    site,
+                    gate: QuarantineGate::Profile,
+                    codes: Vec::new(),
+                    reason: format!("profiling trace truncated mid-event: {err:?}"),
+                    round: 0,
+                });
+            }
+            enabled.clear();
+        }
+    }
+
+    // 3–5. Replicate, gate, measure — quarantining or backing off on
+    // failure. Every retry strictly shrinks (site count, or the state
+    // count of some machine), so the loop terminates.
+    let mut round = 0usize;
     let (program, report, warnings) = loop {
-        let plan = selection.to_plan_filtered(|site| enabled.contains(&site));
-        let program = apply_plan(module, &plan, &stats)?;
+        round += 1;
+        let mut plan = selection.to_plan_filtered(|site| enabled.contains(&site));
+        for (&site, m) in &overrides {
+            if enabled.contains(&site) {
+                plan.assign(site, m.clone());
+            }
+        }
+        #[allow(unused_mut)]
+        let mut program = match apply_plan(module, &plan, &stats) {
+            Ok(p) => p,
+            Err(e) => {
+                if config.strict || enabled.is_empty() {
+                    return Err(e.into());
+                }
+                // Quarantine the named site; an opaque transform error
+                // degrades coarsely to the unreplicated baseline.
+                match e {
+                    ReplicateError::UnknownBranch(s) | ReplicateError::NotInLoop(s)
+                        if enabled.contains(&s) =>
+                    {
+                        enabled.remove(&s);
+                        quarantined.push(QuarantinedSite {
+                            site: s,
+                            gate: QuarantineGate::Replicate,
+                            codes: Vec::new(),
+                            reason: format!("replication transform refused the site: {e}"),
+                            round,
+                        });
+                    }
+                    other => {
+                        for &site in &enabled {
+                            quarantined.push(QuarantinedSite {
+                                site,
+                                gate: QuarantineGate::Replicate,
+                                codes: Vec::new(),
+                                reason: format!("replication transform failed: {other}"),
+                                round,
+                            });
+                        }
+                        enabled.clear();
+                    }
+                }
+                continue;
+            }
+        };
+
+        // Realized-growth budget: shrink the largest machine (halving its
+        // states) while over budget; drop the site once it cannot shrink.
+        if let Some(budget) = config.max_realized_growth {
+            let growth = program.size_growth(module);
+            if growth > budget && !enabled.is_empty() {
+                let (site, states) = plan
+                    .assignments
+                    .iter()
+                    .filter(|(s, _)| enabled.contains(*s))
+                    .map(|(&s, m)| (s, machine_states(m)))
+                    .max_by_key(|&(s, st)| (st, std::cmp::Reverse(s)))
+                    .expect("enabled sites all have plan entries");
+                if states > 2 {
+                    let target = (states / 2).max(2);
+                    let shrunk = match &plan.assignments[&site] {
+                        BranchMachine::Loop(m) => BranchMachine::Loop(m.shrunk(target)),
+                        BranchMachine::Correlated(c) => {
+                            let mut c = c.clone();
+                            c.paths.truncate(target - 1);
+                            BranchMachine::Correlated(c)
+                        }
+                    };
+                    overrides.insert(site, shrunk);
+                    size_backoffs.push(SizeBackoff {
+                        site,
+                        from_states: states,
+                        to_states: target,
+                        round,
+                    });
+                } else {
+                    enabled.remove(&site);
+                    overrides.remove(&site);
+                    size_backoffs.push(SizeBackoff {
+                        site,
+                        from_states: states,
+                        to_states: 0,
+                        round,
+                    });
+                    quarantined.push(QuarantinedSite {
+                        site,
+                        gate: QuarantineGate::SizeBudget,
+                        codes: Vec::new(),
+                        reason: format!(
+                            "realized growth {growth:.2}x exceeds budget {budget:.2}x with no states left to shed"
+                        ),
+                        round,
+                    });
+                }
+                continue;
+            }
+        }
+
+        // Armed chaos injections against the replicated artifacts (the
+        // engine fires at most once per run, and only while its victim is
+        // still in the plan).
+        #[cfg(feature = "chaos")]
+        if let Some(eng) = &mut chaos_engine {
+            if eng.victim().is_some_and(|v| enabled.contains(&v)) {
+                eng.corrupt_program(module, &mut program);
+            }
+        }
+
         // Primary gate: the static translation validator checks the
         // simulation relation against the replica-map witness on every
         // round — no execution required.
-        let mut warnings = Vec::new();
+        let mut round_warnings = Vec::new();
         if config.validate {
             let diags = validate_replication(
                 module,
@@ -207,40 +476,68 @@ pub fn run_pipeline(
             );
             let (errors, warns) = config.lint.partition(diags);
             if !errors.is_empty() {
-                let rendered: Vec<String> =
-                    errors.iter().map(|d| d.render(&program.module)).collect();
-                return Err(PipelineError::Validation(rendered.join("; ")));
+                if config.strict {
+                    return Err(QuarantineGate::Validation
+                        .hard_error(render_joined(&errors, &program.module)));
+                }
+                quarantine_errors(
+                    &errors,
+                    QuarantineGate::Validation,
+                    round,
+                    &program.module,
+                    &mut enabled,
+                    &mut quarantined,
+                )?;
+                continue;
             }
-            warnings = warns;
+            round_warnings = warns;
         }
         // Second gate, independent trust base: re-prove the history
         // encoding from the plan's transition tables and the shipped
         // module alone — the replica-map witness is never consulted.
         if config.check_history {
+            #[allow(unused_mut)]
+            let mut spec = plan.history_spec();
+            #[cfg(feature = "chaos")]
+            if let Some(eng) = &mut chaos_engine {
+                if eng.victim().is_some_and(|v| enabled.contains(&v)) {
+                    eng.corrupt_spec(&program, &mut spec);
+                }
+            }
             let diags = check_history(
                 &program.module,
                 &program.provenance,
-                &plan.history_spec(),
+                &spec,
                 &program.predictions,
             );
             let (errors, warns) = config.lint.partition(diags);
             if !errors.is_empty() {
-                let rendered: Vec<String> =
-                    errors.iter().map(|d| d.render(&program.module)).collect();
-                return Err(PipelineError::History(rendered.join("; ")));
+                if config.strict {
+                    return Err(
+                        QuarantineGate::History.hard_error(render_joined(&errors, &program.module))
+                    );
+                }
+                quarantine_errors(
+                    &errors,
+                    QuarantineGate::History,
+                    round,
+                    &program.module,
+                    &mut enabled,
+                    &mut quarantined,
+                )?;
+                continue;
             }
-            warnings.extend(warns);
+            round_warnings.extend(warns);
         }
         let mut machine2 = Machine::new(&program.module, config.run);
         machine2.set_input(input.to_vec());
         let outcome2 = machine2.run("main", args)?;
         let report = evaluate_static(&program.predictions, &outcome2.trace);
         if !config.refine {
-            break (program, report, warnings);
+            break (program, report, round_warnings);
         }
         // Fold replicated-site mispredictions back to original sites.
-        let mut folded: std::collections::HashMap<brepl_ir::BranchId, u64> =
-            std::collections::HashMap::new();
+        let mut folded: std::collections::HashMap<BranchId, u64> = std::collections::HashMap::new();
         for (site, _, wrong) in report.iter_sites() {
             *folded.entry(program.provenance[site.index()]).or_default() += wrong;
         }
@@ -256,7 +553,7 @@ pub fn run_pipeline(
             }
         }
         if !dropped {
-            break (program, report, warnings);
+            break (program, report, round_warnings);
         }
     };
 
@@ -275,9 +572,108 @@ pub fn run_pipeline(
         trace_events: outcome.trace.len() as u64,
         selection,
         replicated_sites: enabled,
+        quarantined,
+        size_backoffs,
         warnings,
+        #[cfg(feature = "chaos")]
+        chaos_injection: chaos_engine.and_then(|e| e.into_injection()),
         program,
     })
+}
+
+/// State count of a planned machine.
+fn machine_states(m: &BranchMachine) -> usize {
+    match m {
+        BranchMachine::Loop(sm) => sm.len(),
+        BranchMachine::Correlated(c) => c.states(),
+    }
+}
+
+/// `; `-joined rendering of a diagnostic batch.
+fn render_joined(diags: &[AnalysisDiag], module: &Module) -> String {
+    diags
+        .iter()
+        .map(|d| d.render(module))
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// Removes the sites implicated by `errors` from `enabled`, recording
+/// each drop. Diagnostics that carry a site attribution quarantine that
+/// site alone; a batch with no attributable site degrades coarsely to the
+/// unreplicated baseline (drops every enabled site). Mis-attributions are
+/// self-correcting: the caller re-validates, and any surviving error
+/// quarantines further sites next round.
+///
+/// # Errors
+///
+/// Errors against an *empty* plan cannot come from replication and are
+/// reported as a hard [`PipelineError`] even in non-strict mode.
+fn quarantine_errors(
+    errors: &[AnalysisDiag],
+    gate: QuarantineGate,
+    round: usize,
+    rendered_in: &Module,
+    enabled: &mut BTreeSet<BranchId>,
+    quarantined: &mut Vec<QuarantinedSite>,
+) -> Result<(), PipelineError> {
+    if enabled.is_empty() {
+        return Err(gate.hard_error(render_joined(errors, rendered_in)));
+    }
+    let mut by_site: BTreeMap<BranchId, Vec<&AnalysisDiag>> = BTreeMap::new();
+    for d in errors {
+        if let Some(site) = d.site.filter(|s| enabled.contains(s)) {
+            by_site.entry(site).or_default().push(d);
+        }
+    }
+    if by_site.is_empty() {
+        let mut codes: Vec<DiagCode> = errors.iter().map(|d| d.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        let reason = render_capped(errors, rendered_in);
+        for &site in enabled.iter() {
+            quarantined.push(QuarantinedSite {
+                site,
+                gate,
+                codes: codes.clone(),
+                reason: reason.clone(),
+                round,
+            });
+        }
+        enabled.clear();
+        return Ok(());
+    }
+    for (site, diags) in by_site {
+        let mut codes: Vec<DiagCode> = diags.iter().map(|d| d.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        enabled.remove(&site);
+        quarantined.push(QuarantinedSite {
+            site,
+            gate,
+            codes,
+            reason: render_capped(
+                &diags.iter().map(|&d| d.clone()).collect::<Vec<_>>(),
+                rendered_in,
+            ),
+            round,
+        });
+    }
+    Ok(())
+}
+
+/// Renders at most three diagnostics (quarantine reasons stay readable).
+fn render_capped(diags: &[AnalysisDiag], module: &Module) -> String {
+    let mut s = diags
+        .iter()
+        .take(3)
+        .map(|d| d.render(module))
+        .collect::<Vec<_>>()
+        .join("; ");
+    if diags.len() > 3 {
+        s.push_str(&format!("; … and {} more", diags.len() - 3));
+    }
+    s
 }
 
 /// The refinement drop rule: a machine is kept only while it is *strictly
@@ -346,6 +742,9 @@ mod tests {
         assert!(result.replicated_misprediction_percent < 1.0);
         assert!(result.size_growth > 1.0 && result.size_growth < 4.0);
         assert_eq!(result.trace_events, 600);
+        // A clean run quarantines nothing and takes no backoff step.
+        assert!(result.quarantined.is_empty());
+        assert!(result.size_backoffs.is_empty());
     }
 
     /// The refine rule must drop a branch whose realized machine exactly
@@ -430,5 +829,87 @@ mod tests {
         for d in &result.warnings {
             assert_eq!(d.severity(), brepl_analysis::Severity::Warning, "{d}");
         }
+    }
+
+    /// Strict mode must not change a clean run's numbers: same shipped
+    /// sites, same misprediction, no quarantine either way.
+    #[test]
+    fn strict_mode_is_identical_on_clean_runs() {
+        let m = alternating_module();
+        let relaxed = run_pipeline(&m, &[], &[], PipelineConfig::default()).unwrap();
+        let strict = run_pipeline(
+            &m,
+            &[],
+            &[],
+            PipelineConfig {
+                strict: true,
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(relaxed.replicated_sites, strict.replicated_sites);
+        assert_eq!(
+            relaxed.replicated_misprediction_percent,
+            strict.replicated_misprediction_percent
+        );
+        assert!(strict.quarantined.is_empty());
+    }
+
+    /// The realized-growth budget backs off machine sizes (recording each
+    /// step) until the shipped module fits, and the result still passes
+    /// every gate.
+    #[test]
+    fn realized_growth_budget_backs_off_and_ships_within_budget() {
+        let m = alternating_module();
+        let budget = 1.05;
+        let result = run_pipeline(
+            &m,
+            &[],
+            &[],
+            PipelineConfig {
+                max_realized_growth: Some(budget),
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            result.size_growth <= budget,
+            "shipped growth {} exceeds budget {budget}",
+            result.size_growth
+        );
+        // The default run replicates (growth > 1.05 per the test above),
+        // so the budget must have forced at least one backoff step.
+        assert!(
+            !result.size_backoffs.is_empty() || !result.quarantined.is_empty(),
+            "a 1.05x budget cannot be met without backing off"
+        );
+        for q in &result.quarantined {
+            assert_eq!(q.gate, QuarantineGate::SizeBudget);
+        }
+        // Shrink steps must strictly reduce state counts.
+        for b in &result.size_backoffs {
+            assert!(b.to_states < b.from_states, "{b:?}");
+        }
+    }
+
+    /// A generous realized budget changes nothing: no backoff, identical
+    /// shipped sites.
+    #[test]
+    fn generous_realized_budget_is_a_no_op() {
+        let m = alternating_module();
+        let base = run_pipeline(&m, &[], &[], PipelineConfig::default()).unwrap();
+        let capped = run_pipeline(
+            &m,
+            &[],
+            &[],
+            PipelineConfig {
+                max_realized_growth: Some(100.0),
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(capped.size_backoffs.is_empty());
+        assert_eq!(base.replicated_sites, capped.replicated_sites);
+        assert_eq!(base.size_growth, capped.size_growth);
     }
 }

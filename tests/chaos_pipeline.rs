@@ -1,0 +1,179 @@
+//! End-to-end proof of the degradation paths (feature `chaos`): every
+//! fault-injection point, activated on every workload, must be caught by
+//! a gate and quarantined in default mode — yielding a shipped program
+//! that re-validates clean — and must hard-fail with a typed error in
+//! strict mode. Runs only with `cargo test --features chaos`.
+#![cfg(feature = "chaos")]
+
+use brepl::core::chaos::{ChaosConfig, ChaosPoint};
+use brepl::pipeline::{run_pipeline, PipelineConfig, PipelineError, QuarantinedSite};
+use brepl::workloads::{all_workloads, Scale, Workload};
+use brepl_analysis::{check_history, validate_replication, Severity};
+
+/// Runs `w` with `point` armed, scanning a few seeds until the injection
+/// actually fires (candidate mutations are verified-effective, so the
+/// first seed almost always works; the scan absorbs workloads where a
+/// particular victim has nothing to corrupt). Panics if no seed fires.
+fn run_with_point(
+    w: &Workload,
+    point: ChaosPoint,
+    strict: bool,
+) -> Result<(u64, brepl::pipeline::PipelineResult), (u64, PipelineError)> {
+    for seed in 0..8u64 {
+        let config = PipelineConfig {
+            strict,
+            chaos: Some(ChaosConfig { seed, point }),
+            ..PipelineConfig::default()
+        };
+        match run_pipeline(&w.module, &w.args, &w.input, config) {
+            Ok(result) => {
+                if result.chaos_injection.is_some() {
+                    return Ok((seed, result));
+                }
+                // Injection did not fire under this seed; try the next.
+            }
+            Err(e) => return Err((seed, e)),
+        }
+    }
+    panic!(
+        "{}: no seed in 0..8 made point {point} fire — the degradation path is unproven",
+        w.name
+    );
+}
+
+/// Default mode: the fault is quarantined, the victim named, and the
+/// shipped program passes both static gates when re-checked from scratch.
+#[test]
+fn every_point_quarantines_and_revalidates_on_every_workload() {
+    for w in all_workloads(Scale::Small) {
+        for point in ChaosPoint::ALL {
+            let (seed, result) = run_with_point(&w, point, false).unwrap_or_else(|(seed, e)| {
+                panic!(
+                    "{} / {point} (seed {seed}): default mode must not error: {e}",
+                    w.name
+                )
+            });
+            let injection = result.chaos_injection.as_ref().unwrap();
+            assert_eq!(injection.point, point);
+            let victim = injection.victim;
+            assert!(
+                result
+                    .quarantined
+                    .iter()
+                    .any(|q: &QuarantinedSite| q.site == victim),
+                "{} / {point} (seed {seed}): victim {victim} not quarantined; quarantined={:?}",
+                w.name,
+                result.quarantined
+            );
+            assert!(
+                !result.replicated_sites.contains(&victim),
+                "{} / {point}: quarantined victim still shipped",
+                w.name
+            );
+            // Clean re-validation of the *shipped* program, from scratch:
+            // zero error-severity diagnostics from either gate.
+            let p = &result.program;
+            let diags = validate_replication(&w.module, &p.module, &p.replica_map, &p.predictions);
+            assert!(
+                diags.iter().all(|d| d.severity() != Severity::Error),
+                "{} / {point} (seed {seed}): shipped program fails validation: {diags:?}",
+                w.name
+            );
+            // The history gate needs the shipped plan's tables; the
+            // pipeline re-proved it on the final round (gates were on and
+            // the run returned Ok), so here just re-check the empty-spec
+            // invariant holds for quarantined sites.
+            let spec = brepl_analysis::HistorySpec::new();
+            let hdiags = check_history(&p.module, &p.provenance, &spec, &p.predictions);
+            assert!(
+                hdiags.iter().all(|d| d.severity() != Severity::Error),
+                "{} / {point}: empty-spec history check errored: {hdiags:?}",
+                w.name
+            );
+            assert!(
+                p.module.verify().is_ok(),
+                "{} / {point}: shipped module invalid",
+                w.name
+            );
+            // Every quarantine record names a reason.
+            for q in &result.quarantined {
+                assert!(!q.reason.is_empty());
+            }
+        }
+    }
+}
+
+/// Strict mode: the same faults abort with a typed error — never a panic,
+/// never a silently shipped program.
+#[test]
+fn every_point_hard_fails_in_strict_mode() {
+    // One representative workload keeps this cheap; the `chaos` bench bin
+    // covers the full workload × point matrix in both modes.
+    let w = brepl::workloads::workload_by_name("compress", Scale::Small).unwrap();
+    for point in ChaosPoint::ALL {
+        match run_with_point(&w, point, true) {
+            Err((_, e)) => {
+                let typed = matches!(
+                    e,
+                    PipelineError::Validation(_)
+                        | PipelineError::History(_)
+                        | PipelineError::Trace(_)
+                        | PipelineError::Replicate(_)
+                );
+                assert!(typed, "{point}: strict failure has the wrong type: {e}");
+            }
+            Ok((seed, result)) => panic!(
+                "{point} (seed {seed}): strict mode returned Ok with injection {:?}",
+                result.chaos_injection
+            ),
+        }
+    }
+}
+
+/// S3: quarantine is deterministic across thread counts — serial and
+/// parallel runs of a chaos-faulted pipeline produce the identical
+/// quarantined set and bit-identical shipped program.
+#[test]
+fn quarantine_is_deterministic_across_thread_counts() {
+    let w = brepl::workloads::workload_by_name("predict", Scale::Small).unwrap();
+    let run_at = |threads: &str| {
+        // The engine reads BREPL_THREADS per par_map call; results are
+        // index-merged so any value must give bit-identical output.
+        std::env::set_var("BREPL_THREADS", threads);
+        let config = PipelineConfig {
+            chaos: Some(ChaosConfig {
+                seed: 3,
+                point: ChaosPoint::RetargetReplicaEdge,
+            }),
+            ..PipelineConfig::default()
+        };
+        let r = run_pipeline(&w.module, &w.args, &w.input, config).unwrap();
+        std::env::remove_var("BREPL_THREADS");
+        r
+    };
+    let serial = run_at("1");
+    let parallel = run_at("4");
+    assert_eq!(serial.quarantined, parallel.quarantined);
+    assert_eq!(serial.replicated_sites, parallel.replicated_sites);
+    assert_eq!(serial.program.module, parallel.program.module);
+    assert_eq!(
+        serial.program.provenance, parallel.program.provenance,
+        "provenance must not depend on scheduling"
+    );
+    assert_eq!(
+        serial.replicated_misprediction_percent,
+        parallel.replicated_misprediction_percent
+    );
+    // The injection itself is part of the determinism contract.
+    let (a, b) = (
+        serial
+            .chaos_injection
+            .as_ref()
+            .map(|i| (i.point, i.victim, i.description.clone())),
+        parallel
+            .chaos_injection
+            .as_ref()
+            .map(|i| (i.point, i.victim, i.description.clone())),
+    );
+    assert_eq!(a, b);
+}

@@ -1,143 +1,11 @@
 //! Shared helpers for the integration tests: a deterministic random
 //! program generator producing terminating, branch-rich modules.
+//!
+//! The implementation lives in `brepl_workloads::synth` so the fuzz
+//! harness binaries can use it too; this module just re-exports it.
 
 // Each integration-test binary includes this module but uses only part
 // of it.
-#![allow(dead_code)]
+#![allow(unused_imports)]
 
-use brepl::ir::{BlockId, FunctionBuilder, Module, Operand, Reg};
-
-/// Simple xorshift for deterministic generation from a test-chosen seed.
-pub struct Gen {
-    state: u64,
-}
-
-impl Gen {
-    pub fn new(seed: u64) -> Self {
-        Gen {
-            state: seed | 0x1234_5678,
-        }
-    }
-
-    pub fn next(&mut self) -> u64 {
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.state = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    pub fn below(&mut self, bound: u64) -> u64 {
-        self.next() % bound.max(1)
-    }
-}
-
-/// Emits a random arithmetic update of `acc` using `i`.
-fn random_update(g: &mut Gen, b: &mut FunctionBuilder, acc: Reg, i: Reg) {
-    match g.below(4) {
-        0 => b.add(acc, acc.into(), Operand::imm(g.below(9) as i64 + 1)),
-        1 => b.add(acc, acc.into(), i.into()),
-        2 => {
-            let t = b.reg();
-            b.mul(t, i.into(), Operand::imm(g.below(5) as i64 + 1));
-            b.add(acc, acc.into(), t.into());
-        }
-        _ => {
-            b.bin(
-                brepl::ir::BinOp::Xor,
-                acc,
-                acc.into(),
-                Operand::imm(g.below(64) as i64),
-            );
-        }
-    }
-}
-
-/// Emits a random branch condition over `i` (periodic, threshold or
-/// pseudo-random), returning the condition register.
-fn random_condition(g: &mut Gen, b: &mut FunctionBuilder, i: Reg, trip: i64) -> Reg {
-    match g.below(4) {
-        0 => {
-            // Periodic: i % k == c.
-            let k = g.below(5) as i64 + 2;
-            let c = g.below(k as u64) as i64;
-            let r = b.reg();
-            b.rem(r, i.into(), Operand::imm(k));
-            b.eq(r.into(), Operand::imm(c))
-        }
-        1 => {
-            // Threshold: i < trip * x / 4.
-            let x = g.below(4) as i64 + 1;
-            b.lt(i.into(), Operand::imm(trip * x / 4))
-        }
-        2 => {
-            // Pseudo-random via the deterministic rand intrinsic.
-            let r = b.rand(Operand::imm(g.below(3) as i64 + 2));
-            b.eq(r.into(), Operand::imm(0))
-        }
-        _ => {
-            // Bit test: (i >> s) & 1.
-            let s = g.below(4) as i64;
-            let r = b.reg();
-            b.bin(brepl::ir::BinOp::Shr, r, i.into(), Operand::imm(s));
-            let r2 = b.reg();
-            b.bin(brepl::ir::BinOp::And, r2, r.into(), Operand::imm(1));
-            b.ne(r2.into(), Operand::imm(0))
-        }
-    }
-}
-
-/// Builds a terminating module: a counted loop of `trip` iterations whose
-/// body contains `diamonds` conditional diamonds with varied conditions,
-/// ending with an `out(acc)` so semantic equivalence is observable.
-pub fn random_loop_module(seed: u64, diamonds: usize, trip: i64) -> Module {
-    let mut g = Gen::new(seed);
-    let mut b = FunctionBuilder::new("main", 0);
-    let i = b.reg();
-    let acc = b.reg();
-    b.const_int(i, 0);
-    b.const_int(acc, 1);
-
-    let head = b.new_block();
-    let exit = b.new_block();
-    b.jmp(head);
-
-    // head holds the loop test.
-    b.switch_to(head);
-    let body_entry = b.new_block();
-    let c = b.lt(i.into(), Operand::imm(trip));
-    b.br(c, body_entry, exit);
-
-    let mut cur: BlockId = body_entry;
-    for _ in 0..diamonds {
-        b.switch_to(cur);
-        let cond = random_condition(&mut g, &mut b, i, trip);
-        let then_b = b.new_block();
-        let else_b = b.new_block();
-        let join = b.new_block();
-        b.br(cond, then_b, else_b);
-        b.switch_to(then_b);
-        random_update(&mut g, &mut b, acc, i);
-        b.jmp(join);
-        b.switch_to(else_b);
-        random_update(&mut g, &mut b, acc, i);
-        random_update(&mut g, &mut b, acc, i);
-        b.jmp(join);
-        cur = join;
-    }
-    // Latch.
-    b.switch_to(cur);
-    b.out(acc.into());
-    b.add(i, i.into(), Operand::imm(1));
-    b.jmp(head);
-
-    b.switch_to(exit);
-    b.out(acc.into());
-    b.ret(Some(acc.into()));
-
-    let mut m = Module::new();
-    m.push_function(b.finish());
-    m.verify().expect("generated module verifies");
-    m
-}
+pub use brepl_workloads::synth::{random_loop_module, Gen};

@@ -1,0 +1,163 @@
+//! Differential fuzz harness: deterministic random programs through the
+//! full pipeline, asserting no panic and execution equivalence; plus a
+//! totality fuzz of the trace codec.
+//!
+//! Failures shrink automatically to a minimal `(seed, diamonds, trip)`
+//! triple printed in the panic message — regenerate the failing module
+//! with `brepl_workloads::synth::random_loop_module(seed, diamonds,
+//! trip)`. The release-mode `fuzz` bin in `brepl-bench` runs the same
+//! harness for thousands of iterations; this tier-1 sweep keeps a bounded
+//! slice of it in `cargo test`.
+
+mod common;
+
+use brepl::pipeline::{run_pipeline, PipelineConfig};
+use brepl::trace::{Trace, TraceEvent};
+use brepl::workloads::synth::{random_loop_module, Gen};
+use brepl_ir::BranchId;
+
+/// One fuzz case: build the module and run the full pipeline (all gates +
+/// dynamic backstop on, so success implies execution equivalence between
+/// the original and the shipped program). `Err` carries a description of
+/// the failure; a panic anywhere inside is caught and reported too.
+fn pipeline_case(
+    seed: u64,
+    diamonds: usize,
+    trip: i64,
+    config: PipelineConfig,
+) -> Result<(), String> {
+    let outcome = std::panic::catch_unwind(|| {
+        let m = random_loop_module(seed, diamonds, trip);
+        run_pipeline(&m, &[], &[], config)
+    });
+    match outcome {
+        Err(payload) => Err(format!("panicked: {}", panic_text(&payload))),
+        Ok(Err(e)) => Err(format!("pipeline error: {e}")),
+        Ok(Ok(result)) => {
+            // Quarantine may legitimately fire under tight budgets, but a
+            // clean default run must never quarantine.
+            if config.strict && !result.quarantined.is_empty() {
+                Err("strict run returned quarantined sites".to_string())
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "<non-string payload>".to_string())
+}
+
+/// Greedily shrinks a failing case to a minimal reproducer and formats
+/// the recipe to print. Shrinking preserves the failure, reducing
+/// `diamonds` first (structure), then halving `trip` (work).
+fn shrink_report(
+    seed: u64,
+    diamonds: usize,
+    trip: i64,
+    config: PipelineConfig,
+    err: &str,
+) -> String {
+    let (mut d, mut t) = (diamonds, trip);
+    loop {
+        if d > 0 && pipeline_case(seed, d - 1, t, config).is_err() {
+            d -= 1;
+        } else if t > 1 && pipeline_case(seed, d, t / 2, config).is_err() {
+            t /= 2;
+        } else {
+            break;
+        }
+    }
+    format!(
+        "fuzz failure, minimal repro: seed={seed} diamonds={d} trip={t} \
+         (random_loop_module(seed, diamonds, trip)); original failure: {err}"
+    )
+}
+
+/// Tier-1 slice of the differential fuzz: ~100 deterministic cases with
+/// the default config (every gate + the dynamic backstop armed).
+#[test]
+fn fuzz_pipeline_default_config() {
+    let config = PipelineConfig::default();
+    for seed in 0..100u64 {
+        let diamonds = (seed % 5) as usize;
+        let trip = 20 + (seed % 7) as i64 * 20;
+        if let Err(e) = pipeline_case(seed, diamonds, trip, config) {
+            panic!("{}", shrink_report(seed, diamonds, trip, config, &e));
+        }
+    }
+}
+
+/// The degraded configurations must be equally panic-free: strict mode,
+/// refinement off, and a tight realized-growth budget forcing backoff.
+#[test]
+fn fuzz_pipeline_config_variants() {
+    let variants = [
+        PipelineConfig {
+            strict: true,
+            ..PipelineConfig::default()
+        },
+        PipelineConfig {
+            refine: false,
+            ..PipelineConfig::default()
+        },
+        PipelineConfig {
+            max_realized_growth: Some(1.2),
+            ..PipelineConfig::default()
+        },
+    ];
+    for (v, config) in variants.into_iter().enumerate() {
+        for seed in 0..12u64 {
+            let diamonds = (seed % 4) as usize;
+            let trip = 25 + (seed % 5) as i64 * 15;
+            if let Err(e) = pipeline_case(seed, diamonds, trip, config) {
+                panic!(
+                    "variant {v}: {}",
+                    shrink_report(seed, diamonds, trip, config, &e)
+                );
+            }
+        }
+    }
+}
+
+/// Codec totality fuzz: random traces round-trip exactly; byte mutations,
+/// truncations and garbage always decode to `Ok` or a typed error — a
+/// panic anywhere fails the test by unwinding.
+#[test]
+fn fuzz_trace_codec_total() {
+    let mut g = Gen::new(0xC0DEC);
+    for case in 0..200u64 {
+        let len = g.below(400) as usize + 1;
+        let sites = g.below(60) + 1;
+        let mut t = Trace::new();
+        for _ in 0..len {
+            t.push(TraceEvent {
+                site: BranchId(g.below(sites) as u32),
+                taken: g.below(2) == 1,
+            });
+        }
+        let bytes = t.to_bytes();
+        assert_eq!(
+            Trace::from_bytes(&bytes).unwrap(),
+            t,
+            "case {case}: round-trip mismatch"
+        );
+        // Single-byte mutation at a random offset.
+        let mut mutated = bytes.clone();
+        let at = g.below(mutated.len() as u64) as usize;
+        mutated[at] ^= (g.below(255) + 1) as u8;
+        let _ = Trace::from_bytes(&mutated);
+        // Random truncation.
+        let cut = g.below(bytes.len() as u64) as usize;
+        let _ = Trace::from_bytes(&bytes[..cut]);
+        // Pure garbage of random length.
+        let glen = g.below(64) as usize;
+        let garbage: Vec<u8> = (0..glen).map(|_| g.next() as u8).collect();
+        let _ = Trace::from_bytes(&garbage);
+    }
+}
