@@ -17,7 +17,7 @@ fn main() {
 
     println!("pipeline-stages ({} trace events)", trace.len());
     bench_throughput("interpret-and-trace", outcome.steps, || {
-        let mut m = Machine::new(&w.module, RunConfig::default());
+        let mut m = Machine::new(&w.module, RunConfig::default()).unwrap();
         m.set_input(w.input.clone());
         m.run("main", &w.args).expect("runs")
     });

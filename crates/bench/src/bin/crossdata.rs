@@ -63,7 +63,7 @@ fn crossdata_row(name: &str, scale: brepl_workloads::Scale) -> String {
 
     // Evaluate the frozen predictions on the alternate dataset: run the
     // *replicated* program on the test input.
-    let mut m = Machine::new(&result.program.module, RunConfig::default());
+    let mut m = Machine::new(&result.program.module, RunConfig::default()).unwrap();
     m.set_input(test.input.clone());
     let cross_trace = match m.run("main", &test.args) {
         Ok(o) => o.trace,
@@ -74,10 +74,12 @@ fn crossdata_row(name: &str, scale: brepl_workloads::Scale) -> String {
 
     // Baseline: profile predictions trained on A, evaluated on B, on
     // the *original* program.
-    let train_trace =
-        Machine::new(&train.module, RunConfig::default()).run_with_input(&train.input, &train.args);
-    let test_trace =
-        Machine::new(&train.module, RunConfig::default()).run_with_input(&test.input, &test.args);
+    let train_trace = Machine::new(&train.module, RunConfig::default())
+        .unwrap()
+        .run_with_input(&train.input, &train.args);
+    let test_trace = Machine::new(&train.module, RunConfig::default())
+        .unwrap()
+        .run_with_input(&test.input, &test.args);
     let profile_pred = brepl::predict::semistatic::profile_prediction(&train_trace.stats());
     let prof_self = evaluate_static(&profile_pred, &train_trace).misprediction_percent();
     let prof_cross = evaluate_static(&profile_pred, &test_trace).misprediction_percent();

@@ -1,0 +1,393 @@
+//! `simbench` — the simulator / pipeline performance trajectory.
+//!
+//! Times every stage of the trace-driven evaluation per workload — module
+//! build, the profiling interpretation itself, per-site stats, pattern
+//! tables, static-prediction replay, strategy selection and the full
+//! pipeline — and records the numbers as one entry of the committed
+//! `BENCH_sim.json` trajectory, so re-anchors can see the perf curve
+//! instead of re-deriving it from prose.
+//!
+//! Stages are timed in a fixed order within one process, so later stages
+//! benefit from process-wide memo warm-up exactly as real sweeps do.
+//!
+//! ```text
+//! simbench                       # human-readable table
+//! simbench --json                # print one trajectory entry to stdout
+//! simbench --label pr6-after --append BENCH_sim.json
+//!                                # append this run to the trajectory
+//! simbench --check BENCH_sim.json [--max-regress 25]
+//!                                # validate the trajectory schema and fail
+//!                                # if this run regresses the suite total
+//!                                # by more than the threshold vs. the
+//!                                # latest committed entry at this scale
+//! ```
+//!
+//! Scale comes from `BREPL_SCALE` (`small` default, `full` for the
+//! paper-sized runs).
+
+use std::time::Instant;
+
+use brepl::pipeline::{run_pipeline_profiled, PipelineConfig};
+use brepl_bench::json::{self, Json};
+use brepl_predict::{evaluate_static, HistoryKind, PatternTableSet, StaticPrediction};
+use brepl_workloads::{workload_by_name, Scale};
+
+/// The stage names, in measurement order. Keep in sync with `measure`.
+const STAGES: [&str; 7] = [
+    "build", "profile", "stats", "tables", "eval", "select", "pipeline",
+];
+
+/// Full workload names, in the paper's column order.
+const WORKLOADS: [&str; 8] = [
+    "abalone",
+    "c-compiler",
+    "compress",
+    "ghostview",
+    "predict",
+    "prolog",
+    "scheduler",
+    "doduc",
+];
+
+const SCHEMA: &str = "brepl-sim-bench/1";
+
+struct WorkloadSample {
+    name: &'static str,
+    events: u64,
+    steps: u64,
+    /// Seconds per stage, indexed like [`STAGES`].
+    stages: [f64; STAGES.len()],
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64())
+}
+
+fn measure(name: &'static str, scale: Scale) -> WorkloadSample {
+    let mut stages = [0.0f64; STAGES.len()];
+
+    let (w, t_build) = timed(|| workload_by_name(name, scale).expect("known workload"));
+    stages[0] = t_build;
+
+    let ((outcome, output), t_profile) = timed(|| {
+        w.run_with_output()
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+    });
+    stages[1] = t_profile;
+
+    let (stats, t_stats) = timed(|| outcome.trace.stats());
+    stages[2] = t_stats;
+
+    let (_tables, t_tables) =
+        timed(|| PatternTableSet::build(&outcome.trace, HistoryKind::Local, 9));
+    stages[3] = t_tables;
+
+    let mut prediction = StaticPrediction::with_default(true);
+    for (site, counts) in stats.iter_executed() {
+        prediction.set(site, counts.majority());
+    }
+    let (_report, t_eval) = timed(|| evaluate_static(&prediction, &outcome.trace));
+    stages[4] = t_eval;
+
+    let (_selection, t_select) =
+        timed(|| brepl_core::select_strategies(&w.module, &outcome.trace, 4));
+    stages[5] = t_select;
+
+    // The pipeline stage feeds on the profiling run already measured
+    // above — deterministic execution makes re-profiling pure waste, and
+    // real sweeps share the run the same way.
+    let (result, t_pipeline) = timed(|| {
+        run_pipeline_profiled(
+            &w.module,
+            &w.args,
+            &w.input,
+            &outcome,
+            &output,
+            PipelineConfig::default(),
+        )
+    });
+    result.unwrap_or_else(|e| panic!("{name}: pipeline failed: {e}"));
+    stages[6] = t_pipeline;
+
+    WorkloadSample {
+        name,
+        events: outcome.trace.len() as u64,
+        steps: outcome.steps,
+        stages,
+    }
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Full => "full",
+        Scale::Small => "small",
+    }
+}
+
+fn entry_json(label: &str, scale: Scale, samples: &[WorkloadSample], suite_seconds: f64) -> String {
+    let workloads: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            let mut stages = json::Obj::new();
+            for (i, name) in STAGES.iter().enumerate() {
+                stages = stages.num(name, s.stages[i]);
+            }
+            json::Obj::new()
+                .str("name", s.name)
+                .int("events", s.events)
+                .int("steps", s.steps)
+                .raw("stages", &stages.build())
+                .build()
+        })
+        .collect();
+    json::Obj::new()
+        .str("label", label)
+        .str("scale", scale_name(scale))
+        .int("threads", brepl_core::engine::thread_count() as u64)
+        .num("suite_seconds", suite_seconds)
+        .raw("workloads", &json::array(&workloads))
+        .build()
+}
+
+/// Validates the trajectory document's schema; returns the entries.
+fn validate_trajectory(doc: &Json) -> Result<&[Json], String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema field missing or not {SCHEMA:?}"));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("entries array missing")?;
+    for (i, e) in entries.iter().enumerate() {
+        let ctx = |what: &str| format!("entry {i}: {what}");
+        e.get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("label missing"))?;
+        let scale = e
+            .get("scale")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("scale missing"))?;
+        if scale != "full" && scale != "small" {
+            return Err(ctx("scale must be \"full\" or \"small\""));
+        }
+        e.get("suite_seconds")
+            .and_then(Json::as_num)
+            .filter(|s| s.is_finite() && *s >= 0.0)
+            .ok_or_else(|| ctx("suite_seconds missing or negative"))?;
+        let workloads = e
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ctx("workloads array missing"))?;
+        for w in workloads {
+            let name = w
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ctx("workload name missing"))?;
+            w.get("events")
+                .and_then(Json::as_num)
+                .ok_or_else(|| ctx(&format!("{name}: events missing")))?;
+            let stages = w
+                .get("stages")
+                .ok_or_else(|| ctx(&format!("{name}: stages missing")))?;
+            for s in STAGES {
+                stages
+                    .get(s)
+                    .and_then(Json::as_num)
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                    .ok_or_else(|| ctx(&format!("{name}: stage {s:?} missing")))?;
+            }
+        }
+    }
+    Ok(entries)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut label = String::from("run");
+    let mut print_json = false;
+    let mut append: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut max_regress = 25.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--label" => {
+                i += 1;
+                label = args.get(i).expect("--label needs a value").clone();
+            }
+            "--json" => print_json = true,
+            "--append" => {
+                i += 1;
+                append = Some(args.get(i).expect("--append needs a path").clone());
+            }
+            "--check" => {
+                i += 1;
+                check = Some(args.get(i).expect("--check needs a path").clone());
+            }
+            "--max-regress" => {
+                i += 1;
+                max_regress = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-regress needs a percentage");
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: simbench [--label NAME] [--json] [--append FILE] \
+                     [--check FILE] [--max-regress PCT]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let scale = brepl_bench::scale_from_env();
+    let suite_start = Instant::now();
+    let samples: Vec<WorkloadSample> = WORKLOADS.iter().map(|&n| measure(n, scale)).collect();
+    let suite_seconds = suite_start.elapsed().as_secs_f64();
+
+    if print_json {
+        println!("{}", entry_json(&label, scale, &samples, suite_seconds));
+    } else {
+        println!(
+            "simbench: scale={} threads={} suite={suite_seconds:.3}s",
+            scale_name(scale),
+            brepl_core::engine::thread_count()
+        );
+        print!("{:<12} {:>10} {:>10}", "workload", "events", "Mev/s");
+        for s in STAGES {
+            print!(" {s:>9}");
+        }
+        println!();
+        for s in &samples {
+            let mevs = if s.stages[1] > 0.0 {
+                s.events as f64 / s.stages[1] / 1e6
+            } else {
+                0.0
+            };
+            print!("{:<12} {:>10} {:>10.2}", s.name, s.events, mevs);
+            for t in s.stages {
+                print!(" {:>8.1}ms", t * 1e3);
+            }
+            println!();
+        }
+    }
+
+    if let Some(path) = &append {
+        let entry = entry_json(&label, scale, &samples, suite_seconds);
+        let entries_json = match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let doc = json::parse(&text).unwrap_or_else(|(pos, msg)| {
+                    eprintln!("simbench: {path}: parse error at byte {pos}: {msg}");
+                    std::process::exit(2);
+                });
+                let entries = validate_trajectory(&doc).unwrap_or_else(|msg| {
+                    eprintln!("simbench: {path}: invalid trajectory: {msg}");
+                    std::process::exit(2);
+                });
+                let mut rendered: Vec<String> = entries.iter().map(render_json).collect();
+                rendered.push(entry);
+                rendered
+            }
+            Err(_) => vec![entry],
+        };
+        let doc = json::Obj::new()
+            .str("schema", SCHEMA)
+            .raw("entries", &pretty_entries(&entries_json))
+            .build();
+        std::fs::write(path, doc + "\n").unwrap_or_else(|e| {
+            eprintln!("simbench: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("simbench: appended entry {label:?} to {path}");
+    }
+
+    if let Some(path) = &check {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("simbench: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let doc = json::parse(&text).unwrap_or_else(|(pos, msg)| {
+            eprintln!("simbench: {path}: parse error at byte {pos}: {msg}");
+            std::process::exit(2);
+        });
+        let entries = validate_trajectory(&doc).unwrap_or_else(|msg| {
+            eprintln!("simbench: {path}: invalid trajectory: {msg}");
+            std::process::exit(2);
+        });
+        eprintln!(
+            "simbench: {path}: schema OK ({} entr{})",
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" }
+        );
+        let baseline = entries
+            .iter()
+            .rev()
+            .find(|e| e.get("scale").and_then(Json::as_str) == Some(scale_name(scale)));
+        match baseline {
+            None => {
+                eprintln!(
+                    "simbench: no committed {} entry to compare against; check is schema-only",
+                    scale_name(scale)
+                );
+            }
+            Some(b) => {
+                let base = b.get("suite_seconds").and_then(Json::as_num).unwrap();
+                let base_label = b.get("label").and_then(Json::as_str).unwrap();
+                let ratio = if base > 0.0 {
+                    suite_seconds / base
+                } else {
+                    1.0
+                };
+                eprintln!(
+                    "simbench: suite {suite_seconds:.3}s vs committed {base_label:?} \
+                     {base:.3}s ({:+.1}%)",
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio > 1.0 + max_regress / 100.0 {
+                    eprintln!(
+                        "simbench: FAIL: suite regressed more than {max_regress:.0}% \
+                         vs the committed baseline"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
+/// Re-renders a parsed entry (needed to append while preserving history).
+fn render_json(v: &Json) -> String {
+    match v {
+        Json::Null => "null".into(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Json::Str(s) => format!("\"{}\"", json::escape(s)),
+        Json::Arr(items) => json::array(&items.iter().map(render_json).collect::<Vec<_>>()),
+        Json::Obj(fields) => {
+            let rendered: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", json::escape(k), render_json(v)))
+                .collect();
+            format!("{{{}}}", rendered.join(","))
+        }
+    }
+}
+
+/// One entry per line keeps the committed trajectory diffable.
+fn pretty_entries(entries: &[String]) -> String {
+    if entries.is_empty() {
+        return "[]".into();
+    }
+    format!("[\n{}\n]", entries.join(",\n"))
+}

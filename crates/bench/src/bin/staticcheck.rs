@@ -86,7 +86,7 @@ fn main() {
         total_errors += errors;
 
         // Profile the original once more for the cost fold.
-        let mut machine = Machine::new(&w.module, RunConfig::default());
+        let mut machine = Machine::new(&w.module, RunConfig::default()).unwrap();
         machine.set_input(w.input.clone());
         let trace = match machine.run("main", &w.args) {
             Ok(outcome) => outcome.trace,

@@ -105,7 +105,8 @@ pub fn profile_paths(
     trace: &Trace,
     candidates_by_site: &HashMap<BranchId, Vec<Vec<PathStep>>>,
 ) -> HashMap<BranchId, PathProfile> {
-    let mut profiles: HashMap<BranchId, PathProfile> = HashMap::new();
+    let mut sites: Vec<BranchId> = Vec::with_capacity(candidates_by_site.len());
+    let mut profiles: Vec<PathProfile> = Vec::with_capacity(candidates_by_site.len());
     let mut max_len = 0usize;
     for (&site, cands) in candidates_by_site {
         let candidates: Vec<Vec<PathStep>> = {
@@ -128,26 +129,44 @@ pub fn profile_paths(
         max_len = max_len.max(candidates.iter().map(Vec::len).max().unwrap_or(0));
         let chain = suffix_chains(&candidates);
         let n = candidates.len();
-        profiles.insert(
-            site,
-            PathProfile {
-                candidates,
-                chain,
-                group_counts: vec![SiteCounts::default(); n],
-                unmatched: SiteCounts::default(),
-                total: 0,
-            },
-        );
+        sites.push(site);
+        profiles.push(PathProfile {
+            candidates,
+            chain,
+            group_counts: vec![SiteCounts::default(); n],
+            unmatched: SiteCounts::default(),
+            total: 0,
+        });
     }
 
-    // Ring buffer of the most recent events (oldest first).
-    let mut recent: Vec<(BranchId, bool)> = Vec::with_capacity(max_len + 1);
-    for ev in trace.iter() {
-        if let Some(profile) = profiles.get_mut(&ev.site) {
+    // Dense site -> profile index, so the per-event dispatch below is an
+    // array load rather than a hash lookup.
+    let n_sites = sites.iter().map(|s| s.index() + 1).max().unwrap_or(0);
+    let mut of_site: Vec<Option<usize>> = vec![None; n_sites];
+    for (i, site) in sites.iter().enumerate() {
+        of_site[site.index()] = Some(i);
+    }
+
+    // Ring buffer of the `max_len` most recent events: `count` valid
+    // entries, the next write landing at `next`. Replaces a front-popped
+    // Vec — same logical window, no per-event memmove.
+    let cap = max_len.max(1);
+    let mut ring: Vec<(BranchId, bool)> = vec![(BranchId(0), false); cap];
+    let mut count = 0usize;
+    let mut next = 0usize;
+    for &packed in trace.packed() {
+        let site = BranchId(packed >> 1);
+        let taken = packed & 1 == 1;
+        if let Some(profile) = of_site
+            .get(site.index())
+            .copied()
+            .flatten()
+            .map(|i| &mut profiles[i])
+        {
             profile.total += 1;
             let mut best: Option<usize> = None;
             for (gi, cand) in profile.candidates.iter().enumerate() {
-                if path_matches(cand, &recent) {
+                if ring_matches(cand, &ring, count, next) {
                     match best {
                         Some(b) if profile.candidates[b].len() >= cand.len() => {}
                         _ => best = Some(gi),
@@ -158,20 +177,37 @@ pub fn profile_paths(
                 Some(gi) => &mut profile.group_counts[gi],
                 None => &mut profile.unmatched,
             };
-            if ev.taken {
+            if taken {
                 bucket.taken += 1;
             } else {
                 bucket.not_taken += 1;
             }
         }
         if max_len > 0 {
-            if recent.len() == max_len {
-                recent.remove(0);
-            }
-            recent.push((ev.site, ev.taken));
+            ring[next] = (site, taken);
+            next = (next + 1) % cap;
+            count = (count + 1).min(cap);
         }
     }
-    profiles
+    sites.into_iter().zip(profiles).collect()
+}
+
+/// [`path_matches`] against the ring buffer of recent events: `ring` holds
+/// `count` valid entries with the next write at `next`, so the event `age`
+/// steps behind the newest sits at `(next + cap - 1 - age) % cap`.
+fn ring_matches(path: &[PathStep], ring: &[(BranchId, bool)], count: usize, next: usize) -> bool {
+    if path.len() > count {
+        return false;
+    }
+    let cap = ring.len();
+    for (j, step) in path.iter().enumerate() {
+        let age = path.len() - 1 - j;
+        let (site, taken) = ring[(next + cap - 1 - age) % cap];
+        if step.site != site || step.taken != taken {
+            return false;
+        }
+    }
+    true
 }
 
 fn is_path_suffix(shorter: &[PathStep], longer: &[PathStep]) -> bool {

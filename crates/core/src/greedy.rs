@@ -235,6 +235,7 @@ mod tests {
     fn curve_starts_at_profile_and_descends() {
         let m = alternating_module();
         let t = Sim::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(200)])
             .unwrap()
             .trace;
@@ -255,6 +256,7 @@ mod tests {
     fn sites_within_budget_tracks_order() {
         let m = alternating_module();
         let t = Sim::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(200)])
             .unwrap()
             .trace;
@@ -276,6 +278,7 @@ mod tests {
     fn size_budget_lookup() {
         let m = alternating_module();
         let t = Sim::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(100)])
             .unwrap()
             .trace;
@@ -293,6 +296,7 @@ mod tests {
     fn same_loop_machines_multiply_cost() {
         let m = alternating_module();
         let t = Sim::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(200)])
             .unwrap()
             .trace;

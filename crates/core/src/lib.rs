@@ -43,7 +43,8 @@ pub use joint::{allocate_joint_states, BranchCurve, JointAllocation};
 pub use machine::{MachineState, StateMachine};
 pub use pattern::{HistPattern, ParsePatternError};
 pub use replicate::{
-    apply_plan, check_equivalence, BranchMachine, ReplicatedProgram, ReplicationPlan,
+    apply_plan, check_equivalence, check_equivalence_outcomes, BranchMachine, ReplicatedProgram,
+    ReplicationPlan,
 };
 pub use select::{
     select_strategies, select_strategies_with_threads, ChosenStrategy, Selection, StrategyChoice,

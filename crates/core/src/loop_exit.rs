@@ -113,37 +113,57 @@ pub fn exit_oscillator(n: usize, table: &PatternTable) -> StateMachine {
 /// ([`StateMachine::complemented`]), so the returned machine always runs on
 /// real outcomes.
 pub fn best_exit_machine(n: usize, table: &PatternTable, outcomes: &[bool]) -> SearchResult {
+    exit_machine_menu(n, table, outcomes)
+        .pop()
+        .expect("at least one candidate machine exists")
+}
+
+/// [`best_exit_machine`] for every budget `2..=max` in one shared pass:
+/// index `n - 2` of the result is the best machine under budget `n`.
+///
+/// The budgets nest — budget `n`'s candidate list is budget `n - 1`'s plus
+/// the size-`n` shapes — so one inverted stream, one inverted table and one
+/// simulation per shape serve every budget. Selection pipelines ask for the
+/// whole per-size menu anyway (§6 joint rebalancing), which previously
+/// rebuilt all of that per budget. Candidate order and the keep-first
+/// tie-break are preserved exactly, so each entry is bit-identical to the
+/// standalone [`best_exit_machine`] call at that budget.
+pub fn exit_machine_menu(max: usize, table: &PatternTable, outcomes: &[bool]) -> Vec<SearchResult> {
+    assert!((2..=10).contains(&max), "budget must be in 2..=10");
     let total = outcomes.len() as u64;
     let inverted_outcomes: Vec<bool> = outcomes.iter().map(|&o| !o).collect();
     let inverted_table = table_from_outcomes(&inverted_outcomes, table_bits(table));
 
     // All chain lengths up to the budget: a longer chain is not always
     // better under true simulation (the machine's state can diverge from
-    // the history partition), so the search is over sizes 2..=n.
-    let mut candidates: Vec<StateMachine> = Vec::new();
-    for k in 2..=n {
-        candidates.push(exit_chain(k, table));
-        candidates.push(exit_chain(k, &inverted_table).complemented());
+    // the history partition), so the search is over sizes 2..=max.
+    let mut best: Option<SearchResult> = None;
+    let mut menu = Vec::with_capacity(max - 1);
+    for k in 2..=max {
+        let mut candidates: Vec<StateMachine> = vec![
+            exit_chain(k, table),
+            exit_chain(k, &inverted_table).complemented(),
+        ];
         if k >= 3 {
             candidates.push(exit_oscillator(k, table));
             candidates.push(exit_oscillator(k, &inverted_table).complemented());
         }
-    }
-    let mut best: Option<SearchResult> = None;
-    for machine in candidates {
-        let (correct, _) = machine.simulate(outcomes.iter().copied());
-        match &best {
-            Some(b) if b.correct >= correct => {}
-            _ => {
-                best = Some(SearchResult {
-                    machine,
-                    correct,
-                    total,
-                })
+        for machine in candidates {
+            let (correct, _) = machine.simulate(outcomes.iter().copied());
+            match &best {
+                Some(b) if b.correct >= correct => {}
+                _ => {
+                    best = Some(SearchResult {
+                        machine,
+                        correct,
+                        total,
+                    })
+                }
             }
         }
+        menu.push(best.clone().expect("at least one candidate machine exists"));
     }
-    best.expect("at least one candidate machine exists")
+    menu
 }
 
 /// The history length used when rebuilding tables for the inverted

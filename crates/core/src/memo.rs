@@ -10,6 +10,16 @@
 //! result on a canonical fingerprint of its inputs makes every repeat a
 //! hash lookup.
 //!
+//! Two granularities are cached:
+//!
+//! * the **per-branch** loop-machine search, keyed on the branch's table
+//!   and outcome-stream fingerprints ([`lookup_or_compute`]); and
+//! * the **whole-module** strategy selection, keyed on canonical module
+//!   and trace fingerprints ([`lookup_or_compute_selection`]) — the
+//!   pipeline re-selects over the exact `(module, trace, budget)` triple
+//!   that a standalone `select` stage already solved, so benches and
+//!   multi-stage drivers pay for selection once per distinct input.
+//!
 //! Determinism: the cached value for a key is exactly what the search
 //! would recompute, so cache hits cannot change results — only wall-clock.
 //! The map is guarded by a [`Mutex`] and shared by all engine workers.
@@ -25,6 +35,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use brepl_cfg::BranchClass;
 
 use crate::machine::StateMachine;
+use crate::select::Selection;
 
 /// One entry per machine size: the best machine of exactly that size and
 /// its simulated mispredictions (indices 0 and 1 stay `None`).
@@ -62,9 +73,27 @@ fn disabled() -> bool {
     *DISABLED.get_or_init(|| std::env::var_os("BREPL_NO_MEMO").is_some_and(|v| v == "1"))
 }
 
+/// Memo key for a whole-module selection: canonical module fingerprint,
+/// trace fingerprint, and the state budget. The worker-thread count is
+/// deliberately absent — `select_strategies_with_threads` is bit-identical
+/// for every thread count, so one cached value serves them all.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct SelectionKey {
+    module_fp: (u64, u64),
+    trace_fp: (u64, u64),
+    max_states: usize,
+}
+
+/// Whole-selection entry cap. Selections are per-(module, trace, budget),
+/// so even sweep-heavy drivers create a few hundred entries at most; the
+/// cap guards long-lived processes cycling through unbounded inputs.
+const MAX_SELECTION_ENTRIES: usize = 1 << 10;
+
 struct Memo {
     map: Mutex<HashMap<MemoKey, Arc<LoopSearchOutcome>>>,
     hits: Mutex<u64>,
+    selections: Mutex<HashMap<SelectionKey, Arc<Selection>>>,
+    selection_hits: Mutex<u64>,
 }
 
 fn memo() -> &'static Memo {
@@ -72,6 +101,8 @@ fn memo() -> &'static Memo {
     MEMO.get_or_init(|| Memo {
         map: Mutex::new(HashMap::new()),
         hits: Mutex::new(0),
+        selections: Mutex::new(HashMap::new()),
+        selection_hits: Mutex::new(0),
     })
 }
 
@@ -144,6 +175,71 @@ pub fn lookup_or_compute(
     value
 }
 
+/// Looks up a whole-module selection, computing and caching it on a miss.
+///
+/// Keyed on `(module fingerprint, trace fingerprint, max_states)`; see
+/// [`crate::select::select_strategies_with_threads`], the only caller.
+/// `compute` must be the selection search itself — the memo returns the
+/// cached [`Selection`] verbatim on a repeat key, which is exactly what
+/// the search would recompute because selection is a pure function of the
+/// fingerprinted inputs.
+pub fn lookup_or_compute_selection(
+    module_fp: (u64, u64),
+    trace_fp: (u64, u64),
+    max_states: usize,
+    compute: impl FnOnce() -> Selection,
+) -> Arc<Selection> {
+    if disabled() {
+        return Arc::new(compute());
+    }
+    let key = SelectionKey {
+        module_fp,
+        trace_fp,
+        max_states,
+    };
+    let m = memo();
+    if let Some(hit) = m
+        .selections
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&key)
+        .cloned()
+    {
+        *m.selection_hits
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+        return hit;
+    }
+    let value = Arc::new(compute());
+    let mut map = m
+        .selections
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(existing) = map.get(&key) {
+        return existing.clone();
+    }
+    if map.len() < MAX_SELECTION_ENTRIES {
+        map.insert(key, value.clone());
+    }
+    value
+}
+
+/// `(entries, hits)` for the whole-selection memo — observability for
+/// tests and the bench harness.
+pub fn selection_stats() -> (usize, u64) {
+    let m = memo();
+    let entries = m
+        .selections
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .len();
+    let hits = *m
+        .selection_hits
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    (entries, hits)
+}
+
 /// `(entries, hits)` — observability for tests and the bench harness.
 pub fn stats() -> (usize, u64) {
     let m = memo();
@@ -159,7 +255,8 @@ pub fn stats() -> (usize, u64) {
     (entries, hits)
 }
 
-/// Empties the memo (tests; long-lived servers switching workloads).
+/// Empties both memo tiers (tests; long-lived servers switching
+/// workloads).
 pub fn clear() {
     let m = memo();
     m.map
@@ -167,6 +264,13 @@ pub fn clear() {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .clear();
     *m.hits
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = 0;
+    m.selections
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
+    *m.selection_hits
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner) = 0;
 }

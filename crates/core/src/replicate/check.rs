@@ -7,11 +7,11 @@
 //! relation on every block without executing anything. One concrete run
 //! here still catches whatever a wrong witness map could hide.
 
-use std::collections::HashMap;
 use std::fmt;
 
-use brepl_ir::{BranchId, Module, Value};
-use brepl_sim::{Machine, RunConfig, RunError};
+use brepl_ir::{Module, Value};
+use brepl_sim::{Machine, Outcome, RunConfig, RunError};
+use brepl_trace::Trace;
 
 use super::ReplicatedProgram;
 
@@ -80,21 +80,42 @@ pub fn check_equivalence(
     input: &[Value],
 ) -> Result<(), EquivalenceError> {
     let run = |module: &Module| -> Result<_, RunError> {
-        let mut m = Machine::new(module, RunConfig::default());
+        let mut m = Machine::new(module, RunConfig::default())?;
         m.set_input(input.to_vec());
         let outcome = m.run(entry, args)?;
         Ok((outcome, m.output().to_vec()))
     };
     let (a, a_out) = run(original).map_err(|e| EquivalenceError::Trap(e.to_string()))?;
     let (b, b_out) = run(&replicated.module).map_err(|e| EquivalenceError::Trap(e.to_string()))?;
+    check_equivalence_outcomes(replicated, &a, &a_out, &b, &b_out)
+}
 
+/// [`check_equivalence`] on already-measured runs.
+///
+/// Callers that have just executed both programs (the pipeline profiles
+/// the original and re-measures every replicated candidate anyway) pass
+/// the outcomes and output tapes here instead of paying two more
+/// full-length simulations — execution is deterministic, so the verdict
+/// is identical either way.
+///
+/// # Errors
+///
+/// Returns the first [`EquivalenceError`] found.
+pub fn check_equivalence_outcomes(
+    replicated: &ReplicatedProgram,
+    original_outcome: &Outcome,
+    original_output: &[Value],
+    replicated_outcome: &Outcome,
+    replicated_output: &[Value],
+) -> Result<(), EquivalenceError> {
+    let (a, b) = (original_outcome, replicated_outcome);
     if a.result != b.result {
         return Err(EquivalenceError::ResultMismatch {
             original: a.result,
             replicated: b.result,
         });
     }
-    if a_out != b_out {
+    if original_output != replicated_output {
         return Err(EquivalenceError::OutputMismatch);
     }
     if b.steps > a.steps {
@@ -103,21 +124,38 @@ pub fn check_equivalence(
             replicated: b.steps,
         });
     }
-
-    // Branch histograms, replicated sites folded back through provenance.
-    let mut orig_hist: HashMap<(BranchId, bool), u64> = HashMap::new();
-    for ev in a.trace.iter() {
-        *orig_hist.entry((ev.site, ev.taken)).or_default() += 1;
-    }
-    let mut repl_hist: HashMap<(BranchId, bool), u64> = HashMap::new();
-    for ev in b.trace.iter() {
-        let orig = replicated.provenance[ev.site.index()];
-        *repl_hist.entry((orig, ev.taken)).or_default() += 1;
-    }
-    if orig_hist != repl_hist {
+    if !histograms_match(&a.trace, &b.trace, &replicated.provenance) {
         return Err(EquivalenceError::BranchHistogramMismatch);
     }
     Ok(())
+}
+
+/// Compares per-original-site `(taken, not-taken)` histograms, the
+/// replicated side folded through `provenance`. One branch-free pass over
+/// each packed trace into dense per-site arrays — no per-event hashing.
+fn histograms_match(
+    original: &Trace,
+    replicated: &Trace,
+    provenance: &[brepl_ir::BranchId],
+) -> bool {
+    let n_sites = original
+        .max_site()
+        .map_or(0, |s| s.index() + 1)
+        .max(provenance.iter().map(|p| p.index() + 1).max().unwrap_or(0));
+    let mut orig_hist = vec![[0u64; 2]; n_sites];
+    for &p in original.packed() {
+        orig_hist[(p >> 1) as usize][(p & 1) as usize] += 1;
+    }
+    let mut repl_hist = vec![[0u64; 2]; n_sites];
+    for &p in replicated.packed() {
+        let Some(orig) = provenance.get((p >> 1) as usize) else {
+            // A replicated site outside the provenance map cannot have an
+            // original counterpart; the histograms cannot match.
+            return false;
+        };
+        repl_hist[orig.index()][(p & 1) as usize] += 1;
+    }
+    orig_hist == repl_hist
 }
 
 #[cfg(test)]
@@ -153,6 +191,7 @@ mod tests {
     fn identical_modules_are_equivalent() {
         let m = loop_module(1);
         let trace = brepl_sim::Machine::new(&m, brepl_sim::RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(10)])
             .unwrap()
             .trace;
@@ -165,6 +204,7 @@ mod tests {
         let m = loop_module(1);
         let other = loop_module(3);
         let trace = brepl_sim::Machine::new(&m, brepl_sim::RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(10)])
             .unwrap()
             .trace;
@@ -190,6 +230,7 @@ mod tests {
             src: brepl_ir::Operand::imm(0),
         });
         let trace = brepl_sim::Machine::new(&m, brepl_sim::RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(10)])
             .unwrap()
             .trace;

@@ -276,6 +276,7 @@ mod tests {
     fn figure_1_replication_preserves_semantics_and_predicts_perfectly() {
         let module = alternating_loop_module();
         let original = Sim::new(&module, RunConfig::default())
+            .unwrap()
             .run("main", &[])
             .unwrap();
 
@@ -298,6 +299,7 @@ mod tests {
 
         // Semantics preserved.
         let transformed = Sim::new(&replicated, RunConfig::default())
+            .unwrap()
             .run("main", &[])
             .unwrap();
         assert_eq!(original.result, transformed.result);
@@ -332,6 +334,7 @@ mod tests {
         // (2-state chain) -> 4 product states.
         let module = alternating_loop_module();
         let original = Sim::new(&module, RunConfig::default())
+            .unwrap()
             .run("main", &[])
             .unwrap();
         let mut replicated = module.clone();
@@ -350,6 +353,7 @@ mod tests {
         replicated.renumber_branches();
         replicated.verify().unwrap();
         let transformed = Sim::new(&replicated, RunConfig::default())
+            .unwrap()
             .run("main", &[])
             .unwrap();
         assert_eq!(original.result, transformed.result);

@@ -8,7 +8,7 @@ mod loop_replicate;
 mod path_replicate;
 mod simplify;
 
-pub use check::{check_equivalence, EquivalenceError};
+pub use check::{check_equivalence, check_equivalence_outcomes, EquivalenceError};
 pub use cleanup::remove_unreachable;
 pub use loop_replicate::{replicate_loop, LoopReplicateError, LoopReplication, MAX_PRODUCT_STATES};
 pub use path_replicate::{decision_path, replicate_correlated, split_by_paths, PathSplit};
@@ -563,6 +563,7 @@ mod tests {
     fn empty_plan_is_identity_modulo_numbering() {
         let m = alternating_module();
         let trace = Sim::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(50)])
             .unwrap()
             .trace;
@@ -584,6 +585,7 @@ mod tests {
         let m = alternating_module();
         let args = [Value::Int(100)];
         let original = Sim::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &args)
             .unwrap();
         let stats = original.trace.stats();
@@ -595,6 +597,7 @@ mod tests {
         check_equivalence(&m, &program, "main", &args, &[]).unwrap();
 
         let transformed = Sim::new(&program.module, RunConfig::default())
+            .unwrap()
             .run("main", &args)
             .unwrap();
         let report = evaluate_static(&program.predictions, &transformed.trace);
@@ -679,6 +682,7 @@ mod tests {
         );
 
         let stats = Sim::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &[])
             .unwrap()
             .trace
@@ -717,6 +721,7 @@ mod tests {
         let m = alternating_module();
         let args = [Value::Int(100)];
         let stats = Sim::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &args)
             .unwrap()
             .trace
@@ -740,6 +745,7 @@ mod tests {
     fn empty_plan_replica_map_is_identity_and_validates() {
         let m = alternating_module();
         let stats = Sim::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(10)])
             .unwrap()
             .trace
@@ -785,6 +791,7 @@ mod tests {
 
         let args = [Value::Int(5)];
         let stats = Sim::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &args)
             .unwrap()
             .trace
@@ -828,6 +835,7 @@ mod tests {
     fn provenance_maps_copies_to_original() {
         let m = alternating_module();
         let trace = Sim::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(20)])
             .unwrap()
             .trace;
@@ -848,6 +856,7 @@ mod tests {
     fn unknown_site_rejected() {
         let m = alternating_module();
         let trace = Sim::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(4)])
             .unwrap()
             .trace;
@@ -874,6 +883,7 @@ mod tests {
         let mut m = Module::new();
         m.push_function(b.finish());
         let trace = Sim::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(1)])
             .unwrap()
             .trace;

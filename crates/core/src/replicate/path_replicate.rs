@@ -293,9 +293,11 @@ mod tests {
 
         for &arg in &[5i64, -5, 0, 17] {
             let a = Sim::new(&m, RunConfig::default())
+                .unwrap()
                 .run("main", &[Value::Int(arg)])
                 .unwrap();
             let b = Sim::new(&transformed, RunConfig::default())
+                .unwrap()
                 .run("main", &[Value::Int(arg)])
                 .unwrap();
             assert_eq!(a.result, b.result, "arg {arg}");

@@ -221,6 +221,7 @@ mod tests {
         let mut m = gluey_module();
         let before = m.size_units();
         let original = Machine::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(5)])
             .unwrap();
         let stats = simplify_module(&mut m);
@@ -231,6 +232,7 @@ mod tests {
         assert!(m.size_units() < before);
         // Semantics preserved (branch events too).
         let after = Machine::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(5)])
             .unwrap();
         assert_eq!(original.result, after.result);
@@ -257,6 +259,7 @@ mod tests {
         m.renumber_branches();
         m.verify().unwrap();
         assert!(Machine::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(10)])
             .is_ok());
     }

@@ -13,7 +13,7 @@ use brepl_trace::{SiteCounts, Trace};
 use crate::correlated::{profile_paths, CorrelatedMachine, PathProfile};
 use crate::engine;
 use crate::intra_loop::IntraLoopSearch;
-use crate::loop_exit::best_exit_machine;
+use crate::loop_exit::exit_machine_menu;
 use crate::machine::StateMachine;
 use crate::memo::{self, LoopSearchOutcome, SizeMenu};
 use crate::replicate::{BranchMachine, ReplicationPlan};
@@ -157,10 +157,12 @@ pub fn select_strategies(module: &Module, trace: &Trace, max_states: usize) -> S
 /// Each branch's candidate search is independent: the workers read only
 /// shared immutable analysis state, and results are merged back in
 /// `BranchId` order, so the `Selection` is **bit-identical** for every
-/// thread count. Searches are additionally memoized process-wide (see
-/// [`crate::memo`]), keyed on a canonical fingerprint of the branch's
-/// pattern table and outcome stream — repeated sweeps over the same trace
-/// (refinement rounds, 2..=10-state curves) become hash lookups.
+/// thread count. Two memo tiers make repeats cheap (see [`crate::memo`]):
+/// the whole selection is cached on `(module fingerprint, trace
+/// fingerprint, max_states)` — so a pipeline stage re-selecting over
+/// inputs a standalone select stage already solved is one hash lookup —
+/// and on a whole-selection miss, each branch's loop-machine search is
+/// cached on its table and outcome-stream fingerprints.
 ///
 /// # Panics
 ///
@@ -175,6 +177,19 @@ pub fn select_strategies_with_threads(
         (2..=10).contains(&max_states),
         "max_states must be in 2..=10"
     );
+    let cached = memo::lookup_or_compute_selection(
+        module.fingerprint(),
+        trace.fingerprint(),
+        max_states,
+        || select_uncached(module, trace, max_states, threads),
+    );
+    (*cached).clone()
+}
+
+/// The selection search proper — everything below the whole-selection
+/// memo. Pure in `(module, trace, max_states)`; `threads` only changes
+/// wall-clock.
+fn select_uncached(module: &Module, trace: &Trace, max_states: usize, threads: usize) -> Selection {
     let stats = trace.stats();
     let tables = PatternTableSet::build(trace, HistoryKind::Local, 9);
     let search = IntraLoopSearch::new(max_states, 9);
@@ -358,8 +373,10 @@ fn loop_search(
             }
         }
         BranchClass::LoopExit => {
-            for n in 2..=max_states {
-                let r = best_exit_machine(n, table, outcomes);
+            // One shared pass over all budgets: each entry is bit-identical
+            // to `best_exit_machine(n, ..)` but the inverted stream/table
+            // and the per-shape simulations happen once, not once per n.
+            for r in exit_machine_menu(max_states, table, outcomes) {
                 let misses = r.total - r.correct;
                 let sz = r.machine.len();
                 if misses < best_misses {
@@ -513,6 +530,7 @@ mod tests {
 
     fn trace_of(m: &Module, n: i64) -> Trace {
         Sim::new(m, RunConfig::default())
+            .unwrap()
             .run("main", &[Value::Int(n)])
             .unwrap()
             .trace
@@ -638,6 +656,24 @@ mod tests {
         let plan = sel.to_plan();
         let program = crate::replicate::apply_plan(&m, &plan, &t.stats()).unwrap();
         crate::replicate::check_equivalence(&m, &program, "main", &[Value::Int(700)], &[]).unwrap();
+    }
+
+    #[test]
+    fn repeated_selection_is_a_memo_hit_and_identical() {
+        let m = rich_module();
+        let t = trace_of(&m, 90);
+        let first = select_strategies(&m, &t, 5);
+        let (_, hits_before) = memo::selection_stats();
+        let second = select_strategies(&m, &t, 5);
+        let (_, hits_after) = memo::selection_stats();
+        assert_eq!(first, second, "cache hits must be bit-identical");
+        assert!(
+            hits_after > hits_before,
+            "the repeat selection must come from the whole-selection memo"
+        );
+        // A different budget is a different key, not a stale hit.
+        let third = select_strategies(&m, &t, 2);
+        assert!(third.total_misses() >= first.total_misses());
     }
 
     #[test]

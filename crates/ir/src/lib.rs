@@ -57,6 +57,7 @@
 
 mod builder;
 mod display;
+mod fingerprint;
 mod ids;
 mod inst;
 mod loc;

@@ -23,14 +23,23 @@ pub trait DynamicPredictor {
 }
 
 /// Replays `trace` against `predictor` and reports mispredictions.
+///
+/// The predictor is stateful, so this is inherently sequential; the pass
+/// still works off the packed event words directly and batches the
+/// misprediction accounting into pre-sized per-site arrays.
 pub fn simulate_dynamic<P: DynamicPredictor + ?Sized>(predictor: &mut P, trace: &Trace) -> Report {
-    let mut report = Report::new();
-    for ev in trace.iter() {
-        let guess = predictor.predict(ev.site);
-        report.record(ev.site, guess == ev.taken);
-        predictor.update(ev.site, ev.taken);
+    let n_sites = trace.max_site().map_or(0, |s| s.index() + 1);
+    let mut counts = vec![(0u64, 0u64); n_sites];
+    for &p in trace.packed() {
+        let site = BranchId(p >> 1);
+        let taken = p & 1 == 1;
+        let guess = predictor.predict(site);
+        let c = &mut counts[site.index()];
+        c.0 += 1;
+        c.1 += u64::from(guess != taken);
+        predictor.update(site, taken);
     }
-    report
+    Report::from_counts(counts)
 }
 
 /// A fixed, per-site prediction — the output shape of every static and
@@ -64,6 +73,12 @@ impl StaticPrediction {
         self.predictions.get(&site).copied().unwrap_or(self.default)
     }
 
+    /// Iterates over the explicit `(site, prediction)` entries, in no
+    /// particular order.
+    pub fn iter(&self) -> impl Iterator<Item = (BranchId, bool)> + '_ {
+        self.predictions.iter().map(|(&s, &p)| (s, p))
+    }
+
     /// Number of explicit entries.
     pub fn len(&self) -> usize {
         self.predictions.len()
@@ -85,12 +100,26 @@ impl FromIterator<(BranchId, bool)> for StaticPrediction {
 }
 
 /// Scores a fixed per-site prediction against a trace.
+///
+/// Runs as a batched array pass: the per-site predictions are spread
+/// into a dense direction table once, then the packed trace is scored
+/// with one indexed compare per event — no hash lookup on the hot path.
 pub fn evaluate_static(prediction: &StaticPrediction, trace: &Trace) -> Report {
-    let mut report = Report::new();
-    for ev in trace.iter() {
-        report.record(ev.site, prediction.get(ev.site) == ev.taken);
+    let n_sites = trace.max_site().map_or(0, |s| s.index() + 1);
+    let mut predicted: Vec<bool> = vec![prediction.default; n_sites];
+    for (site, taken) in prediction.iter() {
+        if site.index() < n_sites {
+            predicted[site.index()] = taken;
+        }
     }
-    report
+    let mut counts = vec![(0u64, 0u64); n_sites];
+    for &p in trace.packed() {
+        let i = (p >> 1) as usize;
+        let c = &mut counts[i];
+        c.0 += 1;
+        c.1 += u64::from((p & 1 == 1) != predicted[i]);
+    }
+    Report::from_counts(counts)
 }
 
 #[cfg(test)]

@@ -142,16 +142,96 @@ impl PatternTableSet {
     /// Panics unless `1 <= bits <= 16`.
     pub fn build(trace: &Trace, kind: HistoryKind, bits: u32) -> Self {
         assert!((1..=16).contains(&bits), "history bits must be in 1..=16");
+        let n_sites = trace.max_site().map_or(0, |s| s.index() + 1);
+        // When the dense scratch (one counter row of 2^bits patterns per
+        // site) stays modest, accumulate into a flat array — one indexed
+        // add per event — and compact into the hash-backed tables at the
+        // end. Otherwise (long histories or huge site ranges) fall back
+        // to the per-event hash path.
+        const MAX_SCRATCH_ENTRIES: usize = 1 << 22;
+        let dense = n_sites
+            .checked_mul(1usize << bits)
+            .is_some_and(|entries| entries <= MAX_SCRATCH_ENTRIES);
+        let tables = if dense {
+            Self::build_dense(trace, kind, bits, n_sites)
+        } else {
+            Self::build_sparse(trace, kind, bits, n_sites)
+        };
+        PatternTableSet {
+            kind,
+            bits,
+            tables,
+            total_events: trace.len() as u64,
+        }
+    }
+
+    /// Batched build: per-site dense pattern rows in one flat scratch
+    /// array, then compaction. Produces tables equal to the sparse path.
+    fn build_dense(
+        trace: &Trace,
+        kind: HistoryKind,
+        bits: u32,
+        n_sites: usize,
+    ) -> Vec<PatternTable> {
+        let mask: u32 = (1 << bits) - 1;
+        let mut scratch = vec![SiteCounts::default(); n_sites << bits];
+        let mut global: u32 = 0;
+        let mut local = vec![0u32; n_sites];
+        match kind {
+            HistoryKind::Global => {
+                for &p in trace.packed() {
+                    let i = (p >> 1) as usize;
+                    let taken = u64::from(p & 1);
+                    let c = &mut scratch[i << bits | global as usize];
+                    c.taken += taken;
+                    c.not_taken += 1 - taken;
+                    global = (global << 1 | p & 1) & mask;
+                }
+            }
+            HistoryKind::Local => {
+                for &p in trace.packed() {
+                    let i = (p >> 1) as usize;
+                    let taken = u64::from(p & 1);
+                    let h = local[i];
+                    let c = &mut scratch[i << bits | h as usize];
+                    c.taken += taken;
+                    c.not_taken += 1 - taken;
+                    local[i] = (h << 1 | p & 1) & mask;
+                }
+            }
+        }
+        let mut tables = Vec::with_capacity(n_sites);
+        for i in 0..n_sites {
+            let row = &scratch[i << bits..(i + 1) << bits];
+            let mut table = PatternTable::default();
+            for (pattern, &c) in row.iter().enumerate() {
+                let total = c.total();
+                if total > 0 {
+                    table.counts.insert(pattern as u32, c);
+                    table.executions += total;
+                }
+            }
+            tables.push(table);
+        }
+        tables
+    }
+
+    /// Event-by-event hash-table build — the fallback when the dense
+    /// scratch would be too large, and the behavioral definition the
+    /// dense path must match.
+    fn build_sparse(
+        trace: &Trace,
+        kind: HistoryKind,
+        bits: u32,
+        n_sites: usize,
+    ) -> Vec<PatternTable> {
         let mask: u32 = (1 << bits) - 1;
         let mut tables: Vec<PatternTable> = Vec::new();
+        tables.resize_with(n_sites, PatternTable::default);
         let mut global: u32 = 0;
-        let mut local: Vec<u32> = Vec::new();
+        let mut local = vec![0u32; n_sites];
         for ev in trace.iter() {
             let i = ev.site.index();
-            if i >= tables.len() {
-                tables.resize_with(i + 1, PatternTable::default);
-                local.resize(i + 1, 0);
-            }
             let h = match kind {
                 HistoryKind::Global => global,
                 HistoryKind::Local => local[i],
@@ -163,12 +243,7 @@ impl PatternTableSet {
                 HistoryKind::Local => local[i] = (local[i] << 1 | bit) & mask,
             }
         }
-        PatternTableSet {
-            kind,
-            bits,
-            tables,
-            total_events: trace.len() as u64,
-        }
+        tables
     }
 
     /// The history arrangement used.
@@ -347,6 +422,30 @@ mod tests {
             a.site(BranchId(0)).unwrap().fingerprint(),
             c.site(BranchId(0)).unwrap().fingerprint()
         );
+    }
+
+    #[test]
+    fn dense_and_sparse_builds_agree() {
+        // The batched dense-scratch build must produce tables *equal* to
+        // the event-by-event hash build, for both history kinds,
+        // including warmup patterns and multi-site interleavings.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut trace = Trace::new();
+        for _ in 0..50_000 {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            trace.push(ev((r % 13) as u32, r & (1 << 40) != 0));
+        }
+        for kind in [HistoryKind::Global, HistoryKind::Local] {
+            for bits in [1, 4, 9] {
+                let n_sites = trace.max_site().map_or(0, |s| s.index() + 1);
+                let dense = PatternTableSet::build_dense(&trace, kind, bits, n_sites);
+                let sparse = PatternTableSet::build_sparse(&trace, kind, bits, n_sites);
+                assert_eq!(dense, sparse, "kind={kind:?} bits={bits}");
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,25 @@ impl Report {
         Self::default()
     }
 
+    /// Builds a report directly from per-site `(executions,
+    /// mispredictions)` counts indexed by site — the output shape of the
+    /// batched array evaluators, equal to the report the same counts
+    /// would produce through [`Report::record`].
+    pub fn from_counts(per_site: Vec<(u64, u64)>) -> Self {
+        let mut total = 0u64;
+        let mut wrong = 0u64;
+        for &(t, w) in &per_site {
+            debug_assert!(w <= t);
+            total += t;
+            wrong += w;
+        }
+        Report {
+            per_site,
+            total,
+            wrong,
+        }
+    }
+
     /// Records one prediction outcome.
     pub fn record(&mut self, site: BranchId, correct: bool) {
         let i = site.index();

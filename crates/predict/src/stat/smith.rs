@@ -96,6 +96,7 @@ mod tests {
     fn btfn_on_counted_loop() {
         let m = loop_module();
         let trace = Machine::new(&m, RunConfig::default())
+            .unwrap()
             .run("main", &[])
             .unwrap()
             .trace;

@@ -30,6 +30,13 @@ pub enum RunError {
     TypeError(&'static str),
     /// An intrinsic received malformed arguments.
     BadIntrinsic(&'static str),
+    /// The module's global segment does not fit in the configured heap.
+    GlobalsExceedHeap {
+        /// Words the module's globals need.
+        globals: usize,
+        /// Words the configuration provides.
+        heap_words: usize,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -46,6 +53,13 @@ impl fmt::Display for RunError {
             RunError::OutOfFuel => write!(f, "instruction budget exhausted"),
             RunError::TypeError(what) => write!(f, "type error: {what}"),
             RunError::BadIntrinsic(what) => write!(f, "bad intrinsic use: {what}"),
+            RunError::GlobalsExceedHeap {
+                globals,
+                heap_words,
+            } => write!(
+                f,
+                "module needs {globals} global words but the heap holds {heap_words}"
+            ),
         }
     }
 }

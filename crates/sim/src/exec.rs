@@ -1,0 +1,581 @@
+//! The pre-decoded executable form and its flat dispatch loop.
+//!
+//! [`ExecModule::decode`] lowers a [`Module`] once, up front, into a flat
+//! arena of fixed-size [`Op`]s: block structure becomes program-counter
+//! indices, operands become packed register/constant-pool indices, call
+//! targets become function indices and intrinsics are specialized per
+//! kind. The run loop is then a single `ops[pc]` dispatch with no
+//! per-step allocation — call frames share one register stack — and no
+//! name lookups.
+//!
+//! Malformed code that the old tree-walking interpreter only rejected
+//! when reached (an unknown callee, an intrinsic missing its argument)
+//! decodes to a [`Op::Trap`] carrying the exact [`RunError`], so errors
+//! still surface lazily and the two engines stay observably identical.
+//! The reference tree-walk lives on in [`crate::ReferenceMachine`] as the
+//! oracle the golden tests compare against.
+
+use brepl_ir::{BinOp, BranchId, CmpOp, Inst, Intrinsic, Module, Operand, Term, Value};
+use brepl_trace::{Trace, TraceEvent};
+
+use crate::arith::{eval_bin, eval_cmp};
+use crate::error::RunError;
+use crate::machine::Outcome;
+
+/// Packed-operand flag: the low 31 bits index the constant pool instead
+/// of the current frame's registers.
+const IMM_BIT: u32 = 1 << 31;
+
+/// Sentinel for "no register" in optional destination/value slots.
+const NONE: u32 = u32::MAX;
+
+/// One decoded function.
+pub(crate) struct ExecFunc {
+    pub n_params: u32,
+    pub n_regs: u32,
+    pub entry_pc: u32,
+}
+
+/// One fixed-size decoded operation. Branch targets are absolute indices
+/// into the op arena; operands are packed (see [`IMM_BIT`]).
+pub(crate) enum Op {
+    Const {
+        dst: u32,
+        value: Value,
+    },
+    Copy {
+        dst: u32,
+        src: u32,
+    },
+    Bin {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    Cmp {
+        op: CmpOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    Ftoi {
+        dst: u32,
+        src: u32,
+    },
+    Itof {
+        dst: u32,
+        src: u32,
+    },
+    Load {
+        dst: u32,
+        addr: u32,
+    },
+    Store {
+        addr: u32,
+        value: u32,
+    },
+    Alloc {
+        dst: u32,
+        words: u32,
+    },
+    Call {
+        func: u32,
+        args_start: u32,
+        args_len: u32,
+        ret_dst: u32,
+    },
+    Out {
+        arg: u32,
+        dst: u32,
+    },
+    In {
+        dst: u32,
+    },
+    Rand {
+        arg: u32,
+        dst: u32,
+    },
+    Sqrt {
+        arg: u32,
+        dst: u32,
+    },
+    /// Raises `traps[err]` when executed (lazy decode-time diagnosis).
+    Trap {
+        err: u32,
+    },
+    Br {
+        cond: u32,
+        then_pc: u32,
+        else_pc: u32,
+        site: BranchId,
+    },
+    Jmp {
+        target: u32,
+    },
+    Ret {
+        value: u32,
+    },
+}
+
+/// A module lowered for execution.
+pub(crate) struct ExecModule {
+    funcs: Vec<ExecFunc>,
+    ops: Vec<Op>,
+    consts: Vec<Value>,
+    /// Flattened packed argument lists for every call site.
+    call_args: Vec<u32>,
+    /// Errors raised by [`Op::Trap`].
+    traps: Vec<RunError>,
+}
+
+impl ExecModule {
+    /// Lowers `module`. Function indices match the module's own, so a
+    /// [`brepl_ir::FuncId`] resolved by name indexes `funcs` directly.
+    pub(crate) fn decode(module: &Module) -> ExecModule {
+        let mut exec = ExecModule {
+            funcs: Vec::with_capacity(module.function_count()),
+            ops: Vec::new(),
+            consts: Vec::new(),
+            call_args: Vec::new(),
+            traps: Vec::new(),
+        };
+        for (_, f) in module.iter_functions() {
+            // Lay the function's blocks out contiguously; each block costs
+            // its instructions plus one terminator op.
+            let base = exec.ops.len() as u32;
+            let mut block_pcs = Vec::with_capacity(f.blocks.len());
+            let mut off = base;
+            for b in &f.blocks {
+                block_pcs.push(off);
+                off += b.insts.len() as u32 + 1;
+            }
+            exec.funcs.push(ExecFunc {
+                n_params: f.n_params,
+                n_regs: f.n_regs,
+                entry_pc: block_pcs[f.entry.index()],
+            });
+            for b in &f.blocks {
+                for inst in &b.insts {
+                    let op = exec.decode_inst(module, inst);
+                    exec.ops.push(op);
+                }
+                let term = exec.decode_term(&b.term, &block_pcs);
+                exec.ops.push(term);
+            }
+        }
+        exec
+    }
+
+    fn pack(&mut self, o: Operand) -> u32 {
+        match o {
+            Operand::Reg(r) => r.index() as u32,
+            Operand::Imm(v) => {
+                let idx = self.consts.len() as u32;
+                self.consts.push(v);
+                idx | IMM_BIT
+            }
+        }
+    }
+
+    fn pack_dst(dst: Option<brepl_ir::Reg>) -> u32 {
+        dst.map_or(NONE, |r| r.index() as u32)
+    }
+
+    fn trap(&mut self, err: RunError) -> Op {
+        let idx = self.traps.len() as u32;
+        self.traps.push(err);
+        Op::Trap { err: idx }
+    }
+
+    fn decode_inst(&mut self, module: &Module, inst: &Inst) -> Op {
+        match inst {
+            Inst::Const { dst, value } => Op::Const {
+                dst: dst.index() as u32,
+                value: *value,
+            },
+            Inst::Copy { dst, src } => Op::Copy {
+                dst: dst.index() as u32,
+                src: self.pack(*src),
+            },
+            Inst::Bin { op, dst, lhs, rhs } => Op::Bin {
+                op: *op,
+                dst: dst.index() as u32,
+                lhs: self.pack(*lhs),
+                rhs: self.pack(*rhs),
+            },
+            Inst::Cmp { op, dst, lhs, rhs } => Op::Cmp {
+                op: *op,
+                dst: dst.index() as u32,
+                lhs: self.pack(*lhs),
+                rhs: self.pack(*rhs),
+            },
+            Inst::Ftoi { dst, src } => Op::Ftoi {
+                dst: dst.index() as u32,
+                src: self.pack(*src),
+            },
+            Inst::Itof { dst, src } => Op::Itof {
+                dst: dst.index() as u32,
+                src: self.pack(*src),
+            },
+            Inst::Load { dst, addr } => Op::Load {
+                dst: dst.index() as u32,
+                addr: self.pack(*addr),
+            },
+            Inst::Store { addr, value } => Op::Store {
+                addr: self.pack(*addr),
+                value: self.pack(*value),
+            },
+            Inst::Alloc { dst, words } => Op::Alloc {
+                dst: dst.index() as u32,
+                words: self.pack(*words),
+            },
+            Inst::Call { dst, callee, args } => match module.function_by_name(callee) {
+                None => self.trap(RunError::UnknownFunction(callee.clone())),
+                Some(cid) => {
+                    let args_start = self.call_args.len() as u32;
+                    for a in args {
+                        let packed = self.pack(*a);
+                        self.call_args.push(packed);
+                    }
+                    Op::Call {
+                        func: cid.0,
+                        args_start,
+                        args_len: args.len() as u32,
+                        ret_dst: Self::pack_dst(*dst),
+                    }
+                }
+            },
+            Inst::Intrin { dst, which, args } => {
+                let dst = Self::pack_dst(*dst);
+                match which {
+                    Intrinsic::Out => match args.first() {
+                        Some(a) => Op::Out {
+                            arg: self.pack(*a),
+                            dst,
+                        },
+                        None => self.trap(RunError::BadIntrinsic("out needs one argument")),
+                    },
+                    Intrinsic::In => Op::In { dst },
+                    Intrinsic::Rand => match args.first() {
+                        Some(a) => Op::Rand {
+                            arg: self.pack(*a),
+                            dst,
+                        },
+                        None => self.trap(RunError::BadIntrinsic("rand needs an int bound")),
+                    },
+                    Intrinsic::Sqrt => match args.first() {
+                        Some(a) => Op::Sqrt {
+                            arg: self.pack(*a),
+                            dst,
+                        },
+                        None => self.trap(RunError::BadIntrinsic("sqrt needs one argument")),
+                    },
+                }
+            }
+        }
+    }
+
+    fn decode_term(&mut self, term: &Term, block_pcs: &[u32]) -> Op {
+        match term {
+            Term::Br {
+                cond,
+                then_,
+                else_,
+                site,
+            } => Op::Br {
+                cond: self.pack(*cond),
+                then_pc: block_pcs[then_.index()],
+                else_pc: block_pcs[else_.index()],
+                site: *site,
+            },
+            Term::Jmp { target } => Op::Jmp {
+                target: block_pcs[target.index()],
+            },
+            Term::Ret { value } => Op::Ret {
+                value: value.map_or(NONE, |o| self.pack(o)),
+            },
+        }
+    }
+}
+
+/// Mutable machine state borrowed by [`run`], split out field by field so
+/// the op arena can stay immutably borrowed alongside it.
+pub(crate) struct State<'a> {
+    pub heap: &'a mut Vec<Value>,
+    /// Logical heap size in words; the physical vector grows lazily
+    /// towards it on store.
+    pub heap_limit: usize,
+    pub brk: &'a mut usize,
+    pub input: &'a [Value],
+    pub input_pos: &'a mut usize,
+    pub output: &'a mut Vec<Value>,
+    pub prng: &'a mut u64,
+}
+
+struct Frame {
+    base: u32,
+    ret_pc: u32,
+    ret_dst: u32,
+}
+
+#[inline(always)]
+fn rd(regs: &[Value], consts: &[Value], base: usize, o: u32) -> Value {
+    if o & IMM_BIT != 0 {
+        consts[(o & !IMM_BIT) as usize]
+    } else {
+        regs[base + o as usize]
+    }
+}
+
+#[inline(always)]
+fn addr_of(v: Value, limit: usize) -> Result<usize, RunError> {
+    let a = v
+        .as_int()
+        .ok_or(RunError::TypeError("address must be an integer"))?;
+    if a < 0 || a as usize >= limit {
+        return Err(RunError::BadAddress(a));
+    }
+    Ok(a as usize)
+}
+
+/// Runs `funcs[fid](args)` to completion over the decoded module.
+///
+/// Bit-identical to the reference tree-walk: same step accounting (one
+/// step per instruction and per terminator, checked against fuel before
+/// executing), same trace events, same error conditions in the same
+/// order. The lazily grown heap is observationally the old zero-filled
+/// one — loads beyond the physical end yield `Int(0)`, exactly what the
+/// eager fill stored there.
+pub(crate) fn run(
+    exec: &ExecModule,
+    state: State<'_>,
+    regs: &mut Vec<Value>,
+    fid: usize,
+    args: &[Value],
+    fuel: u64,
+    max_call_depth: usize,
+) -> Result<Outcome, RunError> {
+    let f = &exec.funcs[fid];
+    if args.len() != f.n_params as usize {
+        return Err(RunError::BadArgCount {
+            got: args.len(),
+            want: f.n_params as usize,
+        });
+    }
+    regs.clear();
+    regs.resize(f.n_regs as usize, Value::Int(0));
+    regs[..args.len()].copy_from_slice(args);
+    let mut frames = vec![Frame {
+        base: 0,
+        ret_pc: NONE,
+        ret_dst: NONE,
+    }];
+    let mut base = 0usize;
+    let mut pc = f.entry_pc as usize;
+
+    let consts = &exec.consts[..];
+    let ops = &exec.ops[..];
+    let State {
+        heap,
+        heap_limit,
+        brk,
+        input,
+        input_pos,
+        output,
+        prng,
+    } = state;
+
+    let mut trace = Trace::new();
+    let mut steps: u64 = 0;
+
+    loop {
+        steps += 1;
+        if steps > fuel {
+            return Err(RunError::OutOfFuel);
+        }
+        match &ops[pc] {
+            Op::Const { dst, value } => {
+                regs[base + *dst as usize] = *value;
+                pc += 1;
+            }
+            Op::Copy { dst, src } => {
+                regs[base + *dst as usize] = rd(regs, consts, base, *src);
+                pc += 1;
+            }
+            Op::Bin { op, dst, lhs, rhs } => {
+                let a = rd(regs, consts, base, *lhs);
+                let b = rd(regs, consts, base, *rhs);
+                regs[base + *dst as usize] = eval_bin(*op, a, b)?;
+                pc += 1;
+            }
+            Op::Cmp { op, dst, lhs, rhs } => {
+                let a = rd(regs, consts, base, *lhs);
+                let b = rd(regs, consts, base, *rhs);
+                regs[base + *dst as usize] = Value::Int(i64::from(eval_cmp(*op, a, b)?));
+                pc += 1;
+            }
+            Op::Ftoi { dst, src } => {
+                regs[base + *dst as usize] = match rd(regs, consts, base, *src) {
+                    Value::Float(v) => Value::Int(v as i64),
+                    v @ Value::Int(_) => v,
+                };
+                pc += 1;
+            }
+            Op::Itof { dst, src } => {
+                regs[base + *dst as usize] = match rd(regs, consts, base, *src) {
+                    Value::Int(v) => Value::Float(v as f64),
+                    v @ Value::Float(_) => v,
+                };
+                pc += 1;
+            }
+            Op::Load { dst, addr } => {
+                let a = addr_of(rd(regs, consts, base, *addr), heap_limit)?;
+                regs[base + *dst as usize] = heap.get(a).copied().unwrap_or(Value::Int(0));
+                pc += 1;
+            }
+            Op::Store { addr, value } => {
+                let a = addr_of(rd(regs, consts, base, *addr), heap_limit)?;
+                let v = rd(regs, consts, base, *value);
+                if a >= heap.len() {
+                    let grown = (a + 1).max(heap.len() * 2).min(heap_limit);
+                    heap.resize(grown, Value::Int(0));
+                }
+                heap[a] = v;
+                pc += 1;
+            }
+            Op::Alloc { dst, words } => {
+                let w = rd(regs, consts, base, *words)
+                    .as_int()
+                    .ok_or(RunError::TypeError("alloc size must be an integer"))?;
+                if w < 0 {
+                    return Err(RunError::TypeError("alloc size must be non-negative"));
+                }
+                let start = *brk;
+                let end = start.checked_add(w as usize).ok_or(RunError::OutOfMemory)?;
+                if end > heap_limit {
+                    return Err(RunError::OutOfMemory);
+                }
+                *brk = end;
+                regs[base + *dst as usize] = Value::Int(start as i64);
+                pc += 1;
+            }
+            Op::Call {
+                func,
+                args_start,
+                args_len,
+                ret_dst,
+            } => {
+                let cf = &exec.funcs[*func as usize];
+                if frames.len() >= max_call_depth {
+                    return Err(RunError::StackOverflow);
+                }
+                let nbase = regs.len();
+                regs.resize(nbase + cf.n_regs as usize, Value::Int(0));
+                let (caller, callee) = regs.split_at_mut(nbase);
+                let packed = &exec.call_args[*args_start as usize..][..*args_len as usize];
+                for (i, &a) in packed.iter().enumerate() {
+                    callee[i] = rd(caller, consts, base, a);
+                }
+                frames.push(Frame {
+                    base: nbase as u32,
+                    ret_pc: (pc + 1) as u32,
+                    ret_dst: *ret_dst,
+                });
+                base = nbase;
+                pc = cf.entry_pc as usize;
+            }
+            Op::Out { arg, dst } => {
+                let v = rd(regs, consts, base, *arg);
+                output.push(v);
+                if *dst != NONE {
+                    regs[base + *dst as usize] = Value::Int(0);
+                }
+                pc += 1;
+            }
+            Op::In { dst } => {
+                let v = if *input_pos < input.len() {
+                    let v = input[*input_pos];
+                    *input_pos += 1;
+                    v
+                } else {
+                    Value::Int(-1)
+                };
+                if *dst != NONE {
+                    regs[base + *dst as usize] = v;
+                }
+                pc += 1;
+            }
+            Op::Rand { arg, dst } => {
+                let bound = rd(regs, consts, base, *arg)
+                    .as_int()
+                    .ok_or(RunError::BadIntrinsic("rand needs an int bound"))?;
+                if bound <= 0 {
+                    return Err(RunError::BadIntrinsic("rand bound must be positive"));
+                }
+                // xorshift64* — the same stream the reference produces.
+                let mut x = *prng;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                *prng = x;
+                let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                if *dst != NONE {
+                    regs[base + *dst as usize] = Value::Int((r % bound as u64) as i64);
+                }
+                pc += 1;
+            }
+            Op::Sqrt { arg, dst } => {
+                let x = match rd(regs, consts, base, *arg) {
+                    Value::Float(v) => v,
+                    Value::Int(v) => v as f64,
+                };
+                if *dst != NONE {
+                    regs[base + *dst as usize] = Value::Float(x.sqrt());
+                }
+                pc += 1;
+            }
+            Op::Trap { err } => {
+                return Err(exec.traps[*err as usize].clone());
+            }
+            Op::Br {
+                cond,
+                then_pc,
+                else_pc,
+                site,
+            } => {
+                let taken = rd(regs, consts, base, *cond).is_truthy();
+                trace.push(TraceEvent { site: *site, taken });
+                pc = if taken { *then_pc } else { *else_pc } as usize;
+            }
+            Op::Jmp { target } => {
+                pc = *target as usize;
+            }
+            Op::Ret { value } => {
+                let v = if *value == NONE {
+                    None
+                } else {
+                    Some(rd(regs, consts, base, *value))
+                };
+                let finished = frames.pop().expect("frame stack never empty here");
+                regs.truncate(finished.base as usize);
+                match frames.last() {
+                    None => {
+                        return Ok(Outcome {
+                            result: v,
+                            trace,
+                            steps,
+                        });
+                    }
+                    Some(caller) => {
+                        base = caller.base as usize;
+                        if finished.ret_dst != NONE {
+                            regs[base + finished.ret_dst as usize] = v.unwrap_or(Value::Int(0));
+                        }
+                        pc = finished.ret_pc as usize;
+                    }
+                }
+            }
+        }
+    }
+}

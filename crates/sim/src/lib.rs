@@ -7,6 +7,12 @@
 //! produce new modules, the same machine also *verifies* transforms by
 //! comparing observable outputs between original and replicated programs.
 //!
+//! The machine pre-decodes the module into a flat executable form on
+//! construction and grows its heap lazily, so repeated runs are cheap;
+//! the original tree-walking interpreter survives as
+//! [`ReferenceMachine`], the oracle the golden bit-identity tests compare
+//! the fast path against.
+//!
 //! ```
 //! use brepl_ir::{FunctionBuilder, Module, Operand};
 //! use brepl_sim::{Machine, RunConfig};
@@ -31,7 +37,7 @@
 //! let mut m = Module::new();
 //! m.push_function(b.finish());
 //!
-//! let mut machine = Machine::new(&m, RunConfig::default());
+//! let mut machine = Machine::new(&m, RunConfig::default()).unwrap();
 //! let outcome = machine.run("main", &[]).unwrap();
 //! assert_eq!(outcome.trace.len(), 11); // 10 taken + 1 exit
 //! assert_eq!(machine.output()[0], brepl_ir::Value::Int(10));
@@ -40,8 +46,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arith;
 mod error;
+mod exec;
 mod machine;
+mod reference;
 
 pub use error::RunError;
 pub use machine::{Machine, Outcome, RunConfig};
+pub use reference::ReferenceMachine;

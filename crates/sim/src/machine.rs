@@ -1,14 +1,16 @@
-//! The interpreter proper.
+//! The interpreter proper: a machine bound to a pre-decoded module.
 
-use brepl_ir::{BinOp, BlockId, CmpOp, FuncId, Inst, Intrinsic, Module, Operand, Term, Value};
-use brepl_trace::{Trace, TraceEvent};
+use brepl_ir::{Module, Value};
+use brepl_trace::Trace;
 
 use crate::error::RunError;
+use crate::exec::{self, ExecModule};
 
 /// Execution limits and seeds.
 #[derive(Clone, Copy, Debug)]
 pub struct RunConfig {
-    /// Heap size in words (globals + allocations).
+    /// Heap size in words (globals + allocations). This is the *logical*
+    /// size — physical memory is only committed as the program stores.
     pub heap_words: usize,
     /// Maximum number of executed instructions (terminators included).
     pub fuel: u64,
@@ -40,21 +42,21 @@ pub struct Outcome {
     pub steps: u64,
 }
 
-struct Frame {
-    func: FuncId,
-    block: BlockId,
-    inst_idx: usize,
-    regs: Vec<Value>,
-    ret_dst: Option<brepl_ir::Reg>,
-}
-
 /// An interpreter instance bound to one module.
+///
+/// Construction pre-decodes the module into a flat executable form (see
+/// `exec`), so repeated runs pay the decode once. The heap is lazily
+/// grown: [`RunConfig::heap_words`] bounds addresses, but physical memory
+/// is committed only as far as the program actually stores — a load
+/// beyond the committed end yields `Int(0)`, exactly what a zero-filled
+/// heap would hold there.
 ///
 /// The machine owns the heap and the I/O tapes; a fresh machine (or
 /// [`Machine::reset`]) gives a fresh program state, so two runs with the
 /// same inputs are bit-identical — profiles are deterministic.
 pub struct Machine<'m> {
     module: &'m Module,
+    exec: ExecModule,
     heap: Vec<Value>,
     brk: usize,
     input: Vec<Value>,
@@ -62,29 +64,36 @@ pub struct Machine<'m> {
     output: Vec<Value>,
     prng: u64,
     config: RunConfig,
+    /// Register stack shared by all call frames, reused across runs.
+    regs: Vec<Value>,
 }
 
 impl<'m> Machine<'m> {
-    /// Creates a machine for `module`.
+    /// Creates a machine for `module`, pre-decoding it for execution.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the module's global segment does not fit in the heap.
-    pub fn new(module: &'m Module, config: RunConfig) -> Self {
-        assert!(
-            module.globals <= config.heap_words,
-            "globals exceed heap size"
-        );
-        Machine {
+    /// Returns [`RunError::GlobalsExceedHeap`] if the module's global
+    /// segment does not fit in the configured heap.
+    pub fn new(module: &'m Module, config: RunConfig) -> Result<Self, RunError> {
+        if module.globals > config.heap_words {
+            return Err(RunError::GlobalsExceedHeap {
+                globals: module.globals,
+                heap_words: config.heap_words,
+            });
+        }
+        Ok(Machine {
             module,
-            heap: vec![Value::Int(0); config.heap_words],
+            exec: ExecModule::decode(module),
+            heap: Vec::new(),
             brk: module.globals,
             input: Vec::new(),
             input_pos: 0,
             output: Vec::new(),
             prng: config.seed | 1,
             config,
-        }
+            regs: Vec::new(),
+        })
     }
 
     /// Replaces the input tape consumed by the `in()` intrinsic.
@@ -98,23 +107,16 @@ impl<'m> Machine<'m> {
         &self.output
     }
 
-    /// Clears heap, tapes and PRNG back to the initial state.
+    /// Resets the machine to its initial state: heap and output are
+    /// cleared, the allocation break and PRNG are reseeded, and the input
+    /// tape is *rewound but kept*, so a re-run re-consumes the same input
+    /// and reproduces the first run bit for bit.
     pub fn reset(&mut self) {
-        self.heap.fill(Value::Int(0));
+        self.heap.clear();
         self.brk = self.module.globals;
         self.input_pos = 0;
         self.output.clear();
         self.prng = self.config.seed | 1;
-    }
-
-    fn rand_next(&mut self) -> u64 {
-        // xorshift64* — deterministic, seedable, good enough for workloads.
-        let mut x = self.prng;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.prng = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 
     /// Runs `entry(args)` to completion, recording every conditional branch.
@@ -128,289 +130,24 @@ impl<'m> Machine<'m> {
             .module
             .function_by_name(entry)
             .ok_or_else(|| RunError::UnknownFunction(entry.to_string()))?;
-        let f = self.module.function(fid);
-        if args.len() != f.n_params as usize {
-            return Err(RunError::BadArgCount {
-                got: args.len(),
-                want: f.n_params as usize,
-            });
-        }
-        let mut regs = vec![Value::Int(0); f.n_regs as usize];
-        regs[..args.len()].copy_from_slice(args);
-        let mut frames = vec![Frame {
-            func: fid,
-            block: f.entry,
-            inst_idx: 0,
-            regs,
-            ret_dst: None,
-        }];
-
-        let mut trace = Trace::new();
-        let mut steps: u64 = 0;
-        let fuel = self.config.fuel;
-
-        'run: loop {
-            let frame = frames.last_mut().expect("frame stack never empty here");
-            let func = self.module.function(frame.func);
-            let block = func.block(frame.block);
-
-            // Straight-line portion.
-            while frame.inst_idx < block.insts.len() {
-                steps += 1;
-                if steps > fuel {
-                    return Err(RunError::OutOfFuel);
-                }
-                let inst = &block.insts[frame.inst_idx];
-                frame.inst_idx += 1;
-                match inst {
-                    Inst::Const { dst, value } => frame.regs[dst.index()] = *value,
-                    Inst::Copy { dst, src } => frame.regs[dst.index()] = read(&frame.regs, *src),
-                    Inst::Bin { op, dst, lhs, rhs } => {
-                        let a = read(&frame.regs, *lhs);
-                        let b = read(&frame.regs, *rhs);
-                        frame.regs[dst.index()] = eval_bin(*op, a, b)?;
-                    }
-                    Inst::Cmp { op, dst, lhs, rhs } => {
-                        let a = read(&frame.regs, *lhs);
-                        let b = read(&frame.regs, *rhs);
-                        frame.regs[dst.index()] = Value::Int(i64::from(eval_cmp(*op, a, b)?));
-                    }
-                    Inst::Ftoi { dst, src } => {
-                        frame.regs[dst.index()] = match read(&frame.regs, *src) {
-                            Value::Float(v) => Value::Int(v as i64),
-                            v @ Value::Int(_) => v,
-                        }
-                    }
-                    Inst::Itof { dst, src } => {
-                        frame.regs[dst.index()] = match read(&frame.regs, *src) {
-                            Value::Int(v) => Value::Float(v as f64),
-                            v @ Value::Float(_) => v,
-                        }
-                    }
-                    Inst::Load { dst, addr } => {
-                        let a = addr_of(read(&frame.regs, *addr), self.heap.len())?;
-                        frame.regs[dst.index()] = self.heap[a];
-                    }
-                    Inst::Store { addr, value } => {
-                        let a = addr_of(read(&frame.regs, *addr), self.heap.len())?;
-                        self.heap[a] = read(&frame.regs, *value);
-                    }
-                    Inst::Alloc { dst, words } => {
-                        let w = read(&frame.regs, *words)
-                            .as_int()
-                            .ok_or(RunError::TypeError("alloc size must be an integer"))?;
-                        if w < 0 {
-                            return Err(RunError::TypeError("alloc size must be non-negative"));
-                        }
-                        let base = self.brk;
-                        let end = base.checked_add(w as usize).ok_or(RunError::OutOfMemory)?;
-                        if end > self.heap.len() {
-                            return Err(RunError::OutOfMemory);
-                        }
-                        self.brk = end;
-                        frame.regs[dst.index()] = Value::Int(base as i64);
-                    }
-                    Inst::Call { dst, callee, args } => {
-                        let cid = self
-                            .module
-                            .function_by_name(callee)
-                            .ok_or_else(|| RunError::UnknownFunction(callee.clone()))?;
-                        let cf = self.module.function(cid);
-                        let mut cregs = vec![Value::Int(0); cf.n_regs as usize];
-                        for (i, a) in args.iter().enumerate() {
-                            cregs[i] = read(&frame.regs, *a);
-                        }
-                        let ret_dst = *dst;
-                        let entry = cf.entry;
-                        if frames.len() >= self.config.max_call_depth {
-                            return Err(RunError::StackOverflow);
-                        }
-                        frames.push(Frame {
-                            func: cid,
-                            block: entry,
-                            inst_idx: 0,
-                            regs: cregs,
-                            ret_dst,
-                        });
-                        continue 'run;
-                    }
-                    Inst::Intrin { dst, which, args } => {
-                        let argv: Vec<Value> = args.iter().map(|a| read(&frame.regs, *a)).collect();
-                        let result = match which {
-                            Intrinsic::Out => {
-                                let v = *argv
-                                    .first()
-                                    .ok_or(RunError::BadIntrinsic("out needs one argument"))?;
-                                self.output.push(v);
-                                Value::Int(0)
-                            }
-                            Intrinsic::In => {
-                                if self.input_pos < self.input.len() {
-                                    let v = self.input[self.input_pos];
-                                    self.input_pos += 1;
-                                    v
-                                } else {
-                                    Value::Int(-1)
-                                }
-                            }
-                            Intrinsic::Rand => {
-                                let bound = argv
-                                    .first()
-                                    .and_then(|v| v.as_int())
-                                    .ok_or(RunError::BadIntrinsic("rand needs an int bound"))?;
-                                if bound <= 0 {
-                                    return Err(RunError::BadIntrinsic(
-                                        "rand bound must be positive",
-                                    ));
-                                }
-                                Value::Int((self.rand_next() % bound as u64) as i64)
-                            }
-                            Intrinsic::Sqrt => {
-                                let x = match argv.first() {
-                                    Some(Value::Float(v)) => *v,
-                                    Some(Value::Int(v)) => *v as f64,
-                                    None => {
-                                        return Err(RunError::BadIntrinsic(
-                                            "sqrt needs one argument",
-                                        ))
-                                    }
-                                };
-                                Value::Float(x.sqrt())
-                            }
-                        };
-                        if let Some(d) = dst {
-                            frame.regs[d.index()] = result;
-                        }
-                    }
-                }
-            }
-
-            // Terminator.
-            steps += 1;
-            if steps > fuel {
-                return Err(RunError::OutOfFuel);
-            }
-            match &block.term {
-                Term::Br {
-                    cond,
-                    then_,
-                    else_,
-                    site,
-                } => {
-                    let taken = read(&frame.regs, *cond).is_truthy();
-                    trace.push(TraceEvent { site: *site, taken });
-                    frame.block = if taken { *then_ } else { *else_ };
-                    frame.inst_idx = 0;
-                }
-                Term::Jmp { target } => {
-                    frame.block = *target;
-                    frame.inst_idx = 0;
-                }
-                Term::Ret { value } => {
-                    let v = value.map(|o| read(&frame.regs, o));
-                    let finished = frames.pop().expect("frame stack never empty here");
-                    match frames.last_mut() {
-                        None => {
-                            return Ok(Outcome {
-                                result: v,
-                                trace,
-                                steps,
-                            });
-                        }
-                        Some(caller) => {
-                            if let Some(d) = finished.ret_dst {
-                                caller.regs[d.index()] = v.unwrap_or(Value::Int(0));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-fn read(regs: &[Value], op: Operand) -> Value {
-    match op {
-        Operand::Reg(r) => regs[r.index()],
-        Operand::Imm(v) => v,
-    }
-}
-
-fn addr_of(v: Value, heap_len: usize) -> Result<usize, RunError> {
-    let a = v
-        .as_int()
-        .ok_or(RunError::TypeError("address must be an integer"))?;
-    if a < 0 || a as usize >= heap_len {
-        return Err(RunError::BadAddress(a));
-    }
-    Ok(a as usize)
-}
-
-fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, RunError> {
-    use BinOp::*;
-    match (a, b) {
-        (Value::Int(x), Value::Int(y)) => {
-            let v = match op {
-                Add => x.wrapping_add(y),
-                Sub => x.wrapping_sub(y),
-                Mul => x.wrapping_mul(y),
-                Div => {
-                    if y == 0 {
-                        return Err(RunError::DivisionByZero);
-                    }
-                    x.wrapping_div(y)
-                }
-                Rem => {
-                    if y == 0 {
-                        return Err(RunError::DivisionByZero);
-                    }
-                    x.wrapping_rem(y)
-                }
-                And => x & y,
-                Or => x | y,
-                Xor => x ^ y,
-                Shl => x.wrapping_shl(y as u32 & 63),
-                Shr => x.wrapping_shr(y as u32 & 63),
-            };
-            Ok(Value::Int(v))
-        }
-        (Value::Float(x), Value::Float(y)) => {
-            let v = match op {
-                Add => x + y,
-                Sub => x - y,
-                Mul => x * y,
-                Div => x / y,
-                Rem => x % y,
-                And | Or | Xor | Shl | Shr => {
-                    return Err(RunError::TypeError("bitwise op on floats"))
-                }
-            };
-            Ok(Value::Float(v))
-        }
-        _ => Err(RunError::TypeError("mixed int/float arithmetic")),
-    }
-}
-
-fn eval_cmp(op: CmpOp, a: Value, b: Value) -> Result<bool, RunError> {
-    use CmpOp::*;
-    match (a, b) {
-        (Value::Int(x), Value::Int(y)) => Ok(match op {
-            Eq => x == y,
-            Ne => x != y,
-            Lt => x < y,
-            Le => x <= y,
-            Gt => x > y,
-            Ge => x >= y,
-        }),
-        (Value::Float(x), Value::Float(y)) => Ok(match op {
-            Eq => x == y,
-            Ne => x != y,
-            Lt => x < y,
-            Le => x <= y,
-            Gt => x > y,
-            Ge => x >= y,
-        }),
-        _ => Err(RunError::TypeError("mixed int/float comparison")),
+        let state = exec::State {
+            heap: &mut self.heap,
+            heap_limit: self.config.heap_words,
+            brk: &mut self.brk,
+            input: &self.input,
+            input_pos: &mut self.input_pos,
+            output: &mut self.output,
+            prng: &mut self.prng,
+        };
+        exec::run(
+            &self.exec,
+            state,
+            &mut self.regs,
+            fid.index(),
+            args,
+            self.config.fuel,
+            self.config.max_call_depth,
+        )
     }
 }
 
@@ -420,7 +157,9 @@ mod tests {
     use brepl_ir::{FunctionBuilder, Module, Operand};
 
     fn run_module(m: &Module, entry: &str, args: &[Value]) -> Result<Outcome, RunError> {
-        Machine::new(m, RunConfig::default()).run(entry, args)
+        Machine::new(m, RunConfig::default())
+            .unwrap()
+            .run(entry, args)
     }
 
     fn simple_main(build: impl FnOnce(&mut FunctionBuilder)) -> Module {
@@ -538,7 +277,7 @@ mod tests {
             b.out(empty.into());
             b.ret(None);
         });
-        let mut machine = Machine::new(&m, RunConfig::default());
+        let mut machine = Machine::new(&m, RunConfig::default()).unwrap();
         machine.set_input(vec![Value::Int(99)]);
         machine.run("main", &[]).unwrap();
         assert_eq!(
@@ -592,7 +331,8 @@ mod tests {
                 fuel: 1000,
                 ..RunConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(machine.run("main", &[]).unwrap_err(), RunError::OutOfFuel);
     }
 
@@ -610,6 +350,7 @@ mod tests {
                 ..RunConfig::default()
             },
         )
+        .unwrap()
         .run("f", &[])
         .unwrap_err();
         assert_eq!(err, RunError::StackOverflow);
@@ -629,6 +370,71 @@ mod tests {
     }
 
     #[test]
+    fn globals_exceeding_heap_is_a_typed_error() {
+        let mut m = simple_main(|b| b.ret(None));
+        m.globals = 64;
+        let err = Machine::new(
+            &m,
+            RunConfig {
+                heap_words: 32,
+                ..RunConfig::default()
+            },
+        )
+        .err()
+        .expect("construction must fail");
+        assert_eq!(
+            err,
+            RunError::GlobalsExceedHeap {
+                globals: 64,
+                heap_words: 32
+            }
+        );
+    }
+
+    #[test]
+    fn lazy_heap_matches_zero_filled_semantics() {
+        // Load far beyond anything stored: a zero-filled heap holds
+        // Int(0) there, and so must the lazily committed one. Stores past
+        // the logical limit still trap.
+        let m = simple_main(|b| {
+            let v = b.reg();
+            b.load(v, Operand::imm(1000));
+            b.out(v.into());
+            b.store(Operand::imm(500), Operand::imm(7));
+            let w = b.reg();
+            b.load(w, Operand::imm(500));
+            b.out(w.into());
+            b.ret(None);
+        });
+        let mut machine = Machine::new(
+            &m,
+            RunConfig {
+                heap_words: 1024,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        machine.run("main", &[]).unwrap();
+        assert_eq!(machine.output(), &[Value::Int(0), Value::Int(7)]);
+
+        let oob = simple_main(|b| {
+            b.store(Operand::imm(1024), Operand::imm(1));
+            b.ret(None);
+        });
+        let err = Machine::new(
+            &oob,
+            RunConfig {
+                heap_words: 1024,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap()
+        .run("main", &[])
+        .unwrap_err();
+        assert_eq!(err, RunError::BadAddress(1024));
+    }
+
+    #[test]
     fn reset_restores_initial_state() {
         let m = simple_main(|b| {
             let r = b.rand(Operand::imm(1_000_000));
@@ -636,11 +442,33 @@ mod tests {
             b.store(Operand::imm(0), Operand::imm(5));
             b.ret(None);
         });
-        let mut machine = Machine::new(&m, RunConfig::default());
+        let mut machine = Machine::new(&m, RunConfig::default()).unwrap();
         machine.run("main", &[]).unwrap();
         let first = machine.output().to_vec();
         machine.reset();
         machine.run("main", &[]).unwrap();
         assert_eq!(machine.output(), &first[..]);
+    }
+
+    #[test]
+    fn reset_rewinds_the_input_tape() {
+        // One run consumes the tape; after reset the same machine must
+        // re-consume the same input and reproduce the run exactly.
+        let m = simple_main(|b| {
+            let a = b.input();
+            let b_ = b.input();
+            b.out(a.into());
+            b.out(b_.into());
+            b.ret(None);
+        });
+        let mut machine = Machine::new(&m, RunConfig::default()).unwrap();
+        machine.set_input(vec![Value::Int(3), Value::Int(9)]);
+        let first = machine.run("main", &[]).unwrap();
+        let first_out = machine.output().to_vec();
+        assert_eq!(first_out, vec![Value::Int(3), Value::Int(9)]);
+        machine.reset();
+        let second = machine.run("main", &[]).unwrap();
+        assert_eq!(machine.output(), &first_out[..]);
+        assert_eq!(first, second);
     }
 }

@@ -1,0 +1,313 @@
+//! The original tree-walking interpreter, kept as the semantic oracle.
+//!
+//! [`crate::Machine`] executes a pre-decoded flat form of the module; the
+//! golden bit-identity suite re-runs every workload through this direct
+//! walk over the [`Module`] structure and asserts byte-identical traces,
+//! outputs and step counts. Keep this implementation boring and obviously
+//! faithful to the IR — it exists to catch drift in the fast path, so it
+//! must never chase performance itself.
+
+use brepl_ir::{BlockId, FuncId, Inst, Intrinsic, Module, Operand, Term, Value};
+use brepl_trace::{Trace, TraceEvent};
+
+use crate::arith::{eval_bin, eval_cmp};
+use crate::error::RunError;
+use crate::machine::{Outcome, RunConfig};
+
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    inst_idx: usize,
+    regs: Vec<Value>,
+    ret_dst: Option<brepl_ir::Reg>,
+}
+
+/// The tree-walking interpreter, bit-for-bit the behavior contract of
+/// [`crate::Machine`]. Allocates its full heap eagerly and re-walks the
+/// IR per step — slow, simple, and authoritative.
+pub struct ReferenceMachine<'m> {
+    module: &'m Module,
+    heap: Vec<Value>,
+    brk: usize,
+    input: Vec<Value>,
+    input_pos: usize,
+    output: Vec<Value>,
+    prng: u64,
+    config: RunConfig,
+}
+
+impl<'m> ReferenceMachine<'m> {
+    /// Creates a reference machine for `module`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::GlobalsExceedHeap`] if the module's global
+    /// segment does not fit in the heap.
+    pub fn new(module: &'m Module, config: RunConfig) -> Result<Self, RunError> {
+        if module.globals > config.heap_words {
+            return Err(RunError::GlobalsExceedHeap {
+                globals: module.globals,
+                heap_words: config.heap_words,
+            });
+        }
+        Ok(ReferenceMachine {
+            module,
+            heap: vec![Value::Int(0); config.heap_words],
+            brk: module.globals,
+            input: Vec::new(),
+            input_pos: 0,
+            output: Vec::new(),
+            prng: config.seed | 1,
+            config,
+        })
+    }
+
+    /// Replaces the input tape consumed by the `in()` intrinsic.
+    pub fn set_input(&mut self, input: Vec<Value>) {
+        self.input = input;
+        self.input_pos = 0;
+    }
+
+    /// The values written by the `out()` intrinsic so far.
+    pub fn output(&self) -> &[Value] {
+        &self.output
+    }
+
+    fn rand_next(&mut self) -> u64 {
+        // xorshift64* — deterministic, seedable, good enough for workloads.
+        let mut x = self.prng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.prng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Runs `entry(args)` to completion, recording every conditional branch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] on traps (division by zero, bad address,
+    /// fuel/stack exhaustion, type errors) or if `entry` is unknown.
+    pub fn run(&mut self, entry: &str, args: &[Value]) -> Result<Outcome, RunError> {
+        let fid = self
+            .module
+            .function_by_name(entry)
+            .ok_or_else(|| RunError::UnknownFunction(entry.to_string()))?;
+        let f = self.module.function(fid);
+        if args.len() != f.n_params as usize {
+            return Err(RunError::BadArgCount {
+                got: args.len(),
+                want: f.n_params as usize,
+            });
+        }
+        let mut regs = vec![Value::Int(0); f.n_regs as usize];
+        regs[..args.len()].copy_from_slice(args);
+        let mut frames = vec![Frame {
+            func: fid,
+            block: f.entry,
+            inst_idx: 0,
+            regs,
+            ret_dst: None,
+        }];
+
+        let mut trace = Trace::new();
+        let mut steps: u64 = 0;
+        let fuel = self.config.fuel;
+
+        'run: loop {
+            let frame = frames.last_mut().expect("frame stack never empty here");
+            let func = self.module.function(frame.func);
+            let block = func.block(frame.block);
+
+            // Straight-line portion.
+            while frame.inst_idx < block.insts.len() {
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                let inst = &block.insts[frame.inst_idx];
+                frame.inst_idx += 1;
+                match inst {
+                    Inst::Const { dst, value } => frame.regs[dst.index()] = *value,
+                    Inst::Copy { dst, src } => frame.regs[dst.index()] = read(&frame.regs, *src),
+                    Inst::Bin { op, dst, lhs, rhs } => {
+                        let a = read(&frame.regs, *lhs);
+                        let b = read(&frame.regs, *rhs);
+                        frame.regs[dst.index()] = eval_bin(*op, a, b)?;
+                    }
+                    Inst::Cmp { op, dst, lhs, rhs } => {
+                        let a = read(&frame.regs, *lhs);
+                        let b = read(&frame.regs, *rhs);
+                        frame.regs[dst.index()] = Value::Int(i64::from(eval_cmp(*op, a, b)?));
+                    }
+                    Inst::Ftoi { dst, src } => {
+                        frame.regs[dst.index()] = match read(&frame.regs, *src) {
+                            Value::Float(v) => Value::Int(v as i64),
+                            v @ Value::Int(_) => v,
+                        }
+                    }
+                    Inst::Itof { dst, src } => {
+                        frame.regs[dst.index()] = match read(&frame.regs, *src) {
+                            Value::Int(v) => Value::Float(v as f64),
+                            v @ Value::Float(_) => v,
+                        }
+                    }
+                    Inst::Load { dst, addr } => {
+                        let a = addr_of(read(&frame.regs, *addr), self.heap.len())?;
+                        frame.regs[dst.index()] = self.heap[a];
+                    }
+                    Inst::Store { addr, value } => {
+                        let a = addr_of(read(&frame.regs, *addr), self.heap.len())?;
+                        self.heap[a] = read(&frame.regs, *value);
+                    }
+                    Inst::Alloc { dst, words } => {
+                        let w = read(&frame.regs, *words)
+                            .as_int()
+                            .ok_or(RunError::TypeError("alloc size must be an integer"))?;
+                        if w < 0 {
+                            return Err(RunError::TypeError("alloc size must be non-negative"));
+                        }
+                        let base = self.brk;
+                        let end = base.checked_add(w as usize).ok_or(RunError::OutOfMemory)?;
+                        if end > self.heap.len() {
+                            return Err(RunError::OutOfMemory);
+                        }
+                        self.brk = end;
+                        frame.regs[dst.index()] = Value::Int(base as i64);
+                    }
+                    Inst::Call { dst, callee, args } => {
+                        let cid = self
+                            .module
+                            .function_by_name(callee)
+                            .ok_or_else(|| RunError::UnknownFunction(callee.clone()))?;
+                        let cf = self.module.function(cid);
+                        let mut cregs = vec![Value::Int(0); cf.n_regs as usize];
+                        for (i, a) in args.iter().enumerate() {
+                            cregs[i] = read(&frame.regs, *a);
+                        }
+                        let ret_dst = *dst;
+                        let entry = cf.entry;
+                        if frames.len() >= self.config.max_call_depth {
+                            return Err(RunError::StackOverflow);
+                        }
+                        frames.push(Frame {
+                            func: cid,
+                            block: entry,
+                            inst_idx: 0,
+                            regs: cregs,
+                            ret_dst,
+                        });
+                        continue 'run;
+                    }
+                    Inst::Intrin { dst, which, args } => {
+                        let argv: Vec<Value> = args.iter().map(|a| read(&frame.regs, *a)).collect();
+                        let result = match which {
+                            Intrinsic::Out => {
+                                let v = *argv
+                                    .first()
+                                    .ok_or(RunError::BadIntrinsic("out needs one argument"))?;
+                                self.output.push(v);
+                                Value::Int(0)
+                            }
+                            Intrinsic::In => {
+                                if self.input_pos < self.input.len() {
+                                    let v = self.input[self.input_pos];
+                                    self.input_pos += 1;
+                                    v
+                                } else {
+                                    Value::Int(-1)
+                                }
+                            }
+                            Intrinsic::Rand => {
+                                let bound = argv
+                                    .first()
+                                    .and_then(|v| v.as_int())
+                                    .ok_or(RunError::BadIntrinsic("rand needs an int bound"))?;
+                                if bound <= 0 {
+                                    return Err(RunError::BadIntrinsic(
+                                        "rand bound must be positive",
+                                    ));
+                                }
+                                Value::Int((self.rand_next() % bound as u64) as i64)
+                            }
+                            Intrinsic::Sqrt => {
+                                let x = match argv.first() {
+                                    Some(Value::Float(v)) => *v,
+                                    Some(Value::Int(v)) => *v as f64,
+                                    None => {
+                                        return Err(RunError::BadIntrinsic(
+                                            "sqrt needs one argument",
+                                        ))
+                                    }
+                                };
+                                Value::Float(x.sqrt())
+                            }
+                        };
+                        if let Some(d) = dst {
+                            frame.regs[d.index()] = result;
+                        }
+                    }
+                }
+            }
+
+            // Terminator.
+            steps += 1;
+            if steps > fuel {
+                return Err(RunError::OutOfFuel);
+            }
+            match &block.term {
+                Term::Br {
+                    cond,
+                    then_,
+                    else_,
+                    site,
+                } => {
+                    let taken = read(&frame.regs, *cond).is_truthy();
+                    trace.push(TraceEvent { site: *site, taken });
+                    frame.block = if taken { *then_ } else { *else_ };
+                    frame.inst_idx = 0;
+                }
+                Term::Jmp { target } => {
+                    frame.block = *target;
+                    frame.inst_idx = 0;
+                }
+                Term::Ret { value } => {
+                    let v = value.map(|o| read(&frame.regs, o));
+                    let finished = frames.pop().expect("frame stack never empty here");
+                    match frames.last_mut() {
+                        None => {
+                            return Ok(Outcome {
+                                result: v,
+                                trace,
+                                steps,
+                            });
+                        }
+                        Some(caller) => {
+                            if let Some(d) = finished.ret_dst {
+                                caller.regs[d.index()] = v.unwrap_or(Value::Int(0));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn read(regs: &[Value], op: Operand) -> Value {
+    match op {
+        Operand::Reg(r) => regs[r.index()],
+        Operand::Imm(v) => v,
+    }
+}
+
+fn addr_of(v: Value, heap_len: usize) -> Result<usize, RunError> {
+    let a = v
+        .as_int()
+        .ok_or(RunError::TypeError("address must be an integer"))?;
+    if a < 0 || a as usize >= heap_len {
+        return Err(RunError::BadAddress(a));
+    }
+    Ok(a as usize)
+}

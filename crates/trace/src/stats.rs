@@ -41,20 +41,22 @@ pub struct TraceStats {
 
 impl TraceStats {
     /// Computes statistics for `trace`.
+    ///
+    /// Pre-sizes the per-site array from a max-site scan, then
+    /// accumulates in one branch-free pass over the packed events — no
+    /// per-event bounds growth, so cost is flat even when a high site id
+    /// appears late in the trace.
     pub fn from_trace(trace: &Trace) -> Self {
-        let mut counts: Vec<SiteCounts> = Vec::new();
-        for ev in trace.iter() {
-            let i = ev.site.index();
-            if i >= counts.len() {
-                counts.resize(i + 1, SiteCounts::default());
-            }
-            if ev.taken {
-                counts[i].taken += 1;
-            } else {
-                counts[i].not_taken += 1;
-            }
+        let packed = trace.packed();
+        let n_sites = trace.max_site().map_or(0, |s| s.index() + 1);
+        let mut counts = vec![SiteCounts::default(); n_sites];
+        for &p in packed {
+            let c = &mut counts[(p >> 1) as usize];
+            let taken = u64::from(p & 1);
+            c.taken += taken;
+            c.not_taken += 1 - taken;
         }
-        let total = trace.len() as u64;
+        let total = packed.len() as u64;
         TraceStats { counts, total }
     }
 
@@ -157,6 +159,32 @@ mod tests {
     #[test]
     fn empty_trace_is_zero_percent() {
         assert_eq!(Trace::new().stats().profile_misprediction_percent(), 0.0);
+    }
+
+    #[test]
+    fn sparse_high_site_trace_is_cheap_and_correct() {
+        // Regression guard for the resize-per-event pathology: a single
+        // very high site id late in the trace must cost one pre-sized
+        // allocation, not repeated growth, and the counts must still be
+        // exact. The wall-time side of this guard is simbench's `stats`
+        // stage in the committed BENCH_sim.json trajectory.
+        let mut t = Trace::new();
+        for i in 0..200_000u32 {
+            t.push(ev(i % 7, i % 3 == 0));
+        }
+        t.push(ev(3_000_000, true));
+        let s = t.stats();
+        assert_eq!(s.total_events(), 200_001);
+        assert_eq!(s.executed_sites(), 8);
+        assert_eq!(
+            s.site(BranchId(3_000_000)),
+            SiteCounts {
+                taken: 1,
+                not_taken: 0
+            }
+        );
+        let low: u64 = (0..7).map(|i| s.site(BranchId(i)).total()).sum();
+        assert_eq!(low, 200_000);
     }
 
     #[test]

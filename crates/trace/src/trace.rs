@@ -123,6 +123,42 @@ impl Trace {
         })
     }
 
+    /// The raw packed event words (`site << 1 | taken`), in execution
+    /// order. Batched evaluators (stats, static replay, pattern tables)
+    /// run as single array passes over this instead of materializing
+    /// [`TraceEvent`]s.
+    pub fn packed(&self) -> &[u32] {
+        &self.packed
+    }
+
+    /// The highest site id observed, or `None` for an empty trace. One
+    /// array pass; batched passes use it to pre-size per-site tables.
+    pub fn max_site(&self) -> Option<BranchId> {
+        self.packed.iter().max().map(|&p| BranchId(p >> 1))
+    }
+
+    /// A canonical 128-bit fingerprint of the event stream.
+    ///
+    /// Dual-lane FNV-1a over the length and the packed words, two events
+    /// per mixed word. Equal fingerprints identify equal traces to the
+    /// stage-level memo in `brepl-core`, where they let whole selection
+    /// results be reused across pipeline stages.
+    pub fn fingerprint(&self) -> (u64, u64) {
+        let mut a = 0xcbf2_9ce4_8422_2325u64;
+        let mut b = 0x6c62_272e_07bb_0142u64;
+        let mut mix = |x: u64| {
+            a = (a ^ x).wrapping_mul(0x0000_0100_0000_01b3);
+            b = (b ^ x.rotate_left(32)).wrapping_mul(0x0000_01b3_0000_0193);
+        };
+        mix(self.packed.len() as u64);
+        for pair in self.packed.chunks(2) {
+            let lo = u64::from(pair[0]);
+            let hi = pair.get(1).copied().map_or(0, u64::from);
+            mix(lo | hi << 32);
+        }
+        (a, b)
+    }
+
     /// The event at `idx`.
     ///
     /// # Panics
@@ -267,6 +303,24 @@ mod tests {
                 taken: i % 7 != 0,
             })
             .collect()
+    }
+
+    #[test]
+    fn fingerprint_discriminates() {
+        let a = loopy_trace(100);
+        let b = loopy_trace(101);
+        assert_eq!(a.fingerprint(), loopy_trace(100).fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // A single flipped direction is visible.
+        let mut flipped = Trace::new();
+        for (i, ev) in a.iter().enumerate() {
+            flipped.push(TraceEvent {
+                site: ev.site,
+                taken: if i == 50 { !ev.taken } else { ev.taken },
+            });
+        }
+        assert_ne!(a.fingerprint(), flipped.fingerprint());
+        assert_ne!(Trace::new().fingerprint(), a.fingerprint());
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl Workload {
     ///
     /// Propagates any [`RunError`].
     pub fn run_with_config(&self, config: RunConfig) -> Result<Outcome, RunError> {
-        let mut machine = Machine::new(&self.module, config);
+        let mut machine = Machine::new(&self.module, config)?;
         machine.set_input(self.input.clone());
         machine.run("main", &self.args)
     }
@@ -99,7 +99,7 @@ impl Workload {
     ///
     /// Propagates any [`RunError`].
     pub fn run_with_output(&self) -> Result<(Outcome, Vec<Value>), RunError> {
-        let mut machine = Machine::new(&self.module, RunConfig::default());
+        let mut machine = Machine::new(&self.module, RunConfig::default())?;
         machine.set_input(self.input.clone());
         let outcome = machine.run("main", &self.args)?;
         Ok((outcome, machine.output().to_vec()))

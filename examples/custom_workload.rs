@@ -78,6 +78,7 @@ fn main() {
 
     // The greedy curve (misprediction vs code size), Figures 6-13 style.
     let trace = Machine::new(&module, RunConfig::default())
+        .unwrap()
         .run("main", &[])
         .expect("runs")
         .trace;

@@ -70,6 +70,7 @@ fn main() {
     );
 
     let trace = Machine::new(&module, RunConfig::default())
+        .unwrap()
         .run("main", &[])
         .expect("runs")
         .trace;

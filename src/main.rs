@@ -93,7 +93,7 @@ fn load(args: &[String]) -> Result<Loaded, String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let l = load(args)?;
-    let mut m = Machine::new(&l.module, RunConfig::default());
+    let mut m = Machine::new(&l.module, RunConfig::default()).map_err(|e| e.to_string())?;
     m.set_input(l.input.clone());
     let outcome = m.run("main", &l.args).map_err(|e| e.to_string())?;
     for v in m.output() {
@@ -110,7 +110,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
 fn cmd_profile(args: &[String]) -> Result<(), String> {
     let l = load(args)?;
-    let mut m = Machine::new(&l.module, RunConfig::default());
+    let mut m = Machine::new(&l.module, RunConfig::default()).map_err(|e| e.to_string())?;
     m.set_input(l.input.clone());
     let outcome = m.run("main", &l.args).map_err(|e| e.to_string())?;
     let stats = outcome.trace.stats();
@@ -204,7 +204,7 @@ fn cmd_replicate(args: &[String]) -> Result<(), String> {
 
 fn cmd_shootout(args: &[String]) -> Result<(), String> {
     let l = load(args)?;
-    let mut m = Machine::new(&l.module, RunConfig::default());
+    let mut m = Machine::new(&l.module, RunConfig::default()).map_err(|e| e.to_string())?;
     m.set_input(l.input.clone());
     let trace = m.run("main", &l.args).map_err(|e| e.to_string())?.trace;
     let rows: Vec<(&str, f64)> = vec![

@@ -16,7 +16,8 @@ use std::fmt;
 use brepl_analysis::{check_history, validate_replication, AnalysisDiag, DiagCode, LintConfig};
 use brepl_core::replicate::ReplicateError;
 use brepl_core::{
-    apply_plan, check_equivalence, select_strategies, BranchMachine, ReplicatedProgram, Selection,
+    apply_plan, check_equivalence_outcomes, select_strategies, BranchMachine, ReplicatedProgram,
+    Selection,
 };
 use brepl_ir::{BranchId, Module, Value};
 use brepl_predict::evaluate_static;
@@ -49,10 +50,13 @@ pub struct PipelineConfig {
     /// validators' output (allow-listing a code, promoting warnings,
     /// demoting errors). Default: every code at its built-in severity.
     pub lint: LintConfig,
-    /// When true (default), additionally run the *shipped* program and the
-    /// original once on the profiling input and compare results, output
-    /// tapes, step counts and branch histograms — a single dynamic
-    /// backstop behind the static validator, which covers every round.
+    /// When true (default), additionally compare the original's profiling
+    /// run against the shipped program's re-measure run — results, output
+    /// tapes, step counts and per-site branch histograms — a single
+    /// dynamic backstop behind the static validator, which covers every
+    /// round. Both runs happen anyway (and under [`Self::run`], the same
+    /// configuration), so the backstop costs two histogram passes, not
+    /// two extra simulations.
     pub dynamic_backstop: bool,
     /// Estimated code-size budget (growth factor). Branches are enabled in
     /// greedy benefit-per-size order until the estimate exceeds the budget
@@ -290,9 +294,34 @@ pub fn run_pipeline(
     config: PipelineConfig,
 ) -> Result<PipelineResult, PipelineError> {
     // 1. Profile.
-    let mut machine = Machine::new(module, config.run);
+    let mut machine = Machine::new(module, config.run)?;
     machine.set_input(input.to_vec());
     let outcome = machine.run("main", args)?;
+    let profile_output = machine.output().to_vec();
+    run_pipeline_profiled(module, args, input, &outcome, &profile_output, config)
+}
+
+/// [`run_pipeline`] on an already-profiled run.
+///
+/// `profile`/`profile_output` must be the outcome and output tape of
+/// running `module` on exactly `args`/`input` under `config.run` —
+/// execution is deterministic, so a caller that just profiled (the bench
+/// harness times profiling as its own stage) passes the measurements here
+/// instead of paying the run again, and the result is identical to
+/// [`run_pipeline`].
+///
+/// # Errors
+///
+/// As [`run_pipeline`].
+pub fn run_pipeline_profiled(
+    module: &Module,
+    args: &[Value],
+    input: &[Value],
+    profile: &brepl_sim::Outcome,
+    profile_output: &[Value],
+    config: PipelineConfig,
+) -> Result<PipelineResult, PipelineError> {
+    let outcome = profile;
     let stats = outcome.trace.stats();
     let profile_pct = stats.profile_misprediction_percent();
 
@@ -354,7 +383,7 @@ pub fn run_pipeline(
     // failure. Every retry strictly shrinks (site count, or the state
     // count of some machine), so the loop terminates.
     let mut round = 0usize;
-    let (program, report, warnings) = loop {
+    let (program, report, warnings, outcome2, output2) = loop {
         round += 1;
         let mut plan = selection.to_plan_filtered(|site| enabled.contains(&site));
         for (&site, m) in &overrides {
@@ -529,12 +558,13 @@ pub fn run_pipeline(
             }
             round_warnings.extend(warns);
         }
-        let mut machine2 = Machine::new(&program.module, config.run);
+        let mut machine2 = Machine::new(&program.module, config.run)?;
         machine2.set_input(input.to_vec());
         let outcome2 = machine2.run("main", args)?;
+        let output2 = machine2.output().to_vec();
         let report = evaluate_static(&program.predictions, &outcome2.trace);
         if !config.refine {
-            break (program, report, round_warnings);
+            break (program, report, round_warnings, outcome2, output2);
         }
         // Fold replicated-site mispredictions back to original sites.
         let mut folded: std::collections::HashMap<BranchId, u64> = std::collections::HashMap::new();
@@ -553,14 +583,16 @@ pub fn run_pipeline(
             }
         }
         if !dropped {
-            break (program, report, round_warnings);
+            break (program, report, round_warnings, outcome2, output2);
         }
     };
 
-    // Backstop behind the static gate: one dynamic run of the shipped
-    // program on the profiling input (the validator covers every round).
+    // Backstop behind the static gate: compare the profiling run of the
+    // original against the final re-measure run of the shipped program —
+    // both already executed above, so the check costs two dense histogram
+    // passes, not two more full-length simulations.
     if config.dynamic_backstop {
-        check_equivalence(module, &program, "main", args, input)
+        check_equivalence_outcomes(&program, outcome, profile_output, &outcome2, &output2)
             .map_err(|e| PipelineError::Equivalence(e.to_string()))?;
     }
 
@@ -578,6 +610,47 @@ pub fn run_pipeline(
         #[cfg(feature = "chaos")]
         chaos_injection: chaos_engine.and_then(|e| e.into_injection()),
         program,
+    })
+}
+
+/// One workload's inputs to [`run_pipeline_suite`]: a module plus the
+/// arguments and input tape of its profiling run.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineJob<'a> {
+    /// The program to replicate.
+    pub module: &'a Module,
+    /// Entry-function arguments for the profiling and verification runs.
+    pub args: &'a [Value],
+    /// Input tape for the profiling and verification runs.
+    pub input: &'a [Value],
+}
+
+/// Runs [`run_pipeline`] over every job on the analysis engine's worker
+/// pool, returning results in job order.
+///
+/// This lifts `brepl_core::par_map` from the per-branch search to the
+/// whole-pipeline stage: each job is an independent pure computation, the
+/// engine merges results in input order, and nested parallelism inside a
+/// job (the per-branch selection fan-out) automatically degrades to
+/// serial on worker threads — so the output is **bit-identical** to
+/// running the jobs in a serial loop, at suite-level parallel speed.
+/// Stage-level memo hits (whole selections, per-branch searches) are
+/// shared process-wide across jobs either way.
+pub fn run_pipeline_suite(
+    jobs: &[PipelineJob<'_>],
+    config: PipelineConfig,
+) -> Vec<Result<PipelineResult, PipelineError>> {
+    run_pipeline_suite_with_threads(jobs, config, brepl_core::thread_count())
+}
+
+/// [`run_pipeline_suite`] with an explicit worker count (`1` = serial).
+pub fn run_pipeline_suite_with_threads(
+    jobs: &[PipelineJob<'_>],
+    config: PipelineConfig,
+    threads: usize,
+) -> Vec<Result<PipelineResult, PipelineError>> {
+    brepl_core::par_map_with(threads, jobs, |job| {
+        run_pipeline(job.module, job.args, job.input, config)
     })
 }
 
@@ -776,6 +849,7 @@ mod tests {
             std::collections::HashMap::new();
         // Re-measure the shipped program and fold misses to original sites.
         let outcome = Machine::new(&result.program.module, RunConfig::default())
+            .unwrap()
             .run("main", &[])
             .unwrap();
         let report = evaluate_static(&result.program.predictions, &outcome.trace);

@@ -1,0 +1,174 @@
+//! Golden bit-identity suite: the pre-decoded execution engine
+//! ([`brepl::sim::Machine`]) against the reference tree-walk interpreter
+//! ([`brepl::sim::ReferenceMachine`]).
+//!
+//! The fast engine re-architects dispatch (flat op arena, packed
+//! operands, lazily grown heap, reused register stack) but must be
+//! observationally *bit-identical* to the oracle: same return values,
+//! same step counts, same output tapes, byte-identical serialized traces,
+//! and the same typed errors on the same inputs. These tests pin that
+//! contract on the full eight-program workload suite, on synthesized
+//! fuzz modules, and on the analysis pipeline's outputs.
+
+mod common;
+
+use brepl::pipeline::{run_pipeline, PipelineConfig};
+use brepl::sim::{Machine, ReferenceMachine, RunConfig, RunError};
+use brepl_core::select_strategies;
+use brepl_ir::{FunctionBuilder, Operand, Value};
+use brepl_workloads::{all_workloads, Scale};
+use common::Gen;
+
+/// One engine's run: the outcome (or typed error) plus the output tape.
+type EngineRun = (Result<brepl::sim::Outcome, RunError>, Vec<Value>);
+
+/// Runs both engines on the same module/args/input and returns
+/// `(fast outcome, oracle outcome, fast output, oracle output)`.
+fn run_both(
+    module: &brepl_ir::Module,
+    config: RunConfig,
+    args: &[Value],
+    input: &[Value],
+) -> (EngineRun, EngineRun) {
+    let mut fast = Machine::new(module, config).expect("fast engine constructs");
+    fast.set_input(input.to_vec());
+    let a = fast.run("main", args);
+    let mut oracle = ReferenceMachine::new(module, config).expect("oracle constructs");
+    oracle.set_input(input.to_vec());
+    let b = oracle.run("main", args);
+    ((a, fast.output().to_vec()), (b, oracle.output().to_vec()))
+}
+
+#[test]
+fn all_workloads_are_bit_identical_between_engines() {
+    for w in all_workloads(Scale::Small) {
+        let ((a, out_a), (b, out_b)) = run_both(&w.module, RunConfig::default(), &w.args, &w.input);
+        let a = a.unwrap_or_else(|e| panic!("{}: fast engine failed: {e}", w.name));
+        let b = b.unwrap_or_else(|e| panic!("{}: oracle failed: {e}", w.name));
+        assert_eq!(a.result, b.result, "{}: results diverge", w.name);
+        assert_eq!(a.steps, b.steps, "{}: step counts diverge", w.name);
+        assert_eq!(out_a, out_b, "{}: output tapes diverge", w.name);
+        assert_eq!(
+            a.trace.to_bytes(),
+            b.trace.to_bytes(),
+            "{}: serialized traces diverge",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn synthesized_modules_are_bit_identical_between_engines() {
+    for case in 0..24u64 {
+        let mut g = Gen::new(0x000B_171D ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let seed = g.next();
+        let diamonds = g.below(4) as usize + 1;
+        let trip = g.below(200) as i64 + 5;
+        let module = common::random_loop_module(seed, diamonds, trip);
+        let ((a, out_a), (b, out_b)) = run_both(&module, RunConfig::default(), &[], &[]);
+        assert_eq!(a, b, "case {case}: outcomes diverge");
+        assert_eq!(out_a, out_b, "case {case}: output tapes diverge");
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert_eq!(
+            a.trace.to_bytes(),
+            b.trace.to_bytes(),
+            "case {case}: serialized traces diverge"
+        );
+    }
+}
+
+/// Resource errors must be identical too: both engines run the same fuel
+/// accounting, so a starved run fails the same way at the same point,
+/// and a generous run still agrees event for event.
+#[test]
+fn fuel_exhaustion_is_bit_identical() {
+    let module = common::random_loop_module(0xFEE1, 3, 500);
+    for fuel in [1u64, 10, 100, 1_000, 10_000] {
+        let config = RunConfig {
+            fuel,
+            ..RunConfig::default()
+        };
+        let ((a, out_a), (b, out_b)) = run_both(&module, config, &[], &[]);
+        assert_eq!(a, b, "fuel {fuel}: outcomes diverge");
+        assert_eq!(out_a, out_b, "fuel {fuel}: partial output tapes diverge");
+        if fuel <= 100 {
+            assert_eq!(a, Err(RunError::OutOfFuel), "fuel {fuel}");
+        }
+    }
+}
+
+/// Trap paths: both engines must raise the same typed error for the same
+/// malformed or trapping program.
+#[test]
+fn runtime_errors_are_bit_identical() {
+    // Division by zero.
+    let mut b = FunctionBuilder::new("main", 1);
+    let n = b.param(0);
+    let r = b.reg();
+    b.div(r, Operand::imm(1), n.into());
+    b.ret(Some(r.into()));
+    let mut m = brepl_ir::Module::new();
+    m.push_function(b.finish());
+    let ((a, _), (o, _)) = run_both(&m, RunConfig::default(), &[Value::Int(0)], &[]);
+    assert_eq!(a, o);
+    assert!(a.is_err(), "dividing by zero must trap in both engines");
+
+    // Bad address (negative), via a store.
+    let mut b = FunctionBuilder::new("main", 0);
+    b.store(Operand::imm(-1), Operand::imm(7));
+    b.ret(None);
+    let mut m = brepl_ir::Module::new();
+    m.push_function(b.finish());
+    let ((a, _), (o, _)) = run_both(&m, RunConfig::default(), &[], &[]);
+    assert_eq!(a, o);
+    assert!(a.is_err(), "negative addresses must trap in both engines");
+}
+
+/// The input tape and PRNG are machine state, not module state: both
+/// engines must consume them identically.
+#[test]
+fn input_and_prng_are_bit_identical() {
+    let mut b = FunctionBuilder::new("main", 0);
+    let x = b.input();
+    let y = b.input();
+    let r = b.rand(Operand::imm(1000));
+    let s = b.reg();
+    b.add(s, x.into(), y.into());
+    b.add(s, s.into(), r.into());
+    b.out(s.into());
+    b.ret(Some(s.into()));
+    let mut m = brepl_ir::Module::new();
+    m.push_function(b.finish());
+    let input = vec![Value::Int(40), Value::Int(2)];
+    let ((a, out_a), (o, out_o)) = run_both(&m, RunConfig::default(), &[], &input);
+    assert_eq!(a, o);
+    assert_eq!(out_a, out_o);
+    assert!(a.unwrap().result.is_some());
+}
+
+/// Pipeline-level identity: profiling with the oracle yields the same
+/// trace the pipeline's fast engine profiled with, so selecting over the
+/// oracle trace reproduces the pipeline's own selection exactly.
+#[test]
+fn pipeline_results_match_oracle_profiles() {
+    for w in all_workloads(Scale::Small) {
+        let config = PipelineConfig::default();
+        let r = run_pipeline(&w.module, &w.args, &w.input, config)
+            .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", w.name));
+        let mut oracle = ReferenceMachine::new(&w.module, config.run).unwrap();
+        oracle.set_input(w.input.clone());
+        let oracle_trace = oracle.run("main", &w.args).unwrap().trace;
+        assert_eq!(
+            r.trace_events,
+            oracle_trace.len() as u64,
+            "{}: profiling trace length diverges",
+            w.name
+        );
+        let oracle_selection = select_strategies(&w.module, &oracle_trace, config.max_states);
+        assert_eq!(
+            r.selection, oracle_selection,
+            "{}: selection over the oracle trace diverges from the pipeline's",
+            w.name
+        );
+    }
+}

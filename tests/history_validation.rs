@@ -88,6 +88,7 @@ fn flip_flop() -> StateMachine {
 fn replicated() -> (Module, ReplicationPlan, ReplicatedProgram) {
     let m = alternating_module();
     let stats = Sim::new(&m, RunConfig::default())
+        .unwrap()
         .run("main", &[Value::Int(100)])
         .unwrap()
         .trace

@@ -37,9 +37,11 @@ fn textual_format_round_trips() {
         assert_eq!(&parsed, &module, "case {case}");
         // And the round-tripped module runs identically.
         let a = Machine::new(&module, RunConfig::default())
+            .unwrap()
             .run("main", &[])
             .unwrap();
         let b = Machine::new(&parsed, RunConfig::default())
+            .unwrap()
             .run("main", &[])
             .unwrap();
         assert_eq!(a.result, b.result, "case {case}");
@@ -53,9 +55,11 @@ fn execution_is_deterministic() {
         let (seed, diamonds, trip) = case_params(0xDE7E, case, (1, 4), (1, 60));
         let module = common::random_loop_module(seed, diamonds, trip);
         let a = Machine::new(&module, RunConfig::default())
+            .unwrap()
             .run("main", &[])
             .unwrap();
         let b = Machine::new(&module, RunConfig::default())
+            .unwrap()
             .run("main", &[])
             .unwrap();
         assert_eq!(a.result, b.result, "case {case}");
@@ -72,6 +76,7 @@ fn trace_serialization_round_trips() {
         let (seed, diamonds, trip) = case_params(0x5E7A, case, (1, 4), (1, 80));
         let module = common::random_loop_module(seed, diamonds, trip);
         let trace = Machine::new(&module, RunConfig::default())
+            .unwrap()
             .run("main", &[])
             .unwrap()
             .trace;

@@ -21,12 +21,17 @@ fn parallel_selection_is_bit_identical_to_serial() {
         let trip = g.below(120) as i64 + 8;
         let module = common::random_loop_module(seed, diamonds, trip);
         let trace = Machine::new(&module, RunConfig::default())
+            .unwrap()
             .run("main", &[])
             .expect("terminates")
             .trace;
         for max_states in [2usize, 4, 6] {
             let serial = select_strategies_with_threads(&module, &trace, max_states, 1);
             for threads in [2usize, 4, 8] {
+                // Empty the memo so the parallel call re-runs the search
+                // instead of trivially returning the serial run's cached
+                // whole-selection entry.
+                brepl::core::memo::clear();
                 let parallel = select_strategies_with_threads(&module, &trace, max_states, threads);
                 assert_eq!(
                     serial, parallel,
@@ -44,6 +49,7 @@ fn memo_hits_do_not_change_results() {
     let mut g = Gen::new(0x3E30);
     let module = common::random_loop_module(g.next(), 3, 64);
     let trace = Machine::new(&module, RunConfig::default())
+        .unwrap()
         .run("main", &[])
         .expect("terminates")
         .trace;
@@ -55,4 +61,55 @@ fn memo_hits_do_not_change_results() {
         let _ = select_strategies(&module, &trace, n);
     }
     assert_eq!(select_strategies(&module, &trace, 4), cold);
+}
+
+/// The suite-level fan-out of whole pipelines must be bit-identical to a
+/// serial loop: same selections, same shipped modules, same predictions,
+/// same enabled sites — for every worker count.
+#[test]
+fn pipeline_suite_is_bit_identical_serial_vs_parallel() {
+    use brepl::pipeline::{run_pipeline_suite_with_threads, PipelineConfig, PipelineJob};
+
+    let mut g = Gen::new(0x5017E);
+    let modules: Vec<_> = (0..4usize)
+        .map(|i| common::random_loop_module(g.next(), (i % 3) + 1, 40 + 10 * i as i64))
+        .collect();
+    let jobs: Vec<PipelineJob> = modules
+        .iter()
+        .map(|m| PipelineJob {
+            module: m,
+            args: &[],
+            input: &[],
+        })
+        .collect();
+
+    let serial = run_pipeline_suite_with_threads(&jobs, PipelineConfig::default(), 1);
+    brepl::core::memo::clear();
+    let parallel = run_pipeline_suite_with_threads(&jobs, PipelineConfig::default(), 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        let (s, p) = match (s, p) {
+            (Ok(s), Ok(p)) => (s, p),
+            _ => panic!("job {i}: both modes must succeed on these modules"),
+        };
+        assert_eq!(s.selection, p.selection, "job {i}: selections differ");
+        assert_eq!(
+            s.replicated_sites, p.replicated_sites,
+            "job {i}: enabled sites differ"
+        );
+        assert_eq!(s.trace_events, p.trace_events, "job {i}");
+        assert_eq!(
+            s.program.module, p.program.module,
+            "job {i}: shipped modules differ"
+        );
+        assert_eq!(
+            s.program.predictions, p.program.predictions,
+            "job {i}: predictions differ"
+        );
+        assert_eq!(
+            s.replicated_misprediction_percent.to_bits(),
+            p.replicated_misprediction_percent.to_bits(),
+            "job {i}: realized misprediction differs"
+        );
+    }
 }

@@ -36,6 +36,7 @@ fn replication_preserves_semantics() {
         let (seed, diamonds, trip) = case_params(0x5E3A, case, (1, 4), (8, 120));
         let module = common::random_loop_module(seed, diamonds, trip);
         let trace = Machine::new(&module, RunConfig::default())
+            .unwrap()
             .run("main", &[])
             .expect("generated programs terminate")
             .trace;
@@ -77,6 +78,7 @@ fn selection_misses_bounded_by_profile() {
         let (seed, diamonds, trip) = case_params(0xB0D5, case, (1, 5), (8, 150));
         let module = common::random_loop_module(seed, diamonds, trip);
         let trace = Machine::new(&module, RunConfig::default())
+            .unwrap()
             .run("main", &[])
             .expect("terminates")
             .trace;

@@ -18,7 +18,7 @@ fn static_bound_never_undercuts_the_simulator_on_any_workload() {
     for w in all_workloads(Scale::Small) {
         let r = run_pipeline(&w.module, &w.args, &w.input, PipelineConfig::default())
             .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", w.name));
-        let mut machine = Machine::new(&w.module, RunConfig::default());
+        let mut machine = Machine::new(&w.module, RunConfig::default()).unwrap();
         machine.set_input(w.input.clone());
         let trace = machine.run("main", &w.args).unwrap().trace;
         let report = static_cost(
@@ -101,6 +101,7 @@ fn flip_flop() -> StateMachine {
 fn static_bound_is_exact_on_the_demo_cfg() {
     let m = demo_module();
     let trace = Machine::new(&m, RunConfig::default())
+        .unwrap()
         .run("main", &[])
         .unwrap()
         .trace;
@@ -121,6 +122,7 @@ fn static_bound_is_exact_on_the_demo_cfg() {
     // Ground truth: run the replicated module and score its pins against
     // the branch outcomes it actually produces.
     let replicated_trace = Machine::new(&program.module, RunConfig::default())
+        .unwrap()
         .run("main", &[])
         .unwrap()
         .trace;

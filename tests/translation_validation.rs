@@ -79,6 +79,7 @@ fn flip_flop() -> StateMachine {
 fn replicated() -> (Module, ReplicatedProgram) {
     let m = alternating_module();
     let stats = Sim::new(&m, RunConfig::default())
+        .unwrap()
         .run("main", &[Value::Int(100)])
         .unwrap()
         .trace
