@@ -1,0 +1,850 @@
+//! Per-site branch *direction* classification, and the profile-vs-proof
+//! consistency gate built on top of it.
+//!
+//! [`classify_module`] runs the interval SCCP fixpoint
+//! ([`crate::const_prop`]) and the loop analysis over every function and
+//! assigns each conditional branch site a [`DirectionClass`]:
+//!
+//! * [`DirectionClass::ProvedMonostatic`] — abstract interpretation shows
+//!   exactly one direction is feasible. The planner may pin the
+//!   prediction and skip machine search entirely.
+//! * [`DirectionClass::BoundedBias`] — a counted-loop trip-count proof
+//!   pins the *exact* taken-rate as a rational `num/den` (for a loop
+//!   proved to run `t` iterations per entry, the header test goes the
+//!   stay direction exactly `t` of every `t + 1` executions, however many
+//!   times the loop is entered).
+//! * [`DirectionClass::ProfileDependent`] — the analysis claims nothing;
+//!   the profile-driven machinery is the only source of truth.
+//!
+//! The class names deliberately do not collide with
+//! [`brepl_cfg::BranchClass`], which classifies branches by *loop
+//! structure* (intra-loop / loop-exit / non-loop), not by direction.
+//!
+//! # The consistency gate
+//!
+//! [`classification_diags`] cross-checks a profiling trace against the
+//! proofs (`BR013`/`BR014`/`BR015`/`BR018`, plus `BR017` when the
+//! fixpoint had to fail closed), and [`prediction_proof_diags`] checks
+//! shipped static predictions against them (`BR016`). The trust base is
+//! deliberately disjoint from both existing gates: the translation
+//! validator trusts the [`crate::ReplicaMap`] witness and the history
+//! checker trusts the machine tables, while this gate trusts only the
+//! *original* module text and integer arithmetic. A corrupted trace that
+//! survives replay and replication therefore still gets caught here.
+//!
+//! Soundness of every claim is fuzzed against the interpreter in
+//! `tests/fuzz_pipeline.rs` (any `ProvedMonostatic` verdict must match a
+//! unanimous simulated trace) and property-tested at the lattice level in
+//! [`crate::interval`].
+
+use brepl_cfg::{Cfg, DomTree, LoopForest, NaturalLoop};
+use brepl_ir::{BlockId, BranchId, FuncId, Inst, Loc, Module, Term};
+use brepl_predict::StaticPrediction;
+use brepl_trace::TraceStats;
+
+use crate::const_prop::{branch_feasibility, edge_env, edge_refinement, AbsVal, ConstProp, Env};
+use crate::diag::{AnalysisDiag, DiagCode};
+use brepl_ir::CmpOp;
+
+/// What the static analysis proved about one branch site's direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirectionClass {
+    /// Exactly one direction is feasible: `true` means every execution
+    /// takes the branch, `false` means none does.
+    ProvedMonostatic(bool),
+    /// The taken-rate is proved to be *exactly* `num / den` (a
+    /// trip-count argument; see the module docs). `0 < den`, `num <= den`.
+    BoundedBias {
+        /// Numerator of the exact taken-rate.
+        num: u64,
+        /// Denominator of the exact taken-rate (`trips + 1`).
+        den: u64,
+    },
+    /// Nothing proved; only the profile can decide.
+    ProfileDependent,
+}
+
+impl DirectionClass {
+    /// The pinned direction, for monostatic sites.
+    pub fn proved_direction(&self) -> Option<bool> {
+        match self {
+            DirectionClass::ProvedMonostatic(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// The proved taken-rate band `(lo, hi)` as floats, when any bound
+    /// is known (`(d, d)` for monostatic, `(r, r)` for exact bias).
+    pub fn rate_band(&self) -> Option<(f64, f64)> {
+        match self {
+            DirectionClass::ProvedMonostatic(d) => {
+                let r = if *d { 1.0 } else { 0.0 };
+                Some((r, r))
+            }
+            DirectionClass::BoundedBias { num, den } => {
+                let r = *num as f64 / *den as f64;
+                Some((r, r))
+            }
+            DirectionClass::ProfileDependent => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DirectionClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirectionClass::ProvedMonostatic(true) => write!(f, "proved-taken"),
+            DirectionClass::ProvedMonostatic(false) => write!(f, "proved-not-taken"),
+            DirectionClass::BoundedBias { num, den } => {
+                write!(f, "bias-exact {num}/{den}")
+            }
+            DirectionClass::ProfileDependent => write!(f, "profile-dependent"),
+        }
+    }
+}
+
+/// One classified branch site.
+#[derive(Clone, Debug)]
+pub struct SiteClass {
+    /// The branch site id.
+    pub site: BranchId,
+    /// The function holding the branch.
+    pub func: FuncId,
+    /// The block whose terminator is the branch.
+    pub block: BlockId,
+    /// The direction verdict.
+    pub class: DirectionClass,
+    /// Whether the site can execute at all (function reachable through
+    /// the call graph *and* block executable in the SCCP fixpoint).
+    /// `false` is a *must*-unreachable proof: any trace event here is
+    /// corruption (`BR015`).
+    pub reachable: bool,
+    /// The branch condition is a compile-time integer constant (`BR018`).
+    pub constant_condition: Option<i64>,
+}
+
+/// Whole-module classification.
+#[derive(Clone, Debug)]
+pub struct Classification {
+    /// One entry per conditional branch site, in function/block order.
+    pub sites: Vec<SiteClass>,
+    /// Functions whose fixpoint blew its budget: their sites are forced
+    /// to [`DirectionClass::ProfileDependent`] + reachable (fail closed)
+    /// and `BR017` reports each of them.
+    pub unconverged_funcs: Vec<FuncId>,
+}
+
+impl Classification {
+    /// Looks up a site's verdict.
+    pub fn by_site(&self, site: BranchId) -> Option<&SiteClass> {
+        self.sites.iter().find(|s| s.site == site)
+    }
+
+    /// Counts `(proved, bias, dependent)` over all sites.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for s in &self.sites {
+            match s.class {
+                DirectionClass::ProvedMonostatic(_) => c.0 += 1,
+                DirectionClass::BoundedBias { .. } => c.1 += 1,
+                DirectionClass::ProfileDependent => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// All `(site, direction)` pairs proved monostatic — the input shape
+    /// the proof-guided predictor and the planner fast-path consume.
+    pub fn proved_sites(&self) -> Vec<(BranchId, bool)> {
+        self.sites
+            .iter()
+            .filter_map(|s| s.class.proved_direction().map(|d| (s.site, d)))
+            .collect()
+    }
+
+    /// True if every function's fixpoint converged.
+    pub fn converged(&self) -> bool {
+        self.unconverged_funcs.is_empty()
+    }
+}
+
+/// Classifies every conditional branch site of `module`. Pure function
+/// of the module text; never consults a profile.
+pub fn classify_module(module: &Module) -> Classification {
+    let cp = ConstProp::analyze(module);
+    let mut sites = Vec::new();
+    let mut unconverged_funcs = Vec::new();
+
+    for (fid, func) in module.iter_functions() {
+        let values = &cp.funcs[fid.index()];
+        if !values.stats.converged {
+            unconverged_funcs.push(fid);
+        }
+        let cfg = Cfg::new(func);
+        let dom = DomTree::new(&cfg);
+        let forest = LoopForest::new(&cfg, &dom);
+
+        for (bid, block) in func.iter_blocks() {
+            let Term::Br { site, .. } = block.term else {
+                continue;
+            };
+            let reachable = cp.block_live(fid, bid);
+            if !values.stats.converged {
+                // Fail closed: no verdicts from a function that blew its
+                // budget, and no unreachability claims either.
+                sites.push(SiteClass {
+                    site,
+                    func: fid,
+                    block: bid,
+                    class: DirectionClass::ProfileDependent,
+                    reachable: true,
+                    constant_condition: None,
+                });
+                continue;
+            }
+
+            let cond_val = values.branch_condition_value(func, bid);
+            let constant_condition = match &cond_val {
+                Some(AbsVal::Int(iv)) => iv.as_constant(),
+                _ => None,
+            };
+            let class = if !reachable {
+                // A dead site has no direction to classify; claiming one
+                // would let the fast-path pin predictions for code the
+                // profile can never confirm.
+                DirectionClass::ProfileDependent
+            } else {
+                match &cond_val {
+                    Some(v) => match branch_feasibility(v) {
+                        (true, false) => DirectionClass::ProvedMonostatic(true),
+                        (false, true) => DirectionClass::ProvedMonostatic(false),
+                        _ => trip_count_bias(func, &cfg, &dom, &forest, values, bid)
+                            .unwrap_or(DirectionClass::ProfileDependent),
+                    },
+                    None => DirectionClass::ProfileDependent,
+                }
+            };
+            sites.push(SiteClass {
+                site,
+                func: fid,
+                block: bid,
+                class,
+                reachable,
+                constant_condition,
+            });
+        }
+    }
+
+    Classification {
+        sites,
+        unconverged_funcs,
+    }
+}
+
+/// Tries to prove an exact per-entry trip count for the loop whose
+/// header test is the branch at `bid`, yielding the exact taken-rate.
+///
+/// The preconditions are deliberately strict — each one discharges an
+/// assumption of the counting argument:
+///
+/// 1. `bid` is the header of its innermost loop, and the branch is the
+///    loop's *only* exit (one successor stays in, one leaves, no other
+///    exit edges) — so the header test runs exactly `trips + 1` times
+///    per entry.
+/// 2. The condition is `i op k` for an in-block compare against an
+///    integer immediate (via the same [`edge_refinement`] scan the SCCP
+///    edges use), with the stay-predicate a half-range test
+///    (`<`, `<=`, `>`, `>=`).
+/// 3. `i` has exactly one definition anywhere in the loop: `i += s` /
+///    `i -= s` with an immediate step, in a block that is not the header,
+///    belongs to no deeper loop, and dominates every latch — so it runs
+///    exactly once per iteration.
+/// 4. On every loop entry `i` holds the same proved constant `c` (join
+///    of the refined entry-edge environments), and the iteration
+///    sequence never leaves `i64` (checked in `i128`) — so wrap-around
+///    cannot bend the count.
+///
+/// Under 1–4 the header test goes the stay direction exactly
+/// `trips(c, k, s, op)` times per entry, independent of the entry count,
+/// which is what lets [`classification_diags`] check the profiled rate
+/// *exactly* rather than within a tolerance.
+fn trip_count_bias(
+    func: &brepl_ir::Function,
+    cfg: &Cfg,
+    dom: &DomTree,
+    forest: &LoopForest,
+    values: &crate::const_prop::FuncValues,
+    bid: BlockId,
+) -> Option<DirectionClass> {
+    let block = func.block(bid);
+    let Term::Br {
+        cond, then_, else_, ..
+    } = &block.term
+    else {
+        return None;
+    };
+
+    // Precondition 1: header of its innermost loop, single-exit there.
+    let lid = forest.innermost(bid)?;
+    let lp: &NaturalLoop = forest.get(lid);
+    if lp.header != bid {
+        return None;
+    }
+    let then_in = lp.contains(*then_);
+    let else_in = lp.contains(*else_);
+    let stay_taken = match (then_in, else_in) {
+        (true, false) => true,
+        (false, true) => false,
+        _ => return None,
+    };
+    if !lp.exit_edges.iter().all(|&(from, _)| from == bid) {
+        return None;
+    }
+
+    // Precondition 2: condition shape `i op k`.
+    let cond_reg = cond.reg()?;
+    let r = edge_refinement(block, cond_reg)?;
+    let i_reg = r.reg;
+    // The predicate that holds when control *stays* in the loop.
+    let stay_op = if stay_taken { r.op } else { r.op.negated() };
+
+    // Precondition 3: single induction step, once per iteration.
+    let mut step: Option<(BlockId, i64)> = None;
+    for &lb in &lp.blocks {
+        for inst in &func.block(lb).insts {
+            if inst.def() != Some(i_reg) {
+                continue;
+            }
+            if step.is_some() {
+                return None; // second def
+            }
+            let Inst::Bin { op, lhs, rhs, .. } = inst else {
+                return None;
+            };
+            let imm = |o: &brepl_ir::Operand| match o {
+                brepl_ir::Operand::Imm(brepl_ir::Value::Int(k)) => Some(*k),
+                _ => None,
+            };
+            let s = match (op, lhs, rhs) {
+                (brepl_ir::BinOp::Add, brepl_ir::Operand::Reg(a), o)
+                | (brepl_ir::BinOp::Add, o, brepl_ir::Operand::Reg(a))
+                    if *a == i_reg =>
+                {
+                    imm(o)?
+                }
+                (brepl_ir::BinOp::Sub, brepl_ir::Operand::Reg(a), o) if *a == i_reg => {
+                    imm(o)?.checked_neg()?
+                }
+                _ => return None,
+            };
+            step = Some((lb, s));
+        }
+    }
+    let (step_block, step) = step?;
+    if step == 0 || step_block == bid {
+        return None;
+    }
+    if forest.innermost(step_block) != Some(lid) {
+        return None;
+    }
+    if !lp
+        .back_edges
+        .iter()
+        .all(|&(tail, _)| dom.dominates(step_block, tail))
+    {
+        return None;
+    }
+
+    // Precondition 4: constant entry value, identical on every entry.
+    let mut entry: Option<AbsVal> = None;
+    for &p in cfg.preds(bid) {
+        if lp.contains(p) {
+            continue; // latch edge, not an entry
+        }
+        if !values.executable[p.index()] {
+            continue;
+        }
+        let pin: Env = values.entry_env(p)?.to_vec();
+        let Some(contrib) = edge_env(func, p, bid, &pin) else {
+            continue; // abstractly infeasible entry edge
+        };
+        let v = contrib.get(i_reg.index()).cloned().unwrap_or(AbsVal::Any);
+        entry = Some(match entry {
+            None => v,
+            Some(prev) if prev == v => prev,
+            Some(_) => return None,
+        });
+    }
+    let c = match entry? {
+        AbsVal::Int(iv) => iv.as_constant()?,
+        _ => return None,
+    };
+
+    let trips = count_trips(c, r.k, step, stay_op)?;
+
+    // Guard against wrap-around: the exit value c + trips*step must fit
+    // i64 (every intermediate value lies between c and it).
+    let last = c as i128 + trips as i128 * step as i128;
+    if last < i64::MIN as i128 || last > i64::MAX as i128 {
+        return None;
+    }
+
+    let den = trips.checked_add(1)?;
+    let num = if stay_taken { trips } else { 1 };
+    Some(DirectionClass::BoundedBias { num, den })
+}
+
+/// How many consecutive values of the sequence `c, c+s, c+2s, ...`
+/// satisfy `i op k` before the first failure. `None` when the predicate
+/// shape and step direction cannot be counted (wrong sign, `==`/`!=`,
+/// or a count that does not fit `u64`).
+fn count_trips(c: i64, k: i64, s: i64, op: CmpOp) -> Option<u64> {
+    let (c, k, s) = (c as i128, k as i128, s as i128);
+    let t = match op {
+        CmpOp::Lt if s > 0 => {
+            if c >= k {
+                0
+            } else {
+                (k - c + s - 1) / s
+            }
+        }
+        CmpOp::Le if s > 0 => {
+            if c > k {
+                0
+            } else {
+                (k - c) / s + 1
+            }
+        }
+        CmpOp::Gt if s < 0 => {
+            if c <= k {
+                0
+            } else {
+                (c - k + (-s) - 1) / (-s)
+            }
+        }
+        CmpOp::Ge if s < 0 => {
+            if c < k {
+                0
+            } else {
+                (c - k) / (-s) + 1
+            }
+        }
+        _ => return None,
+    };
+    u64::try_from(t).ok()
+}
+
+/// Cross-checks a profiling trace against the classification. Every
+/// returned diagnostic is attributed to its branch site so the
+/// pipeline's per-site quarantine (or a hard gate) can act on it:
+///
+/// * `BR013` — events in the *impossible* direction of a proved
+///   monostatic site;
+/// * `BR014` — a taken-count violating an exact bias proof (checked in
+///   exact integer arithmetic: `taken * den == total * num`);
+/// * `BR015` — any event at a site proved unreachable;
+/// * `BR017` — one per function whose fixpoint failed to converge;
+/// * `BR018` — a (warning) note per reachable constant-condition branch.
+pub fn classification_diags(
+    module: &Module,
+    cls: &Classification,
+    stats: &TraceStats,
+) -> Vec<AnalysisDiag> {
+    let mut diags = Vec::new();
+    for &fid in &cls.unconverged_funcs {
+        diags.push(AnalysisDiag::new(
+            DiagCode::ClassifyFixpointFailure,
+            Loc::block(fid, module.function(fid).entry),
+            "classification fixpoint blew its budget; verdicts for this function withheld",
+        ));
+    }
+    for s in &cls.sites {
+        let counts = stats.site(s.site);
+        let loc = Loc::term(s.func, s.block);
+        if !s.reachable {
+            if counts.total() > 0 {
+                diags.push(
+                    AnalysisDiag::new(
+                        DiagCode::ProfileEventOnUnreachable,
+                        loc,
+                        format!(
+                            "trace records {} event(s) at a branch proved unreachable",
+                            counts.total()
+                        ),
+                    )
+                    .with_site(s.site),
+                );
+            }
+            continue;
+        }
+        match s.class {
+            DirectionClass::ProvedMonostatic(dir) => {
+                let impossible = if dir { counts.not_taken } else { counts.taken };
+                if impossible > 0 {
+                    diags.push(
+                        AnalysisDiag::new(
+                            DiagCode::ProfileProofConflict,
+                            loc,
+                            format!(
+                                "trace records {impossible} {} event(s) on a branch proved {}",
+                                if dir { "not-taken" } else { "taken" },
+                                if dir { "always-taken" } else { "never-taken" },
+                            ),
+                        )
+                        .with_site(s.site),
+                    );
+                }
+            }
+            DirectionClass::BoundedBias { num, den } => {
+                // Exact rational check; the proof predicts the taken
+                // count exactly, for any number of loop entries.
+                let total = counts.total() as u128;
+                if counts.taken as u128 * den as u128 != total * num as u128 {
+                    diags.push(
+                        AnalysisDiag::new(
+                            DiagCode::ProfileBiasConflict,
+                            loc,
+                            format!(
+                                "trace records {}/{} taken but the trip-count proof pins the rate at exactly {num}/{den}",
+                                counts.taken,
+                                counts.total(),
+                            ),
+                        )
+                        .with_site(s.site),
+                    );
+                }
+            }
+            DirectionClass::ProfileDependent => {}
+        }
+        if let Some(k) = s.constant_condition {
+            diags.push(
+                AnalysisDiag::new(
+                    DiagCode::ConstantConditionBranch,
+                    loc,
+                    format!("branch condition is the compile-time constant {k}"),
+                )
+                .with_site(s.site),
+            );
+        }
+    }
+    diags
+}
+
+/// Checks shipped static predictions against the proofs (`BR016`): a
+/// prediction that pins the direction opposite to a proved one can only
+/// lose. `sites` restricts the check to sites the caller actually ships
+/// predictions for (pass the planner's enabled set); sites proved
+/// monostatic but predicted by default are not worth a diagnostic.
+pub fn prediction_proof_diags(
+    module: &Module,
+    cls: &Classification,
+    predictions: &StaticPrediction,
+    sites: &[BranchId],
+) -> Vec<AnalysisDiag> {
+    let mut diags = Vec::new();
+    for &site in sites {
+        let Some(s) = cls.by_site(site) else { continue };
+        let Some(dir) = s.class.proved_direction() else {
+            continue;
+        };
+        if !s.reachable {
+            continue;
+        }
+        if predictions.get(site) != dir {
+            let loc = module
+                .locate_branch(site)
+                .map(|(f, b)| Loc::term(f, b))
+                .unwrap_or(Loc::term(s.func, s.block));
+            diags.push(
+                AnalysisDiag::new(
+                    DiagCode::PredictionProofConflict,
+                    loc,
+                    format!(
+                        "shipped prediction says {} but the branch is proved {}",
+                        if dir { "not-taken" } else { "taken" },
+                        if dir { "always-taken" } else { "never-taken" },
+                    ),
+                )
+                .with_site(site),
+            );
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::{FunctionBuilder, Operand};
+    use brepl_trace::{Trace, TraceEvent};
+
+    /// `main` with one counted loop `for i in 0..trip` whose body has an
+    /// inner data-dependent branch, plus a constant-false branch behind
+    /// which sits a dead random branch.
+    fn module_with_everything(trip: i64) -> Module {
+        let mut b = FunctionBuilder::new("main", 0);
+        let head = b.new_block();
+        let body = b.new_block();
+        let inner_t = b.new_block();
+        let latch = b.new_block();
+        let dead = b.new_block();
+        let dead2 = b.new_block();
+        let exit = b.new_block();
+
+        let i = b.reg();
+        b.const_int(i, 0);
+        let never = b.reg();
+        b.const_int(never, 0);
+        b.jmp(head);
+
+        b.switch_to(head);
+        let c = b.lt(Operand::Reg(i), Operand::imm(trip));
+        b.br(c, body, exit); // site 0: bias trip/(trip+1)
+
+        b.switch_to(body);
+        let r = b.rand(Operand::imm(2));
+        b.br(r, inner_t, latch); // site 1: profile-dependent
+
+        b.switch_to(inner_t);
+        b.jmp(latch);
+
+        b.switch_to(latch);
+        b.add(i, Operand::Reg(i), Operand::imm(1));
+        b.jmp(head);
+
+        b.switch_to(exit);
+        b.br(never, dead, dead2); // site 3 (block order): proved not-taken
+
+        b.switch_to(dead);
+        let dr = b.rand(Operand::imm(2));
+        b.br(dr, dead2, dead2); // site 2 (block order): unreachable
+
+        b.switch_to(dead2);
+        b.ret(None);
+
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        m.renumber_branches();
+        m
+    }
+
+    fn site(n: u32) -> BranchId {
+        BranchId(n)
+    }
+
+    #[test]
+    fn classifies_the_four_shapes() {
+        let m = module_with_everything(100);
+        let cls = classify_module(&m);
+        assert!(cls.converged());
+        assert_eq!(cls.sites.len(), 4);
+
+        let head = cls.by_site(site(0)).unwrap();
+        assert_eq!(
+            head.class,
+            DirectionClass::BoundedBias { num: 100, den: 101 }
+        );
+        assert!(head.reachable);
+
+        let inner = cls.by_site(site(1)).unwrap();
+        assert_eq!(inner.class, DirectionClass::ProfileDependent);
+
+        let never = cls.by_site(site(3)).unwrap();
+        assert_eq!(never.class, DirectionClass::ProvedMonostatic(false));
+        assert_eq!(never.constant_condition, Some(0));
+
+        let dead = cls.by_site(site(2)).unwrap();
+        assert!(!dead.reachable);
+        assert_eq!(dead.class, DirectionClass::ProfileDependent);
+
+        assert_eq!(cls.counts(), (1, 1, 2));
+        assert_eq!(cls.proved_sites(), vec![(site(3), false)]);
+    }
+
+    #[test]
+    fn clean_trace_passes_the_gate() {
+        let m = module_with_everything(3);
+        let cls = classify_module(&m);
+        // One loop entry: head taken 3/4, inner arbitrary, never 0/1.
+        let mut t = Trace::new();
+        for n in 0..4u32 {
+            t.push(TraceEvent {
+                site: site(0),
+                taken: n < 3,
+            });
+            if n < 3 {
+                t.push(TraceEvent {
+                    site: site(1),
+                    taken: n % 2 == 0,
+                });
+            }
+        }
+        t.push(TraceEvent {
+            site: site(3),
+            taken: false,
+        });
+        let stats = TraceStats::from_trace(&t);
+        let diags = classification_diags(&m, &cls, &stats);
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.code == DiagCode::ConstantConditionBranch),
+            "unexpected diags: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn forged_events_fire_exactly_the_right_codes() {
+        let m = module_with_everything(3);
+        let cls = classify_module(&m);
+
+        // A taken event on the proved-never-taken site -> BR013.
+        let mut t = Trace::new();
+        t.push(TraceEvent {
+            site: site(3),
+            taken: true,
+        });
+        let diags = classification_diags(&m, &cls, &TraceStats::from_trace(&t));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DiagCode::ProfileProofConflict && d.site == Some(site(3))));
+
+        // A wrong taken-count on the bias-proved header -> BR014.
+        let mut t = Trace::new();
+        for _ in 0..4 {
+            t.push(TraceEvent {
+                site: site(0),
+                taken: true,
+            });
+        }
+        let diags = classification_diags(&m, &cls, &TraceStats::from_trace(&t));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DiagCode::ProfileBiasConflict && d.site == Some(site(0))));
+
+        // Any event at the dead site -> BR015.
+        let mut t = Trace::new();
+        t.push(TraceEvent {
+            site: site(2),
+            taken: false,
+        });
+        let diags = classification_diags(&m, &cls, &TraceStats::from_trace(&t));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DiagCode::ProfileEventOnUnreachable && d.site == Some(site(2))));
+    }
+
+    #[test]
+    fn prediction_gate_flags_only_contradicted_shipped_sites() {
+        let m = module_with_everything(3);
+        let cls = classify_module(&m);
+        let mut pred = StaticPrediction::with_default(true);
+        // Site 3 is proved never-taken; predicting taken is a conflict —
+        // but only when site 3 is actually shipped.
+        let diags = prediction_proof_diags(&m, &cls, &pred, &[site(0), site(1)]);
+        assert!(diags.is_empty());
+        let diags = prediction_proof_diags(&m, &cls, &pred, &[site(3)]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::PredictionProofConflict);
+        assert_eq!(diags[0].site, Some(site(3)));
+        // Agreeing prediction: clean.
+        pred.set(site(3), false);
+        assert!(prediction_proof_diags(&m, &cls, &pred, &[site(3)]).is_empty());
+    }
+
+    #[test]
+    fn trip_counts_cover_all_four_predicates() {
+        // i < k, +s
+        assert_eq!(count_trips(0, 100, 1, CmpOp::Lt), Some(100));
+        assert_eq!(count_trips(0, 100, 3, CmpOp::Lt), Some(34));
+        assert_eq!(count_trips(100, 100, 1, CmpOp::Lt), Some(0));
+        // i <= k, +s
+        assert_eq!(count_trips(0, 100, 1, CmpOp::Le), Some(101));
+        // i > k, -s
+        assert_eq!(count_trips(100, 0, -1, CmpOp::Gt), Some(100));
+        // i >= k, -s
+        assert_eq!(count_trips(100, 0, -2, CmpOp::Ge), Some(51));
+        // Wrong step direction or uncountable op: no claim.
+        assert_eq!(count_trips(0, 100, -1, CmpOp::Lt), None);
+        assert_eq!(count_trips(0, 100, 1, CmpOp::Ne), None);
+        assert_eq!(count_trips(0, 100, 1, CmpOp::Eq), None);
+    }
+
+    #[test]
+    fn downward_loop_gets_an_exact_band() {
+        // for (i = n; i > 0; i -= 1), header `i > 0` with const n = 7.
+        let mut b = FunctionBuilder::new("main", 0);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.reg();
+        b.const_int(i, 7);
+        b.jmp(head);
+        b.switch_to(head);
+        let c = b.gt(Operand::Reg(i), Operand::imm(0));
+        b.br(c, body, exit);
+        b.switch_to(body);
+        b.sub(i, Operand::Reg(i), Operand::imm(1));
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        m.renumber_branches();
+
+        let cls = classify_module(&m);
+        assert_eq!(
+            cls.by_site(BranchId(0)).unwrap().class,
+            DirectionClass::BoundedBias { num: 7, den: 8 }
+        );
+    }
+
+    #[test]
+    fn non_constant_entry_or_double_step_claims_nothing() {
+        // Entry value comes from Rand: no proof.
+        let mut b = FunctionBuilder::new("main", 0);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.reg();
+        let r = b.rand(Operand::imm(5));
+        b.copy(i, Operand::Reg(r));
+        b.jmp(head);
+        b.switch_to(head);
+        let c = b.lt(Operand::Reg(i), Operand::imm(100));
+        b.br(c, body, exit);
+        b.switch_to(body);
+        b.add(i, Operand::Reg(i), Operand::imm(1));
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        m.renumber_branches();
+
+        let cls = classify_module(&m);
+        assert_eq!(
+            cls.by_site(BranchId(0)).unwrap().class,
+            DirectionClass::ProfileDependent
+        );
+    }
+
+    #[test]
+    fn unconverged_function_fails_closed_with_br017() {
+        // Nested self-feeding loops that keep the worklist busy past the
+        // budget are hard to build small; instead check the fail-closed
+        // path directly through a Classification with a forced entry.
+        let m = module_with_everything(3);
+        let mut cls = classify_module(&m);
+        cls.unconverged_funcs.push(FuncId(0));
+        for s in &mut cls.sites {
+            s.class = DirectionClass::ProfileDependent;
+            s.reachable = true;
+            s.constant_condition = None;
+        }
+        let stats = TraceStats::from_trace(&Trace::new());
+        let diags = classification_diags(&m, &cls, &stats);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::ClassifyFixpointFailure);
+    }
+}

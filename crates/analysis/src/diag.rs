@@ -64,6 +64,28 @@ pub enum DiagCode {
     /// table is malformed, the product exploded past its cap, or a
     /// machine-controlled site has no replica branch at all.
     ProductFixpointFailure,
+    /// `BR013` — the profiling trace records an event contradicting a
+    /// direction *proved* by abstract interpretation (e.g. a taken event on
+    /// a branch proved never-taken): the trace is corrupt or stale.
+    ProfileProofConflict,
+    /// `BR014` — the profiled taken-rate of a branch falls outside the
+    /// statically proved bias band (beyond tolerance): the trace disagrees
+    /// with a trip-count proof.
+    ProfileBiasConflict,
+    /// `BR015` — the profiling trace records events at a branch site the
+    /// static analysis proves unreachable: the trace cannot have come from
+    /// this module.
+    ProfileEventOnUnreachable,
+    /// `BR016` — a shipped static prediction pins the direction opposite to
+    /// a statically proved one on a profile-trusted site.
+    PredictionProofConflict,
+    /// `BR017` — the classification fixpoint did not converge within
+    /// budget; verdicts for the affected function are withheld (fail
+    /// closed).
+    ClassifyFixpointFailure,
+    /// `BR018` — a branch condition is a compile-time constant: the branch
+    /// is decidable without replication and is likely vestigial.
+    ConstantConditionBranch,
 }
 
 impl DiagCode {
@@ -82,6 +104,12 @@ impl DiagCode {
             DiagCode::HistoryConflict => "BR010",
             DiagCode::UnreachableMachineState => "BR011",
             DiagCode::ProductFixpointFailure => "BR012",
+            DiagCode::ProfileProofConflict => "BR013",
+            DiagCode::ProfileBiasConflict => "BR014",
+            DiagCode::ProfileEventOnUnreachable => "BR015",
+            DiagCode::PredictionProofConflict => "BR016",
+            DiagCode::ClassifyFixpointFailure => "BR017",
+            DiagCode::ConstantConditionBranch => "BR018",
         }
     }
 
@@ -100,12 +128,18 @@ impl DiagCode {
             DiagCode::HistoryConflict => "history-conflict",
             DiagCode::UnreachableMachineState => "unreachable-machine-state",
             DiagCode::ProductFixpointFailure => "product-fixpoint-failure",
+            DiagCode::ProfileProofConflict => "profile-proof-conflict",
+            DiagCode::ProfileBiasConflict => "profile-bias-conflict",
+            DiagCode::ProfileEventOnUnreachable => "profile-event-on-unreachable",
+            DiagCode::PredictionProofConflict => "prediction-proof-conflict",
+            DiagCode::ClassifyFixpointFailure => "classify-fixpoint-failure",
+            DiagCode::ConstantConditionBranch => "constant-condition-branch",
         }
     }
 
     /// Every code, in `BR001..` order — the index in this array is the
     /// code's position in [`LintConfig`]'s override table.
-    pub const ALL: [DiagCode; 12] = [
+    pub const ALL: [DiagCode; 18] = [
         DiagCode::UnreachableReplica,
         DiagCode::DeadStore,
         DiagCode::UseBeforeDef,
@@ -118,6 +152,12 @@ impl DiagCode {
         DiagCode::HistoryConflict,
         DiagCode::UnreachableMachineState,
         DiagCode::ProductFixpointFailure,
+        DiagCode::ProfileProofConflict,
+        DiagCode::ProfileBiasConflict,
+        DiagCode::ProfileEventOnUnreachable,
+        DiagCode::PredictionProofConflict,
+        DiagCode::ClassifyFixpointFailure,
+        DiagCode::ConstantConditionBranch,
     ];
 
     /// The code's index into [`DiagCode::ALL`].
@@ -135,6 +175,12 @@ impl DiagCode {
             DiagCode::HistoryConflict => 9,
             DiagCode::UnreachableMachineState => 10,
             DiagCode::ProductFixpointFailure => 11,
+            DiagCode::ProfileProofConflict => 12,
+            DiagCode::ProfileBiasConflict => 13,
+            DiagCode::ProfileEventOnUnreachable => 14,
+            DiagCode::PredictionProofConflict => 15,
+            DiagCode::ClassifyFixpointFailure => 16,
+            DiagCode::ConstantConditionBranch => 17,
         }
     }
 
@@ -149,7 +195,8 @@ impl DiagCode {
             DiagCode::UnreachableReplica
             | DiagCode::DeadStore
             | DiagCode::UseBeforeDef
-            | DiagCode::UnreachableMachineState => Severity::Warning,
+            | DiagCode::UnreachableMachineState
+            | DiagCode::ConstantConditionBranch => Severity::Warning,
             DiagCode::OrphanReplicaEdge
             | DiagCode::InstStreamMismatch
             | DiagCode::PredictionMismatch
@@ -157,7 +204,12 @@ impl DiagCode {
             | DiagCode::InvalidReplicaMap
             | DiagCode::HistoryPredictionViolation
             | DiagCode::HistoryConflict
-            | DiagCode::ProductFixpointFailure => Severity::Error,
+            | DiagCode::ProductFixpointFailure
+            | DiagCode::ProfileProofConflict
+            | DiagCode::ProfileBiasConflict
+            | DiagCode::ProfileEventOnUnreachable
+            | DiagCode::PredictionProofConflict
+            | DiagCode::ClassifyFixpointFailure => Severity::Error,
         }
     }
 }
@@ -354,6 +406,12 @@ mod tests {
         assert_eq!(DiagCode::HistoryConflict.as_str(), "BR010");
         assert_eq!(DiagCode::UnreachableMachineState.as_str(), "BR011");
         assert_eq!(DiagCode::ProductFixpointFailure.as_str(), "BR012");
+        assert_eq!(DiagCode::ProfileProofConflict.as_str(), "BR013");
+        assert_eq!(DiagCode::ProfileBiasConflict.as_str(), "BR014");
+        assert_eq!(DiagCode::ProfileEventOnUnreachable.as_str(), "BR015");
+        assert_eq!(DiagCode::PredictionProofConflict.as_str(), "BR016");
+        assert_eq!(DiagCode::ClassifyFixpointFailure.as_str(), "BR017");
+        assert_eq!(DiagCode::ConstantConditionBranch.as_str(), "BR018");
         // The ALL order is the BR-number order, and index() agrees with it.
         for (i, c) in DiagCode::ALL.iter().enumerate() {
             assert_eq!(c.index(), i);
@@ -381,6 +439,27 @@ mod tests {
             Severity::Warning
         );
         assert_eq!(DiagCode::ProductFixpointFailure.severity(), Severity::Error);
+        // The profile-vs-proof gate (BR013-BR017) is a corruption detector:
+        // every conflict code defaults to error. Only the vestigial-branch
+        // lint is advisory.
+        assert_eq!(DiagCode::ProfileProofConflict.severity(), Severity::Error);
+        assert_eq!(DiagCode::ProfileBiasConflict.severity(), Severity::Error);
+        assert_eq!(
+            DiagCode::ProfileEventOnUnreachable.severity(),
+            Severity::Error
+        );
+        assert_eq!(
+            DiagCode::PredictionProofConflict.severity(),
+            Severity::Error
+        );
+        assert_eq!(
+            DiagCode::ClassifyFixpointFailure.severity(),
+            Severity::Error
+        );
+        assert_eq!(
+            DiagCode::ConstantConditionBranch.severity(),
+            Severity::Warning
+        );
     }
 
     #[test]
@@ -424,6 +503,52 @@ mod tests {
         let (e, w) = default.partition(diags);
         assert!(e.is_empty());
         assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn lint_config_covers_classification_codes() {
+        // The override table is sized by DiagCode::ALL, so the new codes
+        // thread through set/effective_severity/partition like the old.
+        let cfg = LintConfig::new()
+            .set(DiagCode::ProfileProofConflict, LintLevel::Warn)
+            .set(DiagCode::ConstantConditionBranch, LintLevel::Error)
+            .set(DiagCode::ProfileBiasConflict, LintLevel::Allow);
+        assert_eq!(
+            cfg.effective_severity(DiagCode::ProfileProofConflict),
+            Some(Severity::Warning)
+        );
+        assert_eq!(
+            cfg.effective_severity(DiagCode::ConstantConditionBranch),
+            Some(Severity::Error)
+        );
+        assert_eq!(cfg.effective_severity(DiagCode::ProfileBiasConflict), None);
+        // Untouched classification codes keep their defaults.
+        assert_eq!(
+            cfg.effective_severity(DiagCode::ProfileEventOnUnreachable),
+            Some(Severity::Error)
+        );
+        assert_eq!(
+            cfg.effective_severity(DiagCode::PredictionProofConflict),
+            Some(Severity::Error)
+        );
+        assert_eq!(
+            cfg.effective_severity(DiagCode::ClassifyFixpointFailure),
+            Some(Severity::Error)
+        );
+
+        let loc = Loc::block(FuncId(0), BlockId(0));
+        let diags = vec![
+            AnalysisDiag::new(DiagCode::ProfileProofConflict, loc, "demoted"),
+            AnalysisDiag::new(DiagCode::ProfileBiasConflict, loc, "dropped"),
+            AnalysisDiag::new(DiagCode::ConstantConditionBranch, loc, "promoted"),
+            AnalysisDiag::new(DiagCode::ProfileEventOnUnreachable, loc, "default"),
+        ];
+        let (errors, warnings) = cfg.partition(diags);
+        assert_eq!(errors.len(), 2);
+        assert_eq!(errors[0].code, DiagCode::ConstantConditionBranch);
+        assert_eq!(errors[1].code, DiagCode::ProfileEventOnUnreachable);
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].code, DiagCode::ProfileProofConflict);
     }
 
     #[test]

@@ -47,9 +47,12 @@
 #![warn(missing_docs)]
 
 mod bitset;
+mod classify;
+mod const_prop;
 mod cost;
 mod diag;
 mod history;
+mod interval;
 mod lint;
 mod liveness;
 mod product;
@@ -61,11 +64,17 @@ mod uninit;
 mod validate;
 
 pub use bitset::BitSet;
+pub use classify::{
+    classification_diags, classify_module, prediction_proof_diags, Classification, DirectionClass,
+    SiteClass,
+};
+pub use const_prop::{AbsVal, ConstProp, Env, FuncValues};
 pub use cost::{static_cost, CostError, CostReport, SiteCost};
 pub use diag::{
     count_by_severity, has_errors, AnalysisDiag, DiagCode, LintConfig, LintLevel, Severity,
 };
 pub use history::check_history;
+pub use interval::Interval;
 pub use lint::{dead_store_diags, lint_module, unreachable_diags, use_before_def_diags};
 pub use liveness::{liveness, term_uses, Liveness};
 pub use product::{

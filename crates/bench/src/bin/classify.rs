@@ -1,0 +1,187 @@
+//! Static branch-direction classification over the whole suite: runs
+//! the SCCP + interval analysis ([`brepl_analysis::classify_module`]) on
+//! every workload, checks the profile-vs-proof gate against each
+//! workload's honest profiling trace (`BR013`–`BR018`), and times the
+//! planner's proved-site fast-path against the plain machine search
+//! (both below a cleared memo, so the numbers are genuine cold runs).
+//!
+//! Prints one row per workload — sites proved / exactly-biased /
+//! profile-dependent, planner skips, classification and selection wall
+//! time, gate error and warning counts — and exits non-zero on any
+//! error-severity diagnostic, a diverged fixpoint, or a fast-path
+//! selection that is not bit-identical to the searched one.
+//!
+//! With `--json` the same data is emitted as one machine-readable JSON
+//! document on stdout (schema style shared with `staticcheck --json`).
+
+use std::time::Instant;
+
+use brepl_analysis::{classification_diags, classify_module, Severity};
+use brepl_bench::{json, scale_from_env};
+use brepl_core::{memo, select_strategies_classified};
+use brepl_sim::{Machine, RunConfig};
+use brepl_workloads::all_workloads;
+
+/// Selection budget matching the default pipeline configuration.
+const MAX_STATES: usize = 4;
+
+fn main() {
+    let json_mode = std::env::args().any(|a| a == "--json");
+    let scale = scale_from_env();
+    if !json_mode {
+        println!(
+            "{:<12} {:>6} {:>6} {:>6} {:>5} {:>10} {:>9} {:>9} {:>6} {:>5}",
+            "program",
+            "proved",
+            "biased",
+            "dep",
+            "skip",
+            "classify µs",
+            "plain µs",
+            "fast µs",
+            "errors",
+            "warns"
+        );
+        println!("{}", "-".repeat(88));
+    }
+
+    let mut total_errors = 0usize;
+    let mut failed = false;
+    let mut rows: Vec<String> = Vec::new();
+    for w in all_workloads(scale) {
+        let mut machine = match Machine::new(&w.module, RunConfig::default()) {
+            Ok(m) => m,
+            Err(e) => {
+                report_failure(&mut rows, json_mode, w.name, &format!("machine init: {e}"));
+                failed = true;
+                continue;
+            }
+        };
+        machine.set_input(w.input.clone());
+        let trace = match machine.run("main", &w.args) {
+            Ok(outcome) => outcome.trace,
+            Err(e) => {
+                report_failure(&mut rows, json_mode, w.name, &format!("profile run: {e}"));
+                failed = true;
+                continue;
+            }
+        };
+
+        let start = Instant::now();
+        let cls = classify_module(&w.module);
+        let classify_us = start.elapsed().as_micros();
+        let (proved, bounded, dependent) = cls.counts();
+        if !cls.converged() {
+            failed = true;
+        }
+
+        // The gate, judged against the workload's honest trace: zero
+        // error-severity diagnostics expected (BR018 notes are warnings).
+        let diags = classification_diags(&w.module, &cls, &trace.stats());
+        let errors: Vec<String> = diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .map(|d| d.render(&w.module))
+            .collect();
+        let warnings = diags.len() - errors.len();
+        total_errors += errors.len();
+
+        // Cold planner timings: clear the process-wide selection memo
+        // before each run so both paths genuinely search.
+        memo::clear();
+        let start = Instant::now();
+        let (plain, _) = select_strategies_classified(&w.module, &trace, MAX_STATES, None);
+        let plain_us = start.elapsed().as_micros();
+        memo::clear();
+        let start = Instant::now();
+        let (fast, skips) = select_strategies_classified(&w.module, &trace, MAX_STATES, Some(&cls));
+        let fast_us = start.elapsed().as_micros();
+        if plain != fast {
+            report_failure(
+                &mut rows,
+                json_mode,
+                w.name,
+                "fast-path selection differs from the plain search",
+            );
+            failed = true;
+            continue;
+        }
+
+        if json_mode {
+            rows.push(
+                json::Obj::new()
+                    .str("name", w.name)
+                    .int("sites_proved", proved as u64)
+                    .int("sites_biased", bounded as u64)
+                    .int("sites_dependent", dependent as u64)
+                    .int("planner_skips", skips as u64)
+                    .bool("converged", cls.converged())
+                    .int("classify_us", classify_us as u64)
+                    .int("select_plain_us", plain_us as u64)
+                    .int("select_fast_us", fast_us as u64)
+                    .int("errors", errors.len() as u64)
+                    .int("warnings", warnings as u64)
+                    .raw("diags", &json::string_array(&errors))
+                    .build(),
+            );
+        } else {
+            println!(
+                "{:<12} {:>6} {:>6} {:>6} {:>5} {:>11} {:>9} {:>9} {:>6} {:>5}",
+                w.name,
+                proved,
+                bounded,
+                dependent,
+                skips,
+                classify_us,
+                plain_us,
+                fast_us,
+                errors.len(),
+                warnings
+            );
+            for e in &errors {
+                println!("    {e}");
+            }
+        }
+    }
+
+    let ok = !failed && total_errors == 0;
+    if json_mode {
+        println!(
+            "{}",
+            json::Obj::new()
+                .str("tool", "classify")
+                .str(
+                    "scale",
+                    if scale == brepl_workloads::Scale::Full {
+                        "full"
+                    } else {
+                        "small"
+                    }
+                )
+                .bool("ok", ok)
+                .int("total_errors", total_errors as u64)
+                .raw("workloads", &json::array(&rows))
+                .build()
+        );
+    } else {
+        println!("{}", "-".repeat(88));
+    }
+    if !ok {
+        if !json_mode {
+            println!("FAIL: {total_errors} error-severity diagnostics");
+        }
+        std::process::exit(1);
+    }
+    if !json_mode {
+        println!("OK: every workload classifies cleanly and the fast-path is bit-identical");
+    }
+}
+
+/// Records one failed workload, in whichever output mode is active.
+fn report_failure(rows: &mut Vec<String>, json_mode: bool, name: &str, msg: &str) {
+    if json_mode {
+        rows.push(json::Obj::new().str("name", name).str("error", msg).build());
+    } else {
+        println!("{name:<12} ERROR: {msg}");
+    }
+}

@@ -21,8 +21,16 @@ use brepl::pipeline::{run_pipeline, PipelineConfig};
 use brepl_bench::json;
 use brepl_workloads::synth::random_loop_module;
 
-/// The deterministic config cycle. Index = seed % 4.
-const VARIANT_NAMES: [&str; 4] = ["default", "refine-off", "strict", "growth-budget-1.2"];
+/// The deterministic config cycle (index = seed % 4), plus the
+/// classification-soundness oracle that runs on *every* iteration and
+/// reports under the last name.
+const VARIANT_NAMES: [&str; 5] = [
+    "default",
+    "refine-off",
+    "strict",
+    "growth-budget-1.2",
+    "classify-oracle",
+];
 
 fn variant_config(idx: usize) -> PipelineConfig {
     match idx {
@@ -65,6 +73,56 @@ fn pipeline_case(
                 Ok(())
             }
         }
+    }
+}
+
+/// Classification-soundness oracle (variant name `classify-oracle`): the
+/// same check as the tier-1 `fuzz_classification_is_sound` test, at
+/// release scale — a proved verdict contradicted by the module's honest
+/// simulated trace, an executed site proved unreachable, or any
+/// error-severity diagnostic from the gate on an honest trace is an
+/// analysis bug.
+fn classify_case(seed: u64, diamonds: usize, trip: i64) -> Result<(), String> {
+    let outcome = std::panic::catch_unwind(|| {
+        let m = random_loop_module(seed, diamonds, trip);
+        let cls = brepl_analysis::classify_module(&m);
+        let run = brepl_sim::Machine::new(&m, brepl_sim::RunConfig::default())
+            .map_err(|e| format!("machine init: {e}"))?
+            .run("main", &[])
+            .map_err(|e| format!("run: {e}"))?;
+        for ev in run.trace.iter() {
+            if let Some(sc) = cls.by_site(ev.site) {
+                if !sc.reachable {
+                    return Err(format!("site {} proved unreachable but executed", ev.site));
+                }
+                if let Some(dir) = sc.class.proved_direction() {
+                    if ev.taken != dir {
+                        return Err(format!(
+                            "site {} proved {} but the trace went the other way",
+                            ev.site,
+                            if dir { "always-taken" } else { "never-taken" },
+                        ));
+                    }
+                }
+            }
+        }
+        let diags = brepl_analysis::classification_diags(&m, &cls, &run.trace.stats());
+        let errors: Vec<String> = diags
+            .iter()
+            .filter(|d| d.severity() == brepl_analysis::Severity::Error)
+            .map(|d| d.render(&m))
+            .collect();
+        if !errors.is_empty() {
+            return Err(format!(
+                "honest trace fails the gate: {}",
+                errors.join("; ")
+            ));
+        }
+        Ok(())
+    });
+    match outcome {
+        Err(payload) => Err(format!("panicked: {}", panic_text(&payload))),
+        Ok(r) => r,
     }
 }
 
@@ -135,6 +193,37 @@ fn main() {
             failures.push(Failure {
                 seed,
                 variant,
+                diamonds,
+                trip,
+                shrunk_diamonds: sd,
+                shrunk_trip: st,
+                error,
+            });
+        }
+        // The classification-soundness oracle rides along on every
+        // iteration — the pipeline's non-strict gate quarantines rather
+        // than errors, so an unsound verdict needs its own check.
+        if let Err(error) = classify_case(seed, diamonds, trip) {
+            let (mut sd, mut st) = (diamonds, trip);
+            loop {
+                if sd > 0 && classify_case(seed, sd - 1, st).is_err() {
+                    sd -= 1;
+                } else if st > 1 && classify_case(seed, sd, st / 2).is_err() {
+                    st /= 2;
+                } else {
+                    break;
+                }
+            }
+            if !json_mode {
+                eprintln!(
+                    "classification unsound, minimal repro: seed={seed} diamonds={sd} \
+                     trip={st} (random_loop_module(seed, diamonds, trip)); \
+                     original failure: {error}"
+                );
+            }
+            failures.push(Failure {
+                seed,
+                variant: 4,
                 diamonds,
                 trip,
                 shrunk_diamonds: sd,

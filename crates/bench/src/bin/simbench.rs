@@ -22,6 +22,9 @@
 //!                                # latest committed entry at this scale
 //! ```
 //!
+//! `--check` runs before `--append`, so combining them gates against the
+//! *committed* baseline and records the new entry only when it passes.
+//!
 //! Scale comes from `BREPL_SCALE` (`small` default, `full` for the
 //! paper-sized runs).
 
@@ -65,16 +68,15 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (r, t.elapsed().as_secs_f64())
 }
 
-fn measure(name: &'static str, scale: Scale) -> WorkloadSample {
+fn measure(name: &'static str, scale: Scale) -> Result<WorkloadSample, String> {
     let mut stages = [0.0f64; STAGES.len()];
 
-    let (w, t_build) = timed(|| workload_by_name(name, scale).expect("known workload"));
+    let (w, t_build) = timed(|| workload_by_name(name, scale));
+    let w = w.ok_or_else(|| format!("{name}: unknown workload"))?;
     stages[0] = t_build;
 
-    let ((outcome, output), t_profile) = timed(|| {
-        w.run_with_output()
-            .unwrap_or_else(|e| panic!("{name}: {e}"))
-    });
+    let (profiled, t_profile) = timed(|| w.run_with_output());
+    let (outcome, output) = profiled.map_err(|e| format!("{name}: {e}"))?;
     stages[1] = t_profile;
 
     let (stats, t_stats) = timed(|| outcome.trace.stats());
@@ -108,15 +110,15 @@ fn measure(name: &'static str, scale: Scale) -> WorkloadSample {
             PipelineConfig::default(),
         )
     });
-    result.unwrap_or_else(|e| panic!("{name}: pipeline failed: {e}"));
+    result.map_err(|e| format!("{name}: pipeline failed: {e}"))?;
     stages[6] = t_pipeline;
 
-    WorkloadSample {
+    Ok(WorkloadSample {
         name,
         events: outcome.trace.len() as u64,
         steps: outcome.steps,
         stages,
-    }
+    })
 }
 
 fn scale_name(scale: Scale) -> &'static str {
@@ -247,7 +249,15 @@ fn main() {
 
     let scale = brepl_bench::scale_from_env();
     let suite_start = Instant::now();
-    let samples: Vec<WorkloadSample> = WORKLOADS.iter().map(|&n| measure(n, scale)).collect();
+    let samples: Vec<WorkloadSample> = WORKLOADS
+        .iter()
+        .map(|&n| {
+            measure(n, scale).unwrap_or_else(|msg| {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
     let suite_seconds = suite_start.elapsed().as_secs_f64();
 
     if print_json {
@@ -275,35 +285,6 @@ fn main() {
             }
             println!();
         }
-    }
-
-    if let Some(path) = &append {
-        let entry = entry_json(&label, scale, &samples, suite_seconds);
-        let entries_json = match std::fs::read_to_string(path) {
-            Ok(text) => {
-                let doc = json::parse(&text).unwrap_or_else(|(pos, msg)| {
-                    eprintln!("simbench: {path}: parse error at byte {pos}: {msg}");
-                    std::process::exit(2);
-                });
-                let entries = validate_trajectory(&doc).unwrap_or_else(|msg| {
-                    eprintln!("simbench: {path}: invalid trajectory: {msg}");
-                    std::process::exit(2);
-                });
-                let mut rendered: Vec<String> = entries.iter().map(render_json).collect();
-                rendered.push(entry);
-                rendered
-            }
-            Err(_) => vec![entry],
-        };
-        let doc = json::Obj::new()
-            .str("schema", SCHEMA)
-            .raw("entries", &pretty_entries(&entries_json))
-            .build();
-        std::fs::write(path, doc + "\n").unwrap_or_else(|e| {
-            eprintln!("simbench: cannot write {path}: {e}");
-            std::process::exit(2);
-        });
-        eprintln!("simbench: appended entry {label:?} to {path}");
     }
 
     if let Some(path) = &check {
@@ -357,6 +338,35 @@ fn main() {
                 }
             }
         }
+    }
+
+    if let Some(path) = &append {
+        let entry = entry_json(&label, scale, &samples, suite_seconds);
+        let entries_json = match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let doc = json::parse(&text).unwrap_or_else(|(pos, msg)| {
+                    eprintln!("simbench: {path}: parse error at byte {pos}: {msg}");
+                    std::process::exit(2);
+                });
+                let entries = validate_trajectory(&doc).unwrap_or_else(|msg| {
+                    eprintln!("simbench: {path}: invalid trajectory: {msg}");
+                    std::process::exit(2);
+                });
+                let mut rendered: Vec<String> = entries.iter().map(render_json).collect();
+                rendered.push(entry);
+                rendered
+            }
+            Err(_) => vec![entry],
+        };
+        let doc = json::Obj::new()
+            .str("schema", SCHEMA)
+            .raw("entries", &pretty_entries(&entries_json))
+            .build();
+        std::fs::write(path, doc + "\n").unwrap_or_else(|e| {
+            eprintln!("simbench: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("simbench: appended entry {label:?} to {path}");
     }
 }
 

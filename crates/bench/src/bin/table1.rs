@@ -1,10 +1,12 @@
 //! Table 1: misprediction rates of the paper's eight strategies across the
 //! eight benchmark programs, plus static/executed/improved branch counts.
 
+use brepl_analysis::classify_module;
 use brepl_bench::{print_header, print_row, print_row_counts, profile_suite, scale_from_env};
 use brepl_predict::dynamic::{LastDirection, TwoBitCounters, TwoLevel};
 use brepl_predict::semistatic::{combine_best, correlation_report, loop_report, profile_report};
-use brepl_predict::simulate_dynamic;
+use brepl_predict::stat::proof_guided::ProofGuided;
+use brepl_predict::{evaluate_static, simulate_dynamic};
 
 fn main() {
     let suite = profile_suite(scale_from_env());
@@ -19,6 +21,7 @@ fn main() {
         ("1 bit loop", vec![]),
         ("9 bit loop", vec![]),
         ("loop-correlation", vec![]),
+        ("static (no profile)", vec![]),
     ];
     let mut static_branches = Vec::new();
     let mut executed_branches = Vec::new();
@@ -44,6 +47,15 @@ fn main() {
         rows[6].1.push(loop9.misprediction_percent());
         let lc = combine_best(&corr1, &loop9);
         rows[7].1.push(lc.misprediction_percent());
+        // No-profile baseline: SCCP/interval proofs plus Ball–Larus-style
+        // heuristics, never consulting the trace. Every profile-informed
+        // row above should beat it — that gap is the price of going
+        // profile-free.
+        let cls = classify_module(&p.workload.module);
+        let pg = ProofGuided::analyze(&p.workload.module, &cls.proved_sites());
+        rows[8]
+            .1
+            .push(evaluate_static(pg.prediction(), t).misprediction_percent());
 
         static_branches.push(p.workload.module.branch_count() as u64);
         executed_branches.push(t.stats().executed_sites() as u64);
@@ -77,10 +89,11 @@ fn main() {
     let avg = |i: usize| -> f64 { rows[i].1.iter().sum::<f64>() / rows[i].1.len() as f64 };
     println!();
     println!(
-        "averages: two-level {:.2}%  profile {:.2}%  loop-correlation {:.2}%",
+        "averages: two-level {:.2}%  profile {:.2}%  loop-correlation {:.2}%  static {:.2}%",
         avg(2),
         avg(3),
-        avg(7)
+        avg(7),
+        avg(8)
     );
     println!(
         "loop-correlation recovers {:.0}% of the profile->ideal gap on average",

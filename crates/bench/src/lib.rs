@@ -44,28 +44,54 @@ pub struct ProfiledWorkload {
     pub steps: u64,
 }
 
-/// Runs the whole suite once and keeps the traces.
+/// Runs the whole suite once and keeps the traces, reporting a failed
+/// workload as a typed error instead of unwinding out of a worker.
 ///
 /// The eight programs profile independently, so the runs fan out over
 /// [`brepl_core::engine`] workers (`BREPL_THREADS` overrides the count);
-/// results come back in suite order, bit-identical to a serial run.
-pub fn profile_suite(scale: Scale) -> Vec<ProfiledWorkload> {
+/// results come back in suite order, bit-identical to a serial run. On
+/// failure the error names every workload that did not run.
+pub fn try_profile_suite(scale: Scale) -> Result<Vec<ProfiledWorkload>, String> {
     let workloads = all_workloads(scale);
     let profiled = brepl_core::par_map(&workloads, |workload| {
-        let outcome = workload
+        workload
             .run()
-            .unwrap_or_else(|e| panic!("{} failed: {e}", workload.name));
-        (outcome.trace, outcome.steps)
+            .map(|outcome| (outcome.trace, outcome.steps))
+            .map_err(|e| format!("{} failed: {e}", workload.name))
     });
-    workloads
+    let failures: Vec<&String> = profiled.iter().filter_map(|r| r.as_ref().err()).collect();
+    if !failures.is_empty() {
+        let mut msg = String::from("workload profiling failed: ");
+        for (i, f) in failures.iter().enumerate() {
+            if i > 0 {
+                msg.push_str("; ");
+            }
+            msg.push_str(f);
+        }
+        return Err(msg);
+    }
+    Ok(workloads
         .into_iter()
         .zip(profiled)
-        .map(|(workload, (trace, steps))| ProfiledWorkload {
-            workload,
-            trace,
-            steps,
+        .map(|(workload, r)| {
+            let (trace, steps) = r.expect("failures handled above");
+            ProfiledWorkload {
+                workload,
+                trace,
+                steps,
+            }
         })
-        .collect()
+        .collect())
+}
+
+/// [`try_profile_suite`], exiting the process cleanly on failure — the
+/// entry the table/figure bins use so a bad workload prints one error
+/// line instead of aborting mid-table with a backtrace.
+pub fn profile_suite(scale: Scale) -> Vec<ProfiledWorkload> {
+    try_profile_suite(scale).unwrap_or_else(|msg| {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    })
 }
 
 /// Renders one pipeline quarantine record as JSON — the shared schema the

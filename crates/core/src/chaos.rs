@@ -48,16 +48,23 @@ pub enum ChaosPoint {
     /// Truncate the serialized profiling trace mid-event so it no longer
     /// decodes.
     TruncateTrace,
+    /// Flip one trace event at a branch the static classifier proved
+    /// monostatic, so the profile contradicts the proof (`BR013`). When
+    /// the module has no proved-and-executed site, falls back to the
+    /// [`ChaosPoint::TruncateTrace`] corruption so the point still fires
+    /// on every workload.
+    ForgeTraceEvent,
 }
 
 impl ChaosPoint {
     /// Every injection point, in a stable order.
-    pub const ALL: [ChaosPoint; 5] = [
+    pub const ALL: [ChaosPoint; 6] = [
         ChaosPoint::CorruptMachineTable,
         ChaosPoint::RetargetReplicaEdge,
         ChaosPoint::DropWitnessChain,
         ChaosPoint::FlipPinnedPrediction,
         ChaosPoint::TruncateTrace,
+        ChaosPoint::ForgeTraceEvent,
     ];
 
     /// Stable kebab-case name (CLI flags, JSON output).
@@ -68,6 +75,7 @@ impl ChaosPoint {
             ChaosPoint::DropWitnessChain => "drop-witness-chain",
             ChaosPoint::FlipPinnedPrediction => "flip-pinned-prediction",
             ChaosPoint::TruncateTrace => "truncate-trace",
+            ChaosPoint::ForgeTraceEvent => "forge-trace-event",
         }
     }
 
@@ -192,8 +200,12 @@ impl ChaosEngine {
     /// stream mid-event, and returns the decode error the cut produces.
     /// Returns `None` when this point is not active or already fired.
     pub fn corrupt_trace(&mut self, trace: &Trace) -> Option<TraceError> {
-        if self.config.point != ChaosPoint::TruncateTrace
-            || self.injection.is_some()
+        // ForgeTraceEvent reaches here only as its documented fallback,
+        // after `forge_trace` found no proved site to contradict.
+        if !matches!(
+            self.config.point,
+            ChaosPoint::TruncateTrace | ChaosPoint::ForgeTraceEvent
+        ) || self.injection.is_some()
             || trace.is_empty()
         {
             return None;
@@ -220,6 +232,54 @@ impl ChaosEngine {
             }
         }
         None
+    }
+
+    /// [`ChaosPoint::ForgeTraceEvent`]: flips one event of `trace` at a
+    /// site the classifier proved monostatic (`proved` is the
+    /// `(site, direction)` list from `classify_module`), pinning that
+    /// site as the victim. The flipped event contradicts the proof by
+    /// construction, so the profile-vs-proof gate (`BR013`) *must* fire —
+    /// the injection is effective without a separate verification pass.
+    ///
+    /// Returns the forged trace (the input is never mutated), or `None`
+    /// when the point is inactive, already fired, or no proved site has
+    /// any event — in which case the pipeline falls back to
+    /// [`Self::corrupt_trace`].
+    pub fn forge_trace(&mut self, trace: &Trace, proved: &[(BranchId, bool)]) -> Option<Trace> {
+        if self.config.point != ChaosPoint::ForgeTraceEvent || self.injection.is_some() {
+            return None;
+        }
+        // Events that currently agree with a proof: flipping one creates
+        // an impossible direction.
+        let cands: Vec<usize> = trace
+            .iter()
+            .enumerate()
+            .filter(|(_, ev)| proved.iter().any(|&(s, d)| s == ev.site && d == ev.taken))
+            .map(|(i, _)| i)
+            .collect();
+        if cands.is_empty() {
+            return None;
+        }
+        let at = cands[self.rng.below(cands.len())];
+        let mut forged = Trace::with_capacity(trace.len());
+        let mut victim = None;
+        for (i, mut ev) in trace.iter().enumerate() {
+            if i == at {
+                ev.taken = !ev.taken;
+                victim = Some(ev.site);
+            }
+            forged.push(ev);
+        }
+        let victim = victim?;
+        self.victim = Some(victim);
+        self.record(
+            victim,
+            format!(
+                "flipped trace event {at}/{} at proved-monostatic site {victim}",
+                trace.len()
+            ),
+        );
+        Some(forged)
     }
 
     /// Program-level injections ([`ChaosPoint::FlipPinnedPrediction`],

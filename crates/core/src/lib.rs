@@ -47,5 +47,6 @@ pub use replicate::{
     ReplicationPlan,
 };
 pub use select::{
-    select_strategies, select_strategies_with_threads, ChosenStrategy, Selection, StrategyChoice,
+    select_strategies, select_strategies_classified, select_strategies_with_threads,
+    ChosenStrategy, Selection, StrategyChoice,
 };

@@ -3,8 +3,9 @@
 //! intra-loop machine, a loop-exit machine and a correlated machine, all
 //! capped at a given number of states.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
+use brepl_analysis::{Classification, DirectionClass};
 use brepl_cfg::{BranchClass, Cfg, ClassifiedBranches, DomTree, LoopForest, PredecessorPaths};
 use brepl_ir::{BranchId, Module};
 use brepl_predict::{HistoryKind, PatternTable, PatternTableSet};
@@ -181,15 +182,84 @@ pub fn select_strategies_with_threads(
         module.fingerprint(),
         trace.fingerprint(),
         max_states,
-        || select_uncached(module, trace, max_states, threads),
+        || select_uncached(module, trace, max_states, threads, &HashSet::new()),
     );
     (*cached).clone()
 }
 
+/// [`select_strategies`] with a classification-driven planner fast-path.
+///
+/// Sites the static layer proved monostatic whose profile is *unanimous*
+/// (`minority_count() == 0`) are assigned [`ChosenStrategy::Profile`]
+/// without running the machine search: profile prediction already has
+/// zero misses on them, no machine can do strictly better, and
+/// the per-site search only switches strategy on a strict improvement — so
+/// the skipped choice is **bit-identical** to the searched one. Returns
+/// the selection plus the number of sites the fast-path handled.
+///
+/// With `classification` absent (or no site qualifying) this is exactly
+/// [`select_strategies`], including the whole-selection memo: because the
+/// output is bit-identical either way, both paths share one memo entry.
+///
+/// # Panics
+///
+/// Panics unless `2 <= max_states <= 10`.
+pub fn select_strategies_classified(
+    module: &Module,
+    trace: &Trace,
+    max_states: usize,
+    classification: Option<&Classification>,
+) -> (Selection, usize) {
+    assert!(
+        (2..=10).contains(&max_states),
+        "max_states must be in 2..=10"
+    );
+    let skip = fast_path_sites(trace, classification);
+    let threads = engine::thread_count();
+    let cached = memo::lookup_or_compute_selection(
+        module.fingerprint(),
+        trace.fingerprint(),
+        max_states,
+        || select_uncached(module, trace, max_states, threads, &skip),
+    );
+    ((*cached).clone(), skip.len())
+}
+
+/// The fast-path candidates: executed sites proved monostatic whose
+/// profile is unanimous. Unanimity (not the proof) is what licenses the
+/// skip — `profile_misses == 0` makes the Profile choice unbeatable — so
+/// even a proof contradicted by a (forged) trace never changes the
+/// selection, only the BR013 gate's verdict.
+fn fast_path_sites(trace: &Trace, classification: Option<&Classification>) -> HashSet<BranchId> {
+    let mut skip = HashSet::new();
+    let Some(cls) = classification else {
+        return skip;
+    };
+    let stats = trace.stats();
+    for sc in &cls.sites {
+        if !matches!(sc.class, DirectionClass::ProvedMonostatic(_)) {
+            continue;
+        }
+        let counts = stats.site(sc.site);
+        if counts.total() > 0 && counts.minority_count() == 0 {
+            skip.insert(sc.site);
+        }
+    }
+    skip
+}
+
 /// The selection search proper — everything below the whole-selection
 /// memo. Pure in `(module, trace, max_states)`; `threads` only changes
-/// wall-clock.
-fn select_uncached(module: &Module, trace: &Trace, max_states: usize, threads: usize) -> Selection {
+/// wall-clock, and `skip` (sites with a unanimous profile, per
+/// [`fast_path_sites`]) only changes how the Profile choice for those
+/// sites is *reached*, never what it is.
+fn select_uncached(
+    module: &Module,
+    trace: &Trace,
+    max_states: usize,
+    threads: usize,
+    skip: &HashSet<BranchId>,
+) -> Selection {
     let stats = trace.stats();
     let tables = PatternTableSet::build(trace, HistoryKind::Local, 9);
     let search = IntraLoopSearch::new(max_states, 9);
@@ -220,6 +290,12 @@ fn select_uncached(module: &Module, trace: &Trace, max_states: usize, threads: u
                 continue;
             }
             class_of.insert(info.site, info.class);
+            if skip.contains(&info.site) {
+                // Fast path: no candidate paths, no loop membership — the
+                // site's choice is synthesized below without a search, and
+                // a Profile choice never enters the joint rebalancing.
+                continue;
+            }
             if let Some(l) = info.innermost_loop {
                 loop_of.insert(info.site, (fid, forest.get(l).header));
             }
@@ -236,6 +312,21 @@ fn select_uncached(module: &Module, trace: &Trace, max_states: usize, threads: u
     // Fan out: one pure search per branch over shared read-only state.
     let per_site: Vec<(StrategyChoice, Option<SizeMenu>)> =
         engine::par_map_with(threads, &sites, |&site| {
+            if skip.contains(&site) {
+                let counts = stats.site(site);
+                debug_assert_eq!(counts.minority_count(), 0, "fast path needs unanimity");
+                return (
+                    StrategyChoice {
+                        site,
+                        class: class_of[&site],
+                        chosen: ChosenStrategy::Profile,
+                        executions: counts.total(),
+                        profile_misses: counts.minority_count(),
+                        chosen_misses: counts.minority_count(),
+                    },
+                    None,
+                );
+            }
             search_site(
                 site,
                 class_of[&site],
@@ -674,6 +765,61 @@ mod tests {
         // A different budget is a different key, not a stale hit.
         let third = select_strategies(&m, &t, 2);
         assert!(third.total_misses() >= first.total_misses());
+    }
+
+    /// A loop with a constant-true guard (provably monostatic, unanimous
+    /// in any trace) next to a real loop-exit branch: the classified fast
+    /// path must skip exactly the guard and produce a selection
+    /// bit-identical to the full search.
+    #[test]
+    fn classified_fast_path_is_bit_identical_and_counts_skips() {
+        let mut b = FunctionBuilder::new("main", 1);
+        let n = b.param(0);
+        let i = b.reg();
+        b.const_int(i, 0);
+        let head = b.new_block();
+        let body = b.new_block();
+        let g_t = b.new_block();
+        let latch = b.new_block();
+        let exit = b.new_block();
+        b.jmp(head);
+        b.switch_to(head);
+        let c = b.lt(i.into(), n.into());
+        b.br(c, body, exit); // site 0: loop exit, genuinely searched
+        b.switch_to(body);
+        let one = b.reg();
+        b.const_int(one, 1);
+        let g = b.gt(one.into(), Operand::imm(0));
+        b.br(g, g_t, latch); // site 1: constant-true guard, proved
+        b.switch_to(g_t);
+        b.jmp(latch);
+        b.switch_to(latch);
+        b.add(i, i.into(), Operand::imm(1));
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        m.renumber_branches();
+
+        let t = trace_of(&m, 50);
+        let cls = brepl_analysis::classify_module(&m);
+        let skip = fast_path_sites(&t, Some(&cls));
+        assert_eq!(skip.len(), 1);
+        assert!(skip.contains(&BranchId(1)));
+
+        // Call below the memo so both paths genuinely run the search.
+        let plain = select_uncached(&m, &t, 4, 1, &HashSet::new());
+        let fast = select_uncached(&m, &t, 4, 1, &skip);
+        assert_eq!(plain, fast, "fast path must be bit-identical");
+
+        let (via_api, skips) = select_strategies_classified(&m, &t, 4, Some(&cls));
+        assert_eq!(via_api, plain);
+        assert_eq!(skips, 1);
+        // Without a classification the API degrades to plain selection.
+        let (no_cls, no_skips) = select_strategies_classified(&m, &t, 4, None);
+        assert_eq!(no_cls, plain);
+        assert_eq!(no_skips, 0);
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //!
 //! Implements every prediction strategy the paper compares in §2–§3:
 //!
-//! * **Static** (no profile): Smith's heuristics ([`stat::smith`]) and the
-//!   Ball–Larus heuristic chain ([`stat::ball_larus`]).
+//! * **Static** (no profile): Smith's heuristics ([`stat::smith`]), the
+//!   Ball–Larus heuristic chain ([`stat::ball_larus`]), and the
+//!   proof-guided loop/default chain ([`stat::proof_guided`]) that lets a
+//!   caller pin directions proved by static analysis.
 //! * **Dynamic** (run-time state): last-direction, n-bit saturating
 //!   counters, and the full family of Yeh–Patt two-level adaptive
 //!   predictors including the paper's 4K-bit configuration

@@ -1,6 +1,7 @@
 //! Static (no-profile) prediction strategies — §2.1 of the paper.
 
 pub mod ball_larus;
+pub mod proof_guided;
 pub mod smith;
 
 use brepl_ir::{CmpOp, Function, Inst, Operand, Term};

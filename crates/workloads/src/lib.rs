@@ -151,12 +151,12 @@ mod tests {
     #[test]
     fn every_workload_verifies_and_runs() {
         for w in all_workloads(Scale::Small) {
-            w.module
-                .verify()
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let verified = w.module.verify().map_err(|e| format!("{}: {e}", w.name));
+            verified.expect("workload module verifies");
             let outcome = w
                 .run()
-                .unwrap_or_else(|e| panic!("{} failed to run: {e}", w.name));
+                .map_err(|e| format!("{} failed to run: {e}", w.name));
+            let outcome = outcome.expect("workload runs");
             assert!(
                 outcome.trace.len() > 1_000,
                 "{} produced only {} branches",

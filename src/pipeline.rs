@@ -13,14 +13,17 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 
-use brepl_analysis::{check_history, validate_replication, AnalysisDiag, DiagCode, LintConfig};
+use brepl_analysis::{
+    check_history, classification_diags, classify_module, prediction_proof_diags,
+    validate_replication, AnalysisDiag, DiagCode, LintConfig,
+};
 use brepl_core::replicate::ReplicateError;
 use brepl_core::{
-    apply_plan, check_equivalence_outcomes, select_strategies, BranchMachine, ReplicatedProgram,
-    Selection,
+    apply_plan, check_equivalence_outcomes, select_strategies_classified, BranchMachine,
+    ReplicatedProgram, Selection,
 };
 use brepl_ir::{BranchId, Module, Value};
-use brepl_predict::evaluate_static;
+use brepl_predict::{evaluate_static, StaticPrediction};
 use brepl_sim::{Machine, RunConfig, RunError};
 
 /// Pipeline tuning knobs.
@@ -79,6 +82,22 @@ pub struct PipelineConfig {
     /// the CFG-path replica, so a few machines can fail to transfer);
     /// replication is then redone with the pruned plan.
     pub refine: bool,
+    /// When true (default), run the static direction classification
+    /// ([`brepl_analysis::classify_module`]: SCCP over an interval
+    /// domain plus trip-count proofs) and use it two ways: a
+    /// **profile-vs-proof gate** before replication — trace counts that
+    /// contradict a direction or bias proof (`BR013`–`BR015`), or a
+    /// failed fixpoint (`BR017`), quarantine every candidate site (or
+    /// abort under [`Self::strict`]), and shipped predictions are
+    /// cross-checked against the proofs after replication (`BR016`) —
+    /// and a **planner fast-path** that skips the machine search on
+    /// proved-monostatic sites with a unanimous profile (bit-identical
+    /// selection; the `BREPL_NO_CLASSIFY` environment variable disables
+    /// only the skip, never the gate). The gate's trust base — abstract
+    /// interpretation of the *original* module plus raw trace counts —
+    /// is disjoint from both the replica-map witness (`validate`) and
+    /// the machine transition tables (`check_history`).
+    pub classify: bool,
     /// When true, any gate failure aborts with a typed [`PipelineError`]
     /// — today's pre-quarantine behavior, for CI runs where a firing gate
     /// means a replicator bug to investigate, not a site to ship without.
@@ -104,6 +123,7 @@ impl Default for PipelineConfig {
             max_size_growth: Some(3.0),
             max_realized_growth: None,
             refine: true,
+            classify: true,
             strict: false,
             #[cfg(feature = "chaos")]
             chaos: None,
@@ -172,6 +192,9 @@ pub enum QuarantineGate {
     /// The realized code-growth budget
     /// ([`PipelineConfig::max_realized_growth`]) was exhausted.
     SizeBudget,
+    /// The static direction classification contradicted the profile
+    /// ([`PipelineConfig::classify`]; codes `BR013`–`BR017`).
+    Classify,
 }
 
 impl QuarantineGate {
@@ -183,6 +206,7 @@ impl QuarantineGate {
             QuarantineGate::Replicate => "replicate",
             QuarantineGate::Profile => "profile",
             QuarantineGate::SizeBudget => "size-budget",
+            QuarantineGate::Classify => "classify",
         }
     }
 
@@ -190,6 +214,9 @@ impl QuarantineGate {
     fn hard_error(self, rendered: String) -> PipelineError {
         match self {
             QuarantineGate::History => PipelineError::History(rendered),
+            // A profile contradicting a static proof means the trace
+            // itself cannot be trusted, like a failed integrity check.
+            QuarantineGate::Classify => PipelineError::Trace(rendered),
             _ => PipelineError::Validation(rendered),
         }
     }
@@ -233,6 +260,25 @@ pub struct SizeBackoff {
     pub round: usize,
 }
 
+/// Summary of the static direction-classification stage
+/// ([`PipelineConfig::classify`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassificationSummary {
+    /// Sites whose direction is proved (always- or never-taken).
+    pub proved: usize,
+    /// Sites with an exact trip-count bias proof.
+    pub bounded: usize,
+    /// Sites left profile-dependent.
+    pub dependent: usize,
+    /// Proved sites the planner skipped the machine search for (their
+    /// unanimous profile makes the Profile choice unbeatable; `0` when
+    /// `BREPL_NO_CLASSIFY` is set).
+    pub planner_skips: usize,
+    /// Whether every function's classification fixpoint converged
+    /// (`false` ⇒ a `BR017` fired for each unconverged function).
+    pub converged: bool,
+}
+
 /// Everything the pipeline produced.
 #[derive(Debug)]
 pub struct PipelineResult {
@@ -261,12 +307,16 @@ pub struct PipelineResult {
     /// Growth-budget backoff steps taken
     /// ([`PipelineConfig::max_realized_growth`]).
     pub size_backoffs: Vec<SizeBackoff>,
-    /// Warning-severity diagnostics from the last round of both static
-    /// gates — the witness validator and the history checker, as filtered
-    /// by [`PipelineConfig::lint`] (empty when both are disabled).
-    /// Error-severity diagnostics quarantine or abort instead of landing
-    /// here.
+    /// Warning-severity diagnostics from the last round of the static
+    /// gates — the witness validator, the history checker and the
+    /// classification gate (e.g. `BR018` constant-condition notes) — as
+    /// filtered by [`PipelineConfig::lint`] (empty when all are
+    /// disabled). Error-severity diagnostics quarantine or abort instead
+    /// of landing here.
     pub warnings: Vec<AnalysisDiag>,
+    /// Summary of the static direction classification, or `None` when
+    /// [`PipelineConfig::classify`] is off.
+    pub classification: Option<ClassificationSummary>,
     /// The fault the armed chaos engine injected, if it fired
     /// (feature `chaos`; see [`PipelineConfig::chaos`]).
     #[cfg(feature = "chaos")]
@@ -325,9 +375,27 @@ pub fn run_pipeline_profiled(
     let stats = outcome.trace.stats();
     let profile_pct = stats.profile_misprediction_percent();
 
-    // 2. Select per-branch machines, then apply the size budget by taking
-    // branches in greedy benefit-per-size order.
-    let selection = select_strategies(module, &outcome.trace, config.max_states);
+    // 1b. Static direction classification: SCCP over intervals plus
+    // trip-count proofs, on the *original* module — the gate below and
+    // the planner fast-path both consume it.
+    let classification = if config.classify {
+        Some(classify_module(module))
+    } else {
+        None
+    };
+
+    // 2. Select per-branch machines — proved-monostatic sites with a
+    // unanimous profile skip the machine search, with a bit-identical
+    // result (`BREPL_NO_CLASSIFY` disables only this skip) — then apply
+    // the size budget by taking branches in greedy benefit-per-size
+    // order.
+    let fast_path = if std::env::var_os("BREPL_NO_CLASSIFY").is_some() {
+        None
+    } else {
+        classification.as_ref()
+    };
+    let (selection, planner_skips) =
+        select_strategies_classified(module, &outcome.trace, config.max_states, fast_path);
     let mut enabled: BTreeSet<BranchId> = match config.max_size_growth {
         None => selection
             .choices()
@@ -353,8 +421,23 @@ pub fn run_pipeline_profiled(
 
     #[cfg(feature = "chaos")]
     let mut chaos_engine = config.chaos.map(brepl_core::chaos::ChaosEngine::new);
+    // Trace stats the classification gate judges; replaced by forged
+    // stats when the ForgeTraceEvent chaos point fires.
+    #[cfg(feature = "chaos")]
+    let mut gate_stats_override: Option<brepl_trace::TraceStats> = None;
     #[cfg(feature = "chaos")]
     if let Some(eng) = &mut chaos_engine {
+        // ForgeTraceEvent fires first, before the victim is pinned from
+        // the enabled set: it flips one event at a proved-monostatic site
+        // (pinning that site as the victim) so the classification gate
+        // must catch the contradiction — BR013 — while the witness and
+        // history gates stay blind (the forged trace never steers
+        // replication).
+        if let Some(cls) = &classification {
+            if let Some(forged) = eng.forge_trace(&outcome.trace, &cls.proved_sites()) {
+                gate_stats_override = Some(forged.stats());
+            }
+        }
         let candidates: Vec<BranchId> = enabled.iter().copied().collect();
         eng.pin_victim(&candidates);
         // TruncateTrace fires here, against the profiling trace.
@@ -372,6 +455,74 @@ pub fn run_pipeline_profiled(
                     gate: QuarantineGate::Profile,
                     codes: Vec::new(),
                     reason: format!("profiling trace truncated mid-event: {err:?}"),
+                    round: 0,
+                });
+            }
+            enabled.clear();
+        }
+    }
+
+    // 2b. Classification gate: the profile must be consistent with the
+    // static proofs — no events in a proved-impossible direction (BR013),
+    // no taken-count violating an exact bias proof (BR014), no events at
+    // provably unreachable sites (BR015) — and every function's fixpoint
+    // must have converged (BR017, fail closed). A conflict means the
+    // trace or the analysis is lying, so *neither* may steer replication:
+    // ship the baseline, quarantining every candidate site (or abort
+    // under strict). BR018 constant-condition notes pass through as
+    // warnings.
+    let mut classify_warnings: Vec<AnalysisDiag> = Vec::new();
+    if let Some(cls) = &classification {
+        let diags = {
+            #[cfg(feature = "chaos")]
+            let gate_stats = gate_stats_override.as_ref().unwrap_or(&stats);
+            #[cfg(not(feature = "chaos"))]
+            let gate_stats = &stats;
+            classification_diags(module, cls, gate_stats)
+        };
+        let (errors, warns) = config.lint.partition(diags);
+        classify_warnings = warns;
+        if !errors.is_empty() {
+            if config.strict {
+                return Err(QuarantineGate::Classify.hard_error(render_joined(&errors, module)));
+            }
+            // Name the implicated sites first (BR013–BR015 carry their
+            // branch), then ship the baseline: a profile that contradicts
+            // even one proof cannot be trusted to steer any replication.
+            let mut by_site: BTreeMap<BranchId, Vec<&AnalysisDiag>> = BTreeMap::new();
+            for d in &errors {
+                if let Some(site) = d.site {
+                    by_site.entry(site).or_default().push(d);
+                }
+            }
+            for (&site, diags) in &by_site {
+                let mut codes: Vec<DiagCode> = diags.iter().map(|d| d.code).collect();
+                codes.sort_unstable();
+                codes.dedup();
+                quarantined.push(QuarantinedSite {
+                    site,
+                    gate: QuarantineGate::Classify,
+                    codes,
+                    reason: render_capped(
+                        &diags.iter().map(|&d| d.clone()).collect::<Vec<_>>(),
+                        module,
+                    ),
+                    round: 0,
+                });
+            }
+            let mut batch_codes: Vec<DiagCode> = errors.iter().map(|d| d.code).collect();
+            batch_codes.sort_unstable();
+            batch_codes.dedup();
+            let reason = render_capped(&errors, module);
+            for &site in &enabled {
+                if by_site.contains_key(&site) {
+                    continue;
+                }
+                quarantined.push(QuarantinedSite {
+                    site,
+                    gate: QuarantineGate::Classify,
+                    codes: batch_codes.clone(),
+                    reason: reason.clone(),
                     round: 0,
                 });
             }
@@ -587,6 +738,42 @@ pub fn run_pipeline_profiled(
         }
     };
 
+    // Proof-vs-prediction cross-check (BR016) on the shipped program:
+    // every replica *not* pinned by a machine state carries its original
+    // site's profile-majority prediction, which must agree with any
+    // direction proof for that site (an honest profile's majority always
+    // does). Firing here means an analysis or replication bug — there is
+    // no site left to quarantine, so like gate errors against an empty
+    // plan it is a hard error in every mode.
+    if let Some(cls) = &classification {
+        let mut folded = StaticPrediction::with_default(true);
+        let mut checked: BTreeSet<BranchId> = BTreeSet::new();
+        for (fid, func) in program.module.iter_functions() {
+            let fmap = &program.replica_map.functions[fid.index()];
+            for (bid, block) in func.iter_blocks() {
+                let brepl_ir::Term::Br { site, .. } = block.term else {
+                    continue;
+                };
+                if fmap.machine_predictions[bid.index()].is_some() {
+                    continue;
+                }
+                let orig = program.provenance[site.index()];
+                if stats.site(orig).total() == 0 {
+                    continue;
+                }
+                folded.set(orig, program.predictions.get(site));
+                checked.insert(orig);
+            }
+        }
+        let sites: Vec<BranchId> = checked.into_iter().collect();
+        let diags = prediction_proof_diags(module, cls, &folded, &sites);
+        let (errors, warns) = config.lint.partition(diags);
+        if !errors.is_empty() {
+            return Err(QuarantineGate::Classify.hard_error(render_joined(&errors, module)));
+        }
+        classify_warnings.extend(warns);
+    }
+
     // Backstop behind the static gate: compare the profiling run of the
     // original against the final re-measure run of the shipped program —
     // both already executed above, so the check costs two dense histogram
@@ -595,6 +782,9 @@ pub fn run_pipeline_profiled(
         check_equivalence_outcomes(&program, outcome, profile_output, &outcome2, &output2)
             .map_err(|e| PipelineError::Equivalence(e.to_string()))?;
     }
+
+    let mut warnings = warnings;
+    warnings.extend(classify_warnings);
 
     Ok(PipelineResult {
         profile_misprediction_percent: profile_pct,
@@ -607,6 +797,16 @@ pub fn run_pipeline_profiled(
         quarantined,
         size_backoffs,
         warnings,
+        classification: classification.as_ref().map(|cls| {
+            let (proved, bounded, dependent) = cls.counts();
+            ClassificationSummary {
+                proved,
+                bounded,
+                dependent,
+                planner_skips,
+                converged: cls.converged(),
+            }
+        }),
         #[cfg(feature = "chaos")]
         chaos_injection: chaos_engine.and_then(|e| e.into_injection()),
         program,

@@ -130,6 +130,116 @@ fn every_point_hard_fails_in_strict_mode() {
     }
 }
 
+/// The forge point proper (not its truncation fallback): a module with a
+/// proved-monostatic guard and a machine-worthy alternating branch. The
+/// forged event contradicts the proof, so the classification gate fires
+/// `BR013` naming the guard — while the witness validator and history
+/// checker (`BR001`–`BR012`) stay blind, because the forged trace judges
+/// the gate but never steers replication.
+#[test]
+fn forged_profile_fires_br013_while_other_gates_stay_blind() {
+    use brepl_analysis::DiagCode;
+    use brepl_ir::{FunctionBuilder, Module, Operand};
+
+    let mut b = FunctionBuilder::new("main", 0);
+    let i = b.reg();
+    let acc = b.reg();
+    b.const_int(i, 0);
+    b.const_int(acc, 0);
+    let head = b.new_block();
+    let even = b.new_block();
+    let odd = b.new_block();
+    let guard_t = b.new_block();
+    let latch = b.new_block();
+    let exit = b.new_block();
+    b.jmp(head);
+    b.switch_to(head);
+    let r = b.reg();
+    b.rem(r, i.into(), Operand::imm(2));
+    let c = b.eq(r.into(), Operand::imm(0));
+    b.br(c, even, odd); // site 0: alternating — ships a machine
+    b.switch_to(even);
+    b.add(acc, acc.into(), Operand::imm(3));
+    b.jmp(latch);
+    b.switch_to(odd);
+    b.add(acc, acc.into(), Operand::imm(5));
+    b.jmp(latch);
+    b.switch_to(latch);
+    let one = b.reg();
+    b.const_int(one, 1);
+    let g = b.gt(one.into(), Operand::imm(0));
+    b.br(g, guard_t, exit); // site 1: proved always-taken
+    b.switch_to(guard_t);
+    b.add(i, i.into(), Operand::imm(1));
+    let c2 = b.lt(i.into(), Operand::imm(200));
+    b.br(c2, head, exit); // site 2: loop back edge
+    b.switch_to(exit);
+    b.out(acc.into());
+    b.ret(Some(acc.into()));
+    let mut m = Module::new();
+    m.push_function(b.finish());
+    m.renumber_branches();
+
+    let chaos = Some(ChaosConfig {
+        seed: 0,
+        point: ChaosPoint::ForgeTraceEvent,
+    });
+    let result = run_pipeline(
+        &m,
+        &[],
+        &[],
+        PipelineConfig {
+            chaos,
+            ..PipelineConfig::default()
+        },
+    )
+    .unwrap();
+    let inj = result.chaos_injection.as_ref().expect("forge must fire");
+    assert!(
+        inj.description.contains("flipped trace event"),
+        "expected the forge proper, got the fallback: {}",
+        inj.description
+    );
+    // BR013 at the proved victim, attributed by the classify gate…
+    let q = result
+        .quarantined
+        .iter()
+        .find(|q| q.site == inj.victim)
+        .expect("forged victim must be quarantined");
+    assert_eq!(q.gate.name(), "classify");
+    assert!(
+        q.codes.contains(&DiagCode::ProfileProofConflict),
+        "victim codes: {:?}",
+        q.codes
+    );
+    // …and the classify gate *alone*: BR001–BR012 saw a clean program.
+    assert!(
+        result
+            .quarantined
+            .iter()
+            .all(|q| q.gate.name() == "classify"),
+        "other gates fired: {:?}",
+        result.quarantined
+    );
+    // The untrusted profile shipped nothing.
+    assert!(result.replicated_sites.is_empty());
+
+    // Strict mode: the same forge is a hard trace error naming BR013.
+    match run_pipeline(
+        &m,
+        &[],
+        &[],
+        PipelineConfig {
+            strict: true,
+            chaos,
+            ..PipelineConfig::default()
+        },
+    ) {
+        Err(PipelineError::Trace(msg)) => assert!(msg.contains("BR013"), "{msg}"),
+        other => panic!("strict forge must be a trace error, got {other:?}"),
+    }
+}
+
 /// S3: quarantine is deterministic across thread counts — serial and
 /// parallel runs of a chaos-faulted pipeline produce the identical
 /// quarantined set and bit-identical shipped program.

@@ -125,6 +125,84 @@ fn fuzz_pipeline_config_variants() {
     }
 }
 
+/// Classification-soundness oracle: a direction verdict contradicted by
+/// the simulated trace is an analysis bug, full stop. For each fuzz
+/// module: every proved-monostatic verdict must match the honest trace
+/// event-by-event, nothing proved unreachable may execute, and the
+/// classification gate (exact BoundedBias rationals included) must pass
+/// with zero error-severity diagnostics.
+fn classify_case(seed: u64, diamonds: usize, trip: i64) -> Result<(), String> {
+    let outcome = std::panic::catch_unwind(|| {
+        let m = random_loop_module(seed, diamonds, trip);
+        let cls = brepl_analysis::classify_module(&m);
+        let run = brepl_sim::Machine::new(&m, brepl_sim::RunConfig::default())
+            .map_err(|e| format!("machine init: {e}"))?
+            .run("main", &[])
+            .map_err(|e| format!("run: {e}"))?;
+        for ev in run.trace.iter() {
+            if let Some(sc) = cls.by_site(ev.site) {
+                if !sc.reachable {
+                    return Err(format!("site {} proved unreachable but executed", ev.site));
+                }
+                if let Some(dir) = sc.class.proved_direction() {
+                    if ev.taken != dir {
+                        return Err(format!(
+                            "site {} proved {} but the trace went the other way",
+                            ev.site,
+                            if dir { "always-taken" } else { "never-taken" },
+                        ));
+                    }
+                }
+            }
+        }
+        let diags = brepl_analysis::classification_diags(&m, &cls, &run.trace.stats());
+        let errors: Vec<String> = diags
+            .iter()
+            .filter(|d| d.severity() == brepl_analysis::Severity::Error)
+            .map(|d| d.render(&m))
+            .collect();
+        if !errors.is_empty() {
+            return Err(format!(
+                "honest trace fails the gate: {}",
+                errors.join("; ")
+            ));
+        }
+        Ok(())
+    });
+    match outcome {
+        Err(payload) => Err(format!("panicked: {}", panic_text(&payload))),
+        Ok(r) => r,
+    }
+}
+
+/// Tier-1 slice of the classification-soundness fuzz; the release-mode
+/// `fuzz` bin sweeps thousands of modules through the same oracle.
+#[test]
+fn fuzz_classification_is_sound() {
+    for seed in 0..150u64 {
+        let diamonds = (seed % 5) as usize;
+        let trip = 10 + (seed % 9) as i64 * 17;
+        if let Err(e) = classify_case(seed, diamonds, trip) {
+            // Shrink while the violation persists: structure first, then
+            // work, mirroring `shrink_report`.
+            let (mut d, mut t) = (diamonds, trip);
+            loop {
+                if d > 0 && classify_case(seed, d - 1, t).is_err() {
+                    d -= 1;
+                } else if t > 1 && classify_case(seed, d, t / 2).is_err() {
+                    t /= 2;
+                } else {
+                    break;
+                }
+            }
+            panic!(
+                "classification unsound, minimal repro: seed={seed} diamonds={d} trip={t} \
+                 (random_loop_module(seed, diamonds, trip)); original failure: {e}"
+            );
+        }
+    }
+}
+
 /// Codec totality fuzz: random traces round-trip exactly; byte mutations,
 /// truncations and garbage always decode to `Ok` or a typed error — a
 /// panic anywhere fails the test by unwinding.

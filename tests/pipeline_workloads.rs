@@ -78,6 +78,41 @@ fn unlimited_budget_reaches_selection_promise() {
     );
 }
 
+/// The planner fast-path off-switch is pure: `BREPL_NO_CLASSIFY`
+/// disables the proved-site search skip, and the shipped program must
+/// stay bit-identical on every workload — the skip changes how a Profile
+/// choice is *reached*, never what ships. (The select-level unit test
+/// proves the same below the selection memo.)
+#[test]
+fn no_classify_switch_ships_bit_identical_programs() {
+    for w in all_workloads(Scale::Small) {
+        std::env::set_var("BREPL_NO_CLASSIFY", "1");
+        let off = run_pipeline(&w.module, &w.args, &w.input, PipelineConfig::default()).unwrap();
+        std::env::remove_var("BREPL_NO_CLASSIFY");
+        let on = run_pipeline(&w.module, &w.args, &w.input, PipelineConfig::default()).unwrap();
+        assert_eq!(off.program.module, on.program.module, "{}", w.name);
+        assert_eq!(off.program.provenance, on.program.provenance, "{}", w.name);
+        assert_eq!(off.replicated_sites, on.replicated_sites, "{}", w.name);
+        let (s_off, s_on) = (off.classification.unwrap(), on.classification.unwrap());
+        assert_eq!(
+            s_off.planner_skips, 0,
+            "{}: the skip ran with the switch set",
+            w.name
+        );
+        assert_eq!(
+            (s_off.proved, s_off.bounded, s_off.dependent),
+            (s_on.proved, s_on.bounded, s_on.dependent),
+            "{}",
+            w.name
+        );
+        assert!(
+            s_on.converged,
+            "{}: classification fixpoint diverged",
+            w.name
+        );
+    }
+}
+
 #[test]
 fn provenance_is_complete_and_consistent() {
     for w in all_workloads(Scale::Small).into_iter().take(3) {
