@@ -86,6 +86,23 @@ pub enum DiagCode {
     /// `BR018` — a branch condition is a compile-time constant: the branch
     /// is decidable without replication and is likely vestigial.
     ConstantConditionBranch,
+    /// `BR019` — the measured taken-count of a branch contradicts the
+    /// static profile's *exact* bias estimate (a proof-backed rational):
+    /// either the trace is corrupt or the stored estimate was tampered
+    /// with. Heuristic estimates are never checked this way — their drift
+    /// is reported as data, not as a diagnostic.
+    EstimateDriftConflict,
+    /// `BR020` — the static profile assigns positive expected frequency to
+    /// a branch site the direction analysis proves unreachable.
+    EstimateUnreachableMass,
+    /// `BR021` — a block of the static profile violates flow conservation
+    /// (in-mass differs from its block frequency beyond tolerance): the
+    /// profile did not come from an honest propagation.
+    EstimateConservationViolation,
+    /// `BR022` — the frequency-propagation fixpoint blew its metered
+    /// budget or hit irreducible control flow; estimates for the affected
+    /// function are withheld (fail closed).
+    EstimateFixpointFailure,
 }
 
 impl DiagCode {
@@ -110,6 +127,10 @@ impl DiagCode {
             DiagCode::PredictionProofConflict => "BR016",
             DiagCode::ClassifyFixpointFailure => "BR017",
             DiagCode::ConstantConditionBranch => "BR018",
+            DiagCode::EstimateDriftConflict => "BR019",
+            DiagCode::EstimateUnreachableMass => "BR020",
+            DiagCode::EstimateConservationViolation => "BR021",
+            DiagCode::EstimateFixpointFailure => "BR022",
         }
     }
 
@@ -134,12 +155,16 @@ impl DiagCode {
             DiagCode::PredictionProofConflict => "prediction-proof-conflict",
             DiagCode::ClassifyFixpointFailure => "classify-fixpoint-failure",
             DiagCode::ConstantConditionBranch => "constant-condition-branch",
+            DiagCode::EstimateDriftConflict => "estimate-drift-conflict",
+            DiagCode::EstimateUnreachableMass => "estimate-unreachable-mass",
+            DiagCode::EstimateConservationViolation => "estimate-conservation-violation",
+            DiagCode::EstimateFixpointFailure => "estimate-fixpoint-failure",
         }
     }
 
     /// Every code, in `BR001..` order — the index in this array is the
     /// code's position in [`LintConfig`]'s override table.
-    pub const ALL: [DiagCode; 18] = [
+    pub const ALL: [DiagCode; 22] = [
         DiagCode::UnreachableReplica,
         DiagCode::DeadStore,
         DiagCode::UseBeforeDef,
@@ -158,6 +183,10 @@ impl DiagCode {
         DiagCode::PredictionProofConflict,
         DiagCode::ClassifyFixpointFailure,
         DiagCode::ConstantConditionBranch,
+        DiagCode::EstimateDriftConflict,
+        DiagCode::EstimateUnreachableMass,
+        DiagCode::EstimateConservationViolation,
+        DiagCode::EstimateFixpointFailure,
     ];
 
     /// The code's index into [`DiagCode::ALL`].
@@ -181,6 +210,10 @@ impl DiagCode {
             DiagCode::PredictionProofConflict => 15,
             DiagCode::ClassifyFixpointFailure => 16,
             DiagCode::ConstantConditionBranch => 17,
+            DiagCode::EstimateDriftConflict => 18,
+            DiagCode::EstimateUnreachableMass => 19,
+            DiagCode::EstimateConservationViolation => 20,
+            DiagCode::EstimateFixpointFailure => 21,
         }
     }
 
@@ -209,7 +242,11 @@ impl DiagCode {
             | DiagCode::ProfileBiasConflict
             | DiagCode::ProfileEventOnUnreachable
             | DiagCode::PredictionProofConflict
-            | DiagCode::ClassifyFixpointFailure => Severity::Error,
+            | DiagCode::ClassifyFixpointFailure
+            | DiagCode::EstimateDriftConflict
+            | DiagCode::EstimateUnreachableMass
+            | DiagCode::EstimateConservationViolation
+            | DiagCode::EstimateFixpointFailure => Severity::Error,
         }
     }
 }
@@ -412,6 +449,10 @@ mod tests {
         assert_eq!(DiagCode::PredictionProofConflict.as_str(), "BR016");
         assert_eq!(DiagCode::ClassifyFixpointFailure.as_str(), "BR017");
         assert_eq!(DiagCode::ConstantConditionBranch.as_str(), "BR018");
+        assert_eq!(DiagCode::EstimateDriftConflict.as_str(), "BR019");
+        assert_eq!(DiagCode::EstimateUnreachableMass.as_str(), "BR020");
+        assert_eq!(DiagCode::EstimateConservationViolation.as_str(), "BR021");
+        assert_eq!(DiagCode::EstimateFixpointFailure.as_str(), "BR022");
         // The ALL order is the BR-number order, and index() agrees with it.
         for (i, c) in DiagCode::ALL.iter().enumerate() {
             assert_eq!(c.index(), i);
@@ -459,6 +500,21 @@ mod tests {
         assert_eq!(
             DiagCode::ConstantConditionBranch.severity(),
             Severity::Warning
+        );
+        // The estimate drift gate (BR019-BR022) is a corruption detector
+        // like the classification gate: every code defaults to error.
+        assert_eq!(DiagCode::EstimateDriftConflict.severity(), Severity::Error);
+        assert_eq!(
+            DiagCode::EstimateUnreachableMass.severity(),
+            Severity::Error
+        );
+        assert_eq!(
+            DiagCode::EstimateConservationViolation.severity(),
+            Severity::Error
+        );
+        assert_eq!(
+            DiagCode::EstimateFixpointFailure.severity(),
+            Severity::Error
         );
     }
 
@@ -549,6 +605,46 @@ mod tests {
         assert_eq!(errors[1].code, DiagCode::ProfileEventOnUnreachable);
         assert_eq!(warnings.len(), 1);
         assert_eq!(warnings[0].code, DiagCode::ProfileProofConflict);
+    }
+
+    #[test]
+    fn lint_config_covers_estimate_codes() {
+        // BR019-BR022 thread through the auto-sized override table just
+        // like every earlier batch of codes.
+        let cfg = LintConfig::new()
+            .set(DiagCode::EstimateDriftConflict, LintLevel::Warn)
+            .set(DiagCode::EstimateUnreachableMass, LintLevel::Allow)
+            .set(DiagCode::EstimateFixpointFailure, LintLevel::Warn);
+        assert_eq!(
+            cfg.effective_severity(DiagCode::EstimateDriftConflict),
+            Some(Severity::Warning)
+        );
+        assert_eq!(
+            cfg.effective_severity(DiagCode::EstimateUnreachableMass),
+            None
+        );
+        assert_eq!(
+            cfg.effective_severity(DiagCode::EstimateFixpointFailure),
+            Some(Severity::Warning)
+        );
+        // Untouched estimate codes keep their error default.
+        assert_eq!(
+            cfg.effective_severity(DiagCode::EstimateConservationViolation),
+            Some(Severity::Error)
+        );
+
+        let loc = Loc::block(FuncId(0), BlockId(0));
+        let diags = vec![
+            AnalysisDiag::new(DiagCode::EstimateDriftConflict, loc, "demoted"),
+            AnalysisDiag::new(DiagCode::EstimateUnreachableMass, loc, "dropped"),
+            AnalysisDiag::new(DiagCode::EstimateConservationViolation, loc, "default"),
+        ];
+        assert!(cfg.has_errors(&diags));
+        let (errors, warnings) = cfg.partition(diags);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].code, DiagCode::EstimateConservationViolation);
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].code, DiagCode::EstimateDriftConflict);
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod classify;
 mod const_prop;
 mod cost;
 mod diag;
+mod freq;
 mod history;
 mod interval;
 mod lint;
@@ -72,6 +73,10 @@ pub use const_prop::{AbsVal, ConstProp, Env, FuncValues};
 pub use cost::{static_cost, CostError, CostReport, SiteCost};
 pub use diag::{
     count_by_severity, has_errors, AnalysisDiag, DiagCode, LintConfig, LintLevel, Severity,
+};
+pub use freq::{
+    bias_error, estimate_profile, static_profile_diags, BiasEstimate, FuncProfile, SiteEstimate,
+    StaticProfile, CONSERVATION_EPS,
 };
 pub use history::check_history;
 pub use interval::Interval;

@@ -22,14 +22,15 @@ use brepl_bench::json;
 use brepl_workloads::synth::random_loop_module;
 
 /// The deterministic config cycle (index = seed % 4), plus the
-/// classification-soundness oracle that runs on *every* iteration and
-/// reports under the last name.
-const VARIANT_NAMES: [&str; 5] = [
+/// classification-soundness and estimator-totality oracles that run on
+/// *every* iteration and report under the last two names.
+const VARIANT_NAMES: [&str; 6] = [
     "default",
     "refine-off",
     "strict",
     "growth-budget-1.2",
     "classify-oracle",
+    "estimate-oracle",
 ];
 
 fn variant_config(idx: usize) -> PipelineConfig {
@@ -116,6 +117,66 @@ fn classify_case(seed: u64, diamonds: usize, trip: i64) -> Result<(), String> {
             return Err(format!(
                 "honest trace fails the gate: {}",
                 errors.join("; ")
+            ));
+        }
+        Ok(())
+    });
+    match outcome {
+        Err(payload) => Err(format!("panicked: {}", panic_text(&payload))),
+        Ok(r) => r,
+    }
+}
+
+/// Estimator-totality oracle (variant name `estimate-oracle`): the same
+/// check as the tier-1 `fuzz_estimator_is_total_and_gate_silent_when_honest`
+/// test, at release scale — the static profile estimator must never
+/// panic, never emit a non-finite or negative frequency, always satisfy
+/// its own flow-conservation invariant, and its drift gate
+/// (`BR019`/`BR020`/`BR021`) must stay silent against the module's
+/// honest trace. `BR022` fail-closed reports are the contract on
+/// pathological flow and are tolerated.
+fn estimate_case(seed: u64, diamonds: usize, trip: i64) -> Result<(), String> {
+    use brepl_analysis::DiagCode;
+    let outcome = std::panic::catch_unwind(|| {
+        let m = random_loop_module(seed, diamonds, trip);
+        let cls = brepl_analysis::classify_module(&m);
+        let profile = brepl_analysis::estimate_profile(&m, &cls);
+        for s in &profile.sites {
+            if !s.freq.is_finite() || s.freq < 0.0 {
+                return Err(format!("site {} has bogus frequency {}", s.site, s.freq));
+            }
+            let p = s.bias.prob();
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!(
+                    "site {} bias probability {p} outside [0,1]",
+                    s.site
+                ));
+            }
+        }
+        if let Some((f, b, err)) = profile.check_conservation(&m).first() {
+            return Err(format!("conservation violated at {f}/{b} by {err}"));
+        }
+        let run = brepl_sim::Machine::new(&m, brepl_sim::RunConfig::default())
+            .map_err(|e| format!("machine init: {e}"))?
+            .run("main", &[])
+            .map_err(|e| format!("run: {e}"))?;
+        let diags = brepl_analysis::static_profile_diags(&m, &cls, &profile, &run.trace.stats());
+        let false_alarms: Vec<String> = diags
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d.code,
+                    DiagCode::EstimateDriftConflict
+                        | DiagCode::EstimateUnreachableMass
+                        | DiagCode::EstimateConservationViolation
+                )
+            })
+            .map(|d| d.render(&m))
+            .collect();
+        if !false_alarms.is_empty() {
+            return Err(format!(
+                "honest trace fires the drift gate: {}",
+                false_alarms.join("; ")
             ));
         }
         Ok(())
@@ -224,6 +285,37 @@ fn main() {
             failures.push(Failure {
                 seed,
                 variant: 4,
+                diamonds,
+                trip,
+                shrunk_diamonds: sd,
+                shrunk_trip: st,
+                error,
+            });
+        }
+        // The estimator-totality oracle also rides along on every
+        // iteration: the estimator is always-on in the pipeline, so a
+        // panic or a drift-gate false alarm would poison every run.
+        if let Err(error) = estimate_case(seed, diamonds, trip) {
+            let (mut sd, mut st) = (diamonds, trip);
+            loop {
+                if sd > 0 && estimate_case(seed, sd - 1, st).is_err() {
+                    sd -= 1;
+                } else if st > 1 && estimate_case(seed, sd, st / 2).is_err() {
+                    st /= 2;
+                } else {
+                    break;
+                }
+            }
+            if !json_mode {
+                eprintln!(
+                    "estimator broken, minimal repro: seed={seed} diamonds={sd} \
+                     trip={st} (random_loop_module(seed, diamonds, trip)); \
+                     original failure: {error}"
+                );
+            }
+            failures.push(Failure {
+                seed,
+                variant: 5,
                 diamonds,
                 trip,
                 shrunk_diamonds: sd,

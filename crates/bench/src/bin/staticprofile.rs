@@ -1,0 +1,211 @@
+//! Static profile estimation over the whole suite: runs the heuristic
+//! frequency estimator ([`brepl_analysis::estimate_profile`]) on every
+//! workload plus the closed-form `kmp` calibration program, compares
+//! the estimated taken-biases against each workload's honest measured
+//! trace ([`brepl_analysis::bias_error`]), and prices profile-free
+//! planning by shipping each program twice — once planned from the real
+//! profiling run (`run_pipeline`) and once planned purely from the
+//! synthesized static profile (`run_pipeline_static`) — measuring both
+//! on the same real input.
+//!
+//! Prints one row per workload — exact / heuristic site counts,
+//! estimator wall time, mean absolute bias error, profile-planned vs
+//! static-planned measured misprediction — and exits non-zero on a
+//! diverged propagation, a conservation violation, any drift-gate
+//! quarantine against honest data, or a pipeline failure.
+//!
+//! With `--json` the same data is emitted as one machine-readable JSON
+//! document on stdout (schema style shared with `classify --json`).
+
+use std::time::Instant;
+
+use brepl::pipeline::{run_pipeline, run_pipeline_static, PipelineConfig};
+use brepl_analysis::{bias_error, classify_module, estimate_profile};
+use brepl_bench::{json, scale_from_env};
+use brepl_core::memo;
+use brepl_sim::{Machine, RunConfig};
+use brepl_workloads::{all_workloads, workload_by_name, Workload};
+
+fn main() {
+    let json_mode = std::env::args().any(|a| a == "--json");
+    let scale = scale_from_env();
+    if !json_mode {
+        println!(
+            "{:<12} {:>5} {:>5} {:>11} {:>9} {:>6} {:>10} {:>10}",
+            "program", "exact", "heur", "estimate µs", "bias err", "sites", "profile %", "static %"
+        );
+        println!("{}", "-".repeat(76));
+    }
+
+    // The paper's eight programs plus the closed-form calibration
+    // workload, which is deliberately outside `all_workloads`.
+    let mut suite: Vec<Workload> = all_workloads(scale);
+    suite.push(workload_by_name("kmp", scale).expect("kmp workload exists"));
+
+    let mut failed = false;
+    let mut rows: Vec<String> = Vec::new();
+    for w in &suite {
+        let mut machine = match Machine::new(&w.module, RunConfig::default()) {
+            Ok(m) => m,
+            Err(e) => {
+                report_failure(&mut rows, json_mode, w.name, &format!("machine init: {e}"));
+                failed = true;
+                continue;
+            }
+        };
+        machine.set_input(w.input.clone());
+        let trace = match machine.run("main", &w.args) {
+            Ok(outcome) => outcome.trace,
+            Err(e) => {
+                report_failure(&mut rows, json_mode, w.name, &format!("profile run: {e}"));
+                failed = true;
+                continue;
+            }
+        };
+        let stats = trace.stats();
+
+        let cls = classify_module(&w.module);
+        let start = Instant::now();
+        let profile = estimate_profile(&w.module, &cls);
+        let estimate_us = start.elapsed().as_micros();
+        let (exact, heuristic) = profile.counts();
+        if !profile.converged() {
+            report_failure(
+                &mut rows,
+                json_mode,
+                w.name,
+                "frequency propagation diverged",
+            );
+            failed = true;
+            continue;
+        }
+        if !profile.check_conservation(&w.module).is_empty() {
+            report_failure(&mut rows, json_mode, w.name, "flow conservation violated");
+            failed = true;
+            continue;
+        }
+        let (err, compared) = bias_error(&profile, &stats);
+
+        // Ship twice from cold memos: profile-planned, then
+        // static-planned with zero profiling runs. Both misprediction
+        // numbers are measured on the same real input.
+        memo::clear();
+        let profiled = match run_pipeline(&w.module, &w.args, &w.input, PipelineConfig::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                report_failure(&mut rows, json_mode, w.name, &format!("pipeline: {e}"));
+                failed = true;
+                continue;
+            }
+        };
+        memo::clear();
+        let planned =
+            match run_pipeline_static(&w.module, &w.args, &w.input, PipelineConfig::default()) {
+                Ok(r) => r,
+                Err(e) => {
+                    report_failure(
+                        &mut rows,
+                        json_mode,
+                        w.name,
+                        &format!("static pipeline: {e}"),
+                    );
+                    failed = true;
+                    continue;
+                }
+            };
+        if !planned.quarantined.is_empty() {
+            report_failure(
+                &mut rows,
+                json_mode,
+                w.name,
+                &format!(
+                    "drift gate quarantined {} honest site(s)",
+                    planned.quarantined.len()
+                ),
+            );
+            failed = true;
+            continue;
+        }
+
+        if json_mode {
+            rows.push(
+                json::Obj::new()
+                    .str("name", w.name)
+                    .int("sites_exact", exact as u64)
+                    .int("sites_heuristic", heuristic as u64)
+                    .bool("converged", profile.converged())
+                    .int("estimate_us", estimate_us as u64)
+                    .num("bias_mean_abs_error", err)
+                    .int("sites_compared", compared as u64)
+                    .num(
+                        "profile_planned_mispredict_pct",
+                        profiled.replicated_misprediction_percent,
+                    )
+                    .num(
+                        "static_planned_mispredict_pct",
+                        planned.replicated_misprediction_percent,
+                    )
+                    .int(
+                        "static_replicated_sites",
+                        planned.replicated_sites.len() as u64,
+                    )
+                    .build(),
+            );
+        } else {
+            println!(
+                "{:<12} {:>5} {:>5} {:>11} {:>9.4} {:>6} {:>10.3} {:>10.3}",
+                w.name,
+                exact,
+                heuristic,
+                estimate_us,
+                err,
+                compared,
+                profiled.replicated_misprediction_percent,
+                planned.replicated_misprediction_percent,
+            );
+        }
+    }
+
+    let ok = !failed;
+    if json_mode {
+        println!(
+            "{}",
+            json::Obj::new()
+                .str("tool", "staticprofile")
+                .str(
+                    "scale",
+                    if scale == brepl_workloads::Scale::Full {
+                        "full"
+                    } else {
+                        "small"
+                    }
+                )
+                .bool("ok", ok)
+                .raw("workloads", &json::array(&rows))
+                .build()
+        );
+    } else {
+        println!("{}", "-".repeat(76));
+    }
+    if !ok {
+        if !json_mode {
+            println!("FAIL: estimator or profile-free planning broke on some workload");
+        }
+        std::process::exit(1);
+    }
+    if !json_mode {
+        println!(
+            "OK: every workload estimates cleanly and ships from the static profile \
+             with zero profiling runs"
+        );
+    }
+}
+
+/// Records one failed workload, in whichever output mode is active.
+fn report_failure(rows: &mut Vec<String>, json_mode: bool, name: &str, msg: &str) {
+    if json_mode {
+        rows.push(json::Obj::new().str("name", name).str("error", msg).build());
+    } else {
+        println!("{name:<12} ERROR: {msg}");
+    }
+}

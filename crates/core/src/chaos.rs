@@ -54,17 +54,27 @@ pub enum ChaosPoint {
     /// [`ChaosPoint::TruncateTrace`] corruption so the point still fires
     /// on every workload.
     ForgeTraceEvent,
+    /// Perturb the exact bias estimate of one executed site in the
+    /// [`brepl_analysis::StaticProfile`] the drift gate judges, so the
+    /// honest measured trace contradicts the stored estimate (`BR019`).
+    /// The trace, module, witness and machine tables are all untouched —
+    /// `BR001`–`BR018` must stay blind; only the estimate drift gate can
+    /// catch it. When the module has no exact-and-executed estimate,
+    /// falls back to the [`ChaosPoint::TruncateTrace`] corruption so the
+    /// point still fires on every workload.
+    ForgeStaticProfile,
 }
 
 impl ChaosPoint {
     /// Every injection point, in a stable order.
-    pub const ALL: [ChaosPoint; 6] = [
+    pub const ALL: [ChaosPoint; 7] = [
         ChaosPoint::CorruptMachineTable,
         ChaosPoint::RetargetReplicaEdge,
         ChaosPoint::DropWitnessChain,
         ChaosPoint::FlipPinnedPrediction,
         ChaosPoint::TruncateTrace,
         ChaosPoint::ForgeTraceEvent,
+        ChaosPoint::ForgeStaticProfile,
     ];
 
     /// Stable kebab-case name (CLI flags, JSON output).
@@ -76,6 +86,7 @@ impl ChaosPoint {
             ChaosPoint::FlipPinnedPrediction => "flip-pinned-prediction",
             ChaosPoint::TruncateTrace => "truncate-trace",
             ChaosPoint::ForgeTraceEvent => "forge-trace-event",
+            ChaosPoint::ForgeStaticProfile => "forge-static-profile",
         }
     }
 
@@ -200,11 +211,14 @@ impl ChaosEngine {
     /// stream mid-event, and returns the decode error the cut produces.
     /// Returns `None` when this point is not active or already fired.
     pub fn corrupt_trace(&mut self, trace: &Trace) -> Option<TraceError> {
-        // ForgeTraceEvent reaches here only as its documented fallback,
-        // after `forge_trace` found no proved site to contradict.
+        // ForgeTraceEvent and ForgeStaticProfile reach here only as
+        // their documented fallback, after the forge found no candidate
+        // to contradict.
         if !matches!(
             self.config.point,
-            ChaosPoint::TruncateTrace | ChaosPoint::ForgeTraceEvent
+            ChaosPoint::TruncateTrace
+                | ChaosPoint::ForgeTraceEvent
+                | ChaosPoint::ForgeStaticProfile
         ) || self.injection.is_some()
             || trace.is_empty()
         {
@@ -280,6 +294,59 @@ impl ChaosEngine {
             ),
         );
         Some(forged)
+    }
+
+    /// [`ChaosPoint::ForgeStaticProfile`]: overwrites the exact bias
+    /// estimate of one *executed* site in `profile` with a rational the
+    /// measured counts cannot satisfy, pinning that site as the victim.
+    /// The forged rational is chosen so the contradiction holds for any
+    /// event count (`taken > 0` vs `0/1`, `taken == 0` vs `1/1`), so the
+    /// estimate drift gate (`BR019`) *must* fire — the injection is
+    /// effective without a separate verification pass. Nothing else is
+    /// touched: the trace, module, witness and machine tables all stay
+    /// honest, so `BR001`–`BR018` stay blind.
+    ///
+    /// Returns `false` when the point is inactive, already fired, or no
+    /// site has both an exact estimate and trace events — in which case
+    /// the pipeline falls back to [`Self::corrupt_trace`].
+    pub fn forge_static_profile(
+        &mut self,
+        profile: &mut brepl_analysis::StaticProfile,
+        stats: &brepl_trace::TraceStats,
+    ) -> bool {
+        use brepl_analysis::BiasEstimate;
+        if self.config.point != ChaosPoint::ForgeStaticProfile || self.injection.is_some() {
+            return false;
+        }
+        let cands: Vec<usize> = profile
+            .sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.bias.is_exact() && stats.site(s.site).total() > 0)
+            .map(|(i, _)| i)
+            .collect();
+        if cands.is_empty() {
+            return false;
+        }
+        let at = cands[self.rng.below(cands.len())];
+        let entry = &mut profile.sites[at];
+        let old = entry.bias;
+        let taken = stats.site(entry.site).taken;
+        entry.bias = if taken > 0 {
+            BiasEstimate::Exact { num: 0, den: 1 }
+        } else {
+            BiasEstimate::Exact { num: 1, den: 1 }
+        };
+        let victim = entry.site;
+        self.victim = Some(victim);
+        self.record(
+            victim,
+            format!(
+                "overwrote site {victim}'s exact estimate {old:?} with {:?} against {taken} measured takens",
+                profile.sites[at].bias
+            ),
+        );
+        true
     }
 
     /// Program-level injections ([`ChaosPoint::FlipPinnedPrediction`],

@@ -47,6 +47,7 @@ pub use replicate::{
     ReplicationPlan,
 };
 pub use select::{
-    select_strategies, select_strategies_classified, select_strategies_with_threads,
-    ChosenStrategy, Selection, StrategyChoice,
+    select_strategies, select_strategies_classified, select_strategies_estimated,
+    select_strategies_with_threads, synthesize_profile_trace, ChosenStrategy, Selection,
+    StrategyChoice,
 };

@@ -5,11 +5,11 @@
 
 use std::collections::{HashMap, HashSet};
 
-use brepl_analysis::{Classification, DirectionClass};
+use brepl_analysis::{BiasEstimate, Classification, DirectionClass, StaticProfile};
 use brepl_cfg::{BranchClass, Cfg, ClassifiedBranches, DomTree, LoopForest, PredecessorPaths};
 use brepl_ir::{BranchId, Module};
 use brepl_predict::{HistoryKind, PatternTable, PatternTableSet};
-use brepl_trace::{SiteCounts, Trace};
+use brepl_trace::{SiteCounts, Trace, TraceEvent};
 
 use crate::correlated::{profile_paths, CorrelatedMachine, PathProfile};
 use crate::engine;
@@ -223,6 +223,93 @@ pub fn select_strategies_classified(
         || select_uncached(module, trace, max_states, threads, &skip),
     );
     ((*cached).clone(), skip.len())
+}
+
+/// Synthetic-trace event budget for estimate-driven planning. Large
+/// enough that per-site shares survive rounding, small enough that the
+/// zero-profiling path stays cheap.
+const SYNTH_EVENT_BUDGET: f64 = 65536.0;
+
+/// Approximates `p` by the small-denominator rational `num/den`
+/// (`den <= max_den`) closest to it, preferring the smallest such
+/// denominator on ties — heuristic biases become short periodic
+/// patterns instead of long irregular streams.
+fn approx_rational(p: f64, max_den: u64) -> (u64, u64) {
+    let mut best = (1u64, 2u64);
+    let mut best_err = f64::INFINITY;
+    for den in 1..=max_den {
+        let num = (p * den as f64).round().clamp(0.0, den as f64) as u64;
+        let err = (p - num as f64 / den as f64).abs();
+        if err + 1e-12 < best_err {
+            best_err = err;
+            best = (num, den);
+        }
+    }
+    best
+}
+
+/// Synthesizes the expected profiling trace from a [`StaticProfile`] —
+/// the zero-profiling planning input.
+///
+/// Each estimated site gets a contiguous stream whose length is its
+/// share of a fixed event budget (proportional to estimated frequency)
+/// rounded to **whole periods** of its bias rational: an exact
+/// `num/den` site emits `num` takens then `den - num` not-takens per
+/// period — the observable pattern of a counted loop — so the
+/// synthetic trace satisfies every promoted proof *exactly* and the
+/// BR013/BR014 gates accept it for the same reason they accept an
+/// honest measured trace. Heuristic biases are first approximated by
+/// the closest rational with denominator at most 8.
+///
+/// Sites in unconverged functions carry zero estimated frequency and
+/// are omitted — fail-closed estimation also fails closed here.
+pub fn synthesize_profile_trace(profile: &StaticProfile) -> Trace {
+    let mut trace = Trace::new();
+    let total: f64 = profile.sites.iter().map(|s| s.freq.max(0.0)).sum();
+    if total <= 0.0 {
+        return trace;
+    }
+    for s in &profile.sites {
+        if s.freq <= 0.0 {
+            continue;
+        }
+        let share = ((s.freq / total) * SYNTH_EVENT_BUDGET).round() as u64;
+        let (num, den) = match s.bias {
+            BiasEstimate::Exact { num, den } => (num, den.max(1)),
+            BiasEstimate::Heuristic(p) => approx_rational(p, 8),
+        };
+        let periods = (share / den).max(1);
+        for _ in 0..periods {
+            for k in 0..den {
+                trace.push(TraceEvent {
+                    site: s.site,
+                    taken: k < num,
+                });
+            }
+        }
+    }
+    trace
+}
+
+/// Estimate-driven strategy selection: plans replication with **zero**
+/// profiling runs by selecting over the synthetic trace of
+/// [`synthesize_profile_trace`]. Returns the selection, the synthetic
+/// trace (the downstream `apply_plan`/gate stack consumes its stats)
+/// and the classified fast-path skip count.
+///
+/// # Panics
+///
+/// Panics unless `2 <= max_states <= 10`.
+pub fn select_strategies_estimated(
+    module: &Module,
+    profile: &StaticProfile,
+    classification: Option<&Classification>,
+    max_states: usize,
+) -> (Selection, Trace, usize) {
+    let trace = synthesize_profile_trace(profile);
+    let (selection, skips) =
+        select_strategies_classified(module, &trace, max_states, classification);
+    (selection, trace, skips)
 }
 
 /// The fast-path candidates: executed sites proved monostatic whose
@@ -820,6 +907,84 @@ mod tests {
         let (no_cls, no_skips) = select_strategies_classified(&m, &t, 4, None);
         assert_eq!(no_cls, plain);
         assert_eq!(no_skips, 0);
+    }
+
+    /// The synthetic trace of a counted loop satisfies every promoted
+    /// proof exactly, and estimate-driven selection plans from it with
+    /// zero simulator runs.
+    #[test]
+    fn synthetic_trace_satisfies_exact_rationals() {
+        let mut b = FunctionBuilder::new("main", 0);
+        let i = b.reg();
+        b.const_int(i, 0);
+        let head = b.new_block();
+        let body = b.new_block();
+        let g_t = b.new_block();
+        let latch = b.new_block();
+        let exit = b.new_block();
+        b.jmp(head);
+        b.switch_to(head);
+        let c = b.lt(i.into(), Operand::imm(50));
+        b.br(c, body, exit); // site 0: exact 50/51
+        b.switch_to(body);
+        let one = b.reg();
+        b.const_int(one, 1);
+        let g = b.gt(one.into(), Operand::imm(0));
+        b.br(g, g_t, latch); // site 1: proved always-taken
+        b.switch_to(g_t);
+        b.jmp(latch);
+        b.switch_to(latch);
+        b.add(i, i.into(), Operand::imm(1));
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut m = Module::new();
+        m.push_function(b.finish());
+        m.renumber_branches();
+
+        let cls = brepl_analysis::classify_module(&m);
+        let profile = brepl_analysis::estimate_profile(&m, &cls);
+        assert!(profile.converged());
+
+        let t = synthesize_profile_trace(&profile);
+        assert!(!t.is_empty());
+        let stats = t.stats();
+        // Every exact estimate is reproduced as an exact rational.
+        for s in &profile.sites {
+            if let brepl_analysis::BiasEstimate::Exact { num, den } = s.bias {
+                let counts = stats.site(s.site);
+                assert!(counts.total() > 0);
+                assert_eq!(
+                    u128::from(counts.taken) * u128::from(den),
+                    u128::from(counts.total()) * u128::from(num),
+                    "site {:?} synthetic stream violates {num}/{den}",
+                    s.site
+                );
+            }
+        }
+
+        // Estimate-driven selection runs end to end on the synthetic
+        // trace and its plan applies to the module.
+        let (sel, trace, skips) = select_strategies_estimated(&m, &profile, Some(&cls), 4);
+        assert_eq!(sel.total_events(), trace.len() as u64);
+        assert!(skips >= 1, "the proved guard takes the fast path");
+        let program = crate::replicate::apply_plan(&m, &sel.to_plan(), &trace.stats()).unwrap();
+        assert!(program.module.branch_count() >= m.branch_count());
+    }
+
+    #[test]
+    fn rational_approximation_is_close_and_small() {
+        for &(p, want) in &[
+            (0.5, (1, 2)),
+            (0.88, (7, 8)),
+            (0.62, (5, 8)),
+            (0.99, (1, 1)),
+            (0.01, (0, 1)),
+        ] {
+            let got = approx_rational(p, 8);
+            assert_eq!(got, want, "p = {p}");
+            assert!((p - got.0 as f64 / got.1 as f64).abs() <= 0.07);
+        }
     }
 
     #[test]

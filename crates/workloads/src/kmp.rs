@@ -1,0 +1,199 @@
+//! `kmp` — Morris–Pratt string matching over a seeded random binary
+//! text, with **closed-form** expected branch rates.
+//!
+//! The matcher scans for the pattern `ab` over the alphabet `{a, b}`
+//! (encoded 0/1) with the Morris–Pratt automaton. For this pattern the
+//! automaton state is exactly "the previous symbol was `a`", so under
+//! an i.i.d. uniform text every data branch has an analytically exact
+//! rate — the workload validates the simulator and the static estimator
+//! against real math instead of self-referential differential tests
+//! (Nicaud et al.'s KMP misprediction analysis is the model; this is
+//! its smallest rigorous instance):
+//!
+//! | site | branch                      | expected taken rate |
+//! |------|-----------------------------|---------------------|
+//! | 0    | scan loop `i < n`           | exactly `n/(n+1)`   |
+//! | 1    | `state == 1`                | `(n-1)/(2n)` → ½    |
+//! | 2    | at state 1: `c == b`        | ½                   |
+//! | 3    | at state 0: `c == a`        | ½                   |
+//!
+//! Expected matches: `(n-1)/4`. Expected per-site-majority (profile)
+//! misprediction rate: `(n+1)/(3n+1)` → **1/3** — the i.i.d. floor no
+//! replication can beat, which is precisely the hard-branch end of the
+//! taxonomy the estimate drift gate (`BR019`) is built to chart.
+//!
+//! Site 0 is a constant-trip counted loop, so the classify layer proves
+//! its bias exactly and the static profile estimator must reproduce
+//! `n/(n+1)` as an exact rational; sites 1–3 are input-dependent and
+//! get heuristic estimates only. `tests/pipeline_workloads.rs` asserts
+//! both halves against the closed forms.
+
+use brepl_ir::{FunctionBuilder, Module, Operand, Value};
+
+use crate::util::XorShift;
+use crate::{Scale, Workload};
+
+/// Text length per scale.
+pub fn symbols(scale: Scale) -> i64 {
+    match scale {
+        Scale::Small => 20_000,
+        Scale::Full => 400_000,
+    }
+}
+
+/// Builds the kmp workload with an alternate input dataset.
+pub fn build_seeded(scale: Scale, seed: u64) -> Workload {
+    let n = symbols(scale);
+    let mut module = Module::new();
+    module.push_function(build_main(n));
+    module.renumber_branches();
+    module.verify().expect("kmp module must verify");
+    Workload {
+        name: "kmp",
+        description: "Morris-Pratt search for \"ab\" over random binary text (closed-form rates)",
+        module,
+        args: vec![],
+        input: generate_text(n as usize, seed),
+    }
+}
+
+fn build_main(n: i64) -> brepl_ir::Function {
+    let mut b = FunctionBuilder::new("main", 0);
+    let i = b.reg();
+    let state = b.reg();
+    let matches = b.reg();
+    let checksum = b.reg();
+    let c = b.reg();
+
+    let head = b.new_block();
+    let body = b.new_block();
+    let at1 = b.new_block();
+    let at1_match = b.new_block();
+    let at1_stay = b.new_block();
+    let at0 = b.new_block();
+    let at0_adv = b.new_block();
+    let at0_stay = b.new_block();
+    let latch = b.new_block();
+    let exit = b.new_block();
+
+    b.const_int(i, 0);
+    b.const_int(state, 0);
+    b.const_int(matches, 0);
+    b.const_int(checksum, 7);
+    b.jmp(head);
+
+    // Site 0: the scan loop — constant trip count, provable exactly.
+    b.switch_to(head);
+    let more = b.lt(i.into(), Operand::imm(n));
+    b.br(more, body, exit);
+
+    // Site 1: automaton state dispatch (state == 1 ⇔ previous symbol
+    // was 'a').
+    b.switch_to(body);
+    let nxt = b.input();
+    b.copy(c, nxt.into());
+    let in1 = b.eq(state.into(), Operand::imm(1));
+    b.br(in1, at1, at0);
+
+    // Site 2: at state 1 the automaton expects pattern[1] = 'b' (1).
+    b.switch_to(at1);
+    let hit = b.eq(c.into(), Operand::imm(1));
+    b.br(hit, at1_match, at1_stay);
+
+    b.switch_to(at1_match);
+    b.add(matches, matches.into(), Operand::imm(1));
+    b.const_int(state, 0);
+    b.jmp(latch);
+
+    // Mismatch at state 1 means c = 'a' — the Morris–Pratt failure
+    // link falls to state 0 and immediately re-advances on 'a'.
+    b.switch_to(at1_stay);
+    b.const_int(state, 1);
+    b.jmp(latch);
+
+    // Site 3: at state 0 the automaton expects pattern[0] = 'a' (0).
+    b.switch_to(at0);
+    let adv = b.eq(c.into(), Operand::imm(0));
+    b.br(adv, at0_adv, at0_stay);
+
+    b.switch_to(at0_adv);
+    b.const_int(state, 1);
+    b.jmp(latch);
+
+    b.switch_to(at0_stay);
+    b.const_int(state, 0);
+    b.jmp(latch);
+
+    b.switch_to(latch);
+    b.mul(checksum, checksum.into(), Operand::imm(31));
+    b.add(checksum, checksum.into(), c.into());
+    b.bin(
+        brepl_ir::BinOp::And,
+        checksum,
+        checksum.into(),
+        Operand::imm((1 << 40) - 1),
+    );
+    b.add(i, i.into(), Operand::imm(1));
+    b.jmp(head);
+
+    b.switch_to(exit);
+    b.out(matches.into());
+    b.out(checksum.into());
+    b.ret(Some(matches.into()));
+
+    b.finish()
+}
+
+/// Uniform i.i.d. binary text ('a' = 0, 'b' = 1).
+fn generate_text(n: usize, seed: u64) -> Vec<Value> {
+    let mut rng = XorShift::new(0xAB5EED ^ seed.wrapping_mul(0x9E3779B97F4A7C15));
+    (0..n).map(|_| Value::Int(rng.below(2) as i64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brepl_ir::BranchId;
+
+    #[test]
+    fn matches_and_rates_track_the_closed_forms() {
+        let w = build_seeded(Scale::Small, 0);
+        let n = symbols(Scale::Small) as f64;
+        let (outcome, output) = w.run_with_output().unwrap();
+        let matches = output[0].as_int().unwrap() as f64;
+        // E[matches] = (n-1)/4 for uniform binary text.
+        assert!(
+            (matches / n - 0.25).abs() < 0.02,
+            "matches/n = {}",
+            matches / n
+        );
+
+        let stats = outcome.trace.stats();
+        // Site 0: the counted loop is deterministic — exact, not approximate.
+        let s0 = stats.site(BranchId(0));
+        assert_eq!(s0.taken, n as u64);
+        assert_eq!(s0.not_taken, 1);
+        // Sites 1–3: taken rate ½ within sampling tolerance.
+        for k in 1..=3u32 {
+            let s = stats.site(BranchId(k));
+            assert!(s.total() > 1_000, "site {k} executed {}", s.total());
+            let rate = s.taken as f64 / s.total() as f64;
+            assert!((rate - 0.5).abs() < 0.02, "site {k} rate {rate}");
+        }
+        // Per-site-majority misprediction tends to 1/3 of all events.
+        let pct = stats.profile_misprediction_percent();
+        assert!(
+            (pct / 100.0 - 1.0 / 3.0).abs() < 0.02,
+            "profile misprediction {pct}%"
+        );
+    }
+
+    #[test]
+    fn seeds_change_the_text_not_the_shape() {
+        let a = build_seeded(Scale::Small, 0);
+        let b = build_seeded(Scale::Small, 1);
+        assert_eq!(a.input.len(), b.input.len());
+        assert_ne!(a.input, b.input);
+        assert_eq!(a.module.fingerprint(), b.module.fingerprint());
+    }
+}

@@ -21,6 +21,12 @@
 //! | `scheduler` | compiler back end | list scheduler over dependence DAGs |
 //! | `doduc` | numeric (FP) | Jacobi relaxation + particle stepping kernels |
 //!
+//! Beyond the paper's eight, [`workload_by_name`] also serves `kmp` — a
+//! Morris–Pratt matcher over random binary text whose branch rates have
+//! closed forms, used to validate the static profile estimator against
+//! real math. It is deliberately excluded from [`all_workloads`] so the
+//! Table 1 reproduction stays exactly the paper's suite.
+//!
 //! ```
 //! use brepl_workloads::{all_workloads, Scale};
 //! let suite = all_workloads(Scale::Small);
@@ -38,6 +44,7 @@ mod c_compiler;
 mod compress;
 mod doduc;
 mod ghostview;
+mod kmp;
 mod predict_tool;
 mod prolog;
 mod scheduler;
@@ -135,6 +142,7 @@ pub fn workload_with_seed(name: &str, scale: Scale, seed: u64) -> Option<Workloa
         "c-compiler" => c_compiler::build_seeded(scale, seed),
         "compress" => compress::build_seeded(scale, seed),
         "ghostview" => ghostview::build_seeded(scale, seed),
+        "kmp" => kmp::build_seeded(scale, seed),
         "predict" => predict_tool::build_seeded(scale, seed),
         "prolog" => prolog::build_seeded(scale, seed),
         "scheduler" => scheduler::build_seeded(scale, seed),

@@ -14,13 +14,13 @@ use std::error::Error;
 use std::fmt;
 
 use brepl_analysis::{
-    check_history, classification_diags, classify_module, prediction_proof_diags,
-    validate_replication, AnalysisDiag, DiagCode, LintConfig,
+    check_history, classification_diags, classify_module, estimate_profile, prediction_proof_diags,
+    static_profile_diags, validate_replication, AnalysisDiag, DiagCode, LintConfig,
 };
 use brepl_core::replicate::ReplicateError;
 use brepl_core::{
-    apply_plan, check_equivalence_outcomes, select_strategies_classified, BranchMachine,
-    ReplicatedProgram, Selection,
+    apply_plan, check_equivalence_outcomes, select_strategies_classified, synthesize_profile_trace,
+    BranchMachine, ReplicatedProgram, Selection,
 };
 use brepl_ir::{BranchId, Module, Value};
 use brepl_predict::{evaluate_static, StaticPrediction};
@@ -98,6 +98,19 @@ pub struct PipelineConfig {
     /// is disjoint from both the replica-map witness (`validate`) and
     /// the machine transition tables (`check_history`).
     pub classify: bool,
+    /// When true (default), estimate a [`brepl_analysis::StaticProfile`]
+    /// for the original module — heuristic branch probabilities plus
+    /// Wu–Larus frequency propagation, with the classify layer's proofs
+    /// promoted to exact rationals — and run the **estimate-vs-measured
+    /// drift gate** against the profiling trace: a measured taken-count
+    /// contradicting an exact estimate (`BR019`), positive estimated
+    /// mass at a proved-unreachable site (`BR020`), a flow-conservation
+    /// violation inside the stored profile (`BR021`) or a blown
+    /// propagation fixpoint (`BR022`). `BR019`/`BR020` quarantine the
+    /// named site alone; `BR021`/`BR022` condemn the whole estimate and
+    /// ship the baseline. Requires [`Self::classify`] (the estimator
+    /// consumes its proofs); no-op without it.
+    pub estimate: bool,
     /// When true, any gate failure aborts with a typed [`PipelineError`]
     /// — today's pre-quarantine behavior, for CI runs where a firing gate
     /// means a replicator bug to investigate, not a site to ship without.
@@ -124,6 +137,7 @@ impl Default for PipelineConfig {
             max_realized_growth: None,
             refine: true,
             classify: true,
+            estimate: true,
             strict: false,
             #[cfg(feature = "chaos")]
             chaos: None,
@@ -195,6 +209,9 @@ pub enum QuarantineGate {
     /// The static direction classification contradicted the profile
     /// ([`PipelineConfig::classify`]; codes `BR013`–`BR017`).
     Classify,
+    /// The estimate-vs-measured drift gate fired
+    /// ([`PipelineConfig::estimate`]; codes `BR019`–`BR022`).
+    Estimate,
 }
 
 impl QuarantineGate {
@@ -207,6 +224,7 @@ impl QuarantineGate {
             QuarantineGate::Profile => "profile",
             QuarantineGate::SizeBudget => "size-budget",
             QuarantineGate::Classify => "classify",
+            QuarantineGate::Estimate => "estimate",
         }
     }
 
@@ -215,8 +233,10 @@ impl QuarantineGate {
         match self {
             QuarantineGate::History => PipelineError::History(rendered),
             // A profile contradicting a static proof means the trace
-            // itself cannot be trusted, like a failed integrity check.
-            QuarantineGate::Classify => PipelineError::Trace(rendered),
+            // itself cannot be trusted, like a failed integrity check —
+            // and an estimate contradicting the measured trace means one
+            // of the two is lying, same verdict.
+            QuarantineGate::Classify | QuarantineGate::Estimate => PipelineError::Trace(rendered),
             _ => PipelineError::Validation(rendered),
         }
     }
@@ -279,6 +299,19 @@ pub struct ClassificationSummary {
     pub converged: bool,
 }
 
+/// Summary of the static profile estimation stage
+/// ([`PipelineConfig::estimate`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EstimateSummary {
+    /// Sites whose bias estimate is proof-backed exact.
+    pub exact_sites: usize,
+    /// Sites carrying heuristic-only estimates.
+    pub heuristic_sites: usize,
+    /// Whether every function's frequency propagation converged
+    /// (`false` ⇒ a `BR022` fired for each unconverged function).
+    pub converged: bool,
+}
+
 /// Everything the pipeline produced.
 #[derive(Debug)]
 pub struct PipelineResult {
@@ -317,6 +350,13 @@ pub struct PipelineResult {
     /// Summary of the static direction classification, or `None` when
     /// [`PipelineConfig::classify`] is off.
     pub classification: Option<ClassificationSummary>,
+    /// Summary of the static profile estimation, or `None` when
+    /// [`PipelineConfig::estimate`] (or [`PipelineConfig::classify`])
+    /// is off.
+    pub estimate: Option<EstimateSummary>,
+    /// True when the pipeline was planned from a synthesized static
+    /// profile ([`run_pipeline_static`]) instead of a profiling run.
+    pub static_planned: bool,
     /// The fault the armed chaos engine injected, if it fired
     /// (feature `chaos`; see [`PipelineConfig::chaos`]).
     #[cfg(feature = "chaos")]
@@ -384,6 +424,17 @@ pub fn run_pipeline_profiled(
         None
     };
 
+    // 1c. Static profile estimation, also on the *original* module:
+    // the classify layer's proofs promoted to exact rationals plus
+    // Ball–Larus heuristics, propagated Wu–Larus-style into per-site
+    // expected frequencies. Judged against the measured trace by the
+    // drift gate below (2c).
+    #[allow(unused_mut)]
+    let mut static_profile = match &classification {
+        Some(cls) if config.estimate => Some(estimate_profile(module, cls)),
+        _ => None,
+    };
+
     // 2. Select per-branch machines — proved-monostatic sites with a
     // unanimous profile skip the machine search, with a bit-identical
     // result (`BREPL_NO_CLASSIFY` disables only this skip) — then apply
@@ -438,6 +489,14 @@ pub fn run_pipeline_profiled(
                 gate_stats_override = Some(forged.stats());
             }
         }
+        // ForgeStaticProfile also fires before victim pinning: it
+        // perturbs one exact estimate in the profile the drift gate
+        // judges (pinning that site as the victim), leaving the trace,
+        // module, witness and machine tables honest — BR019 must catch
+        // it while BR001–BR018 stay blind.
+        if let Some(profile) = &mut static_profile {
+            eng.forge_static_profile(profile, &stats);
+        }
         let candidates: Vec<BranchId> = enabled.iter().copied().collect();
         eng.pin_victim(&candidates);
         // TruncateTrace fires here, against the profiling trace.
@@ -472,6 +531,7 @@ pub fn run_pipeline_profiled(
     // under strict). BR018 constant-condition notes pass through as
     // warnings.
     let mut classify_warnings: Vec<AnalysisDiag> = Vec::new();
+    let mut classify_gate_fired = false;
     if let Some(cls) = &classification {
         let diags = {
             #[cfg(feature = "chaos")]
@@ -483,6 +543,7 @@ pub fn run_pipeline_profiled(
         let (errors, warns) = config.lint.partition(diags);
         classify_warnings = warns;
         if !errors.is_empty() {
+            classify_gate_fired = true;
             if config.strict {
                 return Err(QuarantineGate::Classify.hard_error(render_joined(&errors, module)));
             }
@@ -527,6 +588,78 @@ pub fn run_pipeline_profiled(
                 });
             }
             enabled.clear();
+        }
+    }
+
+    // 2c. Estimate-vs-measured drift gate: the static profile must be
+    // consistent with the measured trace and its own invariants — no
+    // measured taken-count contradicting an exact proof-promoted
+    // estimate (BR019), no estimated mass at a proved-unreachable site
+    // (BR020), flow conservation intact (BR021), every propagation
+    // fixpoint converged (BR022). BR019/BR020 carry a site and
+    // quarantine it alone — those are exactly the sites whose measured
+    // behavior the static view cannot explain; a siteless violation
+    // (BR021/BR022) condemns the whole estimate, and because the
+    // profile data structure itself is then untrustworthy the pipeline
+    // ships the baseline. Skipped when the classification gate already
+    // fired: the trace is condemned wholesale and the baseline ships —
+    // there is no per-site verdict left to refine.
+    if let (Some(cls), Some(profile), false) =
+        (&classification, &static_profile, classify_gate_fired)
+    {
+        let diags = {
+            #[cfg(feature = "chaos")]
+            let gate_stats = gate_stats_override.as_ref().unwrap_or(&stats);
+            #[cfg(not(feature = "chaos"))]
+            let gate_stats = &stats;
+            static_profile_diags(module, cls, profile, gate_stats)
+        };
+        let (errors, warns) = config.lint.partition(diags);
+        classify_warnings.extend(warns);
+        if !errors.is_empty() {
+            if config.strict {
+                return Err(QuarantineGate::Estimate.hard_error(render_joined(&errors, module)));
+            }
+            let mut by_site: BTreeMap<BranchId, Vec<&AnalysisDiag>> = BTreeMap::new();
+            let mut siteless: Vec<AnalysisDiag> = Vec::new();
+            for d in &errors {
+                match d.site {
+                    Some(site) => by_site.entry(site).or_default().push(d),
+                    None => siteless.push(d.clone()),
+                }
+            }
+            for (&site, diags) in &by_site {
+                let mut codes: Vec<DiagCode> = diags.iter().map(|d| d.code).collect();
+                codes.sort_unstable();
+                codes.dedup();
+                enabled.remove(&site);
+                quarantined.push(QuarantinedSite {
+                    site,
+                    gate: QuarantineGate::Estimate,
+                    codes,
+                    reason: render_capped(
+                        &diags.iter().map(|&d| d.clone()).collect::<Vec<_>>(),
+                        module,
+                    ),
+                    round: 0,
+                });
+            }
+            if !siteless.is_empty() {
+                let mut codes: Vec<DiagCode> = siteless.iter().map(|d| d.code).collect();
+                codes.sort_unstable();
+                codes.dedup();
+                let reason = render_capped(&siteless, module);
+                for &site in &enabled {
+                    quarantined.push(QuarantinedSite {
+                        site,
+                        gate: QuarantineGate::Estimate,
+                        codes: codes.clone(),
+                        reason: reason.clone(),
+                        round: 0,
+                    });
+                }
+                enabled.clear();
+            }
         }
     }
 
@@ -807,10 +940,70 @@ pub fn run_pipeline_profiled(
                 converged: cls.converged(),
             }
         }),
+        estimate: static_profile.as_ref().map(|p| {
+            let (exact_sites, heuristic_sites) = p.counts();
+            EstimateSummary {
+                exact_sites,
+                heuristic_sites,
+                converged: p.converged(),
+            }
+        }),
+        static_planned: false,
         #[cfg(feature = "chaos")]
         chaos_injection: chaos_engine.and_then(|e| e.into_injection()),
         program,
     })
+}
+
+/// [`run_pipeline`] with **zero profiling runs**: plans replication from
+/// a synthesized static profile instead of a measured trace.
+///
+/// The module is classified, a [`brepl_analysis::StaticProfile`] is
+/// estimated (proof-promoted exact biases plus Ball–Larus heuristics,
+/// Wu–Larus frequency propagation), and the expected trace is
+/// synthesized from it ([`synthesize_profile_trace`]) — whole periods of
+/// each site's bias rational, budget-scaled by estimated frequency. That
+/// synthetic outcome then drives the ordinary profiled pipeline: the
+/// same selection, the same `apply_plan`, and the full `BR001`–`BR018`
+/// gate stack re-prove the shipped program exactly as they would a
+/// profile-planned one. `args`/`input` are used only for the
+/// **after-the-fact measurement** run of the shipped program —
+/// [`PipelineResult::replicated_misprediction_percent`] is real, while
+/// `profile_misprediction_percent` and `trace_events` describe the
+/// synthetic plan input.
+///
+/// Two knobs differ from the profiled path, necessarily: `refine` is off
+/// (refinement compares the re-measure against the synthetic plan, which
+/// would punish honest estimate error, not transfer failure) and the
+/// dynamic backstop is off (there is no profiling run to compare
+/// against). Everything else — including strictness, lint overrides and
+/// the size budgets — applies unchanged.
+///
+/// # Errors
+///
+/// As [`run_pipeline`].
+pub fn run_pipeline_static(
+    module: &Module,
+    args: &[Value],
+    input: &[Value],
+    config: PipelineConfig,
+) -> Result<PipelineResult, PipelineError> {
+    let cls = classify_module(module);
+    let profile = estimate_profile(module, &cls);
+    let trace = synthesize_profile_trace(&profile);
+    let outcome = brepl_sim::Outcome {
+        result: None,
+        trace,
+        steps: 0,
+    };
+    let static_config = PipelineConfig {
+        refine: false,
+        dynamic_backstop: false,
+        ..config
+    };
+    let mut result = run_pipeline_profiled(module, args, input, &outcome, &[], static_config)?;
+    result.static_planned = true;
+    Ok(result)
 }
 
 /// One workload's inputs to [`run_pipeline_suite`]: a module plus the
@@ -1077,6 +1270,66 @@ mod tests {
             !result.replicated_sites.is_empty(),
             "the alternating branch should ship a machine"
         );
+    }
+
+    /// Static planning ships a replicated program with zero profiling
+    /// runs, passes every gate, and still re-measures for real.
+    #[test]
+    fn static_planning_ships_without_profiling() {
+        let m = alternating_module();
+        let r = run_pipeline_static(&m, &[], &[], PipelineConfig::default()).unwrap();
+        assert!(r.static_planned);
+        let est = r.estimate.expect("the estimator ran");
+        assert!(est.converged);
+        assert!(est.exact_sites + est.heuristic_sites >= 2);
+        assert!(r.quarantined.is_empty(), "{:?}", r.quarantined);
+        assert!(r.trace_events > 0, "the synthetic plan input has events");
+        // The after-the-fact measurement is a real simulator run.
+        assert!(r.replicated_misprediction_percent.is_finite());
+        // Strict mode agrees: nothing fires on the honest estimate.
+        let strict = run_pipeline_static(
+            &m,
+            &[],
+            &[],
+            PipelineConfig {
+                strict: true,
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(strict.replicated_sites, r.replicated_sites);
+    }
+
+    /// The always-on estimator summarizes itself on profiled runs and
+    /// the drift gate stays silent on honest traces.
+    #[test]
+    fn estimator_is_always_on_and_silent_when_honest() {
+        let m = alternating_module();
+        let r = run_pipeline(&m, &[], &[], PipelineConfig::default()).unwrap();
+        let est = r.estimate.expect("estimate defaults on");
+        assert!(est.converged);
+        assert!(est.exact_sites + est.heuristic_sites >= 2);
+        assert!(!r.static_planned);
+        assert!(
+            !r.quarantined
+                .iter()
+                .any(|q| q.gate == QuarantineGate::Estimate),
+            "honest trace must not drift: {:?}",
+            r.quarantined
+        );
+
+        let off = run_pipeline(
+            &m,
+            &[],
+            &[],
+            PipelineConfig {
+                estimate: false,
+                ..PipelineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(off.estimate.is_none());
+        assert_eq!(off.replicated_sites, r.replicated_sites);
     }
 
     #[test]

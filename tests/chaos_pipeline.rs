@@ -240,6 +240,125 @@ fn forged_profile_fires_br013_while_other_gates_stay_blind() {
     }
 }
 
+/// The static-profile forge proper (not its truncation fallback): the
+/// chaos engine overwrites one proof-promoted exact estimate with a
+/// rational that contradicts the measured counts, leaving the trace,
+/// module, witness and machine tables all honest. Only the
+/// estimate-vs-measured drift gate sees the profile, so `BR019` must
+/// catch the forgery at the victim — and `BR001`–`BR018` must all stay
+/// blind, proving the drift gate adds real detection surface instead of
+/// re-flagging what the older gates already catch.
+#[test]
+fn forged_static_profile_fires_br019_while_br001_to_br018_stay_blind() {
+    use brepl_analysis::DiagCode;
+    use brepl_ir::{FunctionBuilder, Module, Operand};
+
+    // Same shape as the BR013 forge test: an alternating machine-worthy
+    // branch (site 0), a proved-always-taken guard (site 1, the exact
+    // estimate the forge can contradict), and a loop back edge (site 2).
+    let mut b = FunctionBuilder::new("main", 0);
+    let i = b.reg();
+    let acc = b.reg();
+    b.const_int(i, 0);
+    b.const_int(acc, 0);
+    let head = b.new_block();
+    let even = b.new_block();
+    let odd = b.new_block();
+    let guard_t = b.new_block();
+    let latch = b.new_block();
+    let exit = b.new_block();
+    b.jmp(head);
+    b.switch_to(head);
+    let r = b.reg();
+    b.rem(r, i.into(), Operand::imm(2));
+    let c = b.eq(r.into(), Operand::imm(0));
+    b.br(c, even, odd);
+    b.switch_to(even);
+    b.add(acc, acc.into(), Operand::imm(3));
+    b.jmp(latch);
+    b.switch_to(odd);
+    b.add(acc, acc.into(), Operand::imm(5));
+    b.jmp(latch);
+    b.switch_to(latch);
+    let one = b.reg();
+    b.const_int(one, 1);
+    let g = b.gt(one.into(), Operand::imm(0));
+    b.br(g, guard_t, exit);
+    b.switch_to(guard_t);
+    b.add(i, i.into(), Operand::imm(1));
+    let c2 = b.lt(i.into(), Operand::imm(200));
+    b.br(c2, head, exit);
+    b.switch_to(exit);
+    b.out(acc.into());
+    b.ret(Some(acc.into()));
+    let mut m = Module::new();
+    m.push_function(b.finish());
+    m.renumber_branches();
+
+    let chaos = Some(ChaosConfig {
+        seed: 0,
+        point: ChaosPoint::ForgeStaticProfile,
+    });
+    let result = run_pipeline(
+        &m,
+        &[],
+        &[],
+        PipelineConfig {
+            chaos,
+            ..PipelineConfig::default()
+        },
+    )
+    .unwrap();
+    let inj = result.chaos_injection.as_ref().expect("forge must fire");
+    assert!(
+        inj.description.contains("overwrote site"),
+        "expected the estimate forge proper, got the fallback: {}",
+        inj.description
+    );
+    // BR019 at the forged victim, attributed by the drift gate alone…
+    let q = result
+        .quarantined
+        .iter()
+        .find(|q| q.site == inj.victim)
+        .expect("forged victim must be quarantined");
+    assert_eq!(q.gate.name(), "estimate");
+    assert_eq!(
+        q.codes,
+        vec![DiagCode::EstimateDriftConflict],
+        "BR019 and only BR019 condemns the victim"
+    );
+    // …and nothing else fired: the trace, witness and machine tables
+    // were honest, so BR001–BR018 saw a clean program.
+    assert!(
+        result
+            .quarantined
+            .iter()
+            .all(|q| q.gate.name() == "estimate"),
+        "other gates fired: {:?}",
+        result.quarantined
+    );
+    // Per-site quarantine: the honest alternating machine still ships.
+    assert!(
+        !result.replicated_sites.contains(&inj.victim),
+        "forged victim shipped"
+    );
+
+    // Strict mode: the same forgery is a hard trace error naming BR019.
+    match run_pipeline(
+        &m,
+        &[],
+        &[],
+        PipelineConfig {
+            strict: true,
+            chaos,
+            ..PipelineConfig::default()
+        },
+    ) {
+        Err(PipelineError::Trace(msg)) => assert!(msg.contains("BR019"), "{msg}"),
+        other => panic!("strict estimate forge must be a trace error, got {other:?}"),
+    }
+}
+
 /// S3: quarantine is deterministic across thread counts — serial and
 /// parallel runs of a chaos-faulted pipeline produce the identical
 /// quarantined set and bit-identical shipped program.

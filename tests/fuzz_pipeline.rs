@@ -203,6 +203,101 @@ fn fuzz_classification_is_sound() {
     }
 }
 
+/// Estimator totality oracle: the static profile estimator must be a
+/// *total* function of the module — never panic, never emit a NaN,
+/// infinite or negative frequency, always satisfy its own
+/// flow-conservation invariant — and its drift gate must be provably
+/// silent on honest data: running the module and handing the estimator's
+/// own output plus the real trace to [`brepl_analysis::static_profile_diags`]
+/// must fire no `BR019`/`BR020`/`BR021`. (`BR022` fail-closed reports
+/// are legitimate on pathological flow, so the oracle tolerates them —
+/// fail-closed is the contract, not a bug.)
+fn estimate_case(seed: u64, diamonds: usize, trip: i64) -> Result<(), String> {
+    use brepl_analysis::DiagCode;
+    let outcome = std::panic::catch_unwind(|| {
+        let m = random_loop_module(seed, diamonds, trip);
+        let cls = brepl_analysis::classify_module(&m);
+        let profile = brepl_analysis::estimate_profile(&m, &cls);
+        for s in &profile.sites {
+            if !s.freq.is_finite() || s.freq < 0.0 {
+                return Err(format!("site {} has bogus frequency {}", s.site, s.freq));
+            }
+            let p = s.bias.prob();
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!(
+                    "site {} bias probability {p} outside [0,1]",
+                    s.site
+                ));
+            }
+        }
+        for (f, fp) in profile.funcs.iter().enumerate() {
+            for freqs in [&fp.bfreq, &fp.prob] {
+                if let Some(bad) = freqs.iter().find(|v| !v.is_finite() || **v < 0.0) {
+                    return Err(format!("function {f} carries bogus value {bad}"));
+                }
+            }
+        }
+        let violations = profile.check_conservation(&m);
+        if let Some((f, b, err)) = violations.first() {
+            return Err(format!("conservation violated at {f}/{b} by {err}"));
+        }
+        let run = brepl_sim::Machine::new(&m, brepl_sim::RunConfig::default())
+            .map_err(|e| format!("machine init: {e}"))?
+            .run("main", &[])
+            .map_err(|e| format!("run: {e}"))?;
+        let diags = brepl_analysis::static_profile_diags(&m, &cls, &profile, &run.trace.stats());
+        let false_alarms: Vec<String> = diags
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d.code,
+                    DiagCode::EstimateDriftConflict
+                        | DiagCode::EstimateUnreachableMass
+                        | DiagCode::EstimateConservationViolation
+                )
+            })
+            .map(|d| d.render(&m))
+            .collect();
+        if !false_alarms.is_empty() {
+            return Err(format!(
+                "honest trace fires the drift gate: {}",
+                false_alarms.join("; ")
+            ));
+        }
+        Ok(())
+    });
+    match outcome {
+        Err(payload) => Err(format!("panicked: {}", panic_text(&payload))),
+        Ok(r) => r,
+    }
+}
+
+/// Tier-1 slice of the estimator totality fuzz; the release-mode `fuzz`
+/// bin sweeps thousands of modules through the same oracle.
+#[test]
+fn fuzz_estimator_is_total_and_gate_silent_when_honest() {
+    for seed in 0..150u64 {
+        let diamonds = (seed % 5) as usize;
+        let trip = 10 + (seed % 9) as i64 * 17;
+        if let Err(e) = estimate_case(seed, diamonds, trip) {
+            let (mut d, mut t) = (diamonds, trip);
+            loop {
+                if d > 0 && estimate_case(seed, d - 1, t).is_err() {
+                    d -= 1;
+                } else if t > 1 && estimate_case(seed, d, t / 2).is_err() {
+                    t /= 2;
+                } else {
+                    break;
+                }
+            }
+            panic!(
+                "estimator broken, minimal repro: seed={seed} diamonds={d} trip={t} \
+                 (random_loop_module(seed, diamonds, trip)); original failure: {e}"
+            );
+        }
+    }
+}
+
 /// Codec totality fuzz: random traces round-trip exactly; byte mutations,
 /// truncations and garbage always decode to `Ok` or a typed error — a
 /// panic anywhere fails the test by unwinding.
