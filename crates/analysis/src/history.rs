@@ -43,113 +43,134 @@ pub fn check_history(
 ) -> Vec<AnalysisDiag> {
     let mut diags = Vec::new();
     for (&site, table) in &spec.machines {
-        let solution = match solve_site_product(replicated, provenance, site, table) {
-            Err(reason) => {
-                diags.push(
-                    AnalysisDiag::new(
-                        DiagCode::ProductFixpointFailure,
-                        site_loc(replicated, provenance, site),
-                        format!("site {site}: {reason}"),
-                    )
-                    .with_site(site),
-                );
-                continue;
-            }
-            Ok(None) => {
-                diags.push(
-                    AnalysisDiag::new(
-                        DiagCode::ProductFixpointFailure,
-                        Loc::function(FuncId(0)),
-                        format!(
-                            "site {site} is machine-controlled but no replica branch of it \
-                             exists in the replicated module"
-                        ),
-                    )
-                    .with_site(site),
-                );
-                continue;
-            }
-            Ok(Some(s)) => s,
-        };
+        diags.extend(site_history_diags(
+            replicated,
+            provenance,
+            site,
+            table,
+            predictions,
+        ));
+    }
+    diags
+}
 
-        let mut reached = vec![false; table.len()];
-        for &(bid, new_site) in &solution.branches {
-            let states = solution.states_at(bid);
-            for &q in &states {
-                reached[q] = true;
-            }
-            if states.is_empty() {
-                // Unreachable replica: BR001's territory, nothing to say
-                // about history here.
-                continue;
-            }
-            let pinned = predictions.get(new_site);
-            let loc = Loc::term(solution.func, bid);
-            let offending: Vec<usize> = states
-                .iter()
-                .copied()
-                .filter(|&q| table.states[q].predict != pinned)
-                .collect();
-            if !offending.is_empty() {
-                diags.push(
-                    AnalysisDiag::new(
-                        DiagCode::HistoryPredictionViolation,
-                        loc,
-                        format!(
-                            "replica of site {site} pins {} but is reachable in machine \
-                             state{} {:?} predicting {}",
-                            dir(pinned),
-                            if offending.len() == 1 { "" } else { "s" },
-                            offending,
-                            dir(!pinned),
-                        ),
-                    )
-                    .with_site(site),
-                );
-            }
-            let has_taken = states.iter().any(|&q| table.states[q].predict);
-            let has_not_taken = states.iter().any(|&q| !table.states[q].predict);
-            if has_taken && has_not_taken {
-                diags.push(
-                    AnalysisDiag::new(
-                        DiagCode::HistoryConflict,
-                        loc,
-                        format!(
-                            "replica of site {site} is reachable in states {states:?} whose \
-                             predictions conflict — the region is under-replicated"
-                        ),
-                    )
-                    .with_site(site),
-                );
-            }
-        }
-
-        let missing: Vec<usize> = (0..table.len()).filter(|&q| !reached[q]).collect();
-        if !missing.is_empty() {
-            let loc = solution
-                .branches
-                .first()
-                .map(|&(bid, _)| Loc::term(solution.func, bid))
-                .unwrap_or(Loc::function(solution.func));
+/// The per-site slice of [`check_history`]: the product solve and every
+/// diagnostic judgement for one machine-controlled site. The loop above
+/// and the pipeline's incremental gate cache both call this.
+pub(crate) fn site_history_diags(
+    replicated: &Module,
+    provenance: &[BranchId],
+    site: BranchId,
+    table: &crate::product::MachineTable,
+    predictions: &StaticPrediction,
+) -> Vec<AnalysisDiag> {
+    let mut diags = Vec::new();
+    let solution = match solve_site_product(replicated, provenance, site, table) {
+        Err(reason) => {
             diags.push(
                 AnalysisDiag::new(
-                    DiagCode::UnreachableMachineState,
+                    DiagCode::ProductFixpointFailure,
+                    site_loc(replicated, provenance, site),
+                    format!("site {site}: {reason}"),
+                )
+                .with_site(site),
+            );
+            return diags;
+        }
+        Ok(None) => {
+            diags.push(
+                AnalysisDiag::new(
+                    DiagCode::ProductFixpointFailure,
+                    Loc::function(FuncId(0)),
+                    format!(
+                        "site {site} is machine-controlled but no replica branch of it \
+                         exists in the replicated module"
+                    ),
+                )
+                .with_site(site),
+            );
+            return diags;
+        }
+        Ok(Some(s)) => s,
+    };
+
+    let mut reached = vec![false; table.len()];
+    for &(bid, new_site) in &solution.branches {
+        let states = solution.states_at(bid);
+        for &q in &states {
+            reached[q] = true;
+        }
+        if states.is_empty() {
+            // Unreachable replica: BR001's territory, nothing to say
+            // about history here.
+            continue;
+        }
+        let pinned = predictions.get(new_site);
+        let loc = Loc::term(solution.func, bid);
+        let offending: Vec<usize> = states
+            .iter()
+            .copied()
+            .filter(|&q| table.states[q].predict != pinned)
+            .collect();
+        if !offending.is_empty() {
+            diags.push(
+                AnalysisDiag::new(
+                    DiagCode::HistoryPredictionViolation,
                     loc,
                     format!(
-                        "machine state{} {missing:?} of site {site} reach{} no replica \
-                         branch — replicated code for {} wasted",
-                        if missing.len() == 1 { "" } else { "s" },
-                        if missing.len() == 1 { "es" } else { "" },
-                        if missing.len() == 1 {
-                            "it is"
-                        } else {
-                            "them is"
-                        },
+                        "replica of site {site} pins {} but is reachable in machine \
+                         state{} {:?} predicting {}",
+                        dir(pinned),
+                        if offending.len() == 1 { "" } else { "s" },
+                        offending,
+                        dir(!pinned),
                     ),
                 )
                 .with_site(site),
             );
         }
+        let has_taken = states.iter().any(|&q| table.states[q].predict);
+        let has_not_taken = states.iter().any(|&q| !table.states[q].predict);
+        if has_taken && has_not_taken {
+            diags.push(
+                AnalysisDiag::new(
+                    DiagCode::HistoryConflict,
+                    loc,
+                    format!(
+                        "replica of site {site} is reachable in states {states:?} whose \
+                         predictions conflict — the region is under-replicated"
+                    ),
+                )
+                .with_site(site),
+            );
+        }
+    }
+
+    let missing: Vec<usize> = (0..table.len()).filter(|&q| !reached[q]).collect();
+    if !missing.is_empty() {
+        let loc = solution
+            .branches
+            .first()
+            .map(|&(bid, _)| Loc::term(solution.func, bid))
+            .unwrap_or(Loc::function(solution.func));
+        diags.push(
+            AnalysisDiag::new(
+                DiagCode::UnreachableMachineState,
+                loc,
+                format!(
+                    "machine state{} {missing:?} of site {site} reach{} no replica \
+                     branch — replicated code for {} wasted",
+                    if missing.len() == 1 { "" } else { "s" },
+                    if missing.len() == 1 { "es" } else { "" },
+                    if missing.len() == 1 {
+                        "it is"
+                    } else {
+                        "them is"
+                    },
+                ),
+            )
+            .with_site(site),
+        );
     }
     diags
 }

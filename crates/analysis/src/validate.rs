@@ -69,16 +69,33 @@ pub fn validate_replication(
     for (fid, rfunc) in replicated.iter_functions() {
         let ofunc = original.function(fid);
         let fmap = &map.functions[fid.index()];
-        if let Err(msg) = check_shape(ofunc, rfunc, fmap) {
-            diags.push(AnalysisDiag::new(
-                DiagCode::InvalidReplicaMap,
-                Loc::function(fid),
-                msg,
-            ));
-            continue;
-        }
-        validate_function(fid, ofunc, rfunc, fmap, predictions, &mut diags);
+        diags.extend(validate_one_function(fid, ofunc, rfunc, fmap, predictions));
     }
+    diags
+}
+
+/// The per-function slice of [`validate_replication`]: shape checks plus
+/// the full simulation-relation validation of one function. The module
+/// loop above and the pipeline's incremental gate cache both call this —
+/// a function whose inputs are unchanged since the previous round yields
+/// the same diagnostics, so the cache replays them.
+pub(crate) fn validate_one_function(
+    fid: brepl_ir::FuncId,
+    ofunc: &Function,
+    rfunc: &Function,
+    fmap: &ReplicaFuncMap,
+    predictions: &StaticPrediction,
+) -> Vec<AnalysisDiag> {
+    let mut diags = Vec::new();
+    if let Err(msg) = check_shape(ofunc, rfunc, fmap) {
+        diags.push(AnalysisDiag::new(
+            DiagCode::InvalidReplicaMap,
+            Loc::function(fid),
+            msg,
+        ));
+        return diags;
+    }
+    validate_function(fid, ofunc, rfunc, fmap, predictions, &mut diags);
     diags
 }
 

@@ -40,7 +40,7 @@ fn main() {
     let exit_trace = periodic_trace(9, 50_000);
     let exit_tables = PatternTableSet::build(&exit_trace, HistoryKind::Local, 9);
     let exit_table = exit_tables.site(BranchId(0)).expect("site exists").clone();
-    let outcomes: Vec<bool> = exit_trace.iter().map(|e| e.taken).collect();
+    let outcomes: brepl_trace::PackedStream = exit_trace.iter().map(|e| e.taken).collect();
     bench_time("exit-machine-search-10", || {
         best_exit_machine(10, &exit_table, &outcomes)
     });

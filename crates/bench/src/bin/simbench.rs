@@ -35,6 +35,68 @@ use brepl_bench::json::{self, Json};
 use brepl_predict::{evaluate_static, HistoryKind, PatternTableSet, StaticPrediction};
 use brepl_workloads::{workload_by_name, Scale};
 
+/// Counting global allocator (feature `alloc-stats`): every allocation
+/// bumps two relaxed atomics, so each stage's allocation count can be
+/// reported next to its wall time. Never enabled for the committed
+/// trajectory entries — the counters themselves cost a few percent.
+#[cfg(feature = "alloc-stats")]
+mod alloc_stats {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    // SAFETY: every method delegates directly to `System` with unchanged
+    // arguments; the atomic bookkeeping has no effect on the returned
+    // memory.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: Counting = Counting;
+
+    /// Allocations made by this process so far.
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+/// Allocation counter read; zero when the feature is off so the deltas
+/// stay zero and the columns are suppressed.
+fn allocations() -> u64 {
+    #[cfg(feature = "alloc-stats")]
+    {
+        alloc_stats::allocations()
+    }
+    #[cfg(not(feature = "alloc-stats"))]
+    {
+        0
+    }
+}
+
+const HAVE_ALLOC_STATS: bool = cfg!(feature = "alloc-stats");
+
 /// The stage names, in measurement order. Keep in sync with `measure`.
 const STAGES: [&str; 7] = [
     "build", "profile", "stats", "tables", "eval", "select", "pipeline",
@@ -60,47 +122,52 @@ struct WorkloadSample {
     steps: u64,
     /// Seconds per stage, indexed like [`STAGES`].
     stages: [f64; STAGES.len()],
+    /// Allocations per stage (all zero unless feature `alloc-stats`).
+    allocs: [u64; STAGES.len()],
 }
 
-fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64, u64) {
+    let a0 = allocations();
     let t = Instant::now();
     let r = f();
-    (r, t.elapsed().as_secs_f64())
+    let dt = t.elapsed().as_secs_f64();
+    (r, dt, allocations() - a0)
 }
 
 fn measure(name: &'static str, scale: Scale) -> Result<WorkloadSample, String> {
     let mut stages = [0.0f64; STAGES.len()];
+    let mut allocs = [0u64; STAGES.len()];
 
-    let (w, t_build) = timed(|| workload_by_name(name, scale));
+    let (w, t_build, a_build) = timed(|| workload_by_name(name, scale));
     let w = w.ok_or_else(|| format!("{name}: unknown workload"))?;
-    stages[0] = t_build;
+    (stages[0], allocs[0]) = (t_build, a_build);
 
-    let (profiled, t_profile) = timed(|| w.run_with_output());
+    let (profiled, t_profile, a_profile) = timed(|| w.run_with_output());
     let (outcome, output) = profiled.map_err(|e| format!("{name}: {e}"))?;
-    stages[1] = t_profile;
+    (stages[1], allocs[1]) = (t_profile, a_profile);
 
-    let (stats, t_stats) = timed(|| outcome.trace.stats());
-    stages[2] = t_stats;
+    let (stats, t_stats, a_stats) = timed(|| outcome.trace.stats());
+    (stages[2], allocs[2]) = (t_stats, a_stats);
 
-    let (_tables, t_tables) =
+    let (_tables, t_tables, a_tables) =
         timed(|| PatternTableSet::build(&outcome.trace, HistoryKind::Local, 9));
-    stages[3] = t_tables;
+    (stages[3], allocs[3]) = (t_tables, a_tables);
 
     let mut prediction = StaticPrediction::with_default(true);
     for (site, counts) in stats.iter_executed() {
         prediction.set(site, counts.majority());
     }
-    let (_report, t_eval) = timed(|| evaluate_static(&prediction, &outcome.trace));
-    stages[4] = t_eval;
+    let (_report, t_eval, a_eval) = timed(|| evaluate_static(&prediction, &outcome.trace));
+    (stages[4], allocs[4]) = (t_eval, a_eval);
 
-    let (_selection, t_select) =
+    let (_selection, t_select, a_select) =
         timed(|| brepl_core::select_strategies(&w.module, &outcome.trace, 4));
-    stages[5] = t_select;
+    (stages[5], allocs[5]) = (t_select, a_select);
 
     // The pipeline stage feeds on the profiling run already measured
     // above — deterministic execution makes re-profiling pure waste, and
     // real sweeps share the run the same way.
-    let (result, t_pipeline) = timed(|| {
+    let (result, t_pipeline, a_pipeline) = timed(|| {
         run_pipeline_profiled(
             &w.module,
             &w.args,
@@ -111,13 +178,14 @@ fn measure(name: &'static str, scale: Scale) -> Result<WorkloadSample, String> {
         )
     });
     result.map_err(|e| format!("{name}: pipeline failed: {e}"))?;
-    stages[6] = t_pipeline;
+    (stages[6], allocs[6]) = (t_pipeline, a_pipeline);
 
     Ok(WorkloadSample {
         name,
         events: outcome.trace.len() as u64,
         steps: outcome.steps,
         stages,
+        allocs,
     })
 }
 
@@ -136,12 +204,22 @@ fn entry_json(label: &str, scale: Scale, samples: &[WorkloadSample], suite_secon
             for (i, name) in STAGES.iter().enumerate() {
                 stages = stages.num(name, s.stages[i]);
             }
-            json::Obj::new()
+            let mut obj = json::Obj::new()
                 .str("name", s.name)
                 .int("events", s.events)
                 .int("steps", s.steps)
-                .raw("stages", &stages.build())
-                .build()
+                .raw("stages", &stages.build());
+            // Allocation counts ride along only when measured; the
+            // trajectory schema treats the key as optional, so entries
+            // recorded without the feature stay valid.
+            if HAVE_ALLOC_STATS {
+                let mut allocs = json::Obj::new();
+                for (i, name) in STAGES.iter().enumerate() {
+                    allocs = allocs.int(name, s.allocs[i]);
+                }
+                obj = obj.raw("allocs", &allocs.build());
+            }
+            obj.build()
         })
         .collect();
     json::Obj::new()
@@ -211,7 +289,10 @@ fn main() {
     let mut print_json = false;
     let mut append: Option<String> = None;
     let mut check: Option<String> = None;
+    let mut compare: Option<(String, String)> = None;
+    let mut file = String::from("BENCH_sim.json");
     let mut max_regress = 25.0f64;
+    let mut max_stage_regress = 40.0f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -228,6 +309,16 @@ fn main() {
                 i += 1;
                 check = Some(args.get(i).expect("--check needs a path").clone());
             }
+            "--compare" => {
+                let a = args.get(i + 1).expect("--compare needs two labels").clone();
+                let b = args.get(i + 2).expect("--compare needs two labels").clone();
+                i += 2;
+                compare = Some((a, b));
+            }
+            "--file" => {
+                i += 1;
+                file = args.get(i).expect("--file needs a path").clone();
+            }
             "--max-regress" => {
                 i += 1;
                 max_regress = args
@@ -235,11 +326,19 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--max-regress needs a percentage");
             }
+            "--max-stage-regress" => {
+                i += 1;
+                max_stage_regress = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-stage-regress needs a percentage");
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: simbench [--label NAME] [--json] [--append FILE] \
-                     [--check FILE] [--max-regress PCT]"
+                     [--check FILE] [--max-regress PCT] [--max-stage-regress PCT] \
+                     | simbench --compare LABELA LABELB [--file FILE]"
                 );
                 std::process::exit(2);
             }
@@ -248,6 +347,11 @@ fn main() {
     }
 
     let scale = brepl_bench::scale_from_env();
+
+    if let Some((la, lb)) = compare {
+        compare_entries(&file, scale, &la, &lb);
+        return;
+    }
     let suite_start = Instant::now();
     let samples: Vec<WorkloadSample> = WORKLOADS
         .iter()
@@ -284,6 +388,21 @@ fn main() {
                 print!(" {:>8.1}ms", t * 1e3);
             }
             println!();
+        }
+        if HAVE_ALLOC_STATS {
+            println!();
+            print!("{:<12} {:>10} {:>10}", "allocs", "", "");
+            for s in STAGES {
+                print!(" {s:>9}");
+            }
+            println!();
+            for s in &samples {
+                print!("{:<12} {:>10} {:>10}", s.name, "", "");
+                for a in s.allocs {
+                    print!(" {a:>9}");
+                }
+                println!();
+            }
         }
     }
 
@@ -336,6 +455,33 @@ fn main() {
                     );
                     std::process::exit(1);
                 }
+                // Per-stage gate: a stage can regress badly while the
+                // suite total hides it behind a win elsewhere. Sum each
+                // stage across workloads in both runs and fail on any
+                // stage more than the threshold slower. Stages whose
+                // committed total is tiny are exempt — at sub-10ms scale
+                // scheduler noise swamps any real regression.
+                const STAGE_FLOOR_SECONDS: f64 = 0.010;
+                let mut stage_fail = false;
+                for (si, stage) in STAGES.iter().enumerate() {
+                    let base_total = stage_total(b, stage);
+                    let cur_total: f64 = samples.iter().map(|s| s.stages[si]).sum();
+                    if base_total < STAGE_FLOOR_SECONDS {
+                        continue;
+                    }
+                    let pct = 100.0 * (cur_total / base_total - 1.0);
+                    if pct > max_stage_regress {
+                        eprintln!(
+                            "simbench: FAIL: stage {stage:?} regressed {pct:+.1}% \
+                             ({:.3}s vs committed {:.3}s, threshold {max_stage_regress:.0}%)",
+                            cur_total, base_total
+                        );
+                        stage_fail = true;
+                    }
+                }
+                if stage_fail {
+                    std::process::exit(1);
+                }
             }
         }
     }
@@ -367,6 +513,124 @@ fn main() {
             std::process::exit(2);
         });
         eprintln!("simbench: appended entry {label:?} to {path}");
+    }
+}
+
+/// Sum of one stage's seconds across an entry's workloads.
+fn stage_total(entry: &Json, stage: &str) -> f64 {
+    entry
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .map(|ws| {
+            ws.iter()
+                .filter_map(|w| {
+                    w.get("stages")
+                        .and_then(|s| s.get(stage))
+                        .and_then(Json::as_num)
+                })
+                .sum()
+        })
+        .unwrap_or(0.0)
+}
+
+/// `--compare LABELA LABELB`: pure reporting over the committed
+/// trajectory — no measurement. Picks the *latest* entry with each label
+/// at the current scale and prints per-stage and per-workload deltas.
+fn compare_entries(path: &str, scale: Scale, label_a: &str, label_b: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("simbench: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = json::parse(&text).unwrap_or_else(|(pos, msg)| {
+        eprintln!("simbench: {path}: parse error at byte {pos}: {msg}");
+        std::process::exit(2);
+    });
+    let entries = validate_trajectory(&doc).unwrap_or_else(|msg| {
+        eprintln!("simbench: {path}: invalid trajectory: {msg}");
+        std::process::exit(2);
+    });
+    let find = |label: &str| -> &Json {
+        entries
+            .iter()
+            .rev()
+            .find(|e| {
+                e.get("label").and_then(Json::as_str) == Some(label)
+                    && e.get("scale").and_then(Json::as_str) == Some(scale_name(scale))
+            })
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "simbench: {path}: no {} entry labeled {label:?}",
+                    scale_name(scale)
+                );
+                std::process::exit(2);
+            })
+    };
+    let (a, b) = (find(label_a), find(label_b));
+    let (sa, sb) = (
+        a.get("suite_seconds").and_then(Json::as_num).unwrap(),
+        b.get("suite_seconds").and_then(Json::as_num).unwrap(),
+    );
+    let pct = |from: f64, to: f64| {
+        if from > 0.0 {
+            100.0 * (to / from - 1.0)
+        } else {
+            0.0
+        }
+    };
+    println!(
+        "simbench compare ({}): {label_a:?} -> {label_b:?}",
+        scale_name(scale)
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "stage", label_a, label_b, "delta"
+    );
+    for stage in STAGES {
+        let (ta, tb) = (stage_total(a, stage), stage_total(b, stage));
+        println!(
+            "{stage:<12} {:>10.1}ms {:>10.1}ms {:>+7.1}%",
+            ta * 1e3,
+            tb * 1e3,
+            pct(ta, tb)
+        );
+    }
+    println!(
+        "{:<12} {:>11.3}s {:>11.3}s {:>+7.1}%",
+        "suite",
+        sa,
+        sb,
+        pct(sa, sb)
+    );
+    // Per-workload totals (summed over stages) locate where a delta
+    // lives when the stage view is not enough.
+    let workload_total = |e: &Json, name: &str| -> Option<f64> {
+        e.get("workloads")
+            .and_then(Json::as_arr)?
+            .iter()
+            .find_map(|w| {
+                if w.get("name").and_then(Json::as_str) == Some(name) {
+                    let s = w.get("stages")?;
+                    Some(
+                        STAGES
+                            .iter()
+                            .filter_map(|st| s.get(st).and_then(Json::as_num))
+                            .sum(),
+                    )
+                } else {
+                    None
+                }
+            })
+    };
+    println!();
+    for name in WORKLOADS {
+        if let (Some(ta), Some(tb)) = (workload_total(a, name), workload_total(b, name)) {
+            println!(
+                "{name:<12} {:>10.1}ms {:>10.1}ms {:>+7.1}%",
+                ta * 1e3,
+                tb * 1e3,
+                pct(ta, tb)
+            );
+        }
     }
 }
 

@@ -3,10 +3,9 @@
 
 use brepl_analysis::classify_module;
 use brepl_bench::{print_header, print_row, print_row_counts, profile_suite, scale_from_env};
-use brepl_predict::dynamic::{LastDirection, TwoBitCounters, TwoLevel};
-use brepl_predict::semistatic::{combine_best, correlation_report, loop_report, profile_report};
+use brepl_predict::semistatic::combine_best;
 use brepl_predict::stat::proof_guided::ProofGuided;
-use brepl_predict::{evaluate_static, simulate_dynamic};
+use brepl_predict::{evaluate_static, FusedAnalytics};
 
 fn main() {
     let suite = profile_suite(scale_from_env());
@@ -29,21 +28,22 @@ fn main() {
 
     for p in &suite {
         let t = &p.trace;
-        rows[0]
-            .1
-            .push(simulate_dynamic(&mut LastDirection::new(), t).misprediction_percent());
-        rows[1]
-            .1
-            .push(simulate_dynamic(&mut TwoBitCounters::new(), t).misprediction_percent());
-        rows[2]
-            .1
-            .push(simulate_dynamic(&mut TwoLevel::paper_4k(), t).misprediction_percent());
-        let profile = profile_report(t);
+        // Every trace-derived row comes out of one fused traversal: the
+        // dynamic zoo, the profile closed form, the 1-bit global tables,
+        // and the 9-bit local tables (the 1-bit loop row aggregates from
+        // the latter instead of re-walking the trace).
+        let fused = FusedAnalytics::run(t);
+        rows[0].1.push(fused.last_direction.misprediction_percent());
+        rows[1].1.push(fused.two_bit.misprediction_percent());
+        rows[2].1.push(fused.two_level_4k.misprediction_percent());
+        let profile = &fused.profile;
         rows[3].1.push(profile.misprediction_percent());
-        let corr1 = correlation_report(t, 1);
+        let corr1 = fused.global1.report();
         rows[4].1.push(corr1.misprediction_percent());
-        rows[5].1.push(loop_report(t, 1).misprediction_percent());
-        let loop9 = loop_report(t, 9);
+        rows[5]
+            .1
+            .push(fused.local9.aggregated(1).report().misprediction_percent());
+        let loop9 = fused.local9.report();
         rows[6].1.push(loop9.misprediction_percent());
         let lc = combine_best(&corr1, &loop9);
         rows[7].1.push(lc.misprediction_percent());
@@ -58,8 +58,8 @@ fn main() {
             .push(evaluate_static(pg.prediction(), t).misprediction_percent());
 
         static_branches.push(p.workload.module.branch_count() as u64);
-        executed_branches.push(t.stats().executed_sites() as u64);
-        improved_branches.push(lc.improved_sites_vs(&profile) as u64);
+        executed_branches.push(fused.stats.executed_sites() as u64);
+        improved_branches.push(lc.improved_sites_vs(profile) as u64);
     }
 
     for (label, values) in &rows {

@@ -8,7 +8,7 @@ use std::collections::HashSet;
 use brepl_bench::{print_header, print_row, profile_suite, scale_from_env, ProfiledWorkload};
 use brepl_cfg::{BranchClass, Cfg, ClassifiedBranches, DomTree, LoopForest};
 use brepl_core::intra_loop::IntraLoopSearch;
-use brepl_core::loop_exit::best_exit_machine;
+use brepl_core::loop_exit::exit_machine_menu;
 use brepl_ir::BranchId;
 use brepl_predict::{HistoryKind, PatternTableSet};
 
@@ -63,20 +63,13 @@ fn main() {
     // Outcome streams and tables per site, per program.
     struct Prep {
         tables: PatternTableSet,
-        outcomes: Vec<Vec<bool>>,
+        outcomes: Vec<brepl_trace::PackedStream>,
     }
     let preps: Vec<Prep> = suite
         .iter()
         .map(|p| {
             let tables = PatternTableSet::build(&p.trace, HistoryKind::Local, 9);
-            let mut outcomes: Vec<Vec<bool>> = Vec::new();
-            for ev in p.trace.iter() {
-                let i = ev.site.index();
-                if i >= outcomes.len() {
-                    outcomes.resize_with(i + 1, Vec::new);
-                }
-                outcomes[i].push(ev.taken);
-            }
+            let outcomes = brepl_trace::packed_site_streams(&p.trace, &p.trace.stats());
             Prep { tables, outcomes }
         })
         .collect();
@@ -120,22 +113,26 @@ fn main() {
         .zip(&classified)
         .zip(&preps)
         .map(|((_, c), prep)| {
+            // One shared menu per site: entry n-2 equals the standalone
+            // best_exit_machine(n, ..) result at every budget.
+            let mut totals = [0u64; 11];
+            let mut wrongs = [0u64; 11];
+            for &site in &c.exit {
+                let Some(table) = prep.tables.site(site) else {
+                    continue;
+                };
+                let outs = &prep.outcomes[site.index()];
+                for (r, n) in exit_machine_menu(10, table, outs).into_iter().zip(2..=10) {
+                    totals[n] += r.total;
+                    wrongs[n] += r.total - r.correct;
+                }
+            }
             (2..=10)
                 .map(|n| {
-                    let (mut total, mut wrong) = (0u64, 0u64);
-                    for &site in &c.exit {
-                        let Some(table) = prep.tables.site(site) else {
-                            continue;
-                        };
-                        let outs = &prep.outcomes[site.index()];
-                        let r = best_exit_machine(n, table, outs);
-                        total += r.total;
-                        wrong += r.total - r.correct;
-                    }
-                    if total == 0 {
+                    if totals[n] == 0 {
                         0.0
                     } else {
-                        100.0 * wrong as f64 / total as f64
+                        100.0 * wrongs[n] as f64 / totals[n] as f64
                     }
                 })
                 .collect()

@@ -23,13 +23,18 @@ fn main() {
     }
     let mut preps = Vec::new();
     for p in &suite {
-        let mut blocks: HashMap<BranchId, (brepl_ir::FuncId, brepl_ir::BlockId)> = HashMap::new();
-        for (fid, func) in p.workload.module.iter_functions() {
-            let cfg = Cfg::new(func);
-            let dom = DomTree::new(&cfg);
-            let forest = LoopForest::new(&cfg, &dom);
+        // One CFG per function, built once and shared by the branch
+        // classification and every machine size below — the per-n loop
+        // used to rebuild a CFG per site per size.
+        let module = &p.workload.module;
+        let cfgs: Vec<Cfg> = module.iter_functions().map(|(_, f)| Cfg::new(f)).collect();
+        let mut blocks: Vec<(BranchId, brepl_ir::FuncId, brepl_ir::BlockId)> = Vec::new();
+        for (fid, func) in module.iter_functions() {
+            let cfg = &cfgs[fid.index()];
+            let dom = DomTree::new(cfg);
+            let forest = LoopForest::new(cfg, &dom);
             for info in ClassifiedBranches::analyze(func, &forest).branches() {
-                blocks.insert(info.site, (fid, info.block));
+                blocks.push((info.site, fid, info.block));
             }
         }
 
@@ -42,13 +47,12 @@ fn main() {
         let mut per_n = Vec::new();
         for n in 2..=7usize {
             let mut candidates: HashMap<BranchId, Vec<Vec<brepl_cfg::PathStep>>> = HashMap::new();
-            for (&site, &(fid, bid)) in &blocks {
+            for &(site, fid, bid) in &blocks {
                 if stats.site(site).total() == 0 {
                     continue;
                 }
-                let func = p.workload.module.function(fid);
-                let cfg = Cfg::new(func);
-                let paths = PredecessorPaths::enumerate(func, &cfg, bid, n - 1);
+                let func = module.function(fid);
+                let paths = PredecessorPaths::enumerate(func, &cfgs[fid.index()], bid, n - 1);
                 candidates.insert(site, paths.paths);
             }
             let profiles = profile_paths(&p.trace, &candidates);

@@ -147,30 +147,47 @@ pub fn profile_paths(
         of_site[site.index()] = Some(i);
     }
 
-    // Ring buffer of the `max_len` most recent events: `count` valid
+    // One reversed-path trie per profile: the longest-match scan walks the
+    // recent events newest-first through the trie, and the deepest terminal
+    // seen is the longest matching candidate (candidates are deduplicated,
+    // so two matches cannot share a length). This replaces the per-event
+    // scan over every candidate.
+    let tries: Vec<PathTrie> = profiles
+        .iter()
+        .map(|p| PathTrie::build(&p.candidates))
+        .collect();
+
+    // Ring buffer of the most recent events (packed as
+    // `site << 1 | taken`, the trace's own encoding): `count` valid
     // entries, the next write landing at `next`. Replaces a front-popped
-    // Vec — same logical window, no per-event memmove.
-    let cap = max_len.max(1);
-    let mut ring: Vec<(BranchId, bool)> = vec![(BranchId(0), false); cap];
+    // Vec — same logical window, no per-event memmove. The capacity is
+    // rounded up to a power of two so the wrap is a mask, not a divide;
+    // the trie is at most `max_len` deep, so the walk below can never
+    // observe the extra slots.
+    let cap = max_len.max(1).next_power_of_two();
+    let mask = cap - 1;
+    let mut ring: Vec<u32> = vec![0; cap];
     let mut count = 0usize;
     let mut next = 0usize;
     for &packed in trace.packed() {
         let site = BranchId(packed >> 1);
         let taken = packed & 1 == 1;
-        if let Some(profile) = of_site
-            .get(site.index())
-            .copied()
-            .flatten()
-            .map(|i| &mut profiles[i])
-        {
+        if let Some(i) = of_site.get(site.index()).copied().flatten() {
+            let profile = &mut profiles[i];
+            let trie = &tries[i];
             profile.total += 1;
             let mut best: Option<usize> = None;
-            for (gi, cand) in profile.candidates.iter().enumerate() {
-                if ring_matches(cand, &ring, count, next) {
-                    match best {
-                        Some(b) if profile.candidates[b].len() >= cand.len() => {}
-                        _ => best = Some(gi),
+            let mut node = 0usize;
+            for age in 0..count {
+                let key = ring[(next + cap - 1 - age) & mask];
+                match trie.edges[node].iter().find(|&&(k, _)| k == key) {
+                    Some(&(_, child)) => {
+                        node = child;
+                        if let Some(gi) = trie.terminal[node] {
+                            best = Some(gi);
+                        }
                     }
+                    None => break,
                 }
             }
             let bucket = match best {
@@ -184,30 +201,48 @@ pub fn profile_paths(
             }
         }
         if max_len > 0 {
-            ring[next] = (site, taken);
-            next = (next + 1) % cap;
+            ring[next] = packed;
+            next = (next + 1) & mask;
             count = (count + 1).min(cap);
         }
     }
     sites.into_iter().zip(profiles).collect()
 }
 
-/// [`path_matches`] against the ring buffer of recent events: `ring` holds
-/// `count` valid entries with the next write at `next`, so the event `age`
-/// steps behind the newest sits at `(next + cap - 1 - age) % cap`.
-fn ring_matches(path: &[PathStep], ring: &[(BranchId, bool)], count: usize, next: usize) -> bool {
-    if path.len() > count {
-        return false;
-    }
-    let cap = ring.len();
-    for (j, step) in path.iter().enumerate() {
-        let age = path.len() - 1 - j;
-        let (site, taken) = ring[(next + cap - 1 - age) % cap];
-        if step.site != site || step.taken != taken {
-            return false;
+/// A trie over candidate paths keyed newest-event-first: the edge out of
+/// the root consumes the most recent event, deeper edges consume older
+/// ones. Node 0 is the root; `terminal[n]` holds the candidate index whose
+/// reversed path ends at node `n`.
+struct PathTrie {
+    edges: Vec<Vec<(u32, usize)>>,
+    terminal: Vec<Option<usize>>,
+}
+
+impl PathTrie {
+    fn build(candidates: &[Vec<PathStep>]) -> Self {
+        let mut trie = PathTrie {
+            edges: vec![Vec::new()],
+            terminal: vec![None],
+        };
+        for (gi, path) in candidates.iter().enumerate() {
+            let mut node = 0usize;
+            for step in path.iter().rev() {
+                let key = (step.site.index() as u32) << 1 | u32::from(step.taken);
+                node = match trie.edges[node].iter().find(|&&(k, _)| k == key) {
+                    Some(&(_, child)) => child,
+                    None => {
+                        let child = trie.edges.len();
+                        trie.edges[node].push((key, child));
+                        trie.edges.push(Vec::new());
+                        trie.terminal.push(None);
+                        child
+                    }
+                };
+            }
+            trie.terminal[node] = Some(gi);
         }
+        trie
     }
-    true
 }
 
 fn is_path_suffix(shorter: &[PathStep], longer: &[PathStep]) -> bool {

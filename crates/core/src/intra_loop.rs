@@ -42,6 +42,7 @@ impl SearchResult {
 #[derive(Clone, Debug)]
 pub struct IntraLoopSearch {
     max_states: usize,
+    max_depth: u32,
     /// Antichains indexed by their size (index 0 and 1 unused).
     by_size: Vec<Vec<Vec<HistPattern>>>,
 }
@@ -87,6 +88,7 @@ impl IntraLoopSearch {
         }
         IntraLoopSearch {
             max_states,
+            max_depth,
             by_size,
         }
     }
@@ -102,11 +104,14 @@ impl IntraLoopSearch {
     /// and 1 are `None`).
     pub fn search(&self, table: &PatternTable) -> Vec<Option<SearchResult>> {
         let mut best: Vec<Option<SearchResult>> = vec![None; self.max_states + 1];
+        // One suffix scan of the table serves every candidate machine's
+        // prediction queries.
+        let agg = table.suffix_aggregate(self.max_depth);
         // The state count doubles as the semantic index of `best`.
         #[allow(clippy::needless_range_loop)]
         for n in 2..=self.max_states {
             for patterns in &self.by_size[n] {
-                let Some(machine) = StateMachine::from_patterns(patterns, table) else {
+                let Some(machine) = StateMachine::from_patterns_with(patterns, &agg) else {
                     continue;
                 };
                 if !machine.is_strongly_connected() {

@@ -18,11 +18,11 @@
 //! Exit branches whose *taken* direction leaves the loop are handled by
 //! scoring against the complemented outcome stream.
 
-use brepl_predict::PatternTable;
-use brepl_trace::SiteCounts;
+use brepl_predict::{PatternTable, SuffixAggregate};
+use brepl_trace::PackedStream;
 
 use crate::intra_loop::SearchResult;
-use crate::machine::{MachineState, StateMachine};
+use crate::machine::{simulate_packed_many, MachineState, StateMachine};
 use crate::pattern::HistPattern;
 
 /// Builds the plain chain machine with `n >= 2` states:
@@ -35,6 +35,12 @@ use crate::pattern::HistPattern;
 ///
 /// Panics unless `2 <= n <= 10`.
 pub fn exit_chain(n: usize, table: &PatternTable) -> StateMachine {
+    exit_chain_with(n, &table.suffix_aggregate(table_bits(table)))
+}
+
+/// [`exit_chain`] against a precomputed suffix aggregate — identical
+/// machine, no per-state table scans.
+fn exit_chain_with(n: usize, agg: &SuffixAggregate<'_>) -> StateMachine {
     assert!((2..=10).contains(&n), "chain length must be in 2..=10");
     let mut patterns = Vec::with_capacity(n);
     patterns.push(HistPattern::parse("0").unwrap());
@@ -44,7 +50,7 @@ pub fn exit_chain(n: usize, table: &PatternTable) -> StateMachine {
     }
     // Tail: all ones of length n-1.
     patterns.push(HistPattern::new((1 << (n - 1)) - 1, n as u32 - 1));
-    StateMachine::from_patterns(&patterns, table)
+    StateMachine::from_patterns_with(&patterns, agg)
         .expect("chain pattern sets always derive valid machines")
 }
 
@@ -60,12 +66,18 @@ pub fn exit_chain(n: usize, table: &PatternTable) -> StateMachine {
 ///
 /// Panics unless `3 <= n <= 10`.
 pub fn exit_oscillator(n: usize, table: &PatternTable) -> StateMachine {
+    exit_oscillator_with(n, &table.suffix_aggregate(table_bits(table)))
+}
+
+/// [`exit_oscillator`] against a precomputed suffix aggregate — identical
+/// machine, no per-state table scans.
+fn exit_oscillator_with(n: usize, agg: &SuffixAggregate<'_>) -> StateMachine {
     assert!((3..=10).contains(&n), "oscillator needs 3..=10 states");
     // Spine: 0, 01, 011, ..., 01^(n-3); tails A = 01^(n-2), B = 11^(n-2).
     let mut states: Vec<MachineState> = Vec::with_capacity(n);
     let spine_len = n - 2;
     let predict_for = |p: HistPattern| -> bool {
-        let c = table.suffix_counts(p.bits(), p.len());
+        let c = agg.counts(p.bits(), p.len());
         if c.total() == 0 {
             true
         } else {
@@ -112,7 +124,7 @@ pub fn exit_oscillator(n: usize, table: &PatternTable) -> StateMachine {
 /// the complemented outcome stream and then complementing the machine back
 /// ([`StateMachine::complemented`]), so the returned machine always runs on
 /// real outcomes.
-pub fn best_exit_machine(n: usize, table: &PatternTable, outcomes: &[bool]) -> SearchResult {
+pub fn best_exit_machine(n: usize, table: &PatternTable, outcomes: &PackedStream) -> SearchResult {
     exit_machine_menu(n, table, outcomes)
         .pop()
         .expect("at least one candidate machine exists")
@@ -128,38 +140,57 @@ pub fn best_exit_machine(n: usize, table: &PatternTable, outcomes: &[bool]) -> S
 /// rebuilt all of that per budget. Candidate order and the keep-first
 /// tie-break are preserved exactly, so each entry is bit-identical to the
 /// standalone [`best_exit_machine`] call at that budget.
-pub fn exit_machine_menu(max: usize, table: &PatternTable, outcomes: &[bool]) -> Vec<SearchResult> {
+pub fn exit_machine_menu(
+    max: usize,
+    table: &PatternTable,
+    outcomes: &PackedStream,
+) -> Vec<SearchResult> {
     assert!((2..=10).contains(&max), "budget must be in 2..=10");
     let total = outcomes.len() as u64;
-    let inverted_outcomes: Vec<bool> = outcomes.iter().map(|&o| !o).collect();
-    let inverted_table = table_from_outcomes(&inverted_outcomes, table_bits(table));
+    let bits = table_bits(table);
+    // The inverted-polarity table is a complement-swap of the original
+    // (plus a warmup correction) — no second walk over the stream.
+    let warmup: Vec<bool> = outcomes.iter().take(bits as usize).collect();
+    let inverted_table = table.complement_single_site(bits, &warmup);
+    let agg = table.suffix_aggregate(bits);
+    let inv_agg = inverted_table.suffix_aggregate(bits);
 
     // All chain lengths up to the budget: a longer chain is not always
     // better under true simulation (the machine's state can diverge from
-    // the history partition), so the search is over sizes 2..=max.
+    // the history partition), so the search is over sizes 2..=max. Every
+    // budget's candidates are gathered first (in the same order the
+    // per-budget loop scored them), then simulated together in one packed
+    // pass over the stream.
+    let mut candidates: Vec<StateMachine> = Vec::with_capacity(4 * (max - 1));
+    let mut budget_sizes = Vec::with_capacity(max - 1);
+    for k in 2..=max {
+        candidates.push(exit_chain_with(k, &agg));
+        candidates.push(exit_chain_with(k, &inv_agg).complemented());
+        if k >= 3 {
+            candidates.push(exit_oscillator_with(k, &agg));
+            candidates.push(exit_oscillator_with(k, &inv_agg).complemented());
+        }
+        budget_sizes.push(if k >= 3 { 4 } else { 2 });
+    }
+    let scores = simulate_packed_many(&candidates, outcomes);
+
     let mut best: Option<SearchResult> = None;
     let mut menu = Vec::with_capacity(max - 1);
-    for k in 2..=max {
-        let mut candidates: Vec<StateMachine> = vec![
-            exit_chain(k, table),
-            exit_chain(k, &inverted_table).complemented(),
-        ];
-        if k >= 3 {
-            candidates.push(exit_oscillator(k, table));
-            candidates.push(exit_oscillator(k, &inverted_table).complemented());
-        }
-        for machine in candidates {
-            let (correct, _) = machine.simulate(outcomes.iter().copied());
+    let mut idx = 0;
+    for size in budget_sizes {
+        for _ in 0..size {
+            let (correct, _) = scores[idx];
             match &best {
                 Some(b) if b.correct >= correct => {}
                 _ => {
                     best = Some(SearchResult {
-                        machine,
+                        machine: candidates[idx].clone(),
                         correct,
                         total,
                     })
                 }
             }
+            idx += 1;
         }
         menu.push(best.clone().expect("at least one candidate machine exists"));
     }
@@ -173,31 +204,11 @@ fn table_bits(_table: &PatternTable) -> u32 {
     9
 }
 
-fn table_from_outcomes(outcomes: &[bool], bits: u32) -> PatternTable {
-    use brepl_trace::{Trace, TraceEvent};
-    let t: Trace = outcomes
-        .iter()
-        .map(|&taken| TraceEvent {
-            site: brepl_ir::BranchId(0),
-            taken,
-        })
-        .collect();
-    let set = brepl_predict::PatternTableSet::build(&t, brepl_predict::HistoryKind::Local, bits);
-    set.site(brepl_ir::BranchId(0)).cloned().unwrap_or_default()
-}
-
 /// Helper for tests and diagnostics: the profile (1-state) baseline on an
 /// outcome stream.
-pub fn profile_correct(outcomes: &[bool]) -> u64 {
-    let mut c = SiteCounts::default();
-    for &o in outcomes {
-        if o {
-            c.taken += 1;
-        } else {
-            c.not_taken += 1;
-        }
-    }
-    c.taken.max(c.not_taken)
+pub fn profile_correct(outcomes: &PackedStream) -> u64 {
+    let taken = outcomes.count_taken();
+    taken.max(outcomes.len() as u64 - taken)
 }
 
 #[cfg(test)]
@@ -216,6 +227,10 @@ mod tests {
             })
             .collect();
         PatternTableSet::build(&t, HistoryKind::Local, 9)
+    }
+
+    fn packed(dirs: &[bool]) -> PackedStream {
+        dirs.iter().copied().collect()
     }
 
     /// Loop running exactly k iterations each activation: k-1 taken then
@@ -255,11 +270,11 @@ mod tests {
         let dirs = fixed_count_loop(4, 500);
         let pts = table_for(&dirs);
         let table = pts.site(BranchId(0)).unwrap();
-        let best = best_exit_machine(4, table, &dirs);
+        let best = best_exit_machine(4, table, &packed(&dirs));
         // Profile gets exactly 1/4 wrong; the chain should be perfect
         // modulo warmup.
         assert!(best.mispredictions() <= 1);
-        assert!(profile_correct(&dirs) <= best.correct);
+        assert!(profile_correct(&packed(&dirs)) <= best.correct);
     }
 
     #[test]
@@ -267,12 +282,12 @@ mod tests {
         let dirs = fixed_count_loop(8, 300);
         let pts = table_for(&dirs);
         let table = pts.site(BranchId(0)).unwrap();
-        let two = best_exit_machine(2, table, &dirs);
-        let eight = best_exit_machine(8, table, &dirs);
+        let two = best_exit_machine(2, table, &packed(&dirs));
+        let eight = best_exit_machine(8, table, &packed(&dirs));
         assert!(eight.correct >= two.correct);
         // 2 states on an 8-iteration loop: predicts "keep going"
         // everywhere, missing each exit once, like profile.
-        assert!(two.correct >= profile_correct(&dirs) - 2);
+        assert!(two.correct >= profile_correct(&packed(&dirs)) - 2);
     }
 
     #[test]
@@ -299,7 +314,7 @@ mod tests {
             osc_c >= chain_c,
             "oscillator {osc_c} should be >= chain {chain_c}"
         );
-        let best = best_exit_machine(3, table, &dirs);
+        let best = best_exit_machine(3, table, &packed(&dirs));
         assert_eq!(best.correct, osc_c.max(chain_c));
     }
 
@@ -309,8 +324,8 @@ mod tests {
         let dirs: Vec<bool> = (0..1200).map(|i| i % 6 == 5).collect();
         let pts = table_for(&dirs);
         let table = pts.site(BranchId(0)).unwrap();
-        let best = best_exit_machine(6, table, &dirs);
-        let profile_wrong = dirs.len() as u64 - profile_correct(&dirs);
+        let best = best_exit_machine(6, table, &packed(&dirs));
+        let profile_wrong = dirs.len() as u64 - profile_correct(&packed(&dirs));
         assert!(best.mispredictions() < profile_wrong);
     }
 

@@ -7,8 +7,8 @@
 //! is encoded in the program counter and the per-state prediction becomes a
 //! static, per-site prediction.
 
-use brepl_predict::PatternTable;
-use brepl_trace::SiteCounts;
+use brepl_predict::{PatternTable, SuffixAggregate};
+use brepl_trace::{PackedStream, SiteCounts};
 
 use crate::pattern::HistPattern;
 
@@ -70,6 +70,21 @@ impl StateMachine {
     /// predicts the majority direction among histories ending with its
     /// pattern. States with no profile data predict taken.
     pub fn from_patterns(patterns: &[HistPattern], table: &PatternTable) -> Option<Self> {
+        Self::from_patterns_counted(patterns, |p| table.suffix_counts(p.bits(), p.len()))
+    }
+
+    /// [`StateMachine::from_patterns`] with the suffix counts served by a
+    /// precomputed [`SuffixAggregate`] — identical result, one table scan
+    /// amortized over every query (searches build hundreds of machines
+    /// from the same table).
+    pub fn from_patterns_with(patterns: &[HistPattern], agg: &SuffixAggregate<'_>) -> Option<Self> {
+        Self::from_patterns_counted(patterns, |p| agg.counts(p.bits(), p.len()))
+    }
+
+    fn from_patterns_counted(
+        patterns: &[HistPattern],
+        counts_of: impl Fn(HistPattern) -> SiteCounts,
+    ) -> Option<Self> {
         if patterns.is_empty() {
             return None;
         }
@@ -100,7 +115,7 @@ impl StateMachine {
             };
             let on_taken = next(true)?;
             let on_not_taken = next(false)?;
-            let counts = table.suffix_counts(p.bits(), p.len());
+            let counts = counts_of(p);
             let predict = if counts.total() == 0 {
                 true
             } else {
@@ -208,6 +223,53 @@ impl StateMachine {
             state = self.next(state, taken);
         }
         (correct, total)
+    }
+
+    /// Word-at-a-time [`StateMachine::simulate`] over a packed stream.
+    ///
+    /// Returns exactly `self.simulate(outcomes.iter())` — bit-identical
+    /// counts — but steps the machine eight outcomes at a time through a
+    /// precomputed (state × outcome-byte) table when the stream is long
+    /// enough to amortize building it.
+    pub fn simulate_packed(&self, outcomes: &PackedStream) -> (u64, u64) {
+        simulate_packed_many(std::slice::from_ref(self), outcomes)[0]
+    }
+
+    /// Precomputed chunk-transition table: entry `(state << 8) | byte`
+    /// holds the state after consuming the byte's eight outcomes (LSB
+    /// first) and how many of the eight the machine predicted correctly.
+    fn chunk_tables(&self) -> (Vec<u8>, Vec<u8>) {
+        let n = self.states.len();
+        debug_assert!(n <= CHUNK_MAX_STATES);
+        // First a (state × nibble) table by direct 4-step walks, then the
+        // byte table as a composition of two nibble steps.
+        let mut nib_next = vec![0u8; n << 4];
+        let mut nib_correct = vec![0u8; n << 4];
+        for s in 0..n {
+            for nib in 0..16usize {
+                let mut st = s;
+                let mut c = 0u8;
+                for i in 0..4 {
+                    let taken = nib >> i & 1 == 1;
+                    c += u8::from(self.states[st].predict == taken);
+                    st = self.next(st, taken);
+                }
+                nib_next[s << 4 | nib] = st as u8;
+                nib_correct[s << 4 | nib] = c;
+            }
+        }
+        let mut next = vec![0u8; n << 8];
+        let mut correct = vec![0u8; n << 8];
+        for s in 0..n {
+            for byte in 0..256usize {
+                let lo = byte & 0xf;
+                let hi = byte >> 4;
+                let mid = nib_next[s << 4 | lo] as usize;
+                next[s << 8 | byte] = nib_next[mid << 4 | hi];
+                correct[s << 8 | byte] = nib_correct[s << 4 | lo] + nib_correct[mid << 4 | hi];
+            }
+        }
+        (next, correct)
     }
 
     /// Scores the machine against a full-length pattern table by
@@ -334,6 +396,79 @@ impl StateMachine {
     }
 }
 
+/// Chunked evaluation needs state indices to fit a byte.
+const CHUNK_MAX_STATES: usize = 256;
+
+/// A machine below this many outcomes-per-state runs scalar: building the
+/// 256-entry chunk table costs more than it saves. Both paths return
+/// identical counts, so the threshold never affects results.
+const CHUNK_MIN_OUTCOMES_PER_STATE: usize = 1024;
+
+/// Simulates every machine over the same packed outcome stream in one
+/// structure-of-arrays pass, returning `(correct, total)` per machine —
+/// bit-identical to calling [`StateMachine::simulate`] on each.
+///
+/// Long streams step chunk-transition tables eight outcomes per lookup
+/// (eight lookups per 64-outcome word); the partial tail word and short
+/// streams fall back to scalar stepping.
+pub fn simulate_packed_many(machines: &[StateMachine], outcomes: &PackedStream) -> Vec<(u64, u64)> {
+    let len = outcomes.len();
+    let total = len as u64;
+    let words = outcomes.words();
+    let full_words = len / 64;
+    let tail = len % 64;
+    let mut results = vec![(0u64, total); machines.len()];
+    let mut chunked: Vec<usize> = Vec::with_capacity(machines.len());
+    for (i, m) in machines.iter().enumerate() {
+        if len >= CHUNK_MIN_OUTCOMES_PER_STATE * m.len() && m.len() <= CHUNK_MAX_STATES {
+            chunked.push(i);
+        } else {
+            results[i] = m.simulate(outcomes.iter());
+        }
+    }
+    if chunked.is_empty() {
+        return results;
+    }
+    let tables: Vec<(Vec<u8>, Vec<u8>)> = chunked
+        .iter()
+        .map(|&i| machines[i].chunk_tables())
+        .collect();
+    let mut state: Vec<usize> = chunked.iter().map(|&i| machines[i].initial()).collect();
+    let mut correct: Vec<u64> = vec![0; chunked.len()];
+    for &w in &words[..full_words] {
+        for (k, (next, per_byte)) in tables.iter().enumerate() {
+            let mut st = state[k];
+            let mut c = 0u32;
+            let mut x = w;
+            for _ in 0..8 {
+                let idx = st << 8 | (x & 0xff) as usize;
+                c += u32::from(per_byte[idx]);
+                st = next[idx] as usize;
+                x >>= 8;
+            }
+            state[k] = st;
+            correct[k] += u64::from(c);
+        }
+    }
+    if tail > 0 {
+        let w = words[full_words];
+        for (k, &mi) in chunked.iter().enumerate() {
+            let m = &machines[mi];
+            let mut st = state[k];
+            for i in 0..tail {
+                let taken = w >> i & 1 == 1;
+                correct[k] += u64::from(m.states[st].predict == taken);
+                st = m.next(st, taken);
+            }
+            state[k] = st;
+        }
+    }
+    for (k, &mi) in chunked.iter().enumerate() {
+        results[mi] = (correct[k], total);
+    }
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +489,62 @@ mod tests {
 
     fn alternating(n: usize) -> Vec<bool> {
         (0..n).map(|i| i % 2 == 0).collect()
+    }
+
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 >> 12;
+            self.0 ^= self.0 << 25;
+            self.0 ^= self.0 >> 27;
+            self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        fn bools(&mut self, n: usize) -> Vec<bool> {
+            (0..n).map(|_| self.next() >> 63 == 1).collect()
+        }
+
+        /// A random well-formed machine with `n` states.
+        fn machine(&mut self, n: usize) -> StateMachine {
+            let states = (0..n)
+                .map(|_| {
+                    let r = self.next();
+                    MachineState {
+                        pattern: HistPattern::new((r >> 32) as u32 & 0xff, 8),
+                        predict: r & 1 == 1,
+                        on_taken: (r >> 8) as usize % n,
+                        on_not_taken: (r >> 20) as usize % n,
+                    }
+                })
+                .collect();
+            let initial = self.next() as usize % n;
+            StateMachine::from_states(states, initial)
+        }
+    }
+
+    /// Word-at-a-time packed evaluation must count exactly like scalar
+    /// stepping — random machines, random streams, lengths straddling
+    /// word and chunk-threshold boundaries.
+    #[test]
+    fn packed_simulation_matches_scalar_stepping() {
+        let mut rng = XorShift(0x9e37_79b9_7f4a_7c15);
+        for &n_states in &[1usize, 2, 3, 5, 8, 12] {
+            for &len in &[0usize, 1, 63, 64, 65, 1000, 4096, 5000, 20_001] {
+                let machines: Vec<StateMachine> = (0..4).map(|_| rng.machine(n_states)).collect();
+                let dirs = rng.bools(len);
+                let packed: PackedStream = dirs.iter().copied().collect();
+                let got = simulate_packed_many(&machines, &packed);
+                for (m, &r) in machines.iter().zip(&got) {
+                    assert_eq!(
+                        r,
+                        m.simulate(dirs.iter().copied()),
+                        "states = {n_states}, len = {len}"
+                    );
+                    assert_eq!(r, m.simulate_packed(&packed));
+                }
+            }
+        }
     }
 
     /// The paper's Figure 1: 2-state machine {0, 1} on an alternating

@@ -126,6 +126,25 @@ pub fn fingerprint_outcomes(outcomes: &[bool]) -> (u64, u64) {
     (a, b)
 }
 
+/// [`fingerprint_outcomes`] computed straight from a packed stream's words.
+///
+/// `PackedStream` stores outcomes LSB-first with the tail word zero-padded —
+/// exactly the packing `fingerprint_outcomes` builds before mixing — so the
+/// words can be mixed verbatim and the two functions agree on every stream.
+pub fn fingerprint_packed(stream: &brepl_trace::PackedStream) -> (u64, u64) {
+    let mut a = 0xcbf2_9ce4_8422_2325u64;
+    let mut b = 0x6c62_272e_07bb_0142u64;
+    let mut mix = |x: u64| {
+        a = (a ^ x).wrapping_mul(0x0000_0100_0000_01b3);
+        b = (b ^ x.rotate_left(32)).wrapping_mul(0x0000_01b3_0000_0193);
+    };
+    mix(stream.len() as u64);
+    for &word in stream.words() {
+        mix(word);
+    }
+    (a, b)
+}
+
 /// Looks up a search outcome, computing and caching it on a miss.
 ///
 /// `compute` must be a pure function of the fingerprinted inputs: the
@@ -288,6 +307,27 @@ mod tests {
         assert_ne!(fingerprint_outcomes(&a), fingerprint_outcomes(&b));
         assert_ne!(fingerprint_outcomes(&a), fingerprint_outcomes(&c));
         assert_ne!(fingerprint_outcomes(&[]), fingerprint_outcomes(&[false]));
+    }
+
+    #[test]
+    fn packed_fingerprint_matches_scalar() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for n in [0usize, 1, 7, 63, 64, 65, 127, 128, 129, 1000] {
+            let dirs: Vec<bool> = (0..n)
+                .map(|_| {
+                    state ^= state >> 12;
+                    state ^= state << 25;
+                    state ^= state >> 27;
+                    state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63 == 1
+                })
+                .collect();
+            let packed: brepl_trace::PackedStream = dirs.iter().copied().collect();
+            assert_eq!(
+                fingerprint_packed(&packed),
+                fingerprint_outcomes(&dirs),
+                "n = {n}"
+            );
+        }
     }
 
     #[test]

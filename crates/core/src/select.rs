@@ -9,7 +9,7 @@ use brepl_analysis::{BiasEstimate, Classification, DirectionClass, StaticProfile
 use brepl_cfg::{BranchClass, Cfg, ClassifiedBranches, DomTree, LoopForest, PredecessorPaths};
 use brepl_ir::{BranchId, Module};
 use brepl_predict::{HistoryKind, PatternTable, PatternTableSet};
-use brepl_trace::{SiteCounts, Trace, TraceEvent};
+use brepl_trace::{packed_site_streams, PackedStream, SiteCounts, Trace, TraceEvent};
 
 use crate::correlated::{profile_paths, CorrelatedMachine, PathProfile};
 use crate::engine;
@@ -351,15 +351,10 @@ fn select_uncached(
     let tables = PatternTableSet::build(trace, HistoryKind::Local, 9);
     let search = IntraLoopSearch::new(max_states, 9);
 
-    // Outcome streams per site, for exit-machine simulation.
-    let mut outcomes: Vec<Vec<bool>> = Vec::new();
-    for ev in trace.iter() {
-        let i = ev.site.index();
-        if i >= outcomes.len() {
-            outcomes.resize_with(i + 1, Vec::new);
-        }
-        outcomes[i].push(ev.taken);
-    }
+    // Packed per-site outcome streams, built once for the whole selection:
+    // machine candidates are scored on these word-at-a-time.
+    let outcomes = packed_site_streams(trace, &stats);
+    let no_outcomes = PackedStream::new();
 
     // Candidate decision paths for every executed branch ("a maximum path
     // length of n for an n state machine"), plus loop identity for the
@@ -419,7 +414,7 @@ fn select_uncached(
                 class_of[&site],
                 stats.site(site),
                 tables.site(site),
-                outcomes.get(site.index()).map_or(&[][..], Vec::as_slice),
+                outcomes.get(site.index()).unwrap_or(&no_outcomes),
                 path_profiles.get(&site),
                 &search,
                 max_states,
@@ -455,7 +450,7 @@ fn search_site(
     class: BranchClass,
     counts: SiteCounts,
     table: Option<&PatternTable>,
-    outcomes: &[bool],
+    outcomes: &PackedStream,
     path_profile: Option<&PathProfile>,
     search: &IntraLoopSearch,
     max_states: usize,
@@ -472,7 +467,7 @@ fn search_site(
             let outcome = memo::lookup_or_compute(
                 class,
                 table.fingerprint(),
-                memo::fingerprint_outcomes(outcomes),
+                memo::fingerprint_packed(outcomes),
                 max_states,
                 || loop_search(class, table, outcomes, search, max_states),
             );
@@ -518,12 +513,12 @@ fn search_site(
 fn loop_search(
     class: BranchClass,
     table: &PatternTable,
-    outcomes: &[bool],
+    outcomes: &PackedStream,
     search: &IntraLoopSearch,
     max_states: usize,
 ) -> LoopSearchOutcome {
     // Profile baseline, derived from the same stream the memo key hashes.
-    let taken = outcomes.iter().filter(|&&t| t).count() as u64;
+    let taken = outcomes.count_taken();
     let not_taken = outcomes.len() as u64 - taken;
     let profile_misses = taken.min(not_taken);
 
@@ -535,9 +530,12 @@ fn loop_search(
             // Rank candidates by partition score (the paper's
             // bookkeeping), then judge the winners by *simulation*
             // on the real outcome stream — that is what the
-            // replicated code will actually do.
-            for r in search.search(table).into_iter().flatten() {
-                let (correct, total) = r.machine.simulate(outcomes.iter().copied());
+            // replicated code will actually do. All surviving
+            // candidates share one packed pass over the stream.
+            let results: Vec<_> = search.search(table).into_iter().flatten().collect();
+            let machines: Vec<StateMachine> = results.iter().map(|r| r.machine.clone()).collect();
+            let scores = crate::machine::simulate_packed_many(&machines, outcomes);
+            for (r, (correct, total)) in results.into_iter().zip(scores) {
                 let misses = total - correct;
                 let n = r.machine.len();
                 if misses < best_misses {

@@ -15,7 +15,7 @@
 
 use crate::ids::BlockId;
 use crate::inst::{Inst, Operand, Term, Value};
-use crate::module::Module;
+use crate::module::{Function, Module};
 
 /// Dual-lane FNV-1a accumulator, matching the trace/outcome fingerprints
 /// used by the memo layer.
@@ -184,6 +184,23 @@ impl Lanes {
     }
 }
 
+impl Lanes {
+    fn mix_function(&mut self, f: &Function) {
+        self.mix_bytes(f.name.as_bytes());
+        self.mix(u64::from(f.n_params));
+        self.mix(u64::from(f.n_regs));
+        self.mix_block(f.entry);
+        self.mix(f.blocks.len() as u64);
+        for b in &f.blocks {
+            self.mix(b.insts.len() as u64);
+            for inst in &b.insts {
+                self.mix_inst(inst);
+            }
+            self.mix_term(&b.term);
+        }
+    }
+}
+
 impl Module {
     /// A canonical 128-bit structural fingerprint of this module.
     ///
@@ -196,19 +213,20 @@ impl Module {
         h.mix(self.globals as u64);
         h.mix(self.function_count() as u64);
         for (_, f) in self.iter_functions() {
-            h.mix_bytes(f.name.as_bytes());
-            h.mix(u64::from(f.n_params));
-            h.mix(u64::from(f.n_regs));
-            h.mix_block(f.entry);
-            h.mix(f.blocks.len() as u64);
-            for b in &f.blocks {
-                h.mix(b.insts.len() as u64);
-                for inst in &b.insts {
-                    h.mix_inst(inst);
-                }
-                h.mix_term(&b.term);
-            }
+            h.mix_function(f);
         }
+        (h.a, h.b)
+    }
+}
+
+impl Function {
+    /// A canonical 128-bit structural fingerprint of this one function —
+    /// the per-function slice of [`Module::fingerprint`], for caches that
+    /// track change at function granularity (the pipeline's incremental
+    /// gate re-proving).
+    pub fn fingerprint(&self) -> (u64, u64) {
+        let mut h = Lanes::new();
+        h.mix_function(self);
         (h.a, h.b)
     }
 }

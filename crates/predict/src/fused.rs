@@ -1,0 +1,273 @@
+//! Fused single-pass trace analytics.
+//!
+//! The bench tables and the pipeline each need several views of the same
+//! profiling trace: per-site statistics, local- and global-history
+//! pattern tables, and the misprediction reports of the dynamic predictor
+//! zoo. Computed stage by stage, every view re-walks the packed event
+//! array; [`FusedAnalytics::run`] produces all of them in **one**
+//! traversal, accumulating each view's state side by side per event.
+//!
+//! Exactness is by construction, not by re-derivation: the dense scratch
+//! updates are the same statements as [`TraceStats::from_trace`] and
+//! `PatternTableSet::build`'s dense path, and the predictor rows call the
+//! real [`LastDirection`], [`TwoBitCounters`] and [`TwoLevel`] structs
+//! through the same predict → count → update sequence as
+//! [`simulate_dynamic`](crate::simulate_dynamic). Shorter history lengths
+//! are *not* recomputed: [`PatternTableSet::aggregated`] folds them out of
+//! the 9-bit tables exactly. When a trace's site range makes the dense
+//! scratch too large, the pass falls back to composing the per-stage
+//! entry points — same results, staged cost.
+
+use brepl_ir::BranchId;
+use brepl_trace::{SiteCounts, Trace, TraceStats};
+
+use crate::dynamic::{LastDirection, TwoBitCounters, TwoLevel};
+use crate::eval::{simulate_dynamic, DynamicPredictor};
+use crate::pattern::{HistoryKind, PatternTableSet, MAX_SCRATCH_ENTRIES};
+use crate::report::Report;
+use crate::semistatic::profile_report_from_stats;
+
+/// Local-history length of the fused pattern tables — the paper's 9-bit
+/// loop strategy; every shorter length aggregates from it.
+pub const FUSED_LOCAL_BITS: u32 = 9;
+
+/// Every per-trace analytics product the bench tables consume, computed
+/// in a single traversal of the packed trace.
+///
+/// Each field equals its per-stage counterpart exactly (`==` on the
+/// respective types):
+///
+/// | field | per-stage equivalent |
+/// |-------|----------------------|
+/// | `stats` | `trace.stats()` |
+/// | `local9` | `PatternTableSet::build(trace, Local, 9)` |
+/// | `global1` | `PatternTableSet::build(trace, Global, 1)` |
+/// | `last_direction` | `simulate_dynamic(&mut LastDirection::new(), trace)` |
+/// | `two_bit` | `simulate_dynamic(&mut TwoBitCounters::new(), trace)` |
+/// | `two_level_4k` | `simulate_dynamic(&mut TwoLevel::paper_4k(), trace)` |
+/// | `profile` | `profile_report(trace)` |
+#[derive(Clone, Debug, PartialEq)]
+pub struct FusedAnalytics {
+    /// Per-site taken/not-taken statistics.
+    pub stats: TraceStats,
+    /// 9-bit local-history pattern tables (`aggregated(k)` yields every
+    /// shorter loop table).
+    pub local9: PatternTableSet,
+    /// 1-bit global-history pattern tables — the correlation strategy.
+    pub global1: PatternTableSet,
+    /// Report of the last-direction predictor.
+    pub last_direction: Report,
+    /// Report of the 2-bit saturating-counter predictor.
+    pub two_bit: Report,
+    /// Report of the paper's 4K-bit two-level predictor.
+    pub two_level_4k: Report,
+    /// Report of closed-form profile prediction.
+    pub profile: Report,
+}
+
+impl FusedAnalytics {
+    /// Runs the fused pass over `trace`.
+    pub fn run(trace: &Trace) -> Self {
+        let n_sites = trace.max_site().map_or(0, |s| s.index() + 1);
+        let dense = n_sites
+            .checked_mul(1usize << FUSED_LOCAL_BITS)
+            .is_some_and(|entries| entries <= MAX_SCRATCH_ENTRIES);
+        if !dense {
+            return Self::run_staged(trace);
+        }
+
+        let local_mask: u32 = (1 << FUSED_LOCAL_BITS) - 1;
+        // Per-view accumulators, laid out exactly as their per-stage
+        // builders lay them out.
+        let mut counts = vec![SiteCounts::default(); n_sites];
+        let mut local_regs = vec![0u32; n_sites];
+        let mut local_scratch = vec![SiteCounts::default(); n_sites << FUSED_LOCAL_BITS];
+        let mut global_reg: u32 = 0;
+        let mut global_scratch = vec![SiteCounts::default(); n_sites << 1];
+        let mut ld = LastDirection::new();
+        let mut tb = TwoBitCounters::new();
+        let mut tl = TwoLevel::paper_4k();
+        let mut ld_counts = vec![(0u64, 0u64); n_sites];
+        let mut tb_counts = vec![(0u64, 0u64); n_sites];
+        let mut tl_counts = vec![(0u64, 0u64); n_sites];
+
+        for &p in trace.packed() {
+            let i = (p >> 1) as usize;
+            let site = BranchId(p >> 1);
+            let bit = p & 1;
+            let taken = bit == 1;
+
+            // Statistics (TraceStats::from_trace).
+            let c = &mut counts[i];
+            c.taken += u64::from(bit);
+            c.not_taken += 1 - u64::from(bit);
+
+            // 9-bit local pattern tables (build_dense, Local).
+            let h = local_regs[i];
+            let c = &mut local_scratch[i << FUSED_LOCAL_BITS | h as usize];
+            c.taken += u64::from(bit);
+            c.not_taken += 1 - u64::from(bit);
+            local_regs[i] = (h << 1 | bit) & local_mask;
+
+            // 1-bit global pattern tables (build_dense, Global).
+            let c = &mut global_scratch[i << 1 | global_reg as usize];
+            c.taken += u64::from(bit);
+            c.not_taken += 1 - u64::from(bit);
+            global_reg = bit & 1;
+
+            // The dynamic zoo (simulate_dynamic's predict → count →
+            // update, once per predictor).
+            let guess = ld.predict(site);
+            ld_counts[i].0 += 1;
+            ld_counts[i].1 += u64::from(guess != taken);
+            ld.update(site, taken);
+
+            let guess = tb.predict(site);
+            tb_counts[i].0 += 1;
+            tb_counts[i].1 += u64::from(guess != taken);
+            tb.update(site, taken);
+
+            let guess = tl.predict(site);
+            tl_counts[i].0 += 1;
+            tl_counts[i].1 += u64::from(guess != taken);
+            tl.update(site, taken);
+        }
+
+        let total = trace.len() as u64;
+        let stats = TraceStats::from_counts(counts);
+        let profile = profile_report_from_stats(&stats);
+        FusedAnalytics {
+            stats,
+            local9: PatternTableSet::from_dense_scratch(
+                HistoryKind::Local,
+                FUSED_LOCAL_BITS,
+                &local_scratch,
+                n_sites,
+                total,
+            ),
+            global1: PatternTableSet::from_dense_scratch(
+                HistoryKind::Global,
+                1,
+                &global_scratch,
+                n_sites,
+                total,
+            ),
+            last_direction: Report::from_counts(ld_counts),
+            two_bit: Report::from_counts(tb_counts),
+            two_level_4k: Report::from_counts(tl_counts),
+            profile,
+        }
+    }
+
+    /// The fallback for traces whose site range makes the dense pattern
+    /// scratch too large: compose the per-stage entry points. Same
+    /// results as the fused walk, which is the behavioral definition.
+    fn run_staged(trace: &Trace) -> Self {
+        let stats = trace.stats();
+        let profile = profile_report_from_stats(&stats);
+        FusedAnalytics {
+            stats,
+            local9: PatternTableSet::build(trace, HistoryKind::Local, FUSED_LOCAL_BITS),
+            global1: PatternTableSet::build(trace, HistoryKind::Global, 1),
+            last_direction: simulate_dynamic(&mut LastDirection::new(), trace),
+            two_bit: simulate_dynamic(&mut TwoBitCounters::new(), trace),
+            two_level_4k: simulate_dynamic(&mut TwoLevel::paper_4k(), trace),
+            profile,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semistatic::profile_report;
+    use brepl_trace::TraceEvent;
+
+    fn random_trace(seed: u64, events: usize, sites: u32) -> Trace {
+        let mut state = seed;
+        let mut t = Trace::new();
+        for _ in 0..events {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            t.push(TraceEvent {
+                site: BranchId((r % u64::from(sites)) as u32),
+                taken: r & (1 << 40) != 0,
+            });
+        }
+        t
+    }
+
+    fn assert_matches_staged(trace: &Trace) {
+        let fused = FusedAnalytics::run(trace);
+        assert_eq!(fused.stats, trace.stats());
+        assert_eq!(
+            fused.local9,
+            PatternTableSet::build(trace, HistoryKind::Local, 9)
+        );
+        assert_eq!(
+            fused.global1,
+            PatternTableSet::build(trace, HistoryKind::Global, 1)
+        );
+        assert_eq!(
+            fused.last_direction,
+            simulate_dynamic(&mut LastDirection::new(), trace)
+        );
+        assert_eq!(
+            fused.two_bit,
+            simulate_dynamic(&mut TwoBitCounters::new(), trace)
+        );
+        assert_eq!(
+            fused.two_level_4k,
+            simulate_dynamic(&mut TwoLevel::paper_4k(), trace)
+        );
+        assert_eq!(fused.profile, profile_report(trace));
+    }
+
+    #[test]
+    fn fused_equals_per_stage_on_random_traces() {
+        for (seed, events, sites) in [
+            (0x1234_5678_9abc_def0u64, 0usize, 1u32),
+            (0xdead_beef_0bad_f00d, 1, 1),
+            (0xfeed_face_cafe_d00d, 30_000, 1),
+            (0x0dd0_b0a7_1111_2222, 60_000, 17),
+            (0x5555_aaaa_5555_aaaa, 25_000, 200),
+        ] {
+            assert_matches_staged(&random_trace(seed, events, sites));
+        }
+    }
+
+    #[test]
+    fn fused_empty_trace() {
+        assert_matches_staged(&Trace::new());
+    }
+
+    #[test]
+    fn fused_staged_fallback_agrees() {
+        // A site id high enough that n_sites << 9 overflows the dense
+        // scratch budget: the pass must take the staged path and still
+        // match every per-stage product.
+        let mut t = random_trace(0x9999_1111_2222_3333, 20_000, 13);
+        t.push(TraceEvent {
+            site: BranchId(1 << 15),
+            taken: true,
+        });
+        let n_sites = (1usize << 15) + 1;
+        assert!(n_sites << FUSED_LOCAL_BITS > crate::pattern::MAX_SCRATCH_ENTRIES);
+        assert_matches_staged(&t);
+    }
+
+    #[test]
+    fn aggregated_loop_tables_equal_direct_builds() {
+        let t = random_trace(0xabcd_ef01_2345_6789, 50_000, 9);
+        let fused = FusedAnalytics::run(&t);
+        for bits in 1..=9u32 {
+            assert_eq!(
+                fused.local9.aggregated(bits),
+                PatternTableSet::build(&t, HistoryKind::Local, bits),
+                "bits={bits}"
+            );
+        }
+    }
+}

@@ -40,9 +40,11 @@ pub mod semistatic;
 pub mod stat;
 
 mod eval;
+mod fused;
 mod pattern;
 mod report;
 
 pub use eval::{evaluate_static, simulate_dynamic, DynamicPredictor, StaticPrediction};
-pub use pattern::{HistoryKind, PatternTable, PatternTableSet};
+pub use fused::{FusedAnalytics, FUSED_LOCAL_BITS};
+pub use pattern::{HistoryKind, PatternTable, PatternTableSet, SuffixAggregate};
 pub use report::Report;

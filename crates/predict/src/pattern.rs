@@ -48,6 +48,37 @@ impl PatternTable {
         self.executions += 1;
     }
 
+    /// Builds the table of a single branch directly from its outcome
+    /// stream — equal to `PatternTableSet::build` on a one-site trace of
+    /// the same outcomes with [`HistoryKind::Local`] history, without
+    /// materializing the trace. The history register starts at all-zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 16`.
+    pub fn from_outcomes(outcomes: impl IntoIterator<Item = bool>, bits: u32) -> PatternTable {
+        assert!((1..=16).contains(&bits), "history bits must be in 1..=16");
+        let mask: u32 = (1 << bits) - 1;
+        let mut scratch = vec![SiteCounts::default(); 1usize << bits];
+        let mut h: u32 = 0;
+        for taken in outcomes {
+            let bit = u32::from(taken);
+            let c = &mut scratch[h as usize];
+            c.taken += u64::from(bit);
+            c.not_taken += u64::from(1 - bit);
+            h = (h << 1 | bit) & mask;
+        }
+        let mut table = PatternTable::default();
+        for (pattern, &c) in scratch.iter().enumerate() {
+            let total = c.total();
+            if total > 0 {
+                table.counts.insert(pattern as u32, c);
+                table.executions += total;
+            }
+        }
+        table
+    }
+
     /// Total executions of the branch.
     pub fn executions(&self) -> u64 {
         self.executions
@@ -95,6 +126,118 @@ impl PatternTable {
         self.counts.values().map(SiteCounts::minority_count).sum()
     }
 
+    /// The table of the *complemented* outcome stream, derived without
+    /// re-walking the stream.
+    ///
+    /// Preconditions: `self` is the table of a single branch's outcome
+    /// stream under `bits` of local history (history register starting at
+    /// all-zeros, as every builder here does), and `warmup` holds the
+    /// stream's first `min(bits, executions)` outcomes. Then complementing
+    /// the stream complements each event's history register — except for
+    /// the first `bits` events, whose registers are only complemented in
+    /// their low, already-filled bits while the zero padding above stays
+    /// zero. So the result is the complement-swap of every entry
+    /// (`pattern → !pattern`, taken/not-taken exchanged) with those warmup
+    /// events moved from their complement-mapped pattern to the true one.
+    /// Equals [`PatternTable::from_outcomes`] on the complemented stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 16`.
+    pub fn complement_single_site(&self, bits: u32, warmup: &[bool]) -> PatternTable {
+        assert!((1..=16).contains(&bits), "history bits must be in 1..=16");
+        let mask: u32 = (1 << bits) - 1;
+        debug_assert_eq!(
+            warmup.len() as u64,
+            self.executions.min(u64::from(bits)),
+            "warmup must hold the first min(bits, executions) outcomes"
+        );
+        let mut counts: HashMap<u32, SiteCounts> = HashMap::with_capacity(self.counts.len());
+        for (&p, c) in &self.counts {
+            counts.insert(
+                !p & mask,
+                SiteCounts {
+                    taken: c.not_taken,
+                    not_taken: c.taken,
+                },
+            );
+        }
+        let mut h_orig: u32 = 0;
+        let mut h_inv: u32 = 0;
+        for &o in warmup {
+            // The complemented stream records outcome `!o` at history
+            // `h_inv`; the complement-swap above filed it under
+            // `!h_orig` instead.
+            let filed = !h_orig & mask;
+            if filed != h_inv {
+                let e = counts
+                    .get_mut(&filed)
+                    .expect("complement-swap created every warmup pattern");
+                if o {
+                    e.not_taken -= 1;
+                } else {
+                    e.taken -= 1;
+                }
+                let e = counts.entry(h_inv).or_default();
+                if o {
+                    e.not_taken += 1;
+                } else {
+                    e.taken += 1;
+                }
+            }
+            h_orig = (h_orig << 1 | u32::from(o)) & mask;
+            h_inv = (h_inv << 1 | u32::from(!o)) & mask;
+        }
+        counts.retain(|_, c| c.total() > 0);
+        PatternTable {
+            counts,
+            executions: self.executions,
+        }
+    }
+
+    /// Precomputes every suffix aggregation up to `max_len` bits, so
+    /// machine builders that query [`PatternTable::suffix_counts`] once
+    /// per state pay one table scan total instead of one per query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len > 16`.
+    pub fn suffix_aggregate(&self, max_len: u32) -> SuffixAggregate<'_> {
+        assert!(max_len <= 16, "aggregate length exceeds 16 bits");
+        let mask = if max_len == 0 {
+            0
+        } else {
+            (1u32 << max_len) - 1
+        };
+        let mut levels: Vec<Vec<SiteCounts>> = Vec::with_capacity(max_len as usize + 1);
+        let mut top = vec![SiteCounts::default(); 1usize << max_len];
+        for (&p, c) in &self.counts {
+            let t = &mut top[(p & mask) as usize];
+            t.taken += c.taken;
+            t.not_taken += c.not_taken;
+        }
+        levels.push(top);
+        // levels[0] ends up holding max_len-bit suffixes; fold down one
+        // bit per step, then reverse so levels[l] answers length-l queries.
+        for l in (0..max_len).rev() {
+            let prev = levels.last().expect("pushed above");
+            let mut cur = vec![SiteCounts::default(); 1usize << l];
+            for (s, c) in cur.iter_mut().enumerate() {
+                let a = prev[s];
+                let b = prev[s | 1 << l];
+                c.taken = a.taken + b.taken;
+                c.not_taken = a.not_taken + b.not_taken;
+            }
+            levels.push(cur);
+        }
+        levels.reverse();
+        SuffixAggregate {
+            table: self,
+            max_len,
+            levels,
+        }
+    }
+
     /// A canonical 128-bit fingerprint of the table: equal tables (same
     /// `(pattern, taken, not_taken)` triples, in any internal order) hash
     /// equal. Used as a memo key by search caches — two branches with
@@ -120,6 +263,40 @@ impl PatternTable {
         (a, b)
     }
 }
+
+/// Precomputed suffix sums of one [`PatternTable`] — see
+/// [`PatternTable::suffix_aggregate`]. `counts(suffix, len)` equals
+/// `table.suffix_counts(suffix, len)` for every query; lengths beyond the
+/// precomputed range fall back to the table scan.
+pub struct SuffixAggregate<'a> {
+    table: &'a PatternTable,
+    max_len: u32,
+    /// `levels[l][s]` aggregates every observed pattern whose `l` low bits
+    /// equal `s`.
+    levels: Vec<Vec<SiteCounts>>,
+}
+
+impl SuffixAggregate<'_> {
+    /// Exactly [`PatternTable::suffix_counts`] on the aggregated table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 31`.
+    pub fn counts(&self, suffix: u32, len: u32) -> SiteCounts {
+        assert!(len <= 31, "suffix length exceeds 31 bits");
+        if len > self.max_len {
+            return self.table.suffix_counts(suffix, len);
+        }
+        let mask = if len == 0 { 0 } else { (1u32 << len) - 1 };
+        self.levels[len as usize][(suffix & mask) as usize]
+    }
+}
+
+/// Largest dense scratch (in `SiteCounts` entries) the batched builders
+/// will allocate before falling back to per-event hashing. Shared with the
+/// fused analytics pass so both take the dense/sparse fork at the same
+/// threshold.
+pub(crate) const MAX_SCRATCH_ENTRIES: usize = 1 << 22;
 
 /// Pattern tables for every site of one trace, built with a given history
 /// kind and length.
@@ -148,7 +325,6 @@ impl PatternTableSet {
         // add per event — and compact into the hash-backed tables at the
         // end. Otherwise (long histories or huge site ranges) fall back
         // to the per-event hash path.
-        const MAX_SCRATCH_ENTRIES: usize = 1 << 22;
         let dense = n_sites
             .checked_mul(1usize << bits)
             .is_some_and(|entries| entries <= MAX_SCRATCH_ENTRIES);
@@ -200,20 +376,29 @@ impl PatternTableSet {
                 }
             }
         }
-        let mut tables = Vec::with_capacity(n_sites);
-        for i in 0..n_sites {
-            let row = &scratch[i << bits..(i + 1) << bits];
-            let mut table = PatternTable::default();
-            for (pattern, &c) in row.iter().enumerate() {
-                let total = c.total();
-                if total > 0 {
-                    table.counts.insert(pattern as u32, c);
-                    table.executions += total;
-                }
-            }
-            tables.push(table);
+        compact_scratch(&scratch, n_sites, bits)
+    }
+
+    /// Assembles a set from a dense per-site scratch, exactly as
+    /// [`PatternTableSet::build`]'s dense path would after its event walk.
+    /// The fused analytics pass accumulates the same scratch layout
+    /// (`scratch[site << bits | history]`) during its single traversal and
+    /// hands it here for compaction.
+    pub(crate) fn from_dense_scratch(
+        kind: HistoryKind,
+        bits: u32,
+        scratch: &[SiteCounts],
+        n_sites: usize,
+        total_events: u64,
+    ) -> Self {
+        assert!((1..=16).contains(&bits), "history bits must be in 1..=16");
+        debug_assert_eq!(scratch.len(), n_sites << bits);
+        PatternTableSet {
+            kind,
+            bits,
+            tables: compact_scratch(scratch, n_sites, bits),
+            total_events,
         }
-        tables
     }
 
     /// Event-by-event hash-table build — the fallback when the dense
@@ -282,6 +467,51 @@ impl PatternTableSet {
         r
     }
 
+    /// Derives the `bits`-length set of the same trace and history kind
+    /// by suffix aggregation, without re-walking the trace.
+    ///
+    /// This is exact, not an approximation: every history register starts
+    /// at all-zeros and shifts in the same outcome bits, so at every event
+    /// the `bits`-length history equals the low `bits` bits of the longer
+    /// history (induction: `h_k' = (h_k << 1 | b) & mask_k = (h_full' &
+    /// mask_k)`). Folding each table's counts over the low `bits` bits of
+    /// its patterns therefore reproduces [`PatternTableSet::build`] with
+    /// the shorter length — counts, executions, used-pattern sets and fill
+    /// rates all included.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= self.bits()`.
+    pub fn aggregated(&self, bits: u32) -> PatternTableSet {
+        assert!(
+            bits >= 1 && bits <= self.bits,
+            "aggregated length must be in 1..=bits()"
+        );
+        let mask: u32 = (1 << bits) - 1;
+        let tables = self
+            .tables
+            .iter()
+            .map(|t| {
+                let mut counts: HashMap<u32, SiteCounts> = HashMap::new();
+                for (&p, c) in &t.counts {
+                    let e = counts.entry(p & mask).or_default();
+                    e.taken += c.taken;
+                    e.not_taken += c.not_taken;
+                }
+                PatternTable {
+                    counts,
+                    executions: t.executions,
+                }
+            })
+            .collect();
+        PatternTableSet {
+            kind: self.kind,
+            bits,
+            tables,
+            total_events: self.total_events,
+        }
+    }
+
     /// Average pattern-table fill rate over executed branches, in percent —
     /// Table 2 of the paper. A site that observed `u` distinct patterns out
     /// of `2^bits` contributes `100·u/2^bits`.
@@ -299,6 +529,26 @@ impl PatternTableSet {
             sum / n as f64
         }
     }
+}
+
+/// Compacts a dense per-site scratch (`scratch[site << bits | pattern]`)
+/// into hash-backed tables, keeping only observed patterns — the shared
+/// tail of every dense build path.
+fn compact_scratch(scratch: &[SiteCounts], n_sites: usize, bits: u32) -> Vec<PatternTable> {
+    let mut tables = Vec::with_capacity(n_sites);
+    for i in 0..n_sites {
+        let row = &scratch[i << bits..(i + 1) << bits];
+        let mut table = PatternTable::default();
+        for (pattern, &c) in row.iter().enumerate() {
+            let total = c.total();
+            if total > 0 {
+                table.counts.insert(pattern as u32, c);
+                table.executions += total;
+            }
+        }
+        tables.push(table);
+    }
+    tables
 }
 
 #[cfg(test)]
@@ -446,6 +696,99 @@ mod tests {
                 assert_eq!(dense, sparse, "kind={kind:?} bits={bits}");
             }
         }
+    }
+
+    #[test]
+    fn from_outcomes_equals_single_site_build() {
+        let mut state = 0xfeed_face_cafe_f00du64;
+        for n in [0usize, 1, 100, 5000] {
+            let dirs: Vec<bool> = (0..n)
+                .map(|_| {
+                    state ^= state >> 12;
+                    state ^= state << 25;
+                    state ^= state >> 27;
+                    state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63 == 1
+                })
+                .collect();
+            for bits in [1, 4, 9] {
+                let direct = PatternTable::from_outcomes(dirs.iter().copied(), bits);
+                let t: Trace = dirs.iter().map(|&d| ev(0, d)).collect();
+                let via_set = PatternTableSet::build(&t, HistoryKind::Local, bits);
+                match via_set.site(BranchId(0)) {
+                    Some(table) => assert_eq!(&direct, table, "n={n} bits={bits}"),
+                    None => assert_eq!(direct.executions(), 0),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complement_single_site_equals_inverted_rebuild() {
+        let mut state = 0x0dd0_b0a7_1234_5678u64;
+        for n in [0usize, 1, 3, 8, 9, 10, 100, 5000] {
+            let dirs: Vec<bool> = (0..n)
+                .map(|_| {
+                    state ^= state >> 12;
+                    state ^= state << 25;
+                    state ^= state >> 27;
+                    state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63 == 1
+                })
+                .collect();
+            for bits in [1u32, 4, 9] {
+                let table = PatternTable::from_outcomes(dirs.iter().copied(), bits);
+                let warmup: Vec<bool> = dirs.iter().copied().take(bits as usize).collect();
+                let derived = table.complement_single_site(bits, &warmup);
+                let rebuilt = PatternTable::from_outcomes(dirs.iter().map(|&d| !d), bits);
+                assert_eq!(derived, rebuilt, "n={n} bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_aggregate_matches_scan() {
+        let dirs: Vec<bool> = (0..4000).map(|i| matches!(i % 7, 0 | 2 | 3)).collect();
+        let table = PatternTable::from_outcomes(dirs.iter().copied(), 9);
+        let agg = table.suffix_aggregate(9);
+        for len in 0..=10u32 {
+            for suffix in [0u32, 1, 2, 5, 0b1_0110, 0b1_1111_1111, 0b11_0000_0001] {
+                assert_eq!(
+                    agg.counts(suffix, len),
+                    table.suffix_counts(suffix, len),
+                    "suffix={suffix:b} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggregated_equals_direct_build() {
+        // Suffix aggregation of a 9-bit set must reproduce the directly
+        // built k-bit set for every k, both history kinds, including
+        // warmup events and multi-site interleavings.
+        let mut state = 0xbead_cafe_0042_9001u64;
+        let mut trace = Trace::new();
+        for _ in 0..40_000 {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            trace.push(ev((r % 11) as u32, r & (1 << 40) != 0));
+        }
+        for kind in [HistoryKind::Global, HistoryKind::Local] {
+            let full = PatternTableSet::build(&trace, kind, 9);
+            for bits in 1..=9u32 {
+                let direct = PatternTableSet::build(&trace, kind, bits);
+                assert_eq!(full.aggregated(bits), direct, "kind={kind:?} bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregated length")]
+    fn aggregated_beyond_built_length_rejected() {
+        let t = alternating(10);
+        let pts = PatternTableSet::build(&t, HistoryKind::Local, 4);
+        let _ = pts.aggregated(5);
     }
 
     #[test]

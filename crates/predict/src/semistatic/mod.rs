@@ -8,7 +8,7 @@
 
 mod profile;
 
-pub use profile::{profile_prediction, profile_report};
+pub use profile::{profile_prediction, profile_report, profile_report_from_stats};
 
 use brepl_trace::Trace;
 

@@ -19,7 +19,14 @@ pub fn profile_prediction(stats: &TraceStats) -> StaticPrediction {
 /// The profile-prediction report for a trace in closed form: every site
 /// mispredicts exactly its minority count.
 pub fn profile_report(trace: &Trace) -> Report {
-    let stats = trace.stats();
+    profile_report_from_stats(&trace.stats())
+}
+
+/// [`profile_report`] from already-computed statistics — the closed form
+/// needs nothing but the per-site counts, so callers that hold a
+/// [`TraceStats`] (the fused analytics pass, the pipeline) skip the trace
+/// walk entirely.
+pub fn profile_report_from_stats(stats: &TraceStats) -> Report {
     let mut r = Report::new();
     for (site, counts) in stats.iter_executed() {
         r.record_bulk(site, counts.total(), counts.minority_count());

@@ -110,11 +110,208 @@ pub(crate) enum Op {
         else_pc: u32,
         site: BranchId,
     },
+    /// Fused compare-and-branch: a block whose last instruction is the
+    /// `Cmp` producing the terminator's condition register dispatches
+    /// once for both. Costs two steps (the compare and the branch,
+    /// fuel-checked separately) and still writes the compare's
+    /// destination register, so it is observably the unfused pair.
+    CmpBr {
+        op: CmpOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        then_pc: u32,
+        else_pc: u32,
+        site: BranchId,
+    },
+    /// An unconditional jump, pre-threaded through any chain of further
+    /// jump-only blocks: `target` is the end of the chain and `count` the
+    /// number of jumps collapsed (each still costs one step, so fuel
+    /// accounting is unchanged).
     Jmp {
         target: u32,
+        count: u32,
     },
     Ret {
         value: u32,
+    },
+    /// Two consecutive `Bin`s in one dispatch. The second op's slot keeps
+    /// its plain form (a call can still return into it); the fused head
+    /// executes both, fuel-checking between them, and skips two slots.
+    BinBin {
+        a_op: BinOp,
+        a_dst: u32,
+        a_lhs: u32,
+        a_rhs: u32,
+        b_op: BinOp,
+        b_dst: u32,
+        b_lhs: u32,
+        b_rhs: u32,
+    },
+    /// A `Bin` feeding straight into a `Load` — the dominant addressing
+    /// idiom (`mul`/`add` then `load`). Same slot discipline as
+    /// [`Op::BinBin`].
+    BinLoad {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        l_dst: u32,
+        l_addr: u32,
+    },
+    /// A block-closing `Bin` fused with the (already threaded) `Jmp`
+    /// terminator that follows it — the back-edge of nearly every loop
+    /// body.
+    BinJmp {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        target: u32,
+        count: u32,
+    },
+    /// A mid-block `Cmp` feeding a following `Bin` in one dispatch —
+    /// the flag-then-arithmetic idiom. Same slot discipline as
+    /// [`Op::BinBin`].
+    CmpBin {
+        c_op: CmpOp,
+        c_dst: u32,
+        c_lhs: u32,
+        c_rhs: u32,
+        b_op: BinOp,
+        b_dst: u32,
+        b_lhs: u32,
+        b_rhs: u32,
+    },
+    /// A `Bin` feeding a following `Store` — the compute-address (or
+    /// compute-value) half of nearly every heap write.
+    BinStore {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        s_addr: u32,
+        s_value: u32,
+    },
+    /// A block-closing `Bin` fused with the conditional branch after it.
+    /// The condition register is whatever the `Br` read — produced
+    /// earlier in the block or in a predecessor — so unlike
+    /// [`Op::CmpBr`] no compare runs here.
+    BinBr {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        cond: u32,
+        then_pc: u32,
+        else_pc: u32,
+        site: BranchId,
+    },
+    /// A `Load` feeding the fused compare-and-branch that closes the
+    /// block — the search-loop idiom (`load; cmp; br`). Costs three
+    /// steps, each fuel-checked in original order.
+    LoadCmpBr {
+        l_dst: u32,
+        l_addr: u32,
+        op: CmpOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        then_pc: u32,
+        else_pc: u32,
+        site: BranchId,
+    },
+    /// Two consecutive `Const`s in one dispatch — loop-preheader
+    /// initialization runs. Same slot discipline as [`Op::BinBin`].
+    ConstConst {
+        a_dst: u32,
+        a_value: Value,
+        b_dst: u32,
+        b_value: Value,
+    },
+    /// A block-closing `Const` fused with the (threaded) `Jmp` after it.
+    ConstJmp {
+        dst: u32,
+        value: Value,
+        target: u32,
+        count: u32,
+    },
+    /// A `Copy` feeding the fused compare-and-branch that closes the
+    /// block. Three steps, like [`Op::LoadCmpBr`].
+    CopyCmpBr {
+        dst: u32,
+        src: u32,
+        c_op: CmpOp,
+        c_dst: u32,
+        c_lhs: u32,
+        c_rhs: u32,
+        then_pc: u32,
+        else_pc: u32,
+        site: BranchId,
+    },
+    /// A `Bin` feeding the fused compare-and-branch — the canonical
+    /// loop latch (`i += step; cmp i, n; br`). Three steps, like
+    /// [`Op::LoadCmpBr`].
+    BinCmpBr {
+        a_op: BinOp,
+        a_dst: u32,
+        a_lhs: u32,
+        a_rhs: u32,
+        c_op: CmpOp,
+        c_dst: u32,
+        c_lhs: u32,
+        c_rhs: u32,
+        then_pc: u32,
+        else_pc: u32,
+        site: BranchId,
+    },
+    /// Triple: two `Bin`s closing a block plus its (threaded) `Jmp` —
+    /// the two-instruction loop body falling into its back-edge. The
+    /// head executes all three; the two tail slots keep their own
+    /// (pair-fused) forms for direct entry.
+    BinBinJmp {
+        a_op: BinOp,
+        a_dst: u32,
+        a_lhs: u32,
+        a_rhs: u32,
+        b_op: BinOp,
+        b_dst: u32,
+        b_lhs: u32,
+        b_rhs: u32,
+        target: u32,
+        count: u32,
+    },
+    /// Triple: a `Cmp`, a `Bin`, and the conditional branch closing the
+    /// block — the compare whose flag survives one arithmetic op before
+    /// being branched on. Same slot discipline as [`Op::BinBinJmp`].
+    CmpBinBr {
+        c_op: CmpOp,
+        c_dst: u32,
+        c_lhs: u32,
+        c_rhs: u32,
+        b_op: BinOp,
+        b_dst: u32,
+        b_lhs: u32,
+        b_rhs: u32,
+        cond: u32,
+        then_pc: u32,
+        else_pc: u32,
+        site: BranchId,
+    },
+    /// Triple: a `Load` feeding a `Cmp` feeding a `Bin` — the
+    /// scan-and-accumulate inner-loop run. Same slot discipline as
+    /// [`Op::BinBinJmp`]; advances three slots.
+    LoadCmpBin {
+        l_dst: u32,
+        l_addr: u32,
+        c_op: CmpOp,
+        c_dst: u32,
+        c_lhs: u32,
+        c_rhs: u32,
+        b_op: BinOp,
+        b_dst: u32,
+        b_lhs: u32,
+        b_rhs: u32,
     },
 }
 
@@ -161,10 +358,358 @@ impl ExecModule {
                     exec.ops.push(op);
                 }
                 let term = exec.decode_term(&b.term, &block_pcs);
-                exec.ops.push(term);
+                exec.fuse_cmp_br(b, term);
             }
         }
+        exec.thread_jumps();
+        exec.fuse_triples();
+        exec.fuse_pairs();
         exec
+    }
+
+    /// Rewrites three-op straight-line runs into one dispatch, before the
+    /// pair pass so the pair pass can still fuse the tail slots for
+    /// direct entry. Same overlap discipline as [`ExecModule::fuse_pairs`]:
+    /// every slot keeps an op executing the original sequence from there.
+    fn fuse_triples(&mut self) {
+        for i in 0..self.ops.len().saturating_sub(2) {
+            let fused = match (&self.ops[i], &self.ops[i + 1], &self.ops[i + 2]) {
+                (
+                    &Op::Bin { op, dst, lhs, rhs },
+                    &Op::Bin {
+                        op: b_op,
+                        dst: b_dst,
+                        lhs: b_lhs,
+                        rhs: b_rhs,
+                    },
+                    &Op::Jmp { target, count },
+                ) => Op::BinBinJmp {
+                    a_op: op,
+                    a_dst: dst,
+                    a_lhs: lhs,
+                    a_rhs: rhs,
+                    b_op,
+                    b_dst,
+                    b_lhs,
+                    b_rhs,
+                    target,
+                    count,
+                },
+                (
+                    &Op::Cmp { op, dst, lhs, rhs },
+                    &Op::Bin {
+                        op: b_op,
+                        dst: b_dst,
+                        lhs: b_lhs,
+                        rhs: b_rhs,
+                    },
+                    &Op::Br {
+                        cond,
+                        then_pc,
+                        else_pc,
+                        site,
+                    },
+                ) => Op::CmpBinBr {
+                    c_op: op,
+                    c_dst: dst,
+                    c_lhs: lhs,
+                    c_rhs: rhs,
+                    b_op,
+                    b_dst,
+                    b_lhs,
+                    b_rhs,
+                    cond,
+                    then_pc,
+                    else_pc,
+                    site,
+                },
+                (
+                    &Op::Load {
+                        dst: l_dst,
+                        addr: l_addr,
+                    },
+                    &Op::Cmp { op, dst, lhs, rhs },
+                    &Op::Bin {
+                        op: b_op,
+                        dst: b_dst,
+                        lhs: b_lhs,
+                        rhs: b_rhs,
+                    },
+                ) => Op::LoadCmpBin {
+                    l_dst,
+                    l_addr,
+                    c_op: op,
+                    c_dst: dst,
+                    c_lhs: lhs,
+                    c_rhs: rhs,
+                    b_op,
+                    b_dst,
+                    b_lhs,
+                    b_rhs,
+                },
+                _ => continue,
+            };
+            self.ops[i] = fused;
+        }
+    }
+
+    /// Rewrites every op whose successor slot forms a fusable pair into
+    /// the two-in-one superinstruction. Rewrites overlap deliberately: a
+    /// run `a b c` becomes `ab bc c`, and whichever slot control enters
+    /// (fallthrough, branch target, or a call's return pc) executes the
+    /// original sequence — a fused head performs both ops and advances
+    /// two slots (or jumps away, for terminator-tailed fusions). Pairs of
+    /// instruction-kind ops never span a block boundary; the `Jmp`-, `Br`-
+    /// and `CmpBr`-tailed cases fuse a block's last instruction with its
+    /// own terminator, which also cannot cross blocks.
+    fn fuse_pairs(&mut self) {
+        for i in 0..self.ops.len().saturating_sub(1) {
+            let fused = match (&self.ops[i], &self.ops[i + 1]) {
+                (
+                    &Op::Bin { op, dst, lhs, rhs },
+                    &Op::Bin {
+                        op: b_op,
+                        dst: b_dst,
+                        lhs: b_lhs,
+                        rhs: b_rhs,
+                    },
+                ) => Op::BinBin {
+                    a_op: op,
+                    a_dst: dst,
+                    a_lhs: lhs,
+                    a_rhs: rhs,
+                    b_op,
+                    b_dst,
+                    b_lhs,
+                    b_rhs,
+                },
+                (
+                    &Op::Bin { op, dst, lhs, rhs },
+                    &Op::Load {
+                        dst: l_dst,
+                        addr: l_addr,
+                    },
+                ) => Op::BinLoad {
+                    op,
+                    dst,
+                    lhs,
+                    rhs,
+                    l_dst,
+                    l_addr,
+                },
+                (&Op::Bin { op, dst, lhs, rhs }, &Op::Jmp { target, count }) => Op::BinJmp {
+                    op,
+                    dst,
+                    lhs,
+                    rhs,
+                    target,
+                    count,
+                },
+                (
+                    &Op::Bin { op, dst, lhs, rhs },
+                    &Op::Store {
+                        addr: s_addr,
+                        value: s_value,
+                    },
+                ) => Op::BinStore {
+                    op,
+                    dst,
+                    lhs,
+                    rhs,
+                    s_addr,
+                    s_value,
+                },
+                (
+                    &Op::Bin { op, dst, lhs, rhs },
+                    &Op::Br {
+                        cond,
+                        then_pc,
+                        else_pc,
+                        site,
+                    },
+                ) => Op::BinBr {
+                    op,
+                    dst,
+                    lhs,
+                    rhs,
+                    cond,
+                    then_pc,
+                    else_pc,
+                    site,
+                },
+                (
+                    &Op::Bin { op, dst, lhs, rhs },
+                    &Op::CmpBr {
+                        op: c_op,
+                        dst: c_dst,
+                        lhs: c_lhs,
+                        rhs: c_rhs,
+                        then_pc,
+                        else_pc,
+                        site,
+                    },
+                ) => Op::BinCmpBr {
+                    a_op: op,
+                    a_dst: dst,
+                    a_lhs: lhs,
+                    a_rhs: rhs,
+                    c_op,
+                    c_dst,
+                    c_lhs,
+                    c_rhs,
+                    then_pc,
+                    else_pc,
+                    site,
+                },
+                (
+                    &Op::Cmp { op, dst, lhs, rhs },
+                    &Op::Bin {
+                        op: b_op,
+                        dst: b_dst,
+                        lhs: b_lhs,
+                        rhs: b_rhs,
+                    },
+                ) => Op::CmpBin {
+                    c_op: op,
+                    c_dst: dst,
+                    c_lhs: lhs,
+                    c_rhs: rhs,
+                    b_op,
+                    b_dst,
+                    b_lhs,
+                    b_rhs,
+                },
+                (
+                    &Op::Load {
+                        dst: l_dst,
+                        addr: l_addr,
+                    },
+                    &Op::CmpBr {
+                        op,
+                        dst,
+                        lhs,
+                        rhs,
+                        then_pc,
+                        else_pc,
+                        site,
+                    },
+                ) => Op::LoadCmpBr {
+                    l_dst,
+                    l_addr,
+                    op,
+                    dst,
+                    lhs,
+                    rhs,
+                    then_pc,
+                    else_pc,
+                    site,
+                },
+                (
+                    &Op::Const { dst, value },
+                    &Op::Const {
+                        dst: b_dst,
+                        value: b_value,
+                    },
+                ) => Op::ConstConst {
+                    a_dst: dst,
+                    a_value: value,
+                    b_dst,
+                    b_value,
+                },
+                (&Op::Const { dst, value }, &Op::Jmp { target, count }) => Op::ConstJmp {
+                    dst,
+                    value,
+                    target,
+                    count,
+                },
+                (
+                    &Op::Copy { dst, src },
+                    &Op::CmpBr {
+                        op,
+                        dst: c_dst,
+                        lhs,
+                        rhs,
+                        then_pc,
+                        else_pc,
+                        site,
+                    },
+                ) => Op::CopyCmpBr {
+                    dst,
+                    src,
+                    c_op: op,
+                    c_dst,
+                    c_lhs: lhs,
+                    c_rhs: rhs,
+                    then_pc,
+                    else_pc,
+                    site,
+                },
+                _ => continue,
+            };
+            self.ops[i] = fused;
+        }
+    }
+
+    /// Pushes the decoded terminator, fusing it into the preceding `Cmp`
+    /// when that compare is the block's last instruction and produces the
+    /// branch condition. The terminator slot keeps the plain `Br` so the
+    /// block layout (and every pc) is unchanged; the fused case never
+    /// reaches it, because the `CmpBr` slot jumps away.
+    fn fuse_cmp_br(&mut self, block: &brepl_ir::Block, term: Op) {
+        if let Op::Br {
+            cond,
+            then_pc,
+            else_pc,
+            site,
+        } = term
+        {
+            if cond & IMM_BIT == 0 && !block.insts.is_empty() {
+                if let Some(&Op::Cmp { op, dst, lhs, rhs }) = self.ops.last() {
+                    if dst == cond {
+                        *self.ops.last_mut().expect("just matched") = Op::CmpBr {
+                            op,
+                            dst,
+                            lhs,
+                            rhs,
+                            then_pc,
+                            else_pc,
+                            site,
+                        };
+                    }
+                }
+            }
+        }
+        self.ops.push(term);
+    }
+
+    /// Collapses chains of jump-only blocks: a `Jmp` whose target is
+    /// another `Jmp` is rewritten to point at the end of the chain,
+    /// carrying the number of jumps folded so the run loop burns the same
+    /// fuel. Chains are capped (cycles of empty blocks stay partially
+    /// threaded and spin at run time exactly as before, until fuel runs
+    /// out).
+    fn thread_jumps(&mut self) {
+        const MAX_CHAIN: u32 = 64;
+        for pc in 0..self.ops.len() {
+            let Op::Jmp { target, .. } = self.ops[pc] else {
+                continue;
+            };
+            let mut t = target;
+            let mut count = 1u32;
+            while count < MAX_CHAIN {
+                match self.ops[t as usize] {
+                    Op::Jmp {
+                        target: next,
+                        count: c,
+                    } if t as usize != pc => {
+                        t = next;
+                        count += c;
+                    }
+                    _ => break,
+                }
+            }
+            self.ops[pc] = Op::Jmp { target: t, count };
+        }
     }
 
     fn pack(&mut self, o: Operand) -> u32 {
@@ -291,6 +836,7 @@ impl ExecModule {
             },
             Term::Jmp { target } => Op::Jmp {
                 target: block_pcs[target.index()],
+                count: 1,
             },
             Term::Ret { value } => Op::Ret {
                 value: value.map_or(NONE, |o| self.pack(o)),
@@ -548,8 +1094,363 @@ pub(crate) fn run(
                 trace.push(TraceEvent { site: *site, taken });
                 pc = if taken { *then_pc } else { *else_pc } as usize;
             }
-            Op::Jmp { target } => {
+            Op::CmpBr {
+                op,
+                dst,
+                lhs,
+                rhs,
+                then_pc,
+                else_pc,
+                site,
+            } => {
+                let a = rd(regs, consts, base, *lhs);
+                let b = rd(regs, consts, base, *rhs);
+                let taken = eval_cmp(*op, a, b)?;
+                regs[base + *dst as usize] = Value::Int(i64::from(taken));
+                // The branch is its own step, checked against fuel before
+                // it runs — exactly as the unfused pair would.
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                trace.push(TraceEvent { site: *site, taken });
+                pc = if taken { *then_pc } else { *else_pc } as usize;
+            }
+            Op::Jmp { target, count } => {
+                // `count - 1` threaded jumps ride along; each was one step.
+                steps += u64::from(*count) - 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
                 pc = *target as usize;
+            }
+            Op::BinBin {
+                a_op,
+                a_dst,
+                a_lhs,
+                a_rhs,
+                b_op,
+                b_dst,
+                b_lhs,
+                b_rhs,
+            } => {
+                let a = rd(regs, consts, base, *a_lhs);
+                let b = rd(regs, consts, base, *a_rhs);
+                regs[base + *a_dst as usize] = eval_bin(*a_op, a, b)?;
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                let a = rd(regs, consts, base, *b_lhs);
+                let b = rd(regs, consts, base, *b_rhs);
+                regs[base + *b_dst as usize] = eval_bin(*b_op, a, b)?;
+                pc += 2;
+            }
+            Op::BinLoad {
+                op,
+                dst,
+                lhs,
+                rhs,
+                l_dst,
+                l_addr,
+            } => {
+                let a = rd(regs, consts, base, *lhs);
+                let b = rd(regs, consts, base, *rhs);
+                regs[base + *dst as usize] = eval_bin(*op, a, b)?;
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                let a = addr_of(rd(regs, consts, base, *l_addr), heap_limit)?;
+                regs[base + *l_dst as usize] = heap.get(a).copied().unwrap_or(Value::Int(0));
+                pc += 2;
+            }
+            Op::BinJmp {
+                op,
+                dst,
+                lhs,
+                rhs,
+                target,
+                count,
+            } => {
+                let a = rd(regs, consts, base, *lhs);
+                let b = rd(regs, consts, base, *rhs);
+                regs[base + *dst as usize] = eval_bin(*op, a, b)?;
+                steps += u64::from(*count);
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                pc = *target as usize;
+            }
+            Op::CmpBin {
+                c_op,
+                c_dst,
+                c_lhs,
+                c_rhs,
+                b_op,
+                b_dst,
+                b_lhs,
+                b_rhs,
+            } => {
+                let a = rd(regs, consts, base, *c_lhs);
+                let b = rd(regs, consts, base, *c_rhs);
+                regs[base + *c_dst as usize] = Value::Int(i64::from(eval_cmp(*c_op, a, b)?));
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                let a = rd(regs, consts, base, *b_lhs);
+                let b = rd(regs, consts, base, *b_rhs);
+                regs[base + *b_dst as usize] = eval_bin(*b_op, a, b)?;
+                pc += 2;
+            }
+            Op::BinStore {
+                op,
+                dst,
+                lhs,
+                rhs,
+                s_addr,
+                s_value,
+            } => {
+                let a = rd(regs, consts, base, *lhs);
+                let b = rd(regs, consts, base, *rhs);
+                regs[base + *dst as usize] = eval_bin(*op, a, b)?;
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                let a = addr_of(rd(regs, consts, base, *s_addr), heap_limit)?;
+                let v = rd(regs, consts, base, *s_value);
+                if a >= heap.len() {
+                    let grown = (a + 1).max(heap.len() * 2).min(heap_limit);
+                    heap.resize(grown, Value::Int(0));
+                }
+                heap[a] = v;
+                pc += 2;
+            }
+            Op::BinBr {
+                op,
+                dst,
+                lhs,
+                rhs,
+                cond,
+                then_pc,
+                else_pc,
+                site,
+            } => {
+                let a = rd(regs, consts, base, *lhs);
+                let b = rd(regs, consts, base, *rhs);
+                regs[base + *dst as usize] = eval_bin(*op, a, b)?;
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                let taken = rd(regs, consts, base, *cond).is_truthy();
+                trace.push(TraceEvent { site: *site, taken });
+                pc = if taken { *then_pc } else { *else_pc } as usize;
+            }
+            Op::LoadCmpBr {
+                l_dst,
+                l_addr,
+                op,
+                dst,
+                lhs,
+                rhs,
+                then_pc,
+                else_pc,
+                site,
+            } => {
+                let a = addr_of(rd(regs, consts, base, *l_addr), heap_limit)?;
+                regs[base + *l_dst as usize] = heap.get(a).copied().unwrap_or(Value::Int(0));
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                let a = rd(regs, consts, base, *lhs);
+                let b = rd(regs, consts, base, *rhs);
+                let taken = eval_cmp(*op, a, b)?;
+                regs[base + *dst as usize] = Value::Int(i64::from(taken));
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                trace.push(TraceEvent { site: *site, taken });
+                pc = if taken { *then_pc } else { *else_pc } as usize;
+            }
+            Op::ConstConst {
+                a_dst,
+                a_value,
+                b_dst,
+                b_value,
+            } => {
+                regs[base + *a_dst as usize] = *a_value;
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                regs[base + *b_dst as usize] = *b_value;
+                pc += 2;
+            }
+            Op::ConstJmp {
+                dst,
+                value,
+                target,
+                count,
+            } => {
+                regs[base + *dst as usize] = *value;
+                steps += u64::from(*count);
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                pc = *target as usize;
+            }
+            Op::CopyCmpBr {
+                dst,
+                src,
+                c_op,
+                c_dst,
+                c_lhs,
+                c_rhs,
+                then_pc,
+                else_pc,
+                site,
+            } => {
+                regs[base + *dst as usize] = rd(regs, consts, base, *src);
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                let a = rd(regs, consts, base, *c_lhs);
+                let b = rd(regs, consts, base, *c_rhs);
+                let taken = eval_cmp(*c_op, a, b)?;
+                regs[base + *c_dst as usize] = Value::Int(i64::from(taken));
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                trace.push(TraceEvent { site: *site, taken });
+                pc = if taken { *then_pc } else { *else_pc } as usize;
+            }
+            Op::BinCmpBr {
+                a_op,
+                a_dst,
+                a_lhs,
+                a_rhs,
+                c_op,
+                c_dst,
+                c_lhs,
+                c_rhs,
+                then_pc,
+                else_pc,
+                site,
+            } => {
+                let a = rd(regs, consts, base, *a_lhs);
+                let b = rd(regs, consts, base, *a_rhs);
+                regs[base + *a_dst as usize] = eval_bin(*a_op, a, b)?;
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                let a = rd(regs, consts, base, *c_lhs);
+                let b = rd(regs, consts, base, *c_rhs);
+                let taken = eval_cmp(*c_op, a, b)?;
+                regs[base + *c_dst as usize] = Value::Int(i64::from(taken));
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                trace.push(TraceEvent { site: *site, taken });
+                pc = if taken { *then_pc } else { *else_pc } as usize;
+            }
+            Op::BinBinJmp {
+                a_op,
+                a_dst,
+                a_lhs,
+                a_rhs,
+                b_op,
+                b_dst,
+                b_lhs,
+                b_rhs,
+                target,
+                count,
+            } => {
+                let a = rd(regs, consts, base, *a_lhs);
+                let b = rd(regs, consts, base, *a_rhs);
+                regs[base + *a_dst as usize] = eval_bin(*a_op, a, b)?;
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                let a = rd(regs, consts, base, *b_lhs);
+                let b = rd(regs, consts, base, *b_rhs);
+                regs[base + *b_dst as usize] = eval_bin(*b_op, a, b)?;
+                steps += u64::from(*count);
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                pc = *target as usize;
+            }
+            Op::CmpBinBr {
+                c_op,
+                c_dst,
+                c_lhs,
+                c_rhs,
+                b_op,
+                b_dst,
+                b_lhs,
+                b_rhs,
+                cond,
+                then_pc,
+                else_pc,
+                site,
+            } => {
+                let a = rd(regs, consts, base, *c_lhs);
+                let b = rd(regs, consts, base, *c_rhs);
+                regs[base + *c_dst as usize] = Value::Int(i64::from(eval_cmp(*c_op, a, b)?));
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                let a = rd(regs, consts, base, *b_lhs);
+                let b = rd(regs, consts, base, *b_rhs);
+                regs[base + *b_dst as usize] = eval_bin(*b_op, a, b)?;
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                let taken = rd(regs, consts, base, *cond).is_truthy();
+                trace.push(TraceEvent { site: *site, taken });
+                pc = if taken { *then_pc } else { *else_pc } as usize;
+            }
+            Op::LoadCmpBin {
+                l_dst,
+                l_addr,
+                c_op,
+                c_dst,
+                c_lhs,
+                c_rhs,
+                b_op,
+                b_dst,
+                b_lhs,
+                b_rhs,
+            } => {
+                let a = addr_of(rd(regs, consts, base, *l_addr), heap_limit)?;
+                regs[base + *l_dst as usize] = heap.get(a).copied().unwrap_or(Value::Int(0));
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                let a = rd(regs, consts, base, *c_lhs);
+                let b = rd(regs, consts, base, *c_rhs);
+                regs[base + *c_dst as usize] = Value::Int(i64::from(eval_cmp(*c_op, a, b)?));
+                steps += 1;
+                if steps > fuel {
+                    return Err(RunError::OutOfFuel);
+                }
+                let a = rd(regs, consts, base, *b_lhs);
+                let b = rd(regs, consts, base, *b_rhs);
+                regs[base + *b_dst as usize] = eval_bin(*b_op, a, b)?;
+                pc += 3;
             }
             Op::Ret { value } => {
                 let v = if *value == NONE {

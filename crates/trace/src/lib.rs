@@ -26,8 +26,10 @@
 #![warn(missing_docs)]
 
 mod codec;
+mod packed;
 mod stats;
 mod trace;
 
+pub use packed::{packed_site_streams, PackedStream};
 pub use stats::{SiteCounts, TraceStats};
 pub use trace::{Trace, TraceDecodeError, TraceError, TraceEvent};

@@ -60,6 +60,16 @@ impl TraceStats {
         TraceStats { counts, total }
     }
 
+    /// Builds statistics directly from per-site counts indexed by site —
+    /// the accumulation shape of [`TraceStats::from_trace`], for callers
+    /// (like the fused analytics pass) that produce the same counts as a
+    /// by-product of another traversal. Equal to `from_trace` on any trace
+    /// whose per-site tallies match `counts`.
+    pub fn from_counts(counts: Vec<SiteCounts>) -> Self {
+        let total = counts.iter().map(SiteCounts::total).sum();
+        TraceStats { counts, total }
+    }
+
     /// Total number of events in the trace.
     pub fn total_events(&self) -> u64 {
         self.total

@@ -111,6 +111,17 @@ pub struct PipelineConfig {
     /// ship the baseline. Requires [`Self::classify`] (the estimator
     /// consumes its proofs); no-op without it.
     pub estimate: bool,
+    /// When true (default), reuse gate results across refinement and
+    /// quarantine rounds: the translation validator caches per function
+    /// and the history checker per site, keyed by a fingerprint of
+    /// everything each check reads (replicated function structure,
+    /// witness slice, provenance, machine table, shipped predictions), so
+    /// a round that only dropped a few sites re-proves only the functions
+    /// those sites live in. The emitted diagnostics — codes, sites,
+    /// rounds, messages, order — are identical to from-scratch gating;
+    /// the `BREPL_NO_INCREMENTAL` environment variable forces the
+    /// from-scratch path without a config change.
+    pub incremental: bool,
     /// When true, any gate failure aborts with a typed [`PipelineError`]
     /// — today's pre-quarantine behavior, for CI runs where a firing gate
     /// means a replicator bug to investigate, not a site to ship without.
@@ -138,6 +149,7 @@ impl Default for PipelineConfig {
             refine: true,
             classify: true,
             estimate: true,
+            incremental: true,
             strict: false,
             #[cfg(feature = "chaos")]
             chaos: None,
@@ -665,7 +677,12 @@ pub fn run_pipeline_profiled(
 
     // 3–5. Replicate, gate, measure — quarantining or backing off on
     // failure. Every retry strictly shrinks (site count, or the state
-    // count of some machine), so the loop terminates.
+    // count of some machine), so the loop terminates. Gate results carry
+    // over between rounds through `gate_cache` (identical diagnostics,
+    // functions/sites untouched by the round's drops are not re-proved);
+    // `BREPL_NO_INCREMENTAL` restores unconditional from-scratch gating.
+    let incremental = config.incremental && std::env::var_os("BREPL_NO_INCREMENTAL").is_none();
+    let mut gate_cache = brepl_analysis::GateCache::new();
     let mut round = 0usize;
     let (program, report, warnings, outcome2, output2) = loop {
         round += 1;
@@ -781,12 +798,22 @@ pub fn run_pipeline_profiled(
         // round — no execution required.
         let mut round_warnings = Vec::new();
         if config.validate {
-            let diags = validate_replication(
-                module,
-                &program.module,
-                &program.replica_map,
-                &program.predictions,
-            );
+            let diags = if incremental {
+                brepl_analysis::validate_replication_cached(
+                    module,
+                    &program.module,
+                    &program.replica_map,
+                    &program.predictions,
+                    &mut gate_cache,
+                )
+            } else {
+                validate_replication(
+                    module,
+                    &program.module,
+                    &program.replica_map,
+                    &program.predictions,
+                )
+            };
             let (errors, warns) = config.lint.partition(diags);
             if !errors.is_empty() {
                 if config.strict {
@@ -817,12 +844,22 @@ pub fn run_pipeline_profiled(
                     eng.corrupt_spec(&program, &mut spec);
                 }
             }
-            let diags = check_history(
-                &program.module,
-                &program.provenance,
-                &spec,
-                &program.predictions,
-            );
+            let diags = if incremental {
+                brepl_analysis::check_history_cached(
+                    &program.module,
+                    &program.provenance,
+                    &spec,
+                    &program.predictions,
+                    &mut gate_cache,
+                )
+            } else {
+                check_history(
+                    &program.module,
+                    &program.provenance,
+                    &spec,
+                    &program.predictions,
+                )
+            };
             let (errors, warns) = config.lint.partition(diags);
             if !errors.is_empty() {
                 if config.strict {

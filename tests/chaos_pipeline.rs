@@ -359,6 +359,57 @@ fn forged_static_profile_fires_br019_while_br001_to_br018_stay_blind() {
     }
 }
 
+/// Incremental gate re-proving is invisible: across the full workload ×
+/// chaos-point matrix, a pipeline run with the round-to-round gate cache
+/// (the default) and a from-scratch run (`incremental: false`) must agree
+/// on every observable — quarantine records (sites, gates, codes, rounds,
+/// reasons), the replicated-site set, and the shipped program bit for
+/// bit. Chaos faults are the hard case: quarantine drops change exactly
+/// one function between rounds, so the cache replays every other
+/// function's diagnostics while the dropped one re-proves.
+#[test]
+fn incremental_reproving_matches_from_scratch_across_chaos_matrix() {
+    for w in all_workloads(Scale::Small) {
+        for point in ChaosPoint::ALL {
+            for seed in 0..8u64 {
+                let config_at = |incremental: bool| PipelineConfig {
+                    incremental,
+                    chaos: Some(ChaosConfig { seed, point }),
+                    ..PipelineConfig::default()
+                };
+                let cached = run_pipeline(&w.module, &w.args, &w.input, config_at(true));
+                let scratch = run_pipeline(&w.module, &w.args, &w.input, config_at(false));
+                match (cached, scratch) {
+                    (Ok(a), Ok(b)) => {
+                        let ctx = format!("{} / {point} (seed {seed})", w.name);
+                        assert_eq!(a.quarantined, b.quarantined, "{ctx}: quarantine records");
+                        assert_eq!(a.replicated_sites, b.replicated_sites, "{ctx}: sites");
+                        assert_eq!(a.program.module, b.program.module, "{ctx}: module");
+                        assert_eq!(a.program.provenance, b.program.provenance, "{ctx}");
+                        assert_eq!(a.program.predictions, b.program.predictions, "{ctx}");
+                        assert_eq!(
+                            a.replicated_misprediction_percent, b.replicated_misprediction_percent,
+                            "{ctx}"
+                        );
+                        let fired = a.chaos_injection.is_some();
+                        if fired {
+                            // One firing seed per cell is enough coverage.
+                            break;
+                        }
+                    }
+                    (a, b) => panic!(
+                        "{} / {point} (seed {seed}): cached and scratch runs must both \
+                         succeed in default mode: {:?} vs {:?}",
+                        w.name,
+                        a.err().map(|e| e.to_string()),
+                        b.err().map(|e| e.to_string()),
+                    ),
+                }
+            }
+        }
+    }
+}
+
 /// S3: quarantine is deterministic across thread counts — serial and
 /// parallel runs of a chaos-faulted pipeline produce the identical
 /// quarantined set and bit-identical shipped program.

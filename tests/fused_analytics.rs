@@ -1,0 +1,85 @@
+//! Differential testing of the fused single-pass trace analytics
+//! ([`brepl::predict::FusedAnalytics`]) against the per-stage entry
+//! points it replaces: every product of the fused traversal must equal —
+//! `==` on the respective types, not approximately — what the staged
+//! functions compute, on the real benchmark suite and on random fuzz
+//! programs.
+
+mod common;
+
+use brepl::predict::dynamic::{LastDirection, TwoBitCounters, TwoLevel};
+use brepl::predict::semistatic::{loop_report, profile_report};
+use brepl::predict::{simulate_dynamic, FusedAnalytics, HistoryKind, PatternTableSet};
+use brepl::trace::Trace;
+use brepl::workloads::{all_workloads, Scale};
+use common::Gen;
+
+/// Asserts every fused product equals its per-stage counterpart on one
+/// trace, and that the aggregated loop tables reproduce direct builds for
+/// every history length Table 2 prints.
+fn assert_fused_matches(trace: &Trace, what: &str) {
+    let fused = FusedAnalytics::run(trace);
+    assert_eq!(fused.stats, trace.stats(), "{what}: stats");
+    assert_eq!(
+        fused.local9,
+        PatternTableSet::build(trace, HistoryKind::Local, 9),
+        "{what}: local9"
+    );
+    assert_eq!(
+        fused.global1,
+        PatternTableSet::build(trace, HistoryKind::Global, 1),
+        "{what}: global1"
+    );
+    assert_eq!(
+        fused.last_direction,
+        simulate_dynamic(&mut LastDirection::new(), trace),
+        "{what}: last direction"
+    );
+    assert_eq!(
+        fused.two_bit,
+        simulate_dynamic(&mut TwoBitCounters::new(), trace),
+        "{what}: two-bit"
+    );
+    assert_eq!(
+        fused.two_level_4k,
+        simulate_dynamic(&mut TwoLevel::paper_4k(), trace),
+        "{what}: two-level 4K"
+    );
+    assert_eq!(fused.profile, profile_report(trace), "{what}: profile");
+    for bits in 1..=9u32 {
+        assert_eq!(
+            fused.local9.aggregated(bits).report(),
+            loop_report(trace, bits),
+            "{what}: {bits}-bit loop report"
+        );
+    }
+}
+
+/// The fused pass agrees with the staged functions on every real
+/// workload's profiling trace — the exact inputs table1/table2 feed it.
+#[test]
+fn fused_matches_staged_on_all_small_workloads() {
+    for w in all_workloads(Scale::Small) {
+        let outcome = w.run().expect("workload runs clean");
+        assert_fused_matches(&outcome.trace, w.name);
+    }
+}
+
+/// The fused pass agrees on random loop programs: structurally diverse
+/// traces (nested diamonds, varying trip counts) the handwritten suite
+/// does not cover.
+#[test]
+fn fused_matches_staged_on_fuzz_modules() {
+    let mut g = Gen::new(0x00F0_5EDA_11A1_u64);
+    for i in 0..12u64 {
+        let seed = g.next();
+        let diamonds = (i % 4 + 1) as usize;
+        let trip = 30 + (g.below(50) as i64);
+        let m = common::random_loop_module(seed, diamonds, trip);
+        let run = brepl::sim::Machine::new(&m, brepl::sim::RunConfig::default())
+            .expect("machine constructs")
+            .run("main", &[])
+            .expect("fuzz module runs clean");
+        assert_fused_matches(&run.trace, &format!("fuzz seed={seed}"));
+    }
+}
