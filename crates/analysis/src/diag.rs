@@ -103,6 +103,15 @@ pub enum DiagCode {
     /// budget or hit irreducible control flow; estimates for the affected
     /// function are withheld (fail closed).
     EstimateFixpointFailure,
+    /// `BR023` — a runtime re-specialization patch was rejected: it failed
+    /// the BR001–BR012 re-proof before commit, contradicted a statically
+    /// proved direction, or was rolled back after failing to improve
+    /// measured misprediction within its verification window.
+    PatchRejected,
+    /// `BR024` — a site's patches keep reversing or failing verification
+    /// (the input distribution is oscillating faster than the adaptation
+    /// window); the site is quarantined from further re-patching.
+    FlappingSite,
 }
 
 impl DiagCode {
@@ -131,6 +140,8 @@ impl DiagCode {
             DiagCode::EstimateUnreachableMass => "BR020",
             DiagCode::EstimateConservationViolation => "BR021",
             DiagCode::EstimateFixpointFailure => "BR022",
+            DiagCode::PatchRejected => "BR023",
+            DiagCode::FlappingSite => "BR024",
         }
     }
 
@@ -159,12 +170,14 @@ impl DiagCode {
             DiagCode::EstimateUnreachableMass => "estimate-unreachable-mass",
             DiagCode::EstimateConservationViolation => "estimate-conservation-violation",
             DiagCode::EstimateFixpointFailure => "estimate-fixpoint-failure",
+            DiagCode::PatchRejected => "patch-rejected",
+            DiagCode::FlappingSite => "flapping-site",
         }
     }
 
     /// Every code, in `BR001..` order — the index in this array is the
     /// code's position in [`LintConfig`]'s override table.
-    pub const ALL: [DiagCode; 22] = [
+    pub const ALL: [DiagCode; 24] = [
         DiagCode::UnreachableReplica,
         DiagCode::DeadStore,
         DiagCode::UseBeforeDef,
@@ -187,6 +200,8 @@ impl DiagCode {
         DiagCode::EstimateUnreachableMass,
         DiagCode::EstimateConservationViolation,
         DiagCode::EstimateFixpointFailure,
+        DiagCode::PatchRejected,
+        DiagCode::FlappingSite,
     ];
 
     /// The code's index into [`DiagCode::ALL`].
@@ -214,6 +229,8 @@ impl DiagCode {
             DiagCode::EstimateUnreachableMass => 19,
             DiagCode::EstimateConservationViolation => 20,
             DiagCode::EstimateFixpointFailure => 21,
+            DiagCode::PatchRejected => 22,
+            DiagCode::FlappingSite => 23,
         }
     }
 
@@ -229,7 +246,8 @@ impl DiagCode {
             | DiagCode::DeadStore
             | DiagCode::UseBeforeDef
             | DiagCode::UnreachableMachineState
-            | DiagCode::ConstantConditionBranch => Severity::Warning,
+            | DiagCode::ConstantConditionBranch
+            | DiagCode::FlappingSite => Severity::Warning,
             DiagCode::OrphanReplicaEdge
             | DiagCode::InstStreamMismatch
             | DiagCode::PredictionMismatch
@@ -246,7 +264,8 @@ impl DiagCode {
             | DiagCode::EstimateDriftConflict
             | DiagCode::EstimateUnreachableMass
             | DiagCode::EstimateConservationViolation
-            | DiagCode::EstimateFixpointFailure => Severity::Error,
+            | DiagCode::EstimateFixpointFailure
+            | DiagCode::PatchRejected => Severity::Error,
         }
     }
 }
@@ -453,6 +472,8 @@ mod tests {
         assert_eq!(DiagCode::EstimateUnreachableMass.as_str(), "BR020");
         assert_eq!(DiagCode::EstimateConservationViolation.as_str(), "BR021");
         assert_eq!(DiagCode::EstimateFixpointFailure.as_str(), "BR022");
+        assert_eq!(DiagCode::PatchRejected.as_str(), "BR023");
+        assert_eq!(DiagCode::FlappingSite.as_str(), "BR024");
         // The ALL order is the BR-number order, and index() agrees with it.
         for (i, c) in DiagCode::ALL.iter().enumerate() {
             assert_eq!(c.index(), i);
@@ -516,6 +537,11 @@ mod tests {
             DiagCode::EstimateFixpointFailure.severity(),
             Severity::Error
         );
+        // Re-specialization: a rejected/rolled-back patch is an error (the
+        // patch never ships), while a flapping site is advisory — the
+        // shipped program is still the last gate-clean one.
+        assert_eq!(DiagCode::PatchRejected.severity(), Severity::Error);
+        assert_eq!(DiagCode::FlappingSite.severity(), Severity::Warning);
     }
 
     #[test]
@@ -645,6 +671,44 @@ mod tests {
         assert_eq!(errors[0].code, DiagCode::EstimateConservationViolation);
         assert_eq!(warnings.len(), 1);
         assert_eq!(warnings[0].code, DiagCode::EstimateDriftConflict);
+    }
+
+    #[test]
+    fn lint_config_covers_respec_codes() {
+        // BR023/BR024 thread through the auto-sized override table just
+        // like every earlier batch of codes.
+        let cfg = LintConfig::new()
+            .set(DiagCode::PatchRejected, LintLevel::Warn)
+            .set(DiagCode::FlappingSite, LintLevel::Error);
+        assert_eq!(
+            cfg.effective_severity(DiagCode::PatchRejected),
+            Some(Severity::Warning)
+        );
+        assert_eq!(
+            cfg.effective_severity(DiagCode::FlappingSite),
+            Some(Severity::Error)
+        );
+        // Untouched, they keep their defaults.
+        let default = LintConfig::new();
+        assert_eq!(
+            default.effective_severity(DiagCode::PatchRejected),
+            Some(Severity::Error)
+        );
+        assert_eq!(
+            default.effective_severity(DiagCode::FlappingSite),
+            Some(Severity::Warning)
+        );
+
+        let loc = Loc::block(FuncId(0), BlockId(0));
+        let diags = vec![
+            AnalysisDiag::new(DiagCode::PatchRejected, loc, "demoted"),
+            AnalysisDiag::new(DiagCode::FlappingSite, loc, "promoted"),
+        ];
+        let (errors, warnings) = cfg.partition(diags);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].code, DiagCode::FlappingSite);
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].code, DiagCode::PatchRejected);
     }
 
     #[test]

@@ -361,7 +361,13 @@ fn heuristic_prob(
         p = combine(p, confidence::STORE);
     }
 
-    p.clamp(0.01, 0.99)
+    // The clamp ceiling must not exceed MAX_HEURISTIC_CP: a loop header
+    // whose stay-in-loop probability beats the cyclic-probability cap
+    // would make the capped header multiplier disagree with the stored
+    // edge probabilities, and the profile would violate its own
+    // flow-conservation invariant (a false BR021 on honest input-drain
+    // loops, where the loop, opcode and return heuristics all agree).
+    p.clamp(1.0 - MAX_HEURISTIC_CP, MAX_HEURISTIC_CP)
 }
 
 /// Per-function propagation state shared by the loop-local passes and

@@ -80,7 +80,9 @@ pub use freq::{
     StaticProfile, CONSERVATION_EPS,
 };
 pub use history::check_history;
-pub use incremental::{check_history_cached, validate_replication_cached, GateCache};
+pub use incremental::{
+    check_history_cached, check_patch_cached, validate_replication_cached, GateCache,
+};
 pub use interval::Interval;
 pub use lint::{dead_store_diags, lint_module, unreachable_diags, use_before_def_diags};
 pub use liveness::{liveness, term_uses, Liveness};

@@ -1,0 +1,427 @@
+//! `respec` — drift-recovery scenarios for the runtime re-specialization
+//! layer ([`brepl::pipeline::run_pipeline_adaptive`]).
+//!
+//! Runs five scenarios that cover every patch kind plus a stable
+//! control, and prints one row per scenario: misprediction at plan time,
+//! on the first post-drift segment *before* any patch lands, and on the
+//! final segment after the surviving patches — next to the misprediction
+//! of a full from-scratch re-plan on the post-drift distribution (the
+//! bar the patched program is held to) and the patch-log outcome counts.
+//!
+//! | scenario | drift | expected recovery |
+//! |----------|-------|-------------------|
+//! | `kmp-swap` | text bias ¼ → ¾ | pin swaps on the stale sites |
+//! | `kmp-reverse` | text bias ¾ → ¼ | the same swaps, other direction |
+//! | `gate-demote` | alternating tape goes constant | machine demoted to a pin |
+//! | `gate-reinflate` | …and the alternation returns | demoted machine re-inflated |
+//! | `kmp-stable` | none (control) | zero patches, flat misprediction |
+//!
+//! Exits non-zero when any acceptance bar fails: a drift scenario whose
+//! patched misprediction is not within 10% relative (plus half a point
+//! absolute slack) of the re-plan, a patch log with rollbacks or
+//! unresolved commits on honest drift, any `BR023`/`BR024` diagnostic or
+//! quarantined site, or a control run that patched anything. The
+//! adaptive layer's no-drift hot-path overhead — a segmented simulator
+//! run against a plain run of the same module and tape — is reported
+//! alongside; the `BENCH_sim.json` trajectory gate holds it under 5%.
+//!
+//! With `--json` the same data is emitted as one machine-readable JSON
+//! document on stdout; the document is always re-parsed and
+//! schema-checked in-process before the bin exits, so CI gets the schema
+//! gate for free in either mode.
+
+use std::time::Instant;
+
+use brepl::pipeline::{run_pipeline, run_pipeline_adaptive, AdaptiveConfig, PipelineConfig};
+use brepl_bench::{json, scale_from_env};
+use brepl_core::{memo, PatchOutcome};
+use brepl_ir::{Module, Value};
+use brepl_workloads::kmp;
+use brepl_workloads::synth::{gate_tape, input_gate_module, GatePattern};
+use brepl_workloads::Scale;
+
+/// One drift scenario: a module, a segmented tape (segment 0 plans, the
+/// rest drift), and a fresh tape from the *final* segment's distribution
+/// for the from-scratch re-plan baseline.
+struct Scenario {
+    name: &'static str,
+    module: Module,
+    segments: Vec<Vec<Value>>,
+    replan_input: Vec<Value>,
+    /// Control scenarios expect an empty patch log; drift scenarios
+    /// expect at least one verified patch.
+    expect_patches: bool,
+}
+
+fn scenarios(scale: Scale) -> Vec<Scenario> {
+    let n = if scale == Scale::Full { 40_000 } else { 2_000 };
+    vec![
+        Scenario {
+            name: "kmp-swap",
+            module: kmp::drift_module(),
+            segments: vec![
+                kmp::biased_text(n, 7, 1, 4),
+                kmp::biased_text(n, 8, 3, 4),
+                kmp::biased_text(n, 9, 3, 4),
+            ],
+            replan_input: kmp::biased_text(n, 19, 3, 4),
+            expect_patches: true,
+        },
+        Scenario {
+            name: "kmp-reverse",
+            module: kmp::drift_module(),
+            segments: vec![
+                kmp::biased_text(n, 27, 3, 4),
+                kmp::biased_text(n, 28, 1, 4),
+                kmp::biased_text(n, 29, 1, 4),
+            ],
+            replan_input: kmp::biased_text(n, 39, 1, 4),
+            expect_patches: true,
+        },
+        Scenario {
+            name: "gate-demote",
+            module: input_gate_module(),
+            segments: vec![
+                gate_tape(n, GatePattern::Alternating),
+                gate_tape(n, GatePattern::Constant(1)),
+                gate_tape(n, GatePattern::Constant(1)),
+            ],
+            replan_input: gate_tape(n, GatePattern::Constant(1)),
+            expect_patches: true,
+        },
+        Scenario {
+            name: "gate-reinflate",
+            module: input_gate_module(),
+            segments: vec![
+                gate_tape(n, GatePattern::Alternating),
+                gate_tape(n, GatePattern::Constant(1)),
+                gate_tape(n, GatePattern::Constant(1)),
+                gate_tape(n, GatePattern::Alternating),
+                gate_tape(n, GatePattern::Alternating),
+            ],
+            replan_input: gate_tape(n, GatePattern::Alternating),
+            expect_patches: true,
+        },
+        Scenario {
+            name: "kmp-stable",
+            module: kmp::drift_module(),
+            segments: vec![
+                kmp::biased_text(n, 3, 1, 2),
+                kmp::biased_text(n, 4, 1, 2),
+                kmp::biased_text(n, 5, 1, 2),
+            ],
+            replan_input: kmp::biased_text(n, 15, 1, 2),
+            expect_patches: false,
+        },
+    ]
+}
+
+/// One scenario's measured row.
+struct Row {
+    name: &'static str,
+    plan_pct: f64,
+    drifted_pct: f64,
+    patched_pct: f64,
+    replan_pct: f64,
+    verified: usize,
+    rolled_back: usize,
+    rejected: usize,
+    unresolved: usize,
+    diags: usize,
+    quarantined: usize,
+    gate_cache_hits: usize,
+    adaptive_s: f64,
+    ok: bool,
+    why: String,
+}
+
+fn run_scenario(s: &Scenario) -> Result<Row, String> {
+    memo::clear();
+    let start = Instant::now();
+    let r = run_pipeline_adaptive(&s.module, &[], &s.segments, AdaptiveConfig::default())
+        .map_err(|e| format!("{}: adaptive pipeline failed: {e}", s.name))?;
+    let adaptive_s = start.elapsed().as_secs_f64();
+    memo::clear();
+    let replan = run_pipeline(&s.module, &[], &s.replan_input, PipelineConfig::default())
+        .map_err(|e| format!("{}: re-plan baseline failed: {e}", s.name))?;
+
+    let plan_pct = r.segments.first().map_or(0.0, |m| m.misprediction_percent);
+    let drifted_pct = r
+        .segments
+        .get(1)
+        .map_or(plan_pct, |m| m.misprediction_percent);
+    let patched_pct = r
+        .segments
+        .last()
+        .map_or(plan_pct, |m| m.misprediction_percent);
+    let replan_pct = replan.replicated_misprediction_percent;
+
+    let count = |o: PatchOutcome| r.patch_log.iter().filter(|p| p.outcome == o).count();
+    let verified = count(PatchOutcome::Verified);
+    let rolled_back = count(PatchOutcome::RolledBack);
+    let rejected = count(PatchOutcome::RejectedByGate) + count(PatchOutcome::RejectedByPolicy);
+    let unresolved = count(PatchOutcome::Committed);
+
+    // Acceptance bars. Honest drift must land within 10% relative of
+    // the from-scratch re-plan (half a point of absolute slack keeps
+    // near-zero targets meaningful), every commit must resolve, and the
+    // respec layer must finish with a clean bill: no rollbacks, no
+    // diagnostics, no quarantine. The control must not patch at all.
+    let mut why = String::new();
+    let fail = |msg: String, why: &mut String| {
+        if !why.is_empty() {
+            why.push_str("; ");
+        }
+        why.push_str(&msg);
+    };
+    if s.expect_patches {
+        if verified == 0 {
+            fail("no patch survived verification".to_string(), &mut why);
+        }
+        if patched_pct > replan_pct * 1.10 + 0.5 {
+            fail(
+                format!("patched {patched_pct:.2}% not within 10% of re-plan {replan_pct:.2}%"),
+                &mut why,
+            );
+        }
+    } else if !r.patch_log.is_empty() {
+        fail(
+            format!("control run patched {} time(s)", r.patch_log.len()),
+            &mut why,
+        );
+    }
+    if rolled_back + rejected + unresolved > 0 {
+        fail(
+            format!(
+                "patch log not clean: {rolled_back} rolled back, {rejected} rejected, \
+                 {unresolved} unresolved"
+            ),
+            &mut why,
+        );
+    }
+    if !r.respec_diags.is_empty() {
+        fail(
+            format!("{} respec diagnostic(s)", r.respec_diags.len()),
+            &mut why,
+        );
+    }
+    if !r.quarantined_sites.is_empty() {
+        fail(
+            format!("{} quarantined site(s)", r.quarantined_sites.len()),
+            &mut why,
+        );
+    }
+
+    Ok(Row {
+        name: s.name,
+        plan_pct,
+        drifted_pct,
+        patched_pct,
+        replan_pct,
+        verified,
+        rolled_back,
+        rejected,
+        unresolved,
+        diags: r.respec_diags.len(),
+        quarantined: r.quarantined_sites.len(),
+        gate_cache_hits: r.gate_cache_hits,
+        adaptive_s,
+        ok: why.is_empty(),
+        why,
+    })
+}
+
+/// The adaptive layer's standing cost on the hot path: a segmented run
+/// ([`brepl_sim::Machine::run_segmented`], which marks segment
+/// boundaries as the tape drains) against a plain run of the *same*
+/// module over the *same* tape. Best-of-R de-noises both sides; this is
+/// the number the `BENCH_sim.json` trajectory holds under 5%.
+fn no_drift_overhead(scale: Scale) -> (f64, f64, f64) {
+    use brepl_sim::{Machine, RunConfig};
+    let n = if scale == Scale::Full { 40_000 } else { 2_000 };
+    let module = kmp::drift_module();
+    let segments: Vec<Vec<Value>> = (0..3u64)
+        .map(|k| kmp::biased_text(n, 50 + k, 1, 2))
+        .collect();
+    let flat: Vec<Value> = segments.concat();
+    let mut bounds = Vec::new();
+    let mut acc = 0usize;
+    for seg in &segments {
+        acc += seg.len();
+        bounds.push(acc);
+    }
+    let reps = 5;
+    let mut plain_s = f64::INFINITY;
+    let mut segmented_s = f64::INFINITY;
+    for _ in 0..reps {
+        let mut m = Machine::new(&module, RunConfig::default()).expect("machine");
+        m.set_input(flat.clone());
+        let t = Instant::now();
+        m.run("main", &[]).expect("plain run");
+        plain_s = plain_s.min(t.elapsed().as_secs_f64());
+
+        let mut m = Machine::new(&module, RunConfig::default()).expect("machine");
+        m.set_input(flat.clone());
+        let t = Instant::now();
+        m.run_segmented("main", &[], &bounds)
+            .expect("segmented run");
+        segmented_s = segmented_s.min(t.elapsed().as_secs_f64());
+    }
+    let overhead_pct = if plain_s > 0.0 {
+        100.0 * (segmented_s - plain_s) / plain_s
+    } else {
+        0.0
+    };
+    (plain_s, segmented_s, overhead_pct)
+}
+
+/// Validates the emitted document's schema; the bin gates its own
+/// output so CI needs no external JSON tooling.
+fn check_schema(doc: &str) -> Result<(), String> {
+    let parsed = json::parse(doc).map_err(|(at, msg)| format!("byte {at}: {msg}"))?;
+    for key in ["tool", "scale", "ok", "scenarios", "overhead"] {
+        if parsed.get(key).is_none() {
+            return Err(format!("missing top-level key {key:?}"));
+        }
+    }
+    let scenarios = parsed
+        .get("scenarios")
+        .and_then(|s| s.as_arr())
+        .ok_or("scenarios is not an array")?;
+    if scenarios.is_empty() {
+        return Err("scenarios is empty".to_string());
+    }
+    for (i, s) in scenarios.iter().enumerate() {
+        for key in [
+            "name",
+            "plan_pct",
+            "drifted_pct",
+            "patched_pct",
+            "replan_pct",
+            "verified",
+            "rolled_back",
+            "ok",
+        ] {
+            if s.get(key).is_none() {
+                return Err(format!("scenario {i}: missing key {key:?}"));
+            }
+        }
+    }
+    let overhead = parsed.get("overhead").ok_or("missing overhead")?;
+    for key in ["plain_run_s", "segmented_run_s", "overhead_pct"] {
+        if overhead.get(key).is_none() {
+            return Err(format!("overhead: missing key {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let json_mode = std::env::args().any(|a| a == "--json");
+    let scale = scale_from_env();
+
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for s in scenarios(scale) {
+        match run_scenario(&s) {
+            Ok(row) => {
+                failed |= !row.ok;
+                rows.push(row);
+            }
+            Err(msg) => {
+                eprintln!("respec: {msg}");
+                failed = true;
+            }
+        }
+    }
+    let (plain_run_s, segmented_run_s, overhead_pct) = no_drift_overhead(scale);
+
+    let scenario_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            json::Obj::new()
+                .str("name", r.name)
+                .num("plan_pct", r.plan_pct)
+                .num("drifted_pct", r.drifted_pct)
+                .num("patched_pct", r.patched_pct)
+                .num("replan_pct", r.replan_pct)
+                .int("verified", r.verified as u64)
+                .int("rolled_back", r.rolled_back as u64)
+                .int("rejected", r.rejected as u64)
+                .int("unresolved", r.unresolved as u64)
+                .int("diags", r.diags as u64)
+                .int("quarantined", r.quarantined as u64)
+                .int("gate_cache_hits", r.gate_cache_hits as u64)
+                .num("adaptive_s", r.adaptive_s)
+                .bool("ok", r.ok)
+                .str("why", &r.why)
+                .build()
+        })
+        .collect();
+    let doc = json::Obj::new()
+        .str("tool", "respec")
+        .str(
+            "scale",
+            if scale == Scale::Full {
+                "full"
+            } else {
+                "small"
+            },
+        )
+        .bool("ok", !failed)
+        .raw("scenarios", &json::array(&scenario_json))
+        .raw(
+            "overhead",
+            &json::Obj::new()
+                .num("plain_run_s", plain_run_s)
+                .num("segmented_run_s", segmented_run_s)
+                .num("overhead_pct", overhead_pct)
+                .build(),
+        )
+        .build();
+
+    if let Err(msg) = check_schema(&doc) {
+        eprintln!("respec: emitted JSON fails its own schema: {msg}");
+        std::process::exit(1);
+    }
+
+    if json_mode {
+        println!("{doc}");
+    } else {
+        println!(
+            "{:<15} {:>8} {:>9} {:>9} {:>9} {:>4} {:>5} {:>6}  status",
+            "scenario", "plan %", "drift %", "patch %", "replan %", "ok'd", "roll", "cache"
+        );
+        println!("{}", "-".repeat(84));
+        for r in &rows {
+            println!(
+                "{:<15} {:>8.3} {:>9.3} {:>9.3} {:>9.3} {:>4} {:>5} {:>6}  {}",
+                r.name,
+                r.plan_pct,
+                r.drifted_pct,
+                r.patched_pct,
+                r.replan_pct,
+                r.verified,
+                r.rolled_back,
+                r.gate_cache_hits,
+                if r.ok { "ok" } else { &r.why }
+            );
+        }
+        println!("{}", "-".repeat(84));
+        println!(
+            "no-drift simulator overhead: plain run {plain_run_s:.4}s, segmented run \
+             {segmented_run_s:.4}s ({overhead_pct:+.1}%)"
+        );
+        if failed {
+            println!("FAIL: a drift scenario missed its acceptance bar");
+        } else {
+            println!(
+                "OK: every drift recovers within 10% of a from-scratch re-plan, \
+                 the control never patches"
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -63,11 +63,30 @@ pub enum ChaosPoint {
     /// falls back to the [`ChaosPoint::TruncateTrace`] corruption so the
     /// point still fires on every workload.
     ForgeStaticProfile,
+    /// Swap an observed segment's input distribution mid-trace at a
+    /// deterministic boundary (the segment midpoint), by flipping the
+    /// victim site's outcomes from that boundary on. Targets the
+    /// re-specialization layer: the forged drift provokes a patch the
+    /// *next* honest segment must fail to verify, forcing a rollback and
+    /// `BR023` — while `BR001`–`BR022` stay blind (the module, witness,
+    /// tables and planning trace are all honest). In the plain
+    /// (non-adaptive) pipeline this point falls back to the
+    /// [`ChaosPoint::TruncateTrace`] corruption so the chaos matrix still
+    /// fires on every workload.
+    InjectDrift,
+    /// Flip a committed re-specialization patch's pinned direction
+    /// *after* the BR001–BR012 re-proof accepted it — the gate is honest,
+    /// the shipped bits are not. Only the respec verification window can
+    /// catch this (measured misprediction fails to improve → rollback +
+    /// `BR023`). In the plain pipeline this point falls back to the
+    /// [`ChaosPoint::TruncateTrace`] corruption so the chaos matrix still
+    /// fires on every workload.
+    CorruptPatch,
 }
 
 impl ChaosPoint {
     /// Every injection point, in a stable order.
-    pub const ALL: [ChaosPoint; 7] = [
+    pub const ALL: [ChaosPoint; 9] = [
         ChaosPoint::CorruptMachineTable,
         ChaosPoint::RetargetReplicaEdge,
         ChaosPoint::DropWitnessChain,
@@ -75,6 +94,8 @@ impl ChaosPoint {
         ChaosPoint::TruncateTrace,
         ChaosPoint::ForgeTraceEvent,
         ChaosPoint::ForgeStaticProfile,
+        ChaosPoint::InjectDrift,
+        ChaosPoint::CorruptPatch,
     ];
 
     /// Stable kebab-case name (CLI flags, JSON output).
@@ -87,6 +108,8 @@ impl ChaosPoint {
             ChaosPoint::TruncateTrace => "truncate-trace",
             ChaosPoint::ForgeTraceEvent => "forge-trace-event",
             ChaosPoint::ForgeStaticProfile => "forge-static-profile",
+            ChaosPoint::InjectDrift => "inject-drift",
+            ChaosPoint::CorruptPatch => "corrupt-patch",
         }
     }
 
@@ -213,12 +236,15 @@ impl ChaosEngine {
     pub fn corrupt_trace(&mut self, trace: &Trace) -> Option<TraceError> {
         // ForgeTraceEvent and ForgeStaticProfile reach here only as
         // their documented fallback, after the forge found no candidate
-        // to contradict.
+        // to contradict. InjectDrift and CorruptPatch land here whenever
+        // the run is not adaptive (no re-specialization layer to attack).
         if !matches!(
             self.config.point,
             ChaosPoint::TruncateTrace
                 | ChaosPoint::ForgeTraceEvent
                 | ChaosPoint::ForgeStaticProfile
+                | ChaosPoint::InjectDrift
+                | ChaosPoint::CorruptPatch
         ) || self.injection.is_some()
             || trace.is_empty()
         {
@@ -344,6 +370,110 @@ impl ChaosEngine {
             format!(
                 "overwrote site {victim}'s exact estimate {old:?} with {:?} against {taken} measured takens",
                 profile.sites[at].bias
+            ),
+        );
+        true
+    }
+
+    /// [`ChaosPoint::InjectDrift`]: forges an observed segment so the
+    /// victim site's outcomes flip from one quarter into its event stream
+    /// — early enough that the whole-segment majority flips too, so the
+    /// detector both fires *and* proposes a patch. `patchable` lists the original
+    /// sites the re-specialization layer may patch (deterministic order);
+    /// `provenance` maps replica sites back to original sites, exactly as
+    /// the respec fold does. The forged drift provokes a spurious patch
+    /// the next *honest* segment must fail to verify, forcing a rollback
+    /// and `BR023` — module, witness, tables and planning trace all stay
+    /// honest, so `BR001`–`BR022` stay blind.
+    ///
+    /// Returns the forged trace (the input is never mutated), or `None`
+    /// when the point is inactive, already fired, or no patchable site
+    /// has at least two events in the segment — in which case the
+    /// adaptive driver leaves the segment honest.
+    pub fn inject_drift(
+        &mut self,
+        seg: &Trace,
+        patchable: &[BranchId],
+        provenance: &[BranchId],
+    ) -> Option<Trace> {
+        if self.config.point != ChaosPoint::InjectDrift || self.injection.is_some() {
+            return None;
+        }
+        let orig_of = |site: BranchId| provenance.get(site.index()).copied().unwrap_or(site);
+        // A site needs events on both sides of the boundary for the flip
+        // to read as a mid-segment distribution shift.
+        let cands: Vec<BranchId> = patchable
+            .iter()
+            .copied()
+            .filter(|&s| seg.iter().filter(|ev| orig_of(ev.site) == s).count() >= 2)
+            .collect();
+        let victim = self.pin_victim(&cands)?;
+        let total = seg.iter().filter(|ev| orig_of(ev.site) == victim).count();
+        let mut forged = Trace::with_capacity(seg.len());
+        let mut nth = 0usize;
+        let mut flipped = 0usize;
+        for mut ev in seg.iter() {
+            if orig_of(ev.site) == victim {
+                if nth >= total / 4 {
+                    ev.taken = !ev.taken;
+                    flipped += 1;
+                }
+                nth += 1;
+            }
+            forged.push(ev);
+        }
+        self.record(
+            victim,
+            format!(
+                "flipped {flipped}/{total} observed outcomes of site {victim} from one quarter \
+                 into the segment onward (forged input-distribution shift)"
+            ),
+        );
+        Some(forged)
+    }
+
+    /// [`ChaosPoint::CorruptPatch`]: flips the pinned direction of the
+    /// victim site's plain (non-machine-pinned) replicas in `program`,
+    /// to be called *after* the BR001–BR012 re-proof accepted a patch on
+    /// `site` — the gate ran on honest bits, the shipped bits lie. Only
+    /// the respec verification window can catch this: measured
+    /// misprediction fails to improve, the transaction rolls back to the
+    /// byte-identical pre-patch snapshot, and `BR023` fires.
+    ///
+    /// Returns `false` when the point is inactive, already fired, or the
+    /// site has no plain-pinned replica (a re-inflated machine site only
+    /// carries witness-checked machine pins, which this point refuses to
+    /// touch — flipping one would wake `BR006`).
+    pub fn corrupt_patch(&mut self, program: &mut ReplicatedProgram, site: BranchId) -> bool {
+        if self.config.point != ChaosPoint::CorruptPatch || self.injection.is_some() {
+            return false;
+        }
+        let mut plain: Vec<(BranchId, bool)> = Vec::new();
+        for (fid, f) in program.module.iter_functions() {
+            let fmap = &program.replica_map.functions[fid.index()];
+            for (bid, block) in f.iter_blocks() {
+                if let Some(ns) = block.term.branch_site() {
+                    if fmap.machine_predictions[bid.index()].is_none()
+                        && program.provenance.get(ns.index()) == Some(&site)
+                    {
+                        plain.push((ns, program.predictions.get(ns)));
+                    }
+                }
+            }
+        }
+        if plain.is_empty() {
+            return false;
+        }
+        for &(ns, dir) in &plain {
+            program.predictions.set(ns, !dir);
+        }
+        self.victim = Some(site);
+        self.record(
+            site,
+            format!(
+                "flipped the committed patch's pinned direction on {} plain replica(s) of site \
+                 {site} after the re-proof accepted it",
+                plain.len()
             ),
         );
         true

@@ -34,6 +34,7 @@ pub mod machine;
 pub mod memo;
 pub mod pattern;
 pub mod replicate;
+pub mod respec;
 pub mod select;
 
 pub use engine::{par_map, par_map_with, thread_count};
@@ -46,6 +47,7 @@ pub use replicate::{
     apply_plan, check_equivalence, check_equivalence_outcomes, BranchMachine, ReplicatedProgram,
     ReplicationPlan,
 };
+pub use respec::{PatchKind, PatchOutcome, PatchRecord, Respec, RespecConfig};
 pub use select::{
     select_strategies, select_strategies_classified, select_strategies_estimated,
     select_strategies_with_threads, synthesize_profile_trace, ChosenStrategy, Selection,

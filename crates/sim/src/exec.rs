@@ -857,6 +857,15 @@ pub(crate) struct State<'a> {
     pub input_pos: &'a mut usize,
     pub output: &'a mut Vec<Value>,
     pub prng: &'a mut u64,
+    /// Ascending input positions at which a new input segment begins.
+    /// When the `in()` intrinsic is about to consume the element at
+    /// `seg_bounds[k]`, the current branch-trace length is recorded as
+    /// `seg_marks[k]` — that is where drift injected at the segment
+    /// boundary first becomes visible. Empty for ordinary runs; bounds
+    /// never reached are left unmarked (the caller pads them).
+    pub seg_bounds: &'a [usize],
+    /// Receives one trace-length mark per crossed segment bound.
+    pub seg_marks: &'a mut Vec<usize>,
 }
 
 struct Frame {
@@ -930,6 +939,8 @@ pub(crate) fn run(
         input_pos,
         output,
         prng,
+        seg_bounds,
+        seg_marks,
     } = state;
 
     let mut trace = Trace::new();
@@ -1040,6 +1051,15 @@ pub(crate) fn run(
                 pc += 1;
             }
             Op::In { dst } => {
+                // Segment bookkeeping is off the hot path for ordinary
+                // runs: `seg_bounds` is empty and the comparison fails on
+                // the length check alone. Steps, fuel and the trace are
+                // untouched, so segmented runs stay bit-identical.
+                while seg_marks.len() < seg_bounds.len()
+                    && *input_pos >= seg_bounds[seg_marks.len()]
+                {
+                    seg_marks.push(trace.len());
+                }
                 let v = if *input_pos < input.len() {
                     let v = input[*input_pos];
                     *input_pos += 1;

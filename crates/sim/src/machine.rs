@@ -126,6 +126,48 @@ impl<'m> Machine<'m> {
     /// Returns a [`RunError`] on traps (division by zero, bad address,
     /// fuel/stack exhaustion, type errors) or if `entry` is unknown.
     pub fn run(&mut self, entry: &str, args: &[Value]) -> Result<Outcome, RunError> {
+        let mut marks = Vec::new();
+        self.run_inner(entry, args, &[], &mut marks)
+    }
+
+    /// Runs `entry(args)` like [`Machine::run`], additionally recording
+    /// where each input-segment boundary falls in the branch trace.
+    ///
+    /// `bounds` are ascending input positions at which a new segment
+    /// begins; the returned marks give, for each bound, the trace length
+    /// at the moment the `in()` intrinsic first reached that position.
+    /// `marks[k-1]..marks[k]` (with the final bound closed by the total
+    /// trace length) is therefore exactly the slice of branch events
+    /// driven by segment `k`'s input — the unit the re-specialization
+    /// layer observes. Bounds the program never consumed up to are padded
+    /// with the final trace length, so the result always has one mark per
+    /// bound. The execution itself (steps, fuel, trace, output) is
+    /// bit-identical to [`Machine::run`] on the same input.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Machine::run`].
+    pub fn run_segmented(
+        &mut self,
+        entry: &str,
+        args: &[Value],
+        bounds: &[usize],
+    ) -> Result<(Outcome, Vec<usize>), RunError> {
+        let mut marks = Vec::with_capacity(bounds.len());
+        let outcome = self.run_inner(entry, args, bounds, &mut marks)?;
+        while marks.len() < bounds.len() {
+            marks.push(outcome.trace.len());
+        }
+        Ok((outcome, marks))
+    }
+
+    fn run_inner(
+        &mut self,
+        entry: &str,
+        args: &[Value],
+        seg_bounds: &[usize],
+        seg_marks: &mut Vec<usize>,
+    ) -> Result<Outcome, RunError> {
         let fid = self
             .module
             .function_by_name(entry)
@@ -138,6 +180,8 @@ impl<'m> Machine<'m> {
             input_pos: &mut self.input_pos,
             output: &mut self.output,
             prng: &mut self.prng,
+            seg_bounds,
+            seg_marks,
         };
         exec::run(
             &self.exec,
@@ -448,6 +492,60 @@ mod tests {
         machine.reset();
         machine.run("main", &[]).unwrap();
         assert_eq!(machine.output(), &first[..]);
+    }
+
+    #[test]
+    fn segmented_runs_mark_boundaries_and_stay_bit_identical() {
+        // Loop of 10 iterations; each reads one input and branches on it,
+        // so every iteration contributes exactly two trace events (loop
+        // head + data branch) and consumes exactly one input element.
+        let m = simple_main(|b| {
+            let i = b.reg();
+            let head = b.new_block();
+            let body = b.new_block();
+            let t = b.new_block();
+            let f = b.new_block();
+            let latch = b.new_block();
+            let exit = b.new_block();
+            b.const_int(i, 0);
+            b.jmp(head);
+            b.switch_to(head);
+            let more = b.lt(i.into(), Operand::imm(10));
+            b.br(more, body, exit);
+            b.switch_to(body);
+            let v = b.input();
+            let one = b.eq(v.into(), Operand::imm(1));
+            b.br(one, t, f);
+            b.switch_to(t);
+            b.jmp(latch);
+            b.switch_to(f);
+            b.jmp(latch);
+            b.switch_to(latch);
+            b.add(i, i.into(), Operand::imm(1));
+            b.jmp(head);
+            b.switch_to(exit);
+            b.ret(None);
+        });
+        let input: Vec<Value> = (0..10).map(|k| Value::Int(k % 2)).collect();
+
+        let mut plain = Machine::new(&m, RunConfig::default()).unwrap();
+        plain.set_input(input.clone());
+        let want = plain.run("main", &[]).unwrap();
+
+        let mut seg = Machine::new(&m, RunConfig::default()).unwrap();
+        seg.set_input(input.clone());
+        let (got, marks) = seg.run_segmented("main", &[], &[4, 7]).unwrap();
+        // Iteration k's `in()` happens after 2k+1 trace events.
+        assert_eq!(marks, vec![9, 15]);
+        assert_eq!(got, want, "segmented run must be bit-identical");
+
+        // A bound at position 0 marks before any input is consumed; a
+        // bound past the tape is padded with the final trace length.
+        let mut seg = Machine::new(&m, RunConfig::default()).unwrap();
+        seg.set_input(input);
+        let (got, marks) = seg.run_segmented("main", &[], &[0, 4, 100]).unwrap();
+        assert_eq!(marks, vec![1, 9, got.trace.len()]);
+        assert_eq!(got.trace.len(), 21);
     }
 
     #[test]

@@ -29,7 +29,9 @@ mod codec;
 mod packed;
 mod stats;
 mod trace;
+mod window;
 
 pub use packed::{packed_site_streams, PackedStream};
 pub use stats::{SiteCounts, TraceStats};
 pub use trace::{Trace, TraceDecodeError, TraceError, TraceEvent};
+pub use window::{windowed_counts, WindowedCounts};

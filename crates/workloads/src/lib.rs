@@ -44,7 +44,7 @@ mod c_compiler;
 mod compress;
 mod doduc;
 mod ghostview;
-mod kmp;
+pub mod kmp;
 mod predict_tool;
 mod prolog;
 mod scheduler;

@@ -10,7 +10,9 @@
 //! The same `(seed, diamonds, trip)` triple always produces the same
 //! module, which is what makes fuzz failures replayable and shrinkable.
 
-use brepl_ir::{BinOp, BlockId, FunctionBuilder, Module, Operand, Reg};
+use brepl_ir::{BinOp, BlockId, FunctionBuilder, Module, Operand, Reg, Value};
+
+use crate::Workload;
 
 /// Simple xorshift for deterministic generation from a caller-chosen seed.
 pub struct Gen {
@@ -151,6 +153,104 @@ pub fn random_loop_module(seed: u64, diamonds: usize, trip: i64) -> Module {
     m
 }
 
+/// Builds the drift-gate module in *drain* form: the loop reads one
+/// input symbol per iteration until the tape is exhausted (`in()`
+/// returns the `-1` sentinel), then branches on the symbol (site 1,
+/// taken ⇔ symbol `== 1`). The branch's behaviour is *entirely*
+/// input-driven, so splicing input tapes with different symbol patterns
+/// at a segment boundary shifts exactly one site's distribution — the
+/// minimal re-specialization scenario — and because the trip count
+/// follows the tape, the *same* module serves a one-segment planning
+/// run and a many-segment adaptive run. An alternating tape makes
+/// site 1 a perfect 2-state flip-flop (a machine-controlled site after
+/// planning); a constant tape makes it monostatic (where a demotion
+/// patch wins).
+pub fn input_gate_module() -> Module {
+    let mut b = FunctionBuilder::new("main", 0);
+    let acc = b.reg();
+    let v = b.reg();
+    let head = b.new_block();
+    let body = b.new_block();
+    let yes = b.new_block();
+    let no = b.new_block();
+    let latch = b.new_block();
+    let exit = b.new_block();
+
+    b.const_int(acc, 7);
+    b.jmp(head);
+
+    // Site 0: the drain loop — read a symbol, exit on the sentinel.
+    // Heavily not-taken and stable across segments: never patched.
+    b.switch_to(head);
+    let nxt = b.input();
+    b.copy(v, nxt.into());
+    let done = b.eq(v.into(), Operand::imm(-1));
+    b.br(done, exit, body);
+
+    // Site 1: the gate — taken iff this iteration's input symbol is 1.
+    b.switch_to(body);
+    let one = b.eq(v.into(), Operand::imm(1));
+    b.br(one, yes, no);
+
+    b.switch_to(yes);
+    b.mul(acc, acc.into(), Operand::imm(3));
+    b.add(acc, acc.into(), Operand::imm(1));
+    b.jmp(latch);
+
+    b.switch_to(no);
+    b.mul(acc, acc.into(), Operand::imm(5));
+    b.add(acc, acc.into(), Operand::imm(2));
+    b.jmp(latch);
+
+    b.switch_to(latch);
+    b.bin(BinOp::And, acc, acc.into(), Operand::imm((1 << 40) - 1));
+    b.out(acc.into());
+    b.jmp(head);
+
+    b.switch_to(exit);
+    b.ret(Some(acc.into()));
+
+    let mut m = Module::new();
+    m.push_function(b.finish());
+    m.renumber_branches();
+    m.verify().expect("input-gate module verifies");
+    m
+}
+
+/// An input tape for [`input_gate_module`]: `n` symbols, either
+/// alternating `0,1,0,1,…` (`pattern = GatePattern::Alternating`) or all
+/// one constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GatePattern {
+    /// `0,1,0,1,…` — a perfect period-2 site, won by a 2-state machine.
+    Alternating,
+    /// Every symbol equal to the given value — a monostatic site.
+    Constant(i64),
+}
+
+/// Generates a tape of `n` symbols in the given pattern.
+pub fn gate_tape(n: usize, pattern: GatePattern) -> Vec<Value> {
+    (0..n)
+        .map(|k| match pattern {
+            GatePattern::Alternating => Value::Int((k % 2) as i64),
+            GatePattern::Constant(v) => Value::Int(v),
+        })
+        .collect()
+}
+
+/// Wraps [`input_gate_module`] as a [`Workload`] whose input is the
+/// concatenation of the given per-segment tapes (the drain loop
+/// consumes every symbol regardless of how many segments there are).
+pub fn input_gate_workload(segments: &[Vec<Value>]) -> Workload {
+    Workload {
+        name: "drift-gate",
+        description: "drain loop around one input-driven branch (drift scenario)",
+        module: input_gate_module(),
+        args: vec![],
+        input: segments.concat(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +272,27 @@ mod tests {
                 assert!(m.branch_count() > diamonds);
             }
         }
+    }
+
+    #[test]
+    fn input_gate_tracks_its_tape() {
+        let alt = gate_tape(100, GatePattern::Alternating);
+        let w = input_gate_workload(std::slice::from_ref(&alt));
+        let outcome = w.run().unwrap();
+        let stats = outcome.trace.stats();
+        // Site 0: drain loop, 100 symbol iterations (not taken) + 1
+        // sentinel exit (taken). Site 1: exactly the tape — 50 taken
+        // (symbol 1) / 50 not taken.
+        let s0 = stats.site(brepl_ir::BranchId(0));
+        assert_eq!((s0.taken, s0.not_taken), (1, 100));
+        let s1 = stats.site(brepl_ir::BranchId(1));
+        assert_eq!((s1.taken, s1.not_taken), (50, 50));
+
+        let con = gate_tape(60, GatePattern::Constant(1));
+        let w = input_gate_workload(&[alt, con]);
+        assert_eq!(w.input.len(), 160);
+        let stats = w.run().unwrap().trace.stats();
+        let s1 = stats.site(brepl_ir::BranchId(1));
+        assert_eq!((s1.taken, s1.not_taken), (110, 50));
     }
 }

@@ -1084,6 +1084,303 @@ pub fn run_pipeline_suite_with_threads(
     })
 }
 
+/// Tunables for [`run_pipeline_adaptive`]: the planning pipeline plus
+/// the re-specialization layer's knobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdaptiveConfig {
+    /// Planning-time pipeline configuration (profiling on the first
+    /// segment, full gate stack). Under the `chaos` feature, the
+    /// `inject-drift` and `corrupt-patch` points are stripped from the
+    /// planning run — they attack the adaptive layer, and an honest plan
+    /// is their precondition; every other point passes through unchanged.
+    pub pipeline: PipelineConfig,
+    /// Re-specialization knobs (detection windows, CUSUM thresholds,
+    /// verification improvement floor, backoff caps).
+    pub respec: brepl_core::RespecConfig,
+}
+
+/// One observed segment of an adaptive run.
+#[derive(Clone, Debug)]
+pub struct SegmentMeasure {
+    /// Segment index (`0` = the planning segment).
+    pub segment: usize,
+    /// Branch events the segment drove through the shipped program.
+    pub events: u64,
+    /// Measured misprediction (%) of the program that ran the segment —
+    /// measured *before* any patch this segment's observation produced,
+    /// so a drift segment shows the stale pins' real cost.
+    pub misprediction_percent: f64,
+    /// Patch records appended or resolved by observing this segment.
+    pub patches: Vec<brepl_core::PatchRecord>,
+}
+
+/// Everything [`run_pipeline_adaptive`] produced.
+#[derive(Debug)]
+pub struct AdaptiveResult {
+    /// The planning-time pipeline result (profiled on segment 0).
+    pub plan: PipelineResult,
+    /// Per-segment measurements, in segment order.
+    pub segments: Vec<SegmentMeasure>,
+    /// The full patch log, oldest first, final outcomes filled in.
+    pub patch_log: Vec<brepl_core::PatchRecord>,
+    /// `BR023`/`BR024` diagnostics from the re-specialization layer.
+    pub respec_diags: Vec<AnalysisDiag>,
+    /// Sites still machine-controlled after the last segment.
+    pub enabled_sites: BTreeSet<BranchId>,
+    /// Sites demoted to their profile-majority single version.
+    pub demoted_sites: BTreeSet<BranchId>,
+    /// Sites quarantined from further patching (flapping).
+    pub quarantined_sites: Vec<BranchId>,
+    /// Incremental-gate cache hits the patch gating scored.
+    pub gate_cache_hits: usize,
+    /// The fault the adaptive-layer chaos engine injected, if it fired
+    /// (`inject-drift` / `corrupt-patch`; plan-time points record into
+    /// [`PipelineResult::chaos_injection`] instead).
+    #[cfg(feature = "chaos")]
+    pub chaos_injection: Option<brepl_core::chaos::Injection>,
+    /// The finally shipped program, after every surviving patch.
+    pub program: ReplicatedProgram,
+}
+
+/// The adaptive pipeline: plan on the first input segment, ship, then
+/// keep the shipped program alive across the remaining segments —
+/// detecting input-distribution drift online and hot-patching the
+/// program with proof-gated minimal patches instead of re-planning.
+///
+/// Segment 0 is the planning segment: it drives the ordinary profiled
+/// pipeline ([`run_pipeline_profiled`]) end to end, gate stack included.
+/// The shipped program is then wrapped in [`brepl_core::Respec`] and run
+/// over the full concatenated tape once per segment (execution is
+/// deterministic, so each run's prefix is exactly what already shipped);
+/// segment `k`'s event slice — delimited by
+/// [`brepl_sim::Machine::run_segmented`] marks — is measured and fed to
+/// the patcher. Every candidate patch re-proves under `BR001`–`BR012`
+/// before commit, survives one verification window or rolls back
+/// byte-identically, and the final program re-proves once more from
+/// scratch before this function returns.
+///
+/// # Panics
+///
+/// Panics if `segments` is empty — there is nothing to plan on.
+///
+/// # Errors
+///
+/// As [`run_pipeline`], plus a [`PipelineError::Validation`] if the
+/// final from-scratch re-proof of the patched program fails (a patch
+/// that gated clean but ships dirty is a re-specializer bug).
+pub fn run_pipeline_adaptive(
+    module: &Module,
+    args: &[Value],
+    segments: &[Vec<Value>],
+    config: AdaptiveConfig,
+) -> Result<AdaptiveResult, PipelineError> {
+    assert!(
+        !segments.is_empty(),
+        "adaptive runs need at least one segment"
+    );
+    // 1. Plan on the first segment, exactly like the plain pipeline.
+    let mut machine = Machine::new(module, config.pipeline.run)?;
+    machine.set_input(segments[0].clone());
+    let profile = machine.run("main", args)?;
+    let profile_output = machine.output().to_vec();
+    let plan_stats = profile.trace.stats();
+
+    #[allow(unused_mut)]
+    let mut plan_config = config.pipeline;
+    #[cfg(feature = "chaos")]
+    let mut adaptive_engine = {
+        use brepl_core::chaos::{ChaosEngine, ChaosPoint};
+        let mut engine = None;
+        if let Some(cc) = plan_config.chaos {
+            if matches!(cc.point, ChaosPoint::InjectDrift | ChaosPoint::CorruptPatch) {
+                // These points attack the adaptive layer; the plan must
+                // stay honest for the attack to even be visible.
+                plan_config.chaos = None;
+                engine = Some(ChaosEngine::new(cc));
+            }
+        }
+        engine
+    };
+    let plan = run_pipeline_profiled(
+        module,
+        args,
+        &segments[0],
+        &profile,
+        &profile_output,
+        plan_config,
+    )?;
+
+    // 2. Statically proved directions: the patcher must never override
+    // them, no matter what the observed counters claim.
+    let proved: Vec<(BranchId, bool)> = if config.pipeline.classify {
+        classify_module(module).proved_sites()
+    } else {
+        Vec::new()
+    };
+
+    // 3. Wrap the shipped plan in the re-specialization layer.
+    let mut respec = brepl_core::Respec::new(
+        module,
+        &plan.selection,
+        &plan.replicated_sites,
+        &plan_stats,
+        &proved,
+        config.respec,
+    )?;
+
+    #[cfg(feature = "chaos")]
+    let patchable: Vec<BranchId> = {
+        let proved_sites: BTreeSet<BranchId> = proved.iter().map(|&(s, _)| s).collect();
+        (0..module.branch_count())
+            .map(BranchId::from_index)
+            .filter(|&s| plan_stats.site(s).total() > 0 && !proved_sites.contains(&s))
+            .collect()
+    };
+
+    // 4. Reference run: the *original* module over the full tape — the
+    // dynamic-equivalence baseline every segment run is held to.
+    let input: Vec<Value> = segments.iter().flatten().cloned().collect();
+    let mut bounds = Vec::with_capacity(segments.len());
+    let mut acc = 0usize;
+    for seg in segments {
+        acc += seg.len();
+        bounds.push(acc);
+    }
+    let mut reference = Machine::new(module, config.pipeline.run)?;
+    reference.set_input(input.clone());
+    let ref_outcome = reference.run("main", args)?;
+    let ref_output = reference.output().to_vec();
+
+    // 5. Observe segment by segment: run the current program, slice out
+    // segment k's events, measure, feed the patcher.
+    let mut measures = Vec::with_capacity(segments.len());
+    for k in 0..segments.len() {
+        let mut m2 = Machine::new(&respec.program().module, config.pipeline.run)?;
+        m2.set_input(input.clone());
+        let (outcome2, marks) = m2.run_segmented("main", args, &bounds)?;
+        let output2 = m2.output().to_vec();
+        if config.pipeline.dynamic_backstop {
+            check_equivalence_outcomes(
+                respec.program(),
+                &ref_outcome,
+                &ref_output,
+                &outcome2,
+                &output2,
+            )
+            .map_err(|e| PipelineError::Equivalence(e.to_string()))?;
+        }
+        let start = if k == 0 { 0 } else { marks[k - 1] };
+        // Events after the tape is exhausted (drain loops, epilogues)
+        // belong to the last segment.
+        let end = if k + 1 == segments.len() {
+            outcome2.trace.len()
+        } else {
+            marks[k]
+        };
+        let mut slice = brepl_trace::Trace::with_capacity(end - start);
+        let mut misses = 0u64;
+        for ev in outcome2.trace.iter().skip(start).take(end - start) {
+            if respec.program().predictions.get(ev.site) != ev.taken {
+                misses += 1;
+            }
+            slice.push(ev);
+        }
+        let events = slice.len() as u64;
+        let pct = if events == 0 {
+            0.0
+        } else {
+            100.0 * misses as f64 / events as f64
+        };
+
+        // InjectDrift forges the patcher's view of a post-planning
+        // segment; the measurement above already captured the honest
+        // slice, and the execution itself is never touched.
+        #[cfg(feature = "chaos")]
+        let slice = match &mut adaptive_engine {
+            Some(eng) if k >= 1 => eng
+                .inject_drift(&slice, &patchable, &respec.program().provenance)
+                .unwrap_or(slice),
+            _ => slice,
+        };
+        let patches = respec.observe(k, &slice);
+        // CorruptPatch flips a patch the gate just accepted — the
+        // verification window is the only defense left.
+        #[cfg(feature = "chaos")]
+        if let Some(eng) = &mut adaptive_engine {
+            let committed = patches
+                .iter()
+                .find(|r| r.outcome == brepl_core::PatchOutcome::Committed)
+                .map(|r| r.site);
+            if let Some(site) = committed {
+                eng.corrupt_patch(respec.program_mut(), site);
+            }
+        }
+        measures.push(SegmentMeasure {
+            segment: k,
+            events,
+            misprediction_percent: pct,
+            patches,
+        });
+    }
+
+    // 6. Final acceptance: the shipped program — after every surviving
+    // patch — must re-prove clean under the full BR001–BR012 stack,
+    // from scratch, no cache in the loop.
+    let final_diags = respec.revalidate();
+    let (errors, _) = config.pipeline.lint.partition(final_diags);
+    if !errors.is_empty() {
+        return Err(PipelineError::Validation(render_joined(
+            &errors,
+            &respec.program().module,
+        )));
+    }
+
+    let enabled_sites = respec.enabled_sites().clone();
+    let demoted_sites = respec.demoted_sites().clone();
+    let quarantined_sites = respec.quarantined_sites();
+    let gate_cache_hits = respec.gate_cache_hits();
+    let (program, patch_log, respec_diags) = respec.into_parts();
+    Ok(AdaptiveResult {
+        plan,
+        segments: measures,
+        patch_log,
+        respec_diags,
+        enabled_sites,
+        demoted_sites,
+        quarantined_sites,
+        gate_cache_hits,
+        #[cfg(feature = "chaos")]
+        chaos_injection: adaptive_engine.and_then(|e| e.into_injection()),
+        program,
+    })
+}
+
+/// One workload's inputs to [`run_pipeline_adaptive_suite_with_threads`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveJob<'a> {
+    /// The program to replicate and adapt.
+    pub module: &'a Module,
+    /// Entry-function arguments.
+    pub args: &'a [Value],
+    /// The segmented input tape (segment 0 plans, the rest drift).
+    pub segments: &'a [Vec<Value>],
+}
+
+/// Runs [`run_pipeline_adaptive`] over every job on the analysis
+/// engine's worker pool, returning results in job order. Like
+/// [`run_pipeline_suite`], nested parallelism degrades to serial on
+/// worker threads, so the output — patch sequences included — is
+/// **bit-identical** to running the jobs in a serial loop.
+pub fn run_pipeline_adaptive_suite_with_threads(
+    jobs: &[AdaptiveJob<'_>],
+    config: AdaptiveConfig,
+    threads: usize,
+) -> Vec<Result<AdaptiveResult, PipelineError>> {
+    brepl_core::par_map_with(threads, jobs, |job| {
+        run_pipeline_adaptive(job.module, job.args, job.segments, config)
+    })
+}
+
 /// State count of a planned machine.
 fn machine_states(m: &BranchMachine) -> usize {
     match m {

@@ -457,3 +457,157 @@ fn quarantine_is_deterministic_across_thread_counts() {
     );
     assert_eq!(a, b);
 }
+
+/// The inject-drift point proper: the engine forges the patcher's view
+/// of one post-planning segment of a *stable* distribution, provoking a
+/// spurious patch that the BR001–BR012 re-proof rightly accepts (the
+/// patched program is well-formed) — only the verification window on
+/// the next honest segment can tell the drift never happened. It must
+/// roll the transaction back byte-identically and fire `BR023`, while
+/// every other gate stays blind.
+#[test]
+fn inject_drift_is_caught_by_the_verification_window_alone() {
+    use brepl::core::PatchOutcome;
+    use brepl::pipeline::{run_pipeline_adaptive, AdaptiveConfig};
+    use brepl::workloads::kmp;
+    use brepl_analysis::DiagCode;
+
+    let module = kmp::drift_module();
+    // A stable ¾-bias tape: the forged drift is the only drift.
+    let segments: Vec<_> = (0..3u64)
+        .map(|k| kmp::biased_text(2000, 40 + k, 3, 4))
+        .collect();
+    let honest = run_pipeline_adaptive(&module, &[], &segments, AdaptiveConfig::default()).unwrap();
+    assert!(honest.patch_log.is_empty(), "{:?}", honest.patch_log);
+
+    let mut config = AdaptiveConfig::default();
+    config.pipeline.chaos = Some(ChaosConfig {
+        seed: 0,
+        point: ChaosPoint::InjectDrift,
+    });
+    let r = run_pipeline_adaptive(&module, &[], &segments, config).unwrap();
+    let inj = r.chaos_injection.as_ref().expect("inject-drift must fire");
+    assert_eq!(inj.point, ChaosPoint::InjectDrift);
+    assert!(
+        inj.description.contains("forged input-distribution shift"),
+        "{}",
+        inj.description
+    );
+
+    // The spurious patch committed off the forged counters and rolled
+    // back on the next honest segment; nothing survived.
+    assert!(
+        r.patch_log
+            .iter()
+            .any(|rec| rec.outcome == PatchOutcome::RolledBack),
+        "{:?}",
+        r.patch_log
+    );
+    assert!(
+        !r.patch_log
+            .iter()
+            .any(|rec| rec.outcome == PatchOutcome::Verified),
+        "{:?}",
+        r.patch_log
+    );
+
+    // BR023 and only BR023: the planning gates saw exactly what the
+    // honest run saw, and the final from-scratch re-validation passed
+    // (the run returned Ok with the gates on).
+    assert!(!r.respec_diags.is_empty());
+    assert!(
+        r.respec_diags
+            .iter()
+            .all(|d| d.code == DiagCode::PatchRejected),
+        "{:?}",
+        r.respec_diags
+    );
+    assert_eq!(r.plan.quarantined, honest.plan.quarantined);
+
+    // Rollback restored the byte-identical pre-patch program.
+    assert_eq!(
+        r.program.module.fingerprint(),
+        honest.program.module.fingerprint()
+    );
+    assert_eq!(r.program.predictions, honest.program.predictions);
+}
+
+/// The corrupt-patch point proper: a legitimate drift patch commits —
+/// the BR001–BR012 re-proof ran on honest bits — and the engine then
+/// flips the committed pins post-gate. The shipped bits lie; only the
+/// per-member verification window is left to notice the corrupted
+/// member's miss rate failed to improve, roll the whole transaction
+/// back, and fire `BR023`.
+#[test]
+fn corrupt_patch_is_caught_by_the_verification_window_alone() {
+    use brepl::core::PatchOutcome;
+    use brepl::pipeline::{run_pipeline_adaptive, AdaptiveConfig};
+    use brepl::workloads::kmp;
+    use brepl_analysis::DiagCode;
+
+    let module = kmp::drift_module();
+    // The kmp swap scenario: bias flips ¼ → ¾ after planning, so a
+    // genuine swap transaction commits at segment 1.
+    let segments = vec![
+        kmp::biased_text(2000, 7, 1, 4),
+        kmp::biased_text(2000, 8, 3, 4),
+        kmp::biased_text(2000, 9, 3, 4),
+    ];
+    let honest = run_pipeline_adaptive(&module, &[], &segments, AdaptiveConfig::default()).unwrap();
+    assert!(
+        honest
+            .patch_log
+            .iter()
+            .all(|rec| rec.outcome == PatchOutcome::Verified),
+        "the honest swaps must survive: {:?}",
+        honest.patch_log
+    );
+
+    let mut config = AdaptiveConfig::default();
+    config.pipeline.chaos = Some(ChaosConfig {
+        seed: 0,
+        point: ChaosPoint::CorruptPatch,
+    });
+    let r = run_pipeline_adaptive(&module, &[], &segments, config).unwrap();
+    let inj = r.chaos_injection.as_ref().expect("corrupt-patch must fire");
+    assert_eq!(inj.point, ChaosPoint::CorruptPatch);
+    assert!(
+        inj.description.contains("after the re-proof accepted it"),
+        "{}",
+        inj.description
+    );
+
+    // The same transaction that verified clean in the honest run now
+    // rolls back wholesale: the corrupted member cannot hide behind its
+    // siblings under per-member verification.
+    assert!(
+        r.patch_log
+            .iter()
+            .any(|rec| rec.outcome == PatchOutcome::RolledBack && rec.site == inj.victim),
+        "{:?}",
+        r.patch_log
+    );
+    assert!(
+        !r.patch_log
+            .iter()
+            .any(|rec| rec.outcome == PatchOutcome::Verified),
+        "{:?}",
+        r.patch_log
+    );
+    let codes: Vec<_> = r.respec_diags.iter().map(|d| d.code).collect();
+    assert!(codes.contains(&DiagCode::PatchRejected), "{codes:?}");
+    assert!(
+        !codes.contains(&DiagCode::FlappingSite),
+        "one rollback is not flapping: {codes:?}"
+    );
+    assert_eq!(r.plan.quarantined, honest.plan.quarantined);
+
+    // Rollback restored the byte-identical never-patched plan (backoff
+    // then blocks a re-patch within the remaining segments).
+    let baseline =
+        run_pipeline_adaptive(&module, &[], &segments[..1], AdaptiveConfig::default()).unwrap();
+    assert_eq!(
+        r.program.module.fingerprint(),
+        baseline.program.module.fingerprint()
+    );
+}

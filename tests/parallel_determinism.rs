@@ -113,3 +113,110 @@ fn pipeline_suite_is_bit_identical_serial_vs_parallel() {
         );
     }
 }
+
+/// The adaptive suite fan-out must be bit-identical too — and the bar is
+/// higher than for the plain pipeline, because each job's *patch
+/// sequence* (detect → commit → verify/rollback decisions across
+/// segments) also has to come out event-for-event identical, not just
+/// the final module. Three scenario shapes cover the patch kinds: a
+/// swap-drift recovery, a machine demotion, and a flapping distribution
+/// that ends in rollback + quarantine.
+#[test]
+fn adaptive_suite_is_bit_identical_serial_vs_parallel() {
+    use brepl::pipeline::{run_pipeline_adaptive_suite_with_threads, AdaptiveConfig, AdaptiveJob};
+    use brepl::workloads::kmp;
+    use brepl::workloads::synth::{gate_tape, input_gate_module, GatePattern};
+
+    let n = 1500;
+    let kmp_module = kmp::drift_module();
+    let gate_module = input_gate_module();
+    let swap = vec![
+        kmp::biased_text(n, 7, 1, 4),
+        kmp::biased_text(n, 8, 3, 4),
+        kmp::biased_text(n, 9, 3, 4),
+    ];
+    let demote = vec![
+        gate_tape(n, GatePattern::Alternating),
+        gate_tape(n, GatePattern::Constant(1)),
+        gate_tape(n, GatePattern::Constant(1)),
+    ];
+    let flap: Vec<_> = (0..8u64)
+        .map(|k| {
+            let (num, den) = if k % 2 == 0 { (1, 4) } else { (3, 4) };
+            // 2000 symbols: enough detector windows per segment that the
+            // flip-flopping reliably reaches the quarantine threshold.
+            kmp::biased_text(2000, 100 + k, num, den)
+        })
+        .collect();
+    let jobs = [
+        AdaptiveJob {
+            module: &kmp_module,
+            args: &[],
+            segments: &swap,
+        },
+        AdaptiveJob {
+            module: &gate_module,
+            args: &[],
+            segments: &demote,
+        },
+        AdaptiveJob {
+            module: &kmp_module,
+            args: &[],
+            segments: &flap,
+        },
+    ];
+
+    let serial = run_pipeline_adaptive_suite_with_threads(&jobs, AdaptiveConfig::default(), 1);
+    for threads in [2usize, 4] {
+        brepl::core::memo::clear();
+        let parallel =
+            run_pipeline_adaptive_suite_with_threads(&jobs, AdaptiveConfig::default(), threads);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            let (s, p) = match (s, p) {
+                (Ok(s), Ok(p)) => (s, p),
+                _ => panic!("job {i}: both modes must succeed on these scenarios"),
+            };
+            // The patch sequence is the observable of the adaptive layer:
+            // identical records in identical order.
+            assert_eq!(s.patch_log, p.patch_log, "job {i}: patch sequences differ");
+            assert_eq!(s.enabled_sites, p.enabled_sites, "job {i}");
+            assert_eq!(s.demoted_sites, p.demoted_sites, "job {i}");
+            assert_eq!(s.quarantined_sites, p.quarantined_sites, "job {i}");
+            // Bit-identical shipped artifacts.
+            assert_eq!(
+                s.program.module, p.program.module,
+                "job {i}: final modules differ"
+            );
+            assert_eq!(
+                s.program.predictions, p.program.predictions,
+                "job {i}: predictions differ"
+            );
+            assert_eq!(s.program.provenance, p.program.provenance, "job {i}");
+            // Per-segment measurements down to the float bits.
+            assert_eq!(s.segments.len(), p.segments.len(), "job {i}");
+            for (a, b) in s.segments.iter().zip(&p.segments) {
+                assert_eq!(a.events, b.events, "job {i} segment {}", a.segment);
+                assert_eq!(
+                    a.misprediction_percent.to_bits(),
+                    b.misprediction_percent.to_bits(),
+                    "job {i} segment {}",
+                    a.segment
+                );
+            }
+        }
+    }
+
+    // The flapping job's backoff must have capped its attempts no matter
+    // the thread count: every commit rolled back, quarantine engaged.
+    let flap_result = serial[2].as_ref().unwrap();
+    assert!(!flap_result.quarantined_sites.is_empty());
+    assert!(
+        !flap_result
+            .patch_log
+            .iter()
+            .any(|r| r.outcome == brepl::core::PatchOutcome::Verified),
+        "{:?}",
+        flap_result.patch_log
+    );
+}
